@@ -1,0 +1,86 @@
+"""Extension bench: Astrea-G microarchitecture ablations (section 7.1).
+
+The paper states that "a fetch width of F = 2 and priority queue sizes of
+E = 8 are sufficient ... larger fetch widths and priority queues improve
+accuracy but require more logic".  This bench quantifies that trade-off by
+forcing mid-weight syndromes through the greedy pipeline
+(``exhaustive_cutoff=6``) and measuring the fraction decoded to the true
+MWPM optimum as F and E vary.
+"""
+
+import numpy as np
+
+from repro.decoders.astrea_g import AstreaGDecoder
+from repro.decoders.mwpm import MWPMDecoder
+from repro.experiments.setup import DecodingSetup
+from repro.sim.pauli_frame import PauliFrameSimulator
+
+from _util import emit, seed, trials
+
+DISTANCE = 7
+P = 2e-3
+
+
+def _workload(setup, shots):
+    sim = PauliFrameSimulator(setup.experiment.circuit, seed=seed(71))
+    sample = sim.sample(shots)
+    mwpm = MWPMDecoder(setup.gwt, measure_time=False)
+    syndromes = []
+    optima = []
+    for det in sample.detectors:
+        active = [int(i) for i in np.nonzero(det)[0]]
+        if len(active) <= 6:
+            continue
+        syndromes.append(active)
+        optima.append(mwpm.decode_active(active).weight)
+    return syndromes, optima
+
+
+def _optimal_fraction(setup, syndromes, optima, **kwargs):
+    decoder = AstreaGDecoder(
+        setup.gwt, weight_threshold=7.0, exhaustive_cutoff=6, **kwargs
+    )
+    hits = sum(
+        int(decoder.decode_active(active).weight <= best + 1e-9)
+        for active, best in zip(syndromes, optima)
+    )
+    return hits / len(syndromes)
+
+
+def test_ext_fetch_width_and_queue_ablation(benchmark):
+    setup = DecodingSetup.build(DISTANCE, P)
+    shots = trials(4_000)
+    payload = {}
+
+    def run():
+        syndromes, optima = _workload(setup, shots)
+        payload["n"] = len(syndromes)
+        payload["F"] = {
+            f: _optimal_fraction(setup, syndromes, optima, fetch_width=f)
+            for f in (1, 2, 3, 4)
+        }
+        payload["E"] = {
+            e: _optimal_fraction(setup, syndromes, optima, queue_capacity=e)
+            for e in (1, 2, 4, 8, 16)
+        }
+        return payload
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"d={DISTANCE}, p={P}: {payload['n']} pipeline-decoded syndromes",
+        "fetch width F (E=8):   "
+        + "  ".join(f"F={f}:{v:.1%}" for f, v in payload["F"].items()),
+        "queue capacity E (F=2):"
+        + "  ".join(f" E={e}:{v:.1%}" for e, v in payload["E"].items()),
+        "paper: F=2, E=8 'sufficient'; larger values buy little",
+    ]
+    emit("ext_ablation_astreag", lines)
+
+    f_scores = payload["F"]
+    e_scores = payload["E"]
+    # F = 2 is the knee: a big jump from F = 1, small gains beyond.
+    assert f_scores[2] - f_scores[1] > 0.03
+    assert f_scores[4] - f_scores[2] < (f_scores[2] - f_scores[1])
+    # E = 8 is at or past saturation.
+    assert e_scores[8] >= e_scores[2] - 0.01
+    assert e_scores[16] - e_scores[8] < 0.02

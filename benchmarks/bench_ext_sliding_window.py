@@ -1,0 +1,64 @@
+"""Extension bench: streaming (sliding-window) decoding.
+
+The paper decodes one logical cycle (d rounds) as a block; a fault-
+tolerant machine running continuously needs *streaming* decoding with
+bounded lookahead.  This bench sweeps the window geometry on a d = 5
+workload and quantifies the accuracy cost of short lookahead against
+block MWPM -- the window covering all layers reproduces block decoding
+exactly, and accuracy converges to it as the window grows.
+"""
+
+from repro.decoders.mwpm import MWPMDecoder
+from repro.decoders.windowed import SlidingWindowDecoder
+from repro.experiments.memory import run_memory_experiment
+from repro.experiments.setup import DecodingSetup
+
+from _util import emit, fmt, seed, trials
+
+DISTANCE = 5
+P = 2e-3
+GEOMETRIES = ((2, 1), (3, 1), (4, 2), (6, 3))
+
+
+def test_ext_sliding_window(benchmark):
+    setup = DecodingSetup.build(DISTANCE, P)
+    shots = trials(25_000)
+    results = {}
+
+    def run():
+        block = MWPMDecoder(setup.ideal_gwt, measure_time=False)
+        results["block"] = run_memory_experiment(
+            setup.experiment, block, shots, seed=seed(66)
+        )
+        for window, commit in GEOMETRIES:
+            decoder = SlidingWindowDecoder(
+                setup.ideal_gwt,
+                setup.graph,
+                setup.experiment,
+                window=window,
+                commit=commit,
+            )
+            results[(window, commit)] = run_memory_experiment(
+                setup.experiment, decoder, shots, seed=seed(66)
+            )
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    base = results["block"].logical_error_rate
+    lines = [
+        f"d={DISTANCE}, p={P}, shots={shots}, block MWPM LER={fmt(base)}",
+        f"{'window':>7} {'commit':>7} {'LER':>10} {'rel':>6}",
+    ]
+    for window, commit in GEOMETRIES:
+        r = results[(window, commit)]
+        rel = r.logical_error_rate / base if base else float("nan")
+        lines.append(
+            f"{window:>7} {commit:>7} {fmt(r.logical_error_rate):>10} {rel:>6.2f}"
+        )
+    emit("ext_sliding_window", lines)
+
+    # Never better than block decoding; converging with window size.
+    smallest = results[GEOMETRIES[0]]
+    largest = results[GEOMETRIES[-1]]
+    assert smallest.errors >= largest.errors
+    assert largest.errors <= 2 * results["block"].errors + 5

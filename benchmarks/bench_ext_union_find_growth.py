@@ -1,0 +1,50 @@
+"""Extension bench: weighted vs unweighted Union-Find growth.
+
+AFS builds on *weighted* Union-Find: clusters grow across likely (cheap)
+edges before unlikely ones.  This ablation compares it against the
+original unweighted formulation on the same circuit-level decoding graph,
+where edge probabilities span an order of magnitude -- quantifying how
+much of AFS's remaining accuracy depends on weight awareness.
+"""
+
+from repro.decoders.mwpm import MWPMDecoder
+from repro.decoders.union_find import UnionFindDecoder
+from repro.experiments.memory import run_memory_experiment
+from repro.experiments.setup import DecodingSetup
+
+from _util import emit, fmt, seed, trials
+
+DISTANCE = 5
+P = 2e-3
+
+
+def test_ext_union_find_growth_ablation(benchmark):
+    setup = DecodingSetup.build(DISTANCE, P)
+    shots = trials(40_000)
+    results = {}
+
+    def run():
+        decoders = {
+            "mwpm": MWPMDecoder(setup.ideal_gwt, measure_time=False),
+            "uf-weighted": UnionFindDecoder(setup.graph, growth_resolution=2.0),
+            "uf-fine": UnionFindDecoder(setup.graph, growth_resolution=8.0),
+            "uf-unweighted": UnionFindDecoder(setup.graph, growth_resolution=0.0),
+        }
+        for name, decoder in decoders.items():
+            results[name] = run_memory_experiment(
+                setup.experiment, decoder, shots, seed=seed(55)
+            )
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"d={DISTANCE}, p={P}, shots={shots}"]
+    for name, r in results.items():
+        lines.append(
+            f"{name:>14} LER={fmt(r.logical_error_rate):>9}  errors={r.errors}"
+        )
+    emit("ext_union_find_growth", lines)
+
+    # Weighted growth must not be worse than unweighted, and neither
+    # reaches MWPM.
+    assert results["uf-weighted"].errors <= results["uf-unweighted"].errors + 5
+    assert results["uf-weighted"].errors > results["mwpm"].errors

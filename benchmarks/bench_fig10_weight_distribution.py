@@ -1,0 +1,90 @@
+"""Paper Figure 10 (and Figure 1d): GWT weight distribution and filtering.
+
+(a) The distribution of pair weights in the d = 7, p = 1e-3 Global Weight
+    Table, split into the paper's three regions: usable (w <= 7),
+    borderline (7 < w <= 9) and filtered (w > 9).
+(b) The number of surviving partners per syndrome bit of a Hamming-
+    weight-16 syndrome after filtering at W_th = 8, and the implied
+    search-space reduction.
+"""
+
+import numpy as np
+
+from repro.analysis.combinatorics import count_perfect_matchings
+from repro.experiments.setup import DecodingSetup
+from repro.sim.pauli_frame import PauliFrameSimulator
+
+from _util import emit, fmt, seed
+
+DISTANCE = 7
+P = 1e-3
+W_TH = 8.0
+
+
+def test_fig10a_weight_regions(benchmark):
+    setup = benchmark.pedantic(
+        lambda: DecodingSetup.build(DISTANCE, P), rounds=1, iterations=1
+    )
+    weights = setup.gwt.weights[np.triu_indices(setup.gwt.length, k=1)]
+    green = float((weights <= 7).mean())
+    orange = float(((weights > 7) & (weights <= 9)).mean())
+    red = float((weights > 9).mean())
+    lines = [
+        f"d={DISTANCE}, p={P}: GWT pair-weight regions",
+        f"usable  (w<=7) : {green:.2%}   (paper ~28%)",
+        f"border  (7-9)  : {orange:.2%}   (paper ~27%)",
+        f"filtered(w>9)  : {red:.2%}   (paper ~45%)",
+        f"min weight {weights.min():.2f}, max weight {weights.max():.2f}",
+    ]
+    emit("fig10a_weight_regions", lines)
+    # Shape: a large fraction of pairings is filterable.
+    assert red > 0.2
+    assert green < 0.7
+
+
+def test_fig10b_filtered_degree(benchmark):
+    setup = DecodingSetup.build(DISTANCE, P)
+    sim = PauliFrameSimulator(setup.experiment.circuit, seed=seed(10))
+    sample = benchmark.pedantic(lambda: sim.sample(40_000), rounds=1, iterations=1)
+    hw = sample.detectors.sum(axis=1)
+    target = int(np.argmax(hw >= 16)) if (hw >= 16).any() else int(hw.argmax())
+    active = [int(i) for i in np.nonzero(sample.detectors[target])[0]]
+    w = len(active)
+    sub = setup.gwt.active_weights(active)
+    degrees = [
+        int(((sub[i] <= W_TH).sum()) - (1 if sub[i, i] <= W_TH else 0))
+        for i in range(w)
+    ]
+    total_pairs = w * (w - 1) // 2
+    surviving = int(
+        sum((sub[i, j] <= W_TH) for i in range(w) for j in range(i + 1, w))
+    )
+    mean_degree = float(np.mean(degrees))
+    # Exact matching counts before and after filtering (paper's
+    # 2,027,025 -> 2,128 comparison at HW 16).  Odd weights fold the
+    # boundary in as one extra always-allowed node.
+    from repro.matching.brute_force import count_perfect_matchings_in_graph
+
+    m = w + (w % 2)
+    full_adj = np.ones((m, m), dtype=bool)
+    np.fill_diagonal(full_adj, False)
+    filtered_adj = np.zeros((m, m), dtype=bool)
+    filtered_adj[:w, :w] = sub <= W_TH
+    if m > w:  # virtual boundary node: boundary matches always allowed
+        filtered_adj[:w, w] = True
+        filtered_adj[w, :w] = True
+    np.fill_diagonal(filtered_adj, False)
+    full_space = count_perfect_matchings(m)
+    filtered_space = count_perfect_matchings_in_graph(filtered_adj)
+    lines = [
+        f"syndrome HW={w}, W_th={W_TH}",
+        f"surviving pairs: {surviving}/{total_pairs} "
+        f"({surviving / total_pairs:.1%}; paper keeps ~42% at HW 16)",
+        f"mean partners per bit: {mean_degree:.1f} (paper: 2-5)",
+        f"search space: {fmt(full_space)} -> {fmt(filtered_space)} matchings "
+        f"({fmt(full_space / max(filtered_space, 1))}x reduction; "
+        "paper: 953x at HW 16)",
+    ]
+    emit("fig10b_filtered_degree", lines)
+    assert surviving < total_pairs  # the filter removes something
+    assert filtered_space < full_space

@@ -1,0 +1,75 @@
+"""Paper Figure 1(b): the accuracy-vs-latency landscape of decoders.
+
+Figure 1(b) frames the paper's goal: prior designs either decode in real
+time with poor accuracy (Clique, AFS, NISQ+) or accurately but too slowly
+(software MWPM); Astrea/Astrea-G are the first to sit in the
+accurate-and-real-time corner.  This bench measures both axes for every
+decoder in the repository on one shared d = 5 workload and verifies the
+quadrant placement.
+"""
+
+from repro.decoders.astrea import AstreaDecoder
+from repro.decoders.astrea_g import AstreaGDecoder
+from repro.decoders.clique import CliqueDecoder
+from repro.decoders.lilliput import lut_size_bytes
+from repro.decoders.mwpm import MWPMDecoder
+from repro.decoders.union_find import UnionFindDecoder
+from repro.experiments.memory import run_memory_experiment
+from repro.experiments.setup import DecodingSetup
+
+from _util import emit, fmt, seed, trials
+
+DISTANCE = 5
+P = 2e-3
+BUDGET_NS = 1000.0
+
+
+def test_fig1b_accuracy_latency_landscape(benchmark):
+    setup = DecodingSetup.build(DISTANCE, P)
+    shots = trials(30_000)
+    decoders = {
+        "MWPM (software)": MWPMDecoder(setup.ideal_gwt, measure_time=True),
+        "Astrea": AstreaDecoder(setup.gwt),
+        "Astrea-G": AstreaGDecoder(setup.gwt, weight_threshold=7.0),
+        "Clique+MWPM": CliqueDecoder(setup.graph, setup.ideal_gwt),
+        "AFS (UF)": UnionFindDecoder(setup.graph),
+    }
+    results = {}
+
+    def run():
+        for name, decoder in decoders.items():
+            results[name] = run_memory_experiment(
+                setup.experiment, decoder, shots, seed=seed(1)
+            )
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"d={DISTANCE}, p={P}, shots={shots}",
+        f"{'decoder':>16} {'LER':>10} {'worst lat':>12} {'real-time':>9}",
+    ]
+    for name, r in results.items():
+        realtime = "yes" if r.max_latency_ns <= BUDGET_NS and not r.timed_out else "NO"
+        lines.append(
+            f"{name:>16} {fmt(r.logical_error_rate):>10} "
+            f"{r.max_latency_ns:>10.0f}ns {realtime:>9}"
+        )
+    lines.append(
+        f"(LILLIPUT at this d needs a {fmt(lut_size_bytes(DISTANCE))}-byte LUT: "
+        "absent from the real-time corner by memory, not latency)"
+    )
+    emit("fig1b_accuracy_latency", lines)
+
+    # Quadrant placement (the figure's whole point):
+    mwpm = results["MWPM (software)"]
+    astrea = results["Astrea"]
+    astrea_g = results["Astrea-G"]
+    uf = results["AFS (UF)"]
+    # Software MWPM: accurate but not real-time.
+    assert mwpm.max_latency_ns > BUDGET_NS
+    # Astrea/Astrea-G: real-time AND as accurate as MWPM (within declines).
+    for hw in (astrea, astrea_g):
+        assert hw.max_latency_ns <= BUDGET_NS
+        assert hw.errors <= 1.5 * mwpm.errors + max(5, hw.declined)
+    # UF: real-time but clearly less accurate.
+    assert uf.errors > 2 * mwpm.errors

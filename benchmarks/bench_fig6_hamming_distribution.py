@@ -1,0 +1,45 @@
+"""Paper Figure 6 (and Figure 1c): Hamming-weight probabilities, analytical
+upper bound vs circuit-level experiment.
+
+Reproduces the two series of Figure 6: the Eq. 1 binomial upper bound and
+the sampled distribution, which must sit below the bound while following
+the same exponential decay.
+"""
+
+from repro.analysis.hamming_model import hamming_weight_upper_bound
+from repro.experiments.hamming import hamming_weight_census
+from repro.experiments.setup import DecodingSetup
+
+from _util import emit, fmt, seed, trials
+
+DISTANCE = 5
+P = 1e-3
+
+
+def test_fig6_model_vs_experiment(benchmark):
+    setup = DecodingSetup.build(DISTANCE, P)
+    shots = trials(200_000)
+
+    def run():
+        return hamming_weight_census(setup.experiment, shots, seed=seed(6))
+
+    census = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"d={DISTANCE}, p={P}, shots={shots}",
+        "HW  model(Eq.1)  observed",
+    ]
+    violations = 0
+    for h in range(0, 13, 2):
+        model = hamming_weight_upper_bound(DISTANCE, P, h) + (
+            hamming_weight_upper_bound(DISTANCE, P, h + 1)
+        )
+        observed = census.probability(h) + census.probability(h + 1)
+        lines.append(f"{h:2d}  {fmt(model):>11}  {fmt(observed):>9}")
+        # The model upper-bounds the observed tail (Figure 6's shape),
+        # except at weight 0 where "fewer flips than errors" helps the bound.
+        if h >= 2 and observed > model * 1.2:
+            violations += 1
+    emit("fig6_hamming_distribution", lines)
+    assert violations == 0
+    # Exponential decay of the observed series.
+    assert census.probability(2) > census.probability(4) > census.probability(6)

@@ -1,0 +1,44 @@
+"""Paper Figure 9: Astrea decoding latency for d = 3, 5, 7 at p = 1e-4.
+
+Reproduces the three series: mean over all syndromes (~0-1 ns, dominated by
+trivial weights), mean over Hamming weight > 2 only, and the worst case
+(32 ns at d = 3, 80 ns at d = 5, 456 ns at d = 7).
+"""
+
+import pytest
+
+from repro.decoders.astrea import AstreaDecoder
+from repro.experiments.memory import run_memory_experiment
+from repro.experiments.setup import DecodingSetup
+
+from _util import emit, seed, trials
+
+#: Paper Figure 9 worst-case latencies (ns).
+PAPER_MAX = {3: 32.0, 5: 80.0, 7: 456.0}
+
+
+@pytest.mark.parametrize("distance", [3, 5, 7])
+def test_fig9_astrea_latency(distance, benchmark):
+    setup = DecodingSetup.build(distance, 1e-4)
+    decoder = AstreaDecoder(setup.gwt)
+    shots = trials(120_000 if distance == 3 else 60_000)
+
+    def run():
+        return run_memory_experiment(
+            setup.experiment, decoder, shots, seed=seed(9 + distance)
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"d={distance}, p=1e-4, shots={shots}",
+        f"mean latency           : {result.mean_latency_ns:.3f} ns (paper: ~1 ns)",
+        f"mean latency (HW > 2)  : {result.mean_latency_nontrivial_ns:.1f} ns",
+        f"max latency            : {result.max_latency_ns:.0f} ns "
+        f"(paper: {PAPER_MAX[distance]:.0f} ns)",
+        f"declined (HW > 10)     : {result.declined}",
+    ]
+    emit(f"fig9_astrea_latency_d{distance}", lines)
+    assert result.mean_latency_ns < 10.0
+    assert result.max_latency_ns <= PAPER_MAX[distance]
+    # Real-time: everything fits in the 1 us budget by construction.
+    assert result.max_latency_ns <= 1000.0

@@ -1,0 +1,34 @@
+"""Paper Table 1: resources required for surface-code logical qubits.
+
+Regenerates the data/parity/total qubit counts and per-basis syndrome
+vector lengths for distances 3-9, and benchmarks the layout construction.
+"""
+
+from repro.codes.rotated import RotatedSurfaceCode
+
+from _util import emit
+
+PAPER = {
+    3: (9, 8, 17, 16),
+    5: (25, 24, 49, 72),
+    7: (49, 48, 97, 192),
+    9: (81, 80, 161, 400),
+}
+
+
+def test_table1_resources(benchmark):
+    codes = {d: RotatedSurfaceCode(d) for d in PAPER}
+    lines = ["d  data  parity  total  syndrome(X/Z)   paper"]
+    for d, code in codes.items():
+        row = (
+            code.num_data_qubits,
+            code.num_parity_qubits,
+            code.num_qubits,
+            code.syndrome_vector_length(),
+        )
+        lines.append(
+            f"{d}  {row[0]:4d}  {row[1]:6d}  {row[2]:5d}  {row[3]:13d}   {PAPER[d]}"
+        )
+        assert row == PAPER[d], f"Table 1 mismatch at d={d}"
+    emit("table1_resources", lines)
+    benchmark(RotatedSurfaceCode, 9)

@@ -1,0 +1,42 @@
+"""Paper Table 5: probability of Hamming weight > 10 at d = 7.
+
+The motivation for Astrea-G: at p = 1e-3, weight > 10 syndromes occur with
+probability ~3e-3 -- roughly 1000x the logical error rate -- whereas at
+p = 1e-4 they are rarer than the logical error rate.
+"""
+
+from repro.experiments.hamming import hamming_weight_census
+from repro.experiments.setup import DecodingSetup
+
+from _util import emit, fmt, seed, trials
+
+#: Paper Table 5: (P[HW=0], P[1..10], P[>10]) per physical error rate.
+PAPER = {1e-3: (0.22, 0.777, 3e-3), 1e-4: (0.859, 0.141, 4e-6)}
+
+
+def test_table5_high_hamming_weight(benchmark):
+    lines = ["p      P(HW=0)    P(1-10)    P(>10)     paper(>10)"]
+    results = {}
+
+    def run():
+        for p in (1e-3, 1e-4):
+            setup = DecodingSetup.build(7, p)
+            shots = trials(60_000 if p == 1e-3 else 150_000)
+            results[p] = hamming_weight_census(
+                setup.experiment, shots, seed=seed(int(p * 1e6))
+            )
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    for p, census in results.items():
+        lines.append(
+            f"{p:.0e}  {fmt(census.probability(0)):>9}  "
+            f"{fmt(census.bucket_probability(1, 10)):>9}  "
+            f"{fmt(census.tail_probability(10)):>9}  {fmt(PAPER[p][2]):>9}"
+        )
+    emit("table5_high_hw", lines)
+    # Shape: HW > 10 is orders of magnitude likelier at p = 1e-3.
+    hi = results[1e-3].tail_probability(10)
+    lo = results[1e-4].tail_probability(10)
+    assert hi > 1e-4
+    assert lo < hi / 10

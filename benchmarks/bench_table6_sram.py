@@ -1,0 +1,50 @@
+"""Paper Table 6: SRAM overheads of Astrea-G for d = 7 and d = 9.
+
+The Global Weight Table dominates and is reproduced exactly (one byte per
+syndrome-bit pair); the smaller structures come from the parametric packing
+model and land in the same kilobyte range as the paper's RTL numbers.
+"""
+
+import pytest
+
+from repro.hw.sram import AstreaGStorageModel
+
+from _util import emit
+
+#: Paper Table 6 (bytes).
+PAPER = {
+    7: {
+        "Global Weight Table (GWT)": 36 * 1024,
+        "Local Weight Table (LWT)": 512,
+        "Priority Queues": int(3.4 * 1024),
+        "Pipeline Latches": int(2.3 * 1024),
+        "MWPM Register": 24,
+        "Total": 42 * 1024,
+    },
+    9: {
+        "Global Weight Table (GWT)": 156 * 1024,
+        "Local Weight Table (LWT)": 512,
+        "Priority Queues": int(4.1 * 1024),
+        "Pipeline Latches": int(2.9 * 1024),
+        "MWPM Register": 30,
+        "Total": 164 * 1024,
+    },
+}
+
+
+@pytest.mark.parametrize("distance", [7, 9])
+def test_table6_sram(distance, benchmark):
+    model = AstreaGStorageModel(
+        distance, max_hamming_weight=16 if distance == 7 else 20
+    )
+    rows = benchmark(model.table_rows)
+    lines = [f"d={distance}", f"{'component':30s} {'model':>10s} {'paper':>10s}"]
+    for name, value in rows:
+        paper = PAPER[distance][name]
+        lines.append(f"{name:30s} {value:10d} {paper:10d}")
+        # Within a small factor of the paper's packing for every component.
+        assert value <= 8 * paper
+        assert value >= paper / 8
+    emit(f"table6_sram_d{distance}", lines)
+    # The GWT entry is exact.
+    assert dict(rows)["Global Weight Table (GWT)"] == model.syndrome_length**2

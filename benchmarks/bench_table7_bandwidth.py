@@ -1,0 +1,64 @@
+"""Paper Table 7: syndrome bandwidth requirements for Astrea-G at d = 9.
+
+Time spent transmitting the 80 syndrome bits of a d = 9 round eats into
+the 1 us decode budget.  This bench re-runs Astrea-G with the residual
+budgets of the paper's bandwidth points (unlimited down to 20 MBps) on a
+shared sample and reports the LER relative to the unlimited-bandwidth
+row -- flat near 1.0x until transmission consumes about half the round.
+"""
+
+from repro.decoders.astrea_g import AstreaGDecoder
+from repro.decoders.mwpm import MWPMDecoder
+from repro.experiments.memory import run_memory_experiment
+from repro.experiments.setup import DecodingSetup
+from repro.hw.bandwidth import BandwidthModel
+from repro.hw.latency import FpgaTiming
+
+from _util import emit, fmt, seed, trials
+
+DISTANCE = 9
+P = 1.5e-3
+#: Paper Table 7 transmission times (ns) and relative LERs.
+PAPER = [(0, 1.0), (100, 1.0), (200, 1.0), (300, 1.01), (400, 1.08), (500, 1.33)]
+
+
+def test_table7_bandwidth(benchmark):
+    setup = DecodingSetup.build(DISTANCE, P)
+    model = BandwidthModel(DISTANCE)
+    shots = trials(8_000)
+    results = {}
+
+    def run():
+        for transmission_ns, _paper_rel in PAPER:
+            budget = 1000.0 - transmission_ns
+            timing = FpgaTiming(realtime_budget_ns=budget)
+            dec = AstreaGDecoder(setup.gwt, weight_threshold=7.0, timing=timing)
+            results[transmission_ns] = run_memory_experiment(
+                setup.experiment, dec, shots, seed=seed(7)
+            )
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    base = results[0].logical_error_rate
+    lines = [
+        f"d={DISTANCE}, p={P}, shots={shots}",
+        f"{'tx(ns)':>7} {'MBps':>9} {'LER':>10} {'rel':>6} {'paper rel':>9} {'timeouts':>8}",
+    ]
+    for transmission_ns, paper_rel in PAPER:
+        mbps = (
+            float("inf")
+            if transmission_ns == 0
+            else model.bandwidth_for_transmission(transmission_ns)
+        )
+        r = results[transmission_ns]
+        rel = r.logical_error_rate / base if base else float("nan")
+        lines.append(
+            f"{transmission_ns:>7} {mbps:>9.0f} {fmt(r.logical_error_rate):>10} "
+            f"{rel:>6.2f} {paper_rel:>9.2f} {r.timed_out:>8}"
+        )
+    emit("table7_bandwidth", lines)
+
+    # Shape: short transmissions cost nothing; the LER never *improves*
+    # (beyond noise) as the budget shrinks.
+    assert results[100].errors <= results[0].errors + 3
+    assert results[500].errors >= results[0].errors - 3

@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration: keep heavy kernels to a single round."""
+
+import sys
+from pathlib import Path
+
+# Make the sibling `_util` module importable regardless of rootdir.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,71 @@
+"""Reprogramming the Global Weight Table under noise drift (section 8.2).
+
+The paper argues that Astrea, unlike prior real-time decoders, natively
+handles non-uniform error rates and drift: the GWT is just memory, so its
+weights can be re-derived from the current device calibration and
+re-uploaded.  This example demonstrates why that matters.
+
+A device drifts into a *measurement-heavy* noise profile (readout errors
+8x the gate errors).  Decoding with the stale GWT -- built for the uniform
+profile -- misprices time-like edges relative to space-like ones and loses
+accuracy; rebuilding the GWT from the drifted noise model recovers it.
+
+Run:  python examples/error_drift_reprogramming.py
+"""
+
+import os
+
+from repro import (
+    MWPMDecoder,
+    NoiseParams,
+    build_detector_error_model,
+    build_memory_circuit,
+    run_memory_experiment,
+)
+from repro.graphs.decoding_graph import DecodingGraph
+from repro.graphs.weights import GlobalWeightTable
+
+DISTANCE = 5
+SHOTS = int(os.environ.get("REPRO_EXAMPLE_SHOTS", "60000"))
+
+#: What the decoder was calibrated for: the uniform model at p = 1e-3.
+CALIBRATED = NoiseParams.uniform(1e-3)
+
+#: What the device actually does after drift: readout noise dominates.
+DRIFTED = NoiseParams(
+    data_depolarization=1e-3,
+    gate2_depolarization=1e-3,
+    gate1_depolarization=1e-3,
+    measurement_flip=8e-3,
+    reset_flip=1e-3,
+)
+
+
+def gwt_for(noise: NoiseParams) -> GlobalWeightTable:
+    experiment = build_memory_circuit(DISTANCE, noise)
+    dem = build_detector_error_model(experiment.circuit)
+    return GlobalWeightTable.from_graph(DecodingGraph.from_dem(dem))
+
+
+def main() -> None:
+    # The device runs the drifted noise; both decoders see its syndromes.
+    drifted_experiment = build_memory_circuit(DISTANCE, DRIFTED)
+
+    stale = MWPMDecoder(gwt_for(CALIBRATED), measure_time=False)
+    reprogrammed = MWPMDecoder(gwt_for(DRIFTED), measure_time=False)
+
+    r_stale = run_memory_experiment(drifted_experiment, stale, SHOTS, seed=17)
+    r_fresh = run_memory_experiment(drifted_experiment, reprogrammed, SHOTS, seed=17)
+
+    print(f"d={DISTANCE}, drifted noise (measurement flips at 8e-3), {SHOTS} trials\n")
+    print(f"stale GWT (uniform calibration) : LER {r_stale.logical_error_rate:.2e}")
+    print(f"reprogrammed GWT (drift-aware)  : LER {r_fresh.logical_error_rate:.2e}")
+    if r_fresh.errors < r_stale.errors:
+        gain = r_stale.errors / max(r_fresh.errors, 1)
+        print(f"\nreprogramming the weight table cut logical errors by {gain:.2f}x")
+    else:
+        print("\n(no measurable gain at this trial count; raise SHOTS)")
+
+
+if __name__ == "__main__":
+    main()

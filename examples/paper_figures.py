@@ -1,0 +1,120 @@
+"""Text renderings of the paper's key figures, at laptop scale.
+
+Prints ASCII versions of:
+
+* the distance-5 code lattice (paper Figure 2a);
+* one sampled syndrome layer;
+* the Hamming-weight distribution, model vs experiment (Figure 6);
+* the GWT pair-weight regions Astrea-G filters on (Figure 10a);
+* the decoder LER comparison (Figure 4 / Table 4).
+
+Run:  python examples/paper_figures.py
+"""
+
+import os
+
+import numpy as np
+
+from repro import (
+    DecodingSetup,
+    MWPMDecoder,
+    PauliFrameSimulator,
+    UnionFindDecoder,
+    hamming_weight_census,
+    render_lattice,
+    render_series,
+    render_syndrome_layer,
+    run_memory_experiment,
+)
+from repro.analysis.hamming_model import hamming_weight_upper_bound
+
+
+def show_lattice(setup) -> None:
+    print("== the distance-5 rotated surface code (Figure 2a) ==")
+    print("   o data   x/z plaquettes   Z/X/* logical supports\n")
+    print(render_lattice(setup.experiment.code))
+
+
+def show_syndrome(setup) -> None:
+    sim = PauliFrameSimulator(setup.experiment.circuit, seed=11)
+    sample = sim.sample(64)
+    shot = int(np.argmax(sample.detectors.sum(axis=1)))
+    coords = setup.experiment.detector_coords
+    layers = [t for _x, _y, t in coords]
+    fired_layers = [layers[k] for k in np.nonzero(sample.detectors[shot])[0]]
+    layer = max(set(fired_layers), key=fired_layers.count) if fired_layers else 0
+    fired = [
+        (x, y)
+        for k, (x, y, t) in enumerate(coords)
+        if t == layer and sample.detectors[shot, k]
+    ]
+    print("\n== one sampled syndrome layer (! = fired check) ==\n")
+    print(render_syndrome_layer(setup.experiment.code, fired))
+
+
+def show_hamming(setup) -> None:
+    print("\n== Hamming-weight distribution (Figure 6) ==")
+    census = hamming_weight_census(
+        setup.experiment,
+        int(os.environ.get("REPRO_EXAMPLE_SHOTS", "50000")),
+        seed=12,
+    )
+    rows = []
+    for h in range(0, 11, 2):
+        observed = census.probability(h) + census.probability(h + 1)
+        rows.append((f"HW {h}-{h+1}", observed))
+    print("\nobserved:")
+    print(render_series(rows))
+    model_rows = [
+        (
+            f"HW {h}-{h+1}",
+            hamming_weight_upper_bound(setup.distance, setup.physical_error_rate, h),
+        )
+        for h in range(0, 11, 2)
+    ]
+    print("\nEq. 1 upper bound:")
+    print(render_series(model_rows))
+
+
+def show_weight_regions(setup) -> None:
+    print("\n== GWT pair-weight regions (Figure 10a) ==")
+    weights = setup.gwt.weights[np.triu_indices(setup.gwt.length, k=1)]
+    rows = [
+        ("w <= 7", float((weights <= 7).mean())),
+        ("7 < w <= 9", float(((weights > 7) & (weights <= 9)).mean())),
+        ("w > 9", float((weights > 9).mean())),
+    ]
+    print(render_series(rows, log=False))
+
+
+def show_decoder_gap(setup) -> None:
+    print("\n== decoder accuracy gap (Figure 4) ==")
+    shots = int(os.environ.get("REPRO_EXAMPLE_SHOTS", "20000"))
+    mwpm = run_memory_experiment(
+        setup.experiment, MWPMDecoder(setup.ideal_gwt, measure_time=False),
+        shots, seed=13,
+    )
+    uf = run_memory_experiment(
+        setup.experiment, UnionFindDecoder(setup.graph), shots, seed=13
+    )
+    print(
+        render_series(
+            [
+                ("MWPM", mwpm.logical_error_rate),
+                ("Union-Find", uf.logical_error_rate),
+            ]
+        )
+    )
+
+
+def main() -> None:
+    setup = DecodingSetup.build(5, 2e-3)
+    show_lattice(setup)
+    show_syndrome(setup)
+    show_hamming(setup)
+    show_weight_regions(setup)
+    show_decoder_gap(setup)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Anatomy of one Astrea-G greedy search (paper section 7.1, Figure 11).
+
+Takes a high-Hamming-weight syndrome, runs Astrea-G's Fetch/Sort/Commit
+pipeline with tracing enabled, and prints the per-cycle state: queue
+occupancy, completed matchings, and the weight in the MWPM register.  The
+trace makes the paper's two claims visible:
+
+* the register converges to (or near) the MWPM within the first few
+  passes, because low-weight pairs are committed first;
+* the queues drain quickly, so the worst case stays well inside the 1 us
+  (250-cycle) budget.
+
+Run:  python examples/pipeline_anatomy.py
+"""
+
+import os
+
+import numpy as np
+
+from repro import DecodingSetup, MWPMDecoder
+from repro.decoders.astrea_g import AstreaGDecoder
+
+DISTANCE = 7
+P = 2e-3
+
+
+def main() -> None:
+    setup = DecodingSetup.build(DISTANCE, P)
+    # Sample until a heavy syndrome appears.
+    from repro import PauliFrameSimulator
+
+    sim = PauliFrameSimulator(setup.experiment.circuit, seed=21)
+    sample = sim.sample(int(os.environ.get("REPRO_EXAMPLE_SHOTS", "30000")))
+    hw = sample.detectors.sum(axis=1)
+    shot = int(hw.argmax())
+    active = [int(i) for i in np.nonzero(sample.detectors[shot])[0]]
+    print(f"d={DISTANCE}, p={P}: decoding a Hamming-weight-{len(active)} syndrome\n")
+
+    decoder = AstreaGDecoder(setup.gwt, weight_threshold=7.0, exhaustive_cutoff=6)
+    result, trace = decoder.decode_with_trace(active)
+    if not trace:
+        print("syndrome was light enough for the exact Astrea datapath; "
+              "raise REPRO_EXAMPLE_SHOTS to catch a heavier one")
+        return
+    optimum = MWPMDecoder(setup.gwt, measure_time=False).decode_active(active)
+
+    print(f"{'pass':>4} {'queues':>8} {'completions':>11} {'register weight':>15}")
+    for snap in trace:
+        register = "--" if snap.best_weight == float("inf") else f"{snap.best_weight:.2f}"
+        print(
+            f"{snap.iteration:>4} {str(list(snap.queue_sizes)):>8} "
+            f"{snap.completions:>11} {register:>15}"
+        )
+
+    print(f"\npipeline result : weight {result.weight:.2f} "
+          f"({result.cycles} cycles = {result.latency_ns:.0f} ns)")
+    print(f"true MWPM       : weight {optimum.weight:.2f}")
+    gap = result.weight - optimum.weight
+    print(
+        "greedy search found the exact MWPM"
+        if gap < 1e-9
+        else f"greedy search is {gap:.2f} above the MWPM (a filtered branch)"
+    )
+    converged_at = next(
+        (s.iteration for s in trace if abs(s.best_weight - result.weight) < 1e-9),
+        None,
+    )
+    print(f"register reached its final value at pass {converged_at} "
+          f"of {trace[-1].iteration}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Latency anatomy of real-time decoding (paper Figures 3 and 9).
+
+Profiles the three decoding regimes on a shared distance-7 workload:
+
+* software MWPM -- exact but orders of magnitude over the 1 us budget;
+* Astrea -- exact for Hamming weight <= 10, 0-456 ns by cycle model;
+* Astrea-G -- greedy above weight 10, bounded by the 1 us budget.
+
+Also breaks Astrea's latency down by Hamming weight, reproducing the
+structure behind Figure 9 (trivial syndromes dominate, hence the ~1 ns
+mean).
+
+Run:  python examples/realtime_latency.py
+"""
+
+import os
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro import (
+    AstreaDecoder,
+    AstreaGDecoder,
+    DecodingSetup,
+    MWPMDecoder,
+    PauliFrameSimulator,
+)
+
+DISTANCE = 7
+P = 1e-3
+SHOTS = int(os.environ.get("REPRO_EXAMPLE_SHOTS", "2000"))
+
+
+def main() -> None:
+    setup = DecodingSetup.build(DISTANCE, P)
+    sampler = PauliFrameSimulator(setup.experiment.circuit, seed=3)
+    sample = sampler.sample(SHOTS)
+    syndromes = [det for det in sample.detectors]
+
+    mwpm = MWPMDecoder(setup.ideal_gwt)
+    astrea = AstreaDecoder(setup.gwt)
+    astrea_g = AstreaGDecoder(setup.gwt, weight_threshold=7.0)
+
+    print(f"d={DISTANCE}, p={P}, {SHOTS} syndromes\n")
+    for name, decoder in (
+        ("software MWPM", mwpm),
+        ("Astrea", astrea),
+        ("Astrea-G", astrea_g),
+    ):
+        latencies = []
+        declined = 0
+        for det in syndromes:
+            result = decoder.decode(det)
+            if not result.decoded:
+                declined += 1
+                continue
+            latencies.append(result.latency_ns)
+        arr = np.array(latencies)
+        over = float((arr > 1000.0).mean())
+        print(
+            f"{name:14s} mean {arr.mean():>10.1f} ns   "
+            f"max {arr.max():>11.1f} ns   >1us {over:>6.1%}   "
+            f"declined {declined}"
+        )
+
+    # Astrea's latency by Hamming weight (the Figure 9 structure).
+    by_hw: dict[int, float] = defaultdict(float)
+    counts: dict[int, int] = defaultdict(int)
+    for det in syndromes:
+        hw = int(det.sum())
+        if hw > 10:
+            continue
+        result = astrea.decode(det)
+        by_hw[hw] += result.latency_ns
+        counts[hw] += 1
+    print("\nAstrea latency by Hamming weight:")
+    print(f"{'HW':>3} {'count':>6} {'latency':>8}")
+    for hw in sorted(by_hw):
+        print(f"{hw:>3} {counts[hw]:>6} {by_hw[hw] / counts[hw]:>6.0f} ns")
+
+
+if __name__ == "__main__":
+    main()

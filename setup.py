@@ -1,0 +1,4 @@
+"""Setup shim: metadata lives in pyproject.toml (PEP 621)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""Analytical models: Hamming bounds, combinatorics, scaling, rendering."""
+
+from .combinatorics import (
+    count_perfect_matchings,
+    hw6_accesses,
+    matchings_with_degree_cap,
+    search_space_reduction,
+)
+from .hamming_model import (
+    hamming_tail_upper_bound,
+    hamming_weight_upper_bound,
+    syndrome_sites,
+)
+from .per_round import logical_error_after_rounds, logical_error_per_round
+from .render import render_lattice, render_series, render_syndrome_layer
+from .scaling import ScalingFit, fit_error_scaling, suppression_factors
+from .threshold import ThresholdEstimate, estimate_crossing, log_spaced
+
+__all__ = [
+    "ScalingFit",
+    "ThresholdEstimate",
+    "count_perfect_matchings",
+    "estimate_crossing",
+    "fit_error_scaling",
+    "hamming_tail_upper_bound",
+    "hamming_weight_upper_bound",
+    "hw6_accesses",
+    "log_spaced",
+    "logical_error_after_rounds",
+    "logical_error_per_round",
+    "matchings_with_degree_cap",
+    "render_lattice",
+    "render_series",
+    "render_syndrome_layer",
+    "search_space_reduction",
+    "suppression_factors",
+    "syndrome_sites",
+]

@@ -1,0 +1,79 @@
+"""Search-space combinatorics (paper sections 4.3, 5.7 and 6.1).
+
+Quantifies Astrea's feasibility window and Astrea-G's filtering payoff:
+
+* the number of perfect matchings of a weight-``w`` syndrome (Eq. 2) --
+  945 at ``w = 10`` (searchable), 6.5e8 at ``w = 20`` (hopeless);
+* the HW6Decoder access counts behind Astrea's latency table;
+* the search-space reduction from dropping high-weight pairs, as
+  illustrated by Figure 10(b)'s 2^27 -> 2^8-class shrinkage.
+"""
+
+from __future__ import annotations
+
+from ..matching.brute_force import count_perfect_matchings
+
+__all__ = [
+    "count_perfect_matchings",
+    "hw6_accesses",
+    "matchings_with_degree_cap",
+    "search_space_reduction",
+]
+
+
+def hw6_accesses(hamming_weight: int) -> int:
+    """HW6Decoder evaluations Astrea performs for a given Hamming weight.
+
+    One access evaluates the 15 matchings of six nodes; weights 7-8
+    pre-match one pair (7 accesses) and weights 9-10 two pairs (63).
+    """
+    if hamming_weight < 0:
+        raise ValueError("hamming_weight must be non-negative")
+    if hamming_weight <= 2:
+        return 0
+    if hamming_weight <= 6:
+        return 1
+    if hamming_weight <= 8:
+        return 7
+    if hamming_weight <= 10:
+        return 63
+    raise ValueError("Astrea supports Hamming weights up to 10")
+
+
+def matchings_with_degree_cap(w: int, cap: int) -> int:
+    """Upper bound on matchings when each bit keeps at most ``cap`` partners.
+
+    After Astrea-G's weight filtering each syndrome bit retains only a few
+    candidate partners (Figure 10(b)); a depth-first pairing then explores
+    at most ``cap^(w/2)`` matchings instead of ``(w-1)!!``.
+
+    Args:
+        w: Even Hamming weight.
+        cap: Maximum surviving partners per syndrome bit.
+
+    Returns:
+        The (loose) upper bound ``min(cap, w-1) ^ (w/2)``.
+    """
+    if w < 0 or w % 2:
+        raise ValueError("w must be a non-negative even integer")
+    if cap < 1:
+        raise ValueError("cap must be positive")
+    return min(cap, max(w - 1, 1)) ** (w // 2)
+
+
+def search_space_reduction(w: int, cap: int) -> float:
+    """Factor by which filtering shrinks the matching search space.
+
+    Paper Figure 10(b) reports a 953x reduction for a weight-16 syndrome
+    whose filtered table keeps ~42% of pairs.
+
+    Args:
+        w: Even Hamming weight.
+        cap: Surviving partners per bit after filtering.
+
+    Returns:
+        ``(w-1)!! / cap^(w/2)`` (at least 1).
+    """
+    full = count_perfect_matchings(w)
+    filtered = matchings_with_degree_cap(w, cap)
+    return max(1.0, full / filtered)

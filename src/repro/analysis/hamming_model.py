@@ -1,0 +1,71 @@
+"""Analytical Hamming-weight upper bound (paper section 4.2.1, Eq. 1).
+
+Each syndrome-extraction "site" (one parity qubit, one round) can flip two
+syndrome bits through five error sources totalling probability ``8p``:
+X/Y depolarizing on the four adjacent data qubits (2p), a measurement error
+(p), a reset error (p), X/Y depolarizing from the four CNOTs on the data
+side (2p) and on the parity side (2p).  Modelling the number of such events
+as ``E ~ Binomial(D, 8p)`` with ``D = (d+1)(d^2-1)/2`` syndrome bits and
+the Hamming weight as ``H = 2E`` gives the worst-case (upper-bound)
+distribution of Eq. 1 -- every error is assumed to flip two bits, ignoring
+chain formation and cancellation, so the real distribution (Figure 6) sits
+below this bound while following the same exponential decay.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "syndrome_sites",
+    "hamming_weight_upper_bound",
+    "hamming_tail_upper_bound",
+]
+
+
+def syndrome_sites(distance: int) -> int:
+    """``D = (d+1)(d^2-1)/2``: per-basis syndrome bits of a d-round memory run."""
+    if distance < 3 or distance % 2 == 0:
+        raise ValueError("distance must be an odd integer >= 3")
+    return (distance + 1) * (distance * distance - 1) // 2
+
+
+def hamming_weight_upper_bound(distance: int, p: float, weight: int) -> float:
+    """Equation 1: worst-case probability of an exact Hamming weight.
+
+    Args:
+        distance: Code distance.
+        p: Physical error rate.
+        weight: Hamming weight ``h`` (odd weights have probability zero in
+            this model because every event flips exactly two bits).
+
+    Returns:
+        ``P(H = weight)`` under the binomial upper-bound model.
+    """
+    if weight < 0:
+        raise ValueError("weight must be non-negative")
+    if weight % 2:
+        return 0.0
+    d_sites = syndrome_sites(distance)
+    events = weight // 2
+    if events > d_sites:
+        return 0.0
+    q = 8.0 * p
+    if q >= 1.0:
+        raise ValueError("8p must be below 1 for the binomial model")
+    return (
+        math.comb(d_sites, events)
+        * q**events
+        * (1.0 - q) ** (d_sites - events)
+    )
+
+
+def hamming_tail_upper_bound(distance: int, p: float, above: int) -> float:
+    """Worst-case probability of a Hamming weight strictly above ``above``."""
+    d_sites = syndrome_sites(distance)
+    total = 0.0
+    for weight in range(0, above + 1):
+        total += hamming_weight_upper_bound(distance, p, weight)
+    # Everything not at or below `above` (clip for float round-off).
+    _ = d_sites
+    return min(1.0, max(0.0, 1.0 - total))

@@ -1,0 +1,55 @@
+"""Per-round logical error rates.
+
+Memory experiments of different lengths are compared through the *logical
+error rate per round* epsilon, defined by the decay of the logical fidelity
+over ``r`` rounds:
+
+    1 - 2 * LER(r) = (1 - 2 * epsilon)^r
+
+Each round flips the logical state with probability epsilon; flips compose
+by XOR, giving the closed form above.  The paper's requirement that a
+distance-``d`` decoder consume ``d`` rounds (section 2.2) shows up in this
+metric: decoding with shorter windows inflates epsilon because measurement
+errors at the window edges are mistaken for data errors.
+"""
+
+from __future__ import annotations
+
+__all__ = ["logical_error_per_round", "logical_error_after_rounds"]
+
+
+def logical_error_per_round(ler: float, rounds: int) -> float:
+    """Invert the fidelity-decay law: per-round rate from a block LER.
+
+    Args:
+        ler: Logical error rate of the whole ``rounds``-round experiment
+            (must be below 0.5, the depolarized fixed point).
+        rounds: Number of rounds the experiment ran.
+
+    Returns:
+        The per-round logical error rate epsilon.
+    """
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    if not 0 <= ler < 0.5:
+        raise ValueError("ler must be in [0, 0.5)")
+    if ler == 0:
+        return 0.0
+    return 0.5 * (1.0 - (1.0 - 2.0 * ler) ** (1.0 / rounds))
+
+
+def logical_error_after_rounds(epsilon: float, rounds: int) -> float:
+    """Forward fidelity-decay law: block LER from a per-round rate.
+
+    Args:
+        epsilon: Per-round logical error rate (in [0, 0.5]).
+        rounds: Number of rounds.
+
+    Returns:
+        The logical error rate after ``rounds`` rounds.
+    """
+    if rounds < 0:
+        raise ValueError("rounds must be >= 0")
+    if not 0 <= epsilon <= 0.5:
+        raise ValueError("epsilon must be in [0, 0.5]")
+    return 0.5 * (1.0 - (1.0 - 2.0 * epsilon) ** rounds)

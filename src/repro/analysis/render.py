@@ -1,0 +1,124 @@
+"""ASCII rendering of surface-code lattices and syndromes.
+
+No plotting dependency ships with this reproduction, so the examples and
+debugging sessions use text renderings instead:
+
+* :func:`render_lattice` draws the rotated surface code -- data qubits,
+  X/Z plaquettes, logical operator supports;
+* :func:`render_syndrome_layer` overlays one detector layer's fired
+  checks on the lattice;
+* :func:`render_series` draws a log-scale column chart of (label, value)
+  pairs, used for Hamming-weight histograms and LER comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..codes.rotated import RotatedSurfaceCode
+
+__all__ = ["render_lattice", "render_syndrome_layer", "render_series"]
+
+
+def _grid(code: RotatedSurfaceCode) -> list[list[str]]:
+    side = 2 * code.distance + 1
+    return [[" " for _ in range(side)] for _ in range(side)]
+
+
+def render_lattice(code: RotatedSurfaceCode) -> str:
+    """Draw the code lattice.
+
+    Data qubits print as ``o`` (``Z``/``X`` where the logical Z / logical X
+    operator is supported, ``*`` at their intersection); X plaquettes as
+    ``x`` and Z plaquettes as ``z``.
+
+    Args:
+        code: The code to draw.
+
+    Returns:
+        A multi-line string, one lattice site per character cell.
+    """
+    grid = _grid(code)
+    logical_z = set(code.logical_z)
+    logical_x = set(code.logical_x)
+    for qubit in code.data_qubits:
+        x, y = code.coords[qubit]
+        in_z = qubit in logical_z
+        in_x = qubit in logical_x
+        grid[y][x] = "*" if (in_z and in_x) else "Z" if in_z else "X" if in_x else "o"
+    for stab in code.stabilizers:
+        x, y = code.coords[stab.ancilla]
+        grid[y][x] = stab.kind.lower()
+    return "\n".join("".join(row).rstrip() for row in grid)
+
+
+def render_syndrome_layer(
+    code: RotatedSurfaceCode,
+    fired: Sequence[tuple[int, int]],
+) -> str:
+    """Draw one detector layer with fired checks highlighted as ``!``.
+
+    Args:
+        code: The code lattice.
+        fired: ``(x, y)`` coordinates of the fired parity checks.
+
+    Returns:
+        A multi-line string.
+    """
+    grid = _grid(code)
+    for qubit in code.data_qubits:
+        x, y = code.coords[qubit]
+        grid[y][x] = "."
+    for stab in code.stabilizers:
+        x, y = code.coords[stab.ancilla]
+        grid[y][x] = stab.kind.lower()
+    for x, y in fired:
+        if not (0 <= y < len(grid) and 0 <= x < len(grid[0])):
+            raise ValueError(f"fired check ({x}, {y}) outside the lattice")
+        grid[y][x] = "!"
+    return "\n".join("".join(row).rstrip() for row in grid)
+
+
+def render_series(
+    entries: Sequence[tuple[str, float]],
+    *,
+    width: int = 50,
+    log: bool = True,
+) -> str:
+    """Draw a horizontal bar chart of labelled non-negative values.
+
+    Args:
+        entries: ``(label, value)`` pairs; zero values render as empty bars.
+        width: Maximum bar width in characters.
+        log: Scale bars by log10 (suits probabilities spanning decades).
+
+    Returns:
+        A multi-line string, one bar per entry.
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    positive = [v for _l, v in entries if v > 0]
+    if not positive:
+        return "\n".join(f"{label:>12} |" for label, _v in entries)
+    if log:
+        low = math.log10(min(positive))
+        high = math.log10(max(positive))
+        span = max(high - low, 1e-12)
+
+        def bar(value: float) -> int:
+            if value <= 0:
+                return 0
+            return 1 + round((math.log10(value) - low) / span * (width - 1))
+
+    else:
+        high = max(positive)
+
+        def bar(value: float) -> int:
+            return round(value / high * width)
+
+    lines = []
+    for label, value in entries:
+        lines.append(f"{label:>12} |{'#' * bar(value)} {value:.3e}" if value > 0
+                     else f"{label:>12} |")
+    return "\n".join(lines)

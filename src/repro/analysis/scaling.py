@@ -1,0 +1,100 @@
+"""Logical-error-rate scaling analysis.
+
+Two standard QEC summary statistics tie the reproduction's sweeps back to
+the theory the paper leans on (sections 1 and 9):
+
+* the **error-suppression factor** ``Lambda = LER(d) / LER(d + 2)``:
+  below threshold, each distance step suppresses errors by a roughly
+  constant factor (Google's scaling metric);
+* the **scaling-law fit** ``LER ~ A * (p / p_th)^((d + 1) / 2)``: on a
+  log-log plot, LER-vs-p curves of different distances are straight lines
+  whose slopes grow as ``(d + 1)/2`` and which intersect at the threshold
+  ``p_th``.
+
+Both operate on :class:`~repro.experiments.sweep.SweepPoint` lists so they
+compose directly with the sweep harness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..experiments.sweep import SweepPoint
+
+__all__ = ["suppression_factors", "ScalingFit", "fit_error_scaling"]
+
+
+def suppression_factors(points: Sequence[SweepPoint]) -> dict[int, float]:
+    """Per-distance-step error-suppression factors ``Lambda``.
+
+    Args:
+        points: Sweep points at a shared physical error rate, one per
+            distance (as produced by
+            :func:`~repro.experiments.sweep.ler_vs_distance`).
+
+    Returns:
+        Map from distance ``d`` to ``LER(d) / LER(d + 2)`` for each
+        consecutive distance pair present; pairs whose larger-distance LER
+        is zero (unresolved) are omitted.
+    """
+    by_distance = {p.distance: p.logical_error_rate for p in points}
+    factors: dict[int, float] = {}
+    for d in sorted(by_distance):
+        if d + 2 in by_distance and by_distance[d + 2] > 0:
+            factors[d] = by_distance[d] / by_distance[d + 2]
+    return factors
+
+
+@dataclass(frozen=True)
+class ScalingFit:
+    """Least-squares fit of ``log LER = log A + slope * log p``.
+
+    Attributes:
+        slope: Fitted log-log slope; scaling theory predicts ``(d + 1)/2``
+            for a distance-``d`` code well below threshold.
+        intercept: Fitted ``log10 A``.
+        points_used: Number of (non-zero-LER) points in the fit.
+    """
+
+    slope: float
+    intercept: float
+    points_used: int
+
+    def predict(self, p: float) -> float:
+        """LER predicted by the fitted power law at rate ``p``."""
+        return 10 ** (self.intercept + self.slope * math.log10(p))
+
+
+def fit_error_scaling(points: Sequence[SweepPoint]) -> ScalingFit:
+    """Fit the log-log LER-vs-p power law of one distance's sweep.
+
+    Args:
+        points: Sweep points of a single distance (varying ``p``); points
+            with zero observed LER are skipped.
+
+    Returns:
+        The least-squares :class:`ScalingFit`.
+
+    Raises:
+        ValueError: With fewer than two resolvable points.
+    """
+    xs = []
+    ys = []
+    for point in points:
+        if point.logical_error_rate > 0:
+            xs.append(math.log10(point.physical_error_rate))
+            ys.append(math.log10(point.logical_error_rate))
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two non-zero-LER points to fit")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    if var_x == 0:
+        raise ValueError("all points share one physical error rate")
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = cov / var_x
+    intercept = mean_y - slope * mean_x
+    return ScalingFit(slope=slope, intercept=intercept, points_used=n)

@@ -1,0 +1,16 @@
+"""Stabilizer-circuit IR, noise model and experiment-circuit builders."""
+
+from .circuit import Circuit, Instruction
+from .memory import MemoryExperiment, build_memory_circuit
+from .noise import NoiseParams
+from .stim_io import from_stim, to_stim
+
+__all__ = [
+    "Circuit",
+    "Instruction",
+    "MemoryExperiment",
+    "NoiseParams",
+    "build_memory_circuit",
+    "from_stim",
+    "to_stim",
+]

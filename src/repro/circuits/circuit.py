@@ -1,0 +1,259 @@
+"""A minimal stabilizer-circuit intermediate representation.
+
+This module plays the role that Stim's circuit language plays in the paper's
+artifact: it describes Clifford circuits with Pauli noise channels,
+measurement records, *detectors* (parity checks over measurement records that
+are deterministic in the absence of noise) and *logical observables*.
+
+The IR is deliberately small: only the operations needed by surface-code
+memory experiments are supported.  Every instruction is validated when it is
+appended so that downstream consumers (the Pauli-frame sampler, the detector
+error-model builder) can assume well-formed programs.
+
+Supported operations
+--------------------
+
+======================  ==========================================  =========
+Name                    Targets                                     Argument
+======================  ==========================================  =========
+``R``                   qubits to reset to ``|0>``                  --
+``H``                   qubits                                      --
+``CX``                  (control, target) pairs                     --
+``M``                   qubits to measure in the Z basis            p (flip)
+``MR``                  qubits to measure then reset                p (flip)
+``X_ERROR``             qubits                                      p
+``Z_ERROR``             qubits                                      p
+``DEPOLARIZE1``         qubits                                      p
+``DEPOLARIZE2``         (control, target) pairs                     p
+``TICK``                --                                          --
+``DETECTOR``            absolute measurement-record indices         --
+``OBSERVABLE_INCLUDE``  absolute measurement-record indices         obs index
+======================  ==========================================  =========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Instruction",
+    "Circuit",
+    "GATE_NAMES",
+    "NOISE_NAMES",
+    "TWO_QUBIT_NAMES",
+    "MEASUREMENT_NAMES",
+]
+
+#: Clifford / reset / measurement operations (no probability argument).
+GATE_NAMES = frozenset({"R", "H", "CX", "M", "MR", "TICK"})
+
+#: Probabilistic Pauli noise channels (require ``0 <= p <= 1``).
+NOISE_NAMES = frozenset({"X_ERROR", "Z_ERROR", "DEPOLARIZE1", "DEPOLARIZE2"})
+
+#: Operations whose targets are consumed in (control, target) pairs.
+TWO_QUBIT_NAMES = frozenset({"CX", "DEPOLARIZE2"})
+
+#: Operations that append to the measurement record, one bit per target.
+MEASUREMENT_NAMES = frozenset({"M", "MR"})
+
+#: Annotations over the measurement record.
+ANNOTATION_NAMES = frozenset({"DETECTOR", "OBSERVABLE_INCLUDE"})
+
+_ALL_NAMES = GATE_NAMES | NOISE_NAMES | ANNOTATION_NAMES
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One circuit operation.
+
+    Attributes:
+        name: Operation name; one of the names documented in the module
+            docstring.
+        targets: Qubit indices for gates/noise, or absolute measurement
+            record indices for ``DETECTOR`` / ``OBSERVABLE_INCLUDE``.
+        arg: Error probability for noise channels, the observable index for
+            ``OBSERVABLE_INCLUDE``, and ``0.0`` otherwise.
+    """
+
+    name: str
+    targets: tuple[int, ...] = ()
+    arg: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.name not in _ALL_NAMES:
+            raise ValueError(f"unknown instruction name: {self.name!r}")
+        if self.name in NOISE_NAMES and not 0.0 <= self.arg <= 1.0:
+            raise ValueError(
+                f"{self.name} probability must be in [0, 1], got {self.arg}"
+            )
+        if self.name in MEASUREMENT_NAMES and not 0.0 <= self.arg <= 1.0:
+            raise ValueError(
+                f"{self.name} record-flip probability must be in [0, 1], "
+                f"got {self.arg}"
+            )
+        if self.name in TWO_QUBIT_NAMES:
+            if len(self.targets) % 2 != 0:
+                raise ValueError(f"{self.name} requires an even number of targets")
+            if len(set(self.targets)) != len(self.targets):
+                # Batched (vectorised) application requires each qubit to
+                # appear at most once per instruction; split across several
+                # instructions if a qubit participates in two interactions.
+                raise ValueError(f"{self.name} targets must be distinct")
+        if self.name == "OBSERVABLE_INCLUDE" and self.arg < 0:
+            raise ValueError("observable index must be non-negative")
+        if any(t < 0 for t in self.targets):
+            raise ValueError(f"negative target in {self.name}: {self.targets}")
+
+    @property
+    def target_pairs(self) -> list[tuple[int, int]]:
+        """The targets grouped as (control, target) pairs.
+
+        Only meaningful for two-qubit operations.
+        """
+        ts = self.targets
+        return [(ts[i], ts[i + 1]) for i in range(0, len(ts), 2)]
+
+    def __str__(self) -> str:
+        arg = f"({self.arg})" if self.name in NOISE_NAMES else (
+            f"({int(self.arg)})" if self.name == "OBSERVABLE_INCLUDE" else ""
+        )
+        tail = " " + " ".join(map(str, self.targets)) if self.targets else ""
+        return f"{self.name}{arg}{tail}"
+
+
+@dataclass
+class Circuit:
+    """An ordered list of :class:`Instruction` with record bookkeeping.
+
+    The circuit tracks how many measurement results, detectors and logical
+    observables its instructions define, and validates detector/observable
+    record references as instructions are appended.
+    """
+
+    instructions: list[Instruction] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._num_qubits = 0
+        self._num_measurements = 0
+        self._num_detectors = 0
+        self._num_observables = 0
+        existing = list(self.instructions)
+        self.instructions = []
+        for inst in existing:
+            self.append(inst)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def append(self, inst: Instruction) -> None:
+        """Append an instruction, updating qubit/record counts."""
+        if inst.name == "DETECTOR" or inst.name == "OBSERVABLE_INCLUDE":
+            future = [t for t in inst.targets if t >= self._num_measurements]
+            if future:
+                raise ValueError(
+                    f"{inst.name} references measurement record(s) {future} "
+                    f"but only {self._num_measurements} measurements exist"
+                )
+            if inst.name == "DETECTOR":
+                self._num_detectors += 1
+            else:
+                obs_index = int(inst.arg)
+                self._num_observables = max(self._num_observables, obs_index + 1)
+        else:
+            if inst.targets:
+                self._num_qubits = max(self._num_qubits, max(inst.targets) + 1)
+            if inst.name in MEASUREMENT_NAMES:
+                self._num_measurements += len(inst.targets)
+        self.instructions.append(inst)
+
+    def add(self, name: str, targets: Iterable[int] = (), arg: float = 0.0) -> None:
+        """Convenience wrapper: build and append an :class:`Instruction`."""
+        self.append(Instruction(name, tuple(targets), arg))
+
+    def extend(self, other: "Circuit") -> None:
+        """Append every instruction of ``other`` (re-validating records)."""
+        for inst in other.instructions:
+            self.append(inst)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits (1 + the largest qubit index used)."""
+        return self._num_qubits
+
+    @property
+    def num_measurements(self) -> int:
+        """Total number of measurement-record bits the circuit produces."""
+        return self._num_measurements
+
+    @property
+    def num_detectors(self) -> int:
+        """Number of ``DETECTOR`` annotations."""
+        return self._num_detectors
+
+    @property
+    def num_observables(self) -> int:
+        """Number of distinct logical observables."""
+        return self._num_observables
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __str__(self) -> str:
+        return "\n".join(str(inst) for inst in self.instructions)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    def detectors(self) -> list[tuple[int, ...]]:
+        """Measurement-record index tuples, one per detector, in order."""
+        return [
+            inst.targets for inst in self.instructions if inst.name == "DETECTOR"
+        ]
+
+    def observables(self) -> list[tuple[int, ...]]:
+        """Measurement-record index tuples, one per logical observable.
+
+        Observable ``k``'s value is the parity of the returned records. An
+        observable mentioned by several ``OBSERVABLE_INCLUDE`` instructions
+        accumulates all of their targets.
+        """
+        obs: list[list[int]] = [[] for _ in range(self._num_observables)]
+        for inst in self.instructions:
+            if inst.name == "OBSERVABLE_INCLUDE":
+                obs[int(inst.arg)].extend(inst.targets)
+        return [tuple(o) for o in obs]
+
+    def without_noise(self) -> "Circuit":
+        """A copy with all noise removed.
+
+        Noise channels are dropped and the record-flip probabilities of
+        measurement operations are zeroed, so the result is fully
+        deterministic wherever the original circuit's detectors are.
+        """
+        clean = Circuit()
+        for inst in self.instructions:
+            if inst.name in NOISE_NAMES:
+                continue
+            if inst.name in MEASUREMENT_NAMES and inst.arg != 0.0:
+                clean.append(Instruction(inst.name, inst.targets, 0.0))
+            else:
+                clean.append(inst)
+        return clean
+
+    def count(self, name: str) -> int:
+        """Number of instructions with the given name."""
+        return sum(1 for inst in self.instructions if inst.name == name)
+
+    def noise_channels(self) -> list[Instruction]:
+        """All noise-channel instructions, in program order."""
+        return [inst for inst in self.instructions if inst.name in NOISE_NAMES]

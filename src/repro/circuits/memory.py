@@ -1,0 +1,275 @@
+"""Memory (state-preservation) experiment circuits (paper section 3.4).
+
+A memory experiment prepares a logical basis state, runs ``d`` rounds of
+syndrome extraction under circuit-level noise, and finally measures every
+data qubit to read out the logical state.  Decoding succeeds when the
+decoder's predicted logical flip matches the actual one.
+
+The generated circuit annotates one detector per parity check per layer:
+``rounds`` measured layers plus a final layer reconstructed from the data
+measurement, giving the per-basis syndrome-vector lengths of paper Table 1
+(``(d+1)(d^2-1)/2`` for ``rounds = d``).
+
+Only the detectors of the memory basis are annotated (Z-basis experiments
+decode the Z decoding graph), mirroring the paper's evaluation methodology:
+"X syndromes and Z syndromes are decoded independently" and the two bases
+are functionally equivalent under this noise model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..codes.rotated import RotatedSurfaceCode
+from .circuit import Circuit
+from .noise import NoiseParams
+
+__all__ = ["MemoryExperiment", "build_memory_circuit"]
+
+
+@dataclass
+class MemoryExperiment:
+    """A memory-experiment circuit plus the metadata decoders need.
+
+    Attributes:
+        circuit: The annotated noisy circuit.
+        code: The underlying rotated surface code.
+        noise: Noise parameters used to build the circuit.
+        basis: ``"z"`` or ``"x"`` memory basis.
+        rounds: Number of measured syndrome-extraction rounds.
+        detector_coords: Per-detector ``(x, y, t)`` coordinates, where
+            ``(x, y)`` is the parity qubit's lattice position and ``t`` the
+            detector layer (``0..rounds``).
+        qubit_noise_scale: Per-qubit noise multipliers used in the build
+            (empty for the paper's uniform model).
+    """
+
+    circuit: Circuit
+    code: RotatedSurfaceCode
+    noise: NoiseParams
+    basis: str
+    rounds: int
+    detector_coords: list[tuple[int, int, int]] = field(default_factory=list)
+    qubit_noise_scale: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def detectors_per_layer(self) -> int:
+        """Parity checks annotated per detector layer."""
+        return (self.code.distance ** 2 - 1) // 2
+
+    @property
+    def num_detectors(self) -> int:
+        """Total detector count (``(rounds + 1)`` layers)."""
+        return self.circuit.num_detectors
+
+
+def build_memory_circuit(
+    distance: int,
+    noise: NoiseParams,
+    *,
+    rounds: int | None = None,
+    basis: str = "z",
+    qubit_noise_scale: dict[int, float] | None = None,
+) -> MemoryExperiment:
+    """Build a noisy memory-experiment circuit for a rotated surface code.
+
+    Args:
+        distance: Odd code distance >= 3.
+        noise: Circuit-level noise parameters (see :class:`NoiseParams`).
+        rounds: Measured syndrome-extraction rounds; defaults to ``distance``
+            as the paper requires for tolerating measurement errors.
+        basis: ``"z"`` (prepare/measure logical ``|0>``) or ``"x"``.
+        qubit_noise_scale: Optional per-qubit multipliers on every error
+            probability touching that qubit (two-qubit channels use the
+            larger of the pair's multipliers; probabilities are clipped to
+            1).  Models the non-uniform error rates and drift of paper
+            section 8.2, which Astrea absorbs by reprogramming the Global
+            Weight Table built from this circuit.
+
+    Returns:
+        The :class:`MemoryExperiment` bundle.
+    """
+    if basis not in ("z", "x"):
+        raise ValueError(f"basis must be 'z' or 'x', got {basis!r}")
+    code = RotatedSurfaceCode(distance)
+    if rounds is None:
+        rounds = distance
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    scale = _NoiseScale(qubit_noise_scale)
+
+    circuit = Circuit()
+    data = list(code.data_qubits)
+    x_anc = list(code.x_ancillas)
+    z_anc = list(code.z_ancillas)
+    all_anc = x_anc + z_anc
+    basis_stabs = code.z_stabilizers() if basis == "z" else code.x_stabilizers()
+    basis_anc = [s.ancilla for s in basis_stabs]
+    detector_coords: list[tuple[int, int, int]] = []
+
+    # --- State preparation (noiseless, per the paper's model) -------------
+    circuit.add("R", data + all_anc)
+    if basis == "x":
+        circuit.add("H", data)
+
+    # Measurement-record bookkeeping: ancillas are measured once per round
+    # in the order x_anc + z_anc, then every data qubit is measured once.
+    anc_pos = {q: i for i, q in enumerate(all_anc)}
+    data_pos = {q: i for i, q in enumerate(data)}
+
+    def anc_record(round_index: int, ancilla: int) -> int:
+        return round_index * len(all_anc) + anc_pos[ancilla]
+
+    def data_record(qubit: int) -> int:
+        return rounds * len(all_anc) + data_pos[qubit]
+
+    # --- Syndrome-extraction rounds ---------------------------------------
+    for r in range(rounds):
+        circuit.add("TICK")
+        for targets, p in scale.groups(data, noise.data_depolarization):
+            circuit.add("DEPOLARIZE1", targets, p)
+        _extraction_cycle(circuit, code, noise, scale)
+        for targets, p in scale.runs(all_anc, noise.measurement_flip):
+            circuit.add("MR", targets, p)
+        for targets, p in scale.groups(all_anc, noise.reset_flip):
+            circuit.add("X_ERROR", targets, p)
+        for stab in basis_stabs:
+            if r == 0:
+                records = (anc_record(0, stab.ancilla),)
+            else:
+                records = (
+                    anc_record(r, stab.ancilla),
+                    anc_record(r - 1, stab.ancilla),
+                )
+            circuit.add("DETECTOR", records)
+            cx, cy = code.coords[stab.ancilla]
+            detector_coords.append((cx, cy, r))
+
+    # --- Final transversal data measurement --------------------------------
+    circuit.add("TICK")
+    if basis == "x":
+        circuit.add("H", data)
+        for targets, p in scale.groups(data, noise.gate1_depolarization):
+            circuit.add("DEPOLARIZE1", targets, p)
+    for targets, p in scale.runs(data, noise.measurement_flip):
+        circuit.add("M", targets, p)
+    for stab in basis_stabs:
+        records = tuple(data_record(q) for q in stab.data) + (
+            anc_record(rounds - 1, stab.ancilla),
+        )
+        circuit.add("DETECTOR", records)
+        cx, cy = code.coords[stab.ancilla]
+        detector_coords.append((cx, cy, rounds))
+
+    logical = code.logical_z if basis == "z" else code.logical_x
+    circuit.add("OBSERVABLE_INCLUDE", tuple(data_record(q) for q in logical), 0.0)
+
+    return MemoryExperiment(
+        circuit=circuit,
+        code=code,
+        noise=noise,
+        basis=basis,
+        rounds=rounds,
+        detector_coords=detector_coords,
+        qubit_noise_scale=dict(scale.multipliers),
+    )
+
+
+def _extraction_cycle(
+    circuit: Circuit,
+    code: RotatedSurfaceCode,
+    noise: NoiseParams,
+    scale: "_NoiseScale",
+) -> None:
+    """Append one syndrome-extraction cycle (H / 4 CX layers / H)."""
+    x_anc = list(code.x_ancillas)
+    circuit.add("H", x_anc)
+    for targets, p in scale.groups(x_anc, noise.gate1_depolarization):
+        circuit.add("DEPOLARIZE1", targets, p)
+    for layer in range(4):
+        pairs: list[int] = []
+        for stab in code.stabilizers:
+            partner = stab.schedule[layer]
+            if partner is None:
+                continue
+            if stab.kind == "X":
+                pairs.extend((stab.ancilla, partner))
+            else:
+                pairs.extend((partner, stab.ancilla))
+        if pairs:
+            circuit.add("CX", pairs)
+            for targets, p in scale.pair_groups(pairs, noise.gate2_depolarization):
+                circuit.add("DEPOLARIZE2", targets, p)
+    circuit.add("H", x_anc)
+    for targets, p in scale.groups(x_anc, noise.gate1_depolarization):
+        circuit.add("DEPOLARIZE1", targets, p)
+
+
+class _NoiseScale:
+    """Per-qubit noise multipliers, grouped for batched instruction emission.
+
+    With no multipliers (or all equal to 1) the emitted instruction stream
+    is identical to the uniform builder's.
+    """
+
+    def __init__(self, multipliers: dict[int, float] | None) -> None:
+        self.multipliers = dict(multipliers) if multipliers else {}
+        for qubit, factor in self.multipliers.items():
+            if factor < 0:
+                raise ValueError(
+                    f"noise multiplier for qubit {qubit} must be >= 0"
+                )
+
+    def factor(self, qubit: int) -> float:
+        """Multiplier of one qubit (1.0 when unspecified)."""
+        return self.multipliers.get(qubit, 1.0)
+
+    @staticmethod
+    def _clip(p: float) -> float:
+        return min(1.0, p)
+
+    def groups(
+        self, qubits: list[int], p: float
+    ) -> list[tuple[list[int], float]]:
+        """Qubits grouped by scaled probability; empty when ``p == 0``.
+
+        Order-insensitive: use only for pure noise channels.
+        """
+        if p <= 0:
+            return []
+        by_p: dict[float, list[int]] = {}
+        for q in qubits:
+            by_p.setdefault(self._clip(p * self.factor(q)), []).append(q)
+        return [(targets, sp) for sp, targets in sorted(by_p.items()) if sp > 0]
+
+    def runs(self, qubits: list[int], p: float) -> list[tuple[list[int], float]]:
+        """Consecutive equal-probability runs, preserving qubit order.
+
+        Use for measurement operations, whose emission order defines the
+        measurement record; always yields every qubit (even at ``p == 0``).
+        """
+        out: list[tuple[list[int], float]] = []
+        for q in qubits:
+            sp = self._clip(p * self.factor(q))
+            if out and out[-1][1] == sp:
+                out[-1][0].append(q)
+            else:
+                out.append(([q], sp))
+        return out
+
+    def pair_groups(
+        self, flat_pairs: list[int], p: float
+    ) -> list[tuple[list[int], float]]:
+        """(control, target) pairs grouped by the pair's scaled probability.
+
+        A pair's multiplier is the larger of its two qubits' multipliers
+        (a hot qubit degrades every gate it participates in).
+        """
+        if p <= 0:
+            return []
+        by_p: dict[float, list[int]] = {}
+        for k in range(0, len(flat_pairs), 2):
+            a, b = flat_pairs[k], flat_pairs[k + 1]
+            sp = self._clip(p * max(self.factor(a), self.factor(b)))
+            by_p.setdefault(sp, []).extend((a, b))
+        return [(targets, sp) for sp, targets in sorted(by_p.items()) if sp > 0]

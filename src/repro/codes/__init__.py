@@ -1,0 +1,11 @@
+"""Quantum error-correcting code layouts (rotated surface, repetition)."""
+
+from .repetition import RepetitionCode, build_repetition_memory_circuit
+from .rotated import RotatedSurfaceCode, Stabilizer
+
+__all__ = [
+    "RepetitionCode",
+    "RotatedSurfaceCode",
+    "Stabilizer",
+    "build_repetition_memory_circuit",
+]

@@ -1,0 +1,176 @@
+"""Repetition codes: the minimal matching-decodable code family.
+
+Before the distance-5 surface code, the hardware demonstrations the paper
+builds its motivation on (Google 2021, "Exponential suppression of bit or
+phase flip errors") used *repetition codes*: ``d`` data qubits in a line
+with ``d - 1`` two-qubit parity checks, protecting against bit flips only.
+
+The decoding problem is the same matching problem in one dimension, so
+every decoder in this repository works on it unchanged -- which makes the
+repetition code both a useful smoke-test substrate (tiny graphs, easily
+enumerable by hand) and a second supported code family for users studying
+decoder behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..circuits.circuit import Circuit
+from ..circuits.noise import NoiseParams
+from .rotated import Stabilizer
+
+if TYPE_CHECKING:  # deferred: circuits.memory imports codes.rotated
+    from ..circuits.memory import MemoryExperiment
+
+__all__ = ["RepetitionCode", "build_repetition_memory_circuit"]
+
+
+class RepetitionCode:
+    """A distance-``d`` bit-flip repetition code on a line.
+
+    Data qubits sit at even indices ``0, 2, .., 2(d-1)`` of the line and
+    parity qubits between them at odd indices; parity qubit ``2i + 1``
+    measures ``Z_i Z_{i+1}``.
+
+    Args:
+        distance: Number of data qubits (>= 2; odd not required, but odd
+            distances match the surface-code convention).
+
+    Attributes:
+        distance: The code distance.
+        data_qubits: Data-qubit indices (even line positions).
+        z_ancillas: Parity-qubit indices (odd line positions).
+        coords: Map from qubit index to its ``(x, 0)`` line coordinate.
+        stabilizers: The ``d - 1`` weight-2 Z stabilizers.
+        logical_z: The logical Z support (a single data qubit).
+        logical_x: The logical X support (every data qubit).
+    """
+
+    def __init__(self, distance: int) -> None:
+        if distance < 2:
+            raise ValueError("distance must be >= 2")
+        self.distance = distance
+        self.data_qubits = [2 * i for i in range(distance)]
+        self.z_ancillas = [2 * i + 1 for i in range(distance - 1)]
+        self.coords = {q: (q, 0) for q in self.data_qubits + self.z_ancillas}
+        self.stabilizers = [
+            Stabilizer(
+                kind="Z",
+                ancilla=2 * i + 1,
+                data=(2 * i, 2 * i + 2),
+                schedule=(2 * i, 2 * i + 2, None, None),
+            )
+            for i in range(distance - 1)
+        ]
+        # A single Z anywhere acts as the logical Z of the bit-flip code;
+        # X on every data qubit is the logical X.
+        self.logical_z = (0,)
+        self.logical_x = tuple(self.data_qubits)
+
+    @property
+    def num_data_qubits(self) -> int:
+        """``d`` data qubits."""
+        return len(self.data_qubits)
+
+    @property
+    def num_parity_qubits(self) -> int:
+        """``d - 1`` parity qubits."""
+        return len(self.z_ancillas)
+
+    def syndrome_vector_length(self, rounds: int | None = None) -> int:
+        """Detector count of a memory experiment with the given rounds."""
+        if rounds is None:
+            rounds = self.distance
+        return (rounds + 1) * (self.distance - 1)
+
+
+def build_repetition_memory_circuit(
+    distance: int,
+    noise: NoiseParams,
+    *,
+    rounds: int | None = None,
+) -> "MemoryExperiment":
+    """Build a noisy bit-flip memory experiment on a repetition code.
+
+    Prepares ``|0...0>``, runs ``rounds`` rounds of ``Z Z`` parity checks
+    under the paper's noise model (data depolarizing each round, two-qubit
+    depolarizing after each CX, measurement and reset flips), then measures
+    every data qubit.  The logical observable is the value of data qubit 0.
+
+    Args:
+        distance: Number of data qubits.
+        noise: Circuit-level noise parameters.
+        rounds: Measured rounds; defaults to ``distance``.
+
+    Returns:
+        A :class:`MemoryExperiment` (its ``code`` field holds the
+        :class:`RepetitionCode`).
+    """
+    from ..circuits.memory import MemoryExperiment
+
+    code = RepetitionCode(distance)
+    if rounds is None:
+        rounds = distance
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    circuit = Circuit()
+    data = list(code.data_qubits)
+    ancillas = list(code.z_ancillas)
+    detector_coords: list[tuple[int, int, int]] = []
+
+    circuit.add("R", data + ancillas)
+    anc_pos = {q: i for i, q in enumerate(ancillas)}
+    data_pos = {q: i for i, q in enumerate(data)}
+
+    def anc_record(round_index: int, ancilla: int) -> int:
+        return round_index * len(ancillas) + anc_pos[ancilla]
+
+    def data_record(qubit: int) -> int:
+        return rounds * len(ancillas) + data_pos[qubit]
+
+    for r in range(rounds):
+        circuit.add("TICK")
+        if noise.data_depolarization > 0:
+            circuit.add("DEPOLARIZE1", data, noise.data_depolarization)
+        for layer in range(2):
+            pairs: list[int] = []
+            for stab in code.stabilizers:
+                partner = stab.schedule[layer]
+                if partner is not None:
+                    pairs.extend((partner, stab.ancilla))
+            circuit.add("CX", pairs)
+            if noise.gate2_depolarization > 0:
+                circuit.add("DEPOLARIZE2", pairs, noise.gate2_depolarization)
+        circuit.add("MR", ancillas, noise.measurement_flip)
+        if noise.reset_flip > 0:
+            circuit.add("X_ERROR", ancillas, noise.reset_flip)
+        for stab in code.stabilizers:
+            if r == 0:
+                records = (anc_record(0, stab.ancilla),)
+            else:
+                records = (
+                    anc_record(r, stab.ancilla),
+                    anc_record(r - 1, stab.ancilla),
+                )
+            circuit.add("DETECTOR", records)
+            detector_coords.append((code.coords[stab.ancilla][0], 0, r))
+
+    circuit.add("TICK")
+    circuit.add("M", data, noise.measurement_flip)
+    for stab in code.stabilizers:
+        records = tuple(data_record(q) for q in stab.data) + (
+            anc_record(rounds - 1, stab.ancilla),
+        )
+        circuit.add("DETECTOR", records)
+        detector_coords.append((code.coords[stab.ancilla][0], 0, rounds))
+    circuit.add("OBSERVABLE_INCLUDE", (data_record(0),), 0.0)
+
+    return MemoryExperiment(
+        circuit=circuit,
+        code=code,  # type: ignore[arg-type]
+        noise=noise,
+        basis="z",
+        rounds=rounds,
+        detector_coords=detector_coords,
+    )

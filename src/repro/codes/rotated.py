@@ -1,0 +1,202 @@
+"""Rotated surface code layout.
+
+The rotated surface code of distance ``d`` (paper section 2.1, Table 1)
+encodes one logical qubit in ``d^2`` data qubits and ``d^2 - 1`` parity
+(ancilla) qubits, half measuring X stabilizers and half measuring Z
+stabilizers.
+
+Geometry
+--------
+
+Data qubits sit at odd-odd coordinates ``(2r+1, 2c+1)`` for ``r, c`` in
+``0..d-1``; plaquette (parity) qubits sit at even-even coordinates
+``(2i, 2j)`` for ``i, j`` in ``0..d``.  A plaquette's data support is the
+subset of its four diagonal neighbours that lie on the lattice.  Plaquette
+types alternate in a checkerboard: ``(i + j)`` even gives an X stabilizer,
+odd gives a Z stabilizer.  Weight-2 boundary plaquettes are kept only where
+the type matches the boundary (X on the top/bottom rows, Z on the left/right
+columns), which yields exactly ``(d^2 - 1)/2`` stabilizers of each type.
+
+Logical operators are straight chains of single-qubit Paulis:
+``Z_L`` acts on the first row of data qubits and ``X_L`` on the first
+column; they intersect in exactly one qubit.
+
+CNOT schedules follow the standard distance-preserving pattern (as used by
+Stim's generated circuits): X plaquettes interact with their data in the
+order NE, SE, NW, SW while Z plaquettes use NE, NW, SE, SW, which avoids
+hook errors that would halve the effective distance and guarantees that the
+four interaction layers touch each qubit at most once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Stabilizer", "RotatedSurfaceCode"]
+
+#: (dx, dy) interaction order for X-type plaquettes (ancilla is control).
+#: The two final offsets share a y coordinate, so a mid-extraction X error on
+#: the ancilla "hooks" onto a horizontal data pair -- perpendicular to the
+#: vertical logical X, preserving the code distance.
+X_CX_ORDER: tuple[tuple[int, int], ...] = ((1, 1), (-1, 1), (1, -1), (-1, -1))
+
+#: (dx, dy) interaction order for Z-type plaquettes (data is control).
+#: The two final offsets share an x coordinate, so a mid-extraction Z error
+#: on the ancilla hooks onto a vertical data pair -- perpendicular to the
+#: horizontal logical Z.
+Z_CX_ORDER: tuple[tuple[int, int], ...] = ((1, 1), (1, -1), (-1, 1), (-1, -1))
+
+
+@dataclass(frozen=True)
+class Stabilizer:
+    """One stabilizer generator of the code.
+
+    Attributes:
+        kind: ``"X"`` or ``"Z"``.
+        ancilla: Qubit index of the parity qubit measuring this stabilizer.
+        data: Data-qubit indices in the stabilizer's support (2 or 4).
+        schedule: Data-qubit index (or None) interacted with in each of the
+            four CNOT layers, aligned with the plaquette's CX order.
+    """
+
+    kind: str
+    ancilla: int
+    data: tuple[int, ...]
+    schedule: tuple[int | None, int | None, int | None, int | None]
+
+
+class RotatedSurfaceCode:
+    """A distance-``d`` rotated surface code.
+
+    Args:
+        distance: Odd code distance >= 3.
+
+    Attributes:
+        distance: The code distance.
+        data_qubits: Data-qubit indices, row-major over the ``d x d`` grid.
+        x_ancillas: Parity-qubit indices of X stabilizers.
+        z_ancillas: Parity-qubit indices of Z stabilizers.
+        coords: Map from qubit index to its ``(x, y)`` lattice coordinate.
+        stabilizers: All stabilizer generators (X first, then Z).
+        logical_z: Data-qubit indices supporting the logical Z operator.
+        logical_x: Data-qubit indices supporting the logical X operator.
+    """
+
+    def __init__(self, distance: int) -> None:
+        if distance < 3 or distance % 2 == 0:
+            raise ValueError("distance must be an odd integer >= 3")
+        self.distance = distance
+        d = distance
+        self.coords: dict[int, tuple[int, int]] = {}
+        self._index_of: dict[tuple[int, int], int] = {}
+
+        # Data qubits: (2r+1, 2c+1), indexed row-major (by y, then x).
+        self.data_qubits: list[int] = []
+        for c in range(d):  # y coordinate (rows)
+            for r in range(d):  # x coordinate (columns)
+                self._add_qubit((2 * r + 1, 2 * c + 1))
+                self.data_qubits.append(len(self.coords) - 1)
+
+        # Plaquette (parity) qubits.
+        self.x_ancillas: list[int] = []
+        self.z_ancillas: list[int] = []
+        self.stabilizers: list[Stabilizer] = []
+        x_stabs: list[Stabilizer] = []
+        z_stabs: list[Stabilizer] = []
+        for i in range(d + 1):
+            for j in range(d + 1):
+                center = (2 * i, 2 * j)
+                kind = "X" if (i + j) % 2 == 0 else "Z"
+                support = self._plaquette_support(center)
+                if len(support) < 2:
+                    continue
+                if (i == 0 or i == d) and kind != "Z":
+                    continue  # left/right boundaries host only Z plaquettes
+                if (j == 0 or j == d) and kind != "X":
+                    continue  # top/bottom boundaries host only X plaquettes
+                ancilla = self._add_qubit(center)
+                order = X_CX_ORDER if kind == "X" else Z_CX_ORDER
+                schedule = tuple(
+                    self._index_of.get((center[0] + dx, center[1] + dy))
+                    for dx, dy in order
+                )
+                stab = Stabilizer(
+                    kind=kind,
+                    ancilla=ancilla,
+                    data=tuple(sorted(support)),
+                    schedule=schedule,  # type: ignore[arg-type]
+                )
+                if kind == "X":
+                    self.x_ancillas.append(ancilla)
+                    x_stabs.append(stab)
+                else:
+                    self.z_ancillas.append(ancilla)
+                    z_stabs.append(stab)
+        self.stabilizers = x_stabs + z_stabs
+
+        # Logical operators: Z_L along the first row of data qubits (y = 1),
+        # X_L along the first column (x = 1).
+        self.logical_z: tuple[int, ...] = tuple(
+            q for q in self.data_qubits if self.coords[q][1] == 1
+        )
+        self.logical_x: tuple[int, ...] = tuple(
+            q for q in self.data_qubits if self.coords[q][0] == 1
+        )
+
+    # ------------------------------------------------------------------
+    # Derived properties (paper Table 1)
+    # ------------------------------------------------------------------
+
+    @property
+    def num_data_qubits(self) -> int:
+        """``d^2`` data qubits."""
+        return len(self.data_qubits)
+
+    @property
+    def num_parity_qubits(self) -> int:
+        """``d^2 - 1`` parity qubits (X and Z combined)."""
+        return len(self.x_ancillas) + len(self.z_ancillas)
+
+    @property
+    def num_qubits(self) -> int:
+        """``2 d^2 - 1`` physical qubits in total."""
+        return len(self.coords)
+
+    def syndrome_vector_length(self) -> int:
+        """Detector count of one basis of a ``d``-round memory experiment.
+
+        Equals ``(d + 1) * (d^2 - 1) / 2``: ``d`` measured rounds plus one
+        final layer reconstructed from the data-qubit measurement (paper
+        Table 1 reports this as the per-basis syndrome vector length).
+        """
+        d = self.distance
+        return (d + 1) * (d * d - 1) // 2
+
+    def x_stabilizers(self) -> list[Stabilizer]:
+        """The X-type stabilizer generators."""
+        return [s for s in self.stabilizers if s.kind == "X"]
+
+    def z_stabilizers(self) -> list[Stabilizer]:
+        """The Z-type stabilizer generators."""
+        return [s for s in self.stabilizers if s.kind == "Z"]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _add_qubit(self, coord: tuple[int, int]) -> int:
+        index = len(self.coords)
+        self.coords[index] = coord
+        self._index_of[coord] = index
+        return index
+
+    def _plaquette_support(self, center: tuple[int, int]) -> list[int]:
+        """Data-qubit indices on the four diagonals of a plaquette center."""
+        x, y = center
+        support = []
+        for dx in (-1, 1):
+            for dy in (-1, 1):
+                q = self._index_of.get((x + dx, y + dy))
+                if q is not None:
+                    support.append(q)
+        return support

@@ -1,0 +1,105 @@
+"""Common decoder interface.
+
+Every decoder in this repository -- the software MWPM baseline, Astrea,
+Astrea-G and the prior-work comparators -- consumes a syndrome (the
+detector bits of one logical cycle) and produces a :class:`DecodeResult`:
+a predicted logical-observable flip, the matching it derived, and a latency
+estimate (modeled hardware cycles for the hardware designs, measured
+wall-clock for software decoders).
+
+A *logical error* occurs when the prediction disagrees with the actual
+observable flip sampled alongside the syndrome; the experiment harness in
+:mod:`repro.experiments.memory` does that accounting.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DecodeResult", "Decoder", "BOUNDARY"]
+
+from ..graphs.decoding_graph import BOUNDARY
+
+
+@dataclass
+class DecodeResult:
+    """Outcome of decoding one syndrome.
+
+    Attributes:
+        prediction: Predicted logical-observable flip.
+        matching: Matched pairs in *detector index* terms; a pair's second
+            element is :data:`BOUNDARY` for a boundary match.
+        weight: Aggregate weight of the matching.
+        cycles: Modeled hardware cycles consumed (0 for software decoders).
+        latency_ns: Latency estimate -- modeled from cycles for hardware
+            decoders, measured wall-clock for software decoders.
+        decoded: False when the decoder declined the syndrome (e.g. Astrea
+            beyond Hamming weight 10); the prediction is then "no flip".
+        timed_out: True when a real-time decoder hit its deadline before
+            exhausting its search (the result is then best-effort).
+    """
+
+    prediction: bool
+    matching: list[tuple[int, int]] = field(default_factory=list)
+    weight: float = 0.0
+    cycles: int = 0
+    latency_ns: float = 0.0
+    decoded: bool = True
+    timed_out: bool = False
+
+
+class Decoder(ABC):
+    """Abstract base class of all decoders.
+
+    Subclasses implement :meth:`decode_active`; syndromes arrive either as
+    boolean vectors (:meth:`decode`) or as active-index lists.
+    """
+
+    #: Human-readable decoder name (used in reports and benchmarks).
+    name: str = "decoder"
+
+    @abstractmethod
+    def decode_active(self, active: list[int]) -> DecodeResult:
+        """Decode a syndrome given its non-zero detector indices."""
+
+    def decode(self, syndrome: np.ndarray) -> DecodeResult:
+        """Decode a syndrome given as a boolean/0-1 vector."""
+        active = [int(i) for i in np.nonzero(np.asarray(syndrome))[0]]
+        return self.decode_active(active)
+
+    def decode_batch(self, syndromes: np.ndarray) -> list[DecodeResult]:
+        """Decode each row of a (shots, detectors) syndrome matrix."""
+        return [self.decode(row) for row in syndromes]
+
+
+def matching_to_detectors(
+    pairs: list[tuple[int, int]],
+    active: list[int],
+    has_virtual: bool,
+) -> list[tuple[int, int]]:
+    """Translate local matching-problem pairs to detector-index pairs.
+
+    Args:
+        pairs: Pairs over the local node indices of a
+            :class:`~repro.matching.boundary.MatchingProblem`.
+        active: The problem's active detector indices.
+        has_virtual: Whether the last local node is the virtual boundary.
+
+    Returns:
+        Pairs of detector indices, using :data:`BOUNDARY` for the virtual
+        node.
+    """
+    virtual_index = len(active)
+    out: list[tuple[int, int]] = []
+    for a, b in pairs:
+        da = BOUNDARY if (has_virtual and a == virtual_index) else active[a]
+        db = BOUNDARY if (has_virtual and b == virtual_index) else active[b]
+        if da == BOUNDARY:
+            da, db = db, da
+        elif db != BOUNDARY and da > db:
+            da, db = db, da
+        out.append((da, db))
+    return sorted(out)

@@ -1,0 +1,114 @@
+"""Clique-style hierarchical decoder (paper sections 2.3.4 and 5.6).
+
+The Clique decoder is a hierarchical design: a tiny in-fridge pre-decoder
+handles the *common case* -- isolated errors whose defects can be paired
+locally without ambiguity -- and everything else falls back to a software
+MWPM decoder.  The paper highlights two weaknesses that this reproduction
+preserves:
+
+* the fallback path is not real-time (it is the software MWPM decoder, so
+  hard syndromes dominate the critical path), and
+* greedy local pairing is not globally optimal, costing up to ~3.8x in
+  logical error rate versus MWPM (Table 4).
+
+The pre-decoder model: a defect is *locally explainable* when it has
+exactly one adjacent defect on the primitive decoding graph (mutually) --
+those two are paired -- or no adjacent defects but a direct boundary edge
+-- it is matched to the boundary.  If every defect is consumed this way the
+syndrome was decoded entirely by the pre-decoder; otherwise the remaining
+defects are re-decoded with MWPM and the shot is flagged as having missed
+the real-time path.
+"""
+
+from __future__ import annotations
+
+from ..graphs.decoding_graph import BOUNDARY, DecodingGraph
+from ..graphs.weights import GlobalWeightTable
+from .base import DecodeResult, Decoder
+from .mwpm import MWPMDecoder
+
+__all__ = ["CliqueDecoder"]
+
+
+class CliqueDecoder(Decoder):
+    """Greedy local pre-decoder with software-MWPM fallback.
+
+    Args:
+        graph: Primitive decoding graph (defines locality).
+        gwt: Global Weight Table for the MWPM fallback.
+    """
+
+    name = "Clique+MWPM"
+
+    def __init__(self, graph: DecodingGraph, gwt: GlobalWeightTable) -> None:
+        self.graph = graph
+        self.fallback = MWPMDecoder(gwt, measure_time=True)
+        #: Whether the last decode stayed entirely in the pre-decoder.
+        self.last_was_local = True
+        # Neighbour map over primitive edges (boundary excluded).
+        self._neighbors: dict[int, set[int]] = {}
+        self._edge_parity: dict[tuple[int, int], bool] = {}
+        self._boundary_parity: dict[int, bool] = {}
+        for edge in graph.edges:
+            if edge.v == BOUNDARY:
+                current = self._boundary_parity.get(edge.u)
+                # Keep the most probable boundary edge's parity.
+                if current is None:
+                    self._boundary_parity[edge.u] = edge.flips_observable
+                continue
+            self._neighbors.setdefault(edge.u, set()).add(edge.v)
+            self._neighbors.setdefault(edge.v, set()).add(edge.u)
+            key = (min(edge.u, edge.v), max(edge.u, edge.v))
+            if key not in self._edge_parity:
+                self._edge_parity[key] = edge.flips_observable
+
+    def decode_active(self, active: list[int]) -> DecodeResult:
+        """Decode locally where unambiguous; fall back to MWPM otherwise."""
+        if not active:
+            self.last_was_local = True
+            return DecodeResult(prediction=False)
+        defects = set(active)
+        prediction = False
+        matching: list[tuple[int, int]] = []
+        progress = True
+        while progress:
+            progress = False
+            for defect in sorted(defects):
+                if defect not in defects:
+                    continue
+                adjacent = self._neighbors.get(defect, set()) & defects
+                if len(adjacent) == 1:
+                    partner = next(iter(adjacent))
+                    partner_adjacent = (
+                        self._neighbors.get(partner, set()) & defects
+                    )
+                    if partner_adjacent == {defect}:
+                        key = (min(defect, partner), max(defect, partner))
+                        prediction ^= self._edge_parity[key]
+                        matching.append(key)
+                        defects.discard(defect)
+                        defects.discard(partner)
+                        progress = True
+                elif not adjacent and defect in self._boundary_parity:
+                    prediction ^= self._boundary_parity[defect]
+                    matching.append((defect, BOUNDARY))
+                    defects.discard(defect)
+                    progress = True
+        if not defects:
+            self.last_was_local = True
+            return DecodeResult(
+                prediction=prediction,
+                matching=sorted(matching),
+                cycles=1,
+                latency_ns=4.0,  # one cycle of the in-fridge pre-decoder
+            )
+        # Hard-to-decode event: hand the remaining defects to software MWPM.
+        self.last_was_local = False
+        fallback = self.fallback.decode_active(sorted(defects))
+        return DecodeResult(
+            prediction=prediction ^ fallback.prediction,
+            matching=sorted(matching + fallback.matching),
+            weight=fallback.weight,
+            latency_ns=fallback.latency_ns,  # measured software wall-clock
+            timed_out=True,  # the fallback path misses the real-time budget
+        )

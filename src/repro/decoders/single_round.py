@@ -1,0 +1,87 @@
+"""A NISQ+-style single-round (time-blind) decoder.
+
+NISQ+, QECOOL and QULATIS trade accuracy for speed partly by decoding
+fewer than ``d`` syndrome rounds at a time -- NISQ+ uses just one.  The
+consequence (paper section 2.3.3): measurement errors, which fire the same
+parity check in *consecutive* rounds, cannot be recognised as such, and
+each firing is corrected as if it were a data error.
+
+This decoder reproduces that design point on our stack: it slices the
+syndrome vector into detector layers, decodes every layer independently
+with exact MWPM *restricted to intra-layer pairings* (plus the boundary),
+and XORs the layer predictions.  A measurement error -- one fault firing
+the same check in two consecutive layers -- is thus mis-decoded as two
+separate data-error events, which is precisely what costs these designs
+orders of magnitude in logical error rate against full-history decoders
+(see ``benchmarks/bench_ext_rounds.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuits.memory import MemoryExperiment
+from ..graphs.weights import GlobalWeightTable
+from ..matching.blossom import min_weight_perfect_matching
+from .base import DecodeResult, Decoder
+
+__all__ = ["SingleRoundDecoder"]
+
+
+class SingleRoundDecoder(Decoder):
+    """Decode each detector layer independently (time-blind MWPM).
+
+    Args:
+        gwt: Global Weight Table of the full experiment.
+        experiment: The memory experiment (provides the layer structure).
+    """
+
+    name = "Single-round (NISQ+-style)"
+
+    def __init__(self, gwt: GlobalWeightTable, experiment: MemoryExperiment) -> None:
+        self.gwt = gwt
+        layers = [t for (_x, _y, t) in experiment.detector_coords]
+        self._layer_of = np.array(layers, dtype=np.int64)
+        self._num_layers = max(layers) + 1 if layers else 0
+
+    def decode_active(self, active: list[int]) -> DecodeResult:
+        """Decode layer by layer, blind to time correlations."""
+        if not active:
+            return DecodeResult(prediction=False)
+        prediction = False
+        matching: list[tuple[int, int]] = []
+        weight = 0.0
+        by_layer: dict[int, list[int]] = {}
+        for detector in active:
+            by_layer.setdefault(int(self._layer_of[detector]), []).append(detector)
+        for layer in sorted(by_layer):
+            bits = sorted(by_layer[layer])
+            pairs, layer_weight, layer_parity = self._decode_layer(bits)
+            matching.extend(pairs)
+            weight += layer_weight
+            prediction ^= layer_parity
+        return DecodeResult(
+            prediction=prediction,
+            matching=sorted(matching),
+            weight=weight,
+            cycles=1,
+            latency_ns=4.0,  # the speed is the point of these designs
+        )
+
+    def _decode_layer(
+        self, bits: list[int]
+    ) -> tuple[list[tuple[int, int]], float, bool]:
+        """Exact MWPM over one layer's defects using intra-layer weights."""
+        from ..matching.boundary import MatchingProblem
+
+        problem = MatchingProblem.from_syndrome(self.gwt, bits)
+        if problem.num_nodes == 0:
+            return [], 0.0, False
+        pairs = min_weight_perfect_matching(problem.weights)
+        from .base import matching_to_detectors
+
+        return (
+            matching_to_detectors(pairs, problem.active, problem.has_virtual),
+            problem.total_weight(pairs),
+            problem.prediction(pairs),
+        )

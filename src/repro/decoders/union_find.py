@@ -1,0 +1,258 @@
+"""Union-Find decoder -- the algorithm behind the AFS baseline.
+
+The AFS decoder (paper section 2.3.3) trades accuracy for speed by
+replacing MWPM with the Union-Find decoder of Delfosse and Nickerson: grow
+clusters around syndrome defects until every cluster is *even* (contains an
+even number of defects) or touches the boundary, then *peel* the grown
+region to extract a correction.  Union-Find is almost-linear time but does
+not minimise the total weight of the correction, which costs it 100x-1000x
+in logical error rate relative to MWPM in the paper's target regime
+(Figure 4, Table 4).
+
+This implementation follows the standard algorithm:
+
+1. every defect seeds a cluster; the virtual boundary is a special vertex;
+2. odd, non-boundary clusters grow by half an edge per round across their
+   entire vertex boundary; fully-grown edges merge clusters (union-find
+   with parity and boundary flags);
+3. once all clusters are even or boundary-connected, a spanning forest of
+   each cluster's grown edges is peeled leaf-to-root, emitting the edges
+   whose removal flips defect parity;
+4. the predicted logical flip is the XOR of ``flips_observable`` over the
+   emitted edges.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..graphs.decoding_graph import BOUNDARY, DecodingGraph
+from .base import DecodeResult, Decoder
+
+__all__ = ["UnionFindDecoder"]
+
+
+class _ClusterForest:
+    """Union-find over graph vertices with defect parity and boundary flags."""
+
+    def __init__(self, num_vertices: int, boundary_vertex: int) -> None:
+        self.parent = list(range(num_vertices))
+        self.rank = [0] * num_vertices
+        self.parity = [0] * num_vertices
+        self.touches_boundary = [False] * num_vertices
+        self.touches_boundary[boundary_vertex] = True
+
+    def find(self, v: int) -> int:
+        root = v
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[v] != root:
+            self.parent[v], v = root, self.parent[v]
+        return root
+
+    def union(self, a: int, b: int) -> int:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+        self.parity[ra] ^= self.parity[rb]
+        self.touches_boundary[ra] = (
+            self.touches_boundary[ra] or self.touches_boundary[rb]
+        )
+        return ra
+
+    def is_active(self, root: int) -> bool:
+        """A cluster keeps growing while odd and boundary-free."""
+        return bool(self.parity[root]) and not self.touches_boundary[root]
+
+
+class UnionFindDecoder(Decoder):
+    """Cluster-growth + peeling decoder on the primitive decoding graph.
+
+    Growth is *weighted* (as in AFS and the weighted Union-Find variant of
+    Huang, Newman and Brown): an edge of weight ``w`` takes a number of
+    growth steps proportional to ``w``, so likelier error mechanisms are
+    traversed first.
+
+    Args:
+        graph: The decoding graph (primitive edges, not the all-pairs GWT).
+        growth_resolution: Growth steps per unit of edge weight; higher
+            values track weights more precisely at the cost of more
+            rounds.  ``0`` selects *unweighted* growth (every edge takes
+            one step, the original Union-Find formulation) -- useful for
+            ablating the weighted variant AFS relies on.
+    """
+
+    name = "Union-Find (AFS)"
+
+    def __init__(self, graph: DecodingGraph, *, growth_resolution: float = 2.0) -> None:
+        if growth_resolution < 0:
+            raise ValueError("growth_resolution must be >= 0")
+        self.graph = graph
+        self.growth_resolution = growth_resolution
+        self._boundary = graph.num_detectors  # dense index of the boundary
+        self._last_growth_rounds = 0
+        # Dense edge list: (u, v, flips_observable), boundary rewritten.
+        self._edges: list[tuple[int, int, bool]] = []
+        self._lengths: list[int] = []
+        self._incident: list[list[int]] = [
+            [] for _ in range(graph.num_detectors + 1)
+        ]
+        for edge in graph.edges:
+            u, v = edge.u, edge.v
+            if v == BOUNDARY:
+                v = self._boundary
+            index = len(self._edges)
+            self._edges.append((u, v, edge.flips_observable))
+            if growth_resolution == 0:
+                self._lengths.append(1)
+            else:
+                self._lengths.append(
+                    max(1, round(edge.weight * growth_resolution))
+                )
+            self._incident[u].append(index)
+            self._incident[v].append(index)
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+
+    def decode_active(self, active: list[int]) -> DecodeResult:
+        """Decode by Union-Find cluster growth and peeling."""
+        if not active:
+            return DecodeResult(prediction=False)
+        defects = set(active)
+        grown = self._grow(defects)
+        correction = self._peel(grown, defects)
+        # Coarse AFS-style hardware latency model: one cycle per growth
+        # round plus one per peeled edge, at the 250 MHz FPGA clock.  The
+        # AFS paper reports tens of nanoseconds on average, which this
+        # reproduces in order of magnitude.
+        cycles = self._last_growth_rounds + len(correction)
+        prediction = False
+        weight = 0.0
+        matching: list[tuple[int, int]] = []
+        for index in correction:
+            u, v, flips = self._edges[index]
+            prediction ^= flips
+            weight += 1.0
+            if v == self._boundary:
+                matching.append((u, BOUNDARY))
+            else:
+                matching.append((min(u, v), max(u, v)))
+        return DecodeResult(
+            prediction=prediction,
+            matching=sorted(matching),
+            weight=weight,
+            cycles=cycles,
+            latency_ns=cycles * 4.0,
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 1: cluster growth
+    # ------------------------------------------------------------------
+
+    def _grow(self, defects: set[int]) -> set[int]:
+        """Grow clusters until even/boundary; return fully-grown edge set."""
+        self._last_growth_rounds = 0
+        n = self.graph.num_detectors + 1
+        forest = _ClusterForest(n, self._boundary)
+        for d in defects:
+            forest.parity[d] = 1
+        growth = [0] * len(self._edges)
+        # Vertices currently inside some cluster (seeded by the defects).
+        in_cluster = set(defects)
+        grown: set[int] = set()
+        # Bound the loop defensively; each round either merges clusters or
+        # grows edges, so termination is guaranteed well before this.
+        max_rounds = max(self._lengths, default=1) * (len(self._edges) + 2)
+        for _round in range(max_rounds):
+            active_roots = {
+                forest.find(v) for v in in_cluster
+            }
+            active_roots = {r for r in active_roots if forest.is_active(r)}
+            if not active_roots:
+                break
+            self._last_growth_rounds += 1
+            # Grow all boundary edges of active clusters by one step.
+            to_grow: set[int] = set()
+            for v in list(in_cluster):
+                if forest.find(v) not in active_roots:
+                    continue
+                for index in self._incident[v]:
+                    if growth[index] < self._lengths[index]:
+                        to_grow.add(index)
+            newly_grown: list[int] = []
+            for index in to_grow:
+                growth[index] += 1
+                if growth[index] >= self._lengths[index]:
+                    newly_grown.append(index)
+            for index in newly_grown:
+                grown.add(index)
+                u, v, _flips = self._edges[index]
+                in_cluster.update((u, v))
+                forest.union(u, v)
+        return grown
+
+    # ------------------------------------------------------------------
+    # Phase 2: peeling
+    # ------------------------------------------------------------------
+
+    def _peel(self, grown: set[int], defects: set[int]) -> list[int]:
+        """Peel spanning forests of the grown region; return correction."""
+        # Build adjacency restricted to grown edges.
+        adjacency: dict[int, list[tuple[int, int]]] = {}
+        for index in grown:
+            u, v, _flips = self._edges[index]
+            adjacency.setdefault(u, []).append((v, index))
+            adjacency.setdefault(v, []).append((u, index))
+        visited: set[int] = set()
+        correction: list[int] = []
+        syndrome = set(defects)
+        for seed in sorted(adjacency):
+            if seed in visited:
+                continue
+            # Collect the connected component.
+            component = {seed}
+            queue = deque([seed])
+            while queue:
+                v = queue.popleft()
+                for w, _index in adjacency[v]:
+                    if w not in component:
+                        component.add(w)
+                        queue.append(w)
+            visited |= component
+            # Spanning tree rooted at the boundary when present, so that
+            # leftover odd parity is absorbed there.
+            root = self._boundary if self._boundary in component else seed
+            parent_of: dict[int, tuple[int, int]] = {}
+            ordered = [root]
+            queue = deque([root])
+            seen = {root}
+            while queue:
+                v = queue.popleft()
+                for w, index in adjacency[v]:
+                    if w in seen:
+                        continue
+                    seen.add(w)
+                    parent_of[w] = (v, index)
+                    ordered.append(w)
+                    queue.append(w)
+            # Peel children-first: emit the tree edge above each vertex that
+            # still carries a defect, toggling the parent's defect state.
+            for v in reversed(ordered):
+                if v == root or v not in syndrome:
+                    continue
+                parent, index = parent_of[v]
+                correction.append(index)
+                syndrome.discard(v)
+                if parent != self._boundary:
+                    if parent in syndrome:
+                        syndrome.discard(parent)
+                    else:
+                        syndrome.add(parent)
+        return correction

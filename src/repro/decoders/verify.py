@@ -1,0 +1,135 @@
+"""Validity checking for decode results.
+
+A decoder can be wrong in two very different ways: it can return a
+*suboptimal but valid* correction (an accuracy problem) or an *invalid*
+one -- a matching that does not even explain the observed syndrome (a
+correctness bug).  This module checks the latter class mechanically and is
+used by the test suite, the examples, and anyone extending the decoder
+zoo:
+
+* every active syndrome bit must be matched exactly once (to another
+  active bit or to the boundary);
+* no inactive bit may appear in the matching;
+* the reported weight must equal the sum of the matched pairs' weights
+  under the decoder's weight table (optional, table-based decoders only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..graphs.weights import GlobalWeightTable
+from .base import BOUNDARY, DecodeResult
+
+__all__ = ["VerificationReport", "verify_decode_result"]
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of validating one decode result.
+
+    Attributes:
+        valid: True when no problems were found.
+        problems: Human-readable description of each violation.
+    """
+
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def valid(self) -> bool:
+        """Whether the result passed every check."""
+        return not self.problems
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+
+def verify_decode_result(
+    result: DecodeResult,
+    active: list[int],
+    *,
+    gwt: GlobalWeightTable | None = None,
+    weight_tolerance: float = 1e-6,
+    semantics: str = "pairing",
+) -> VerificationReport:
+    """Check that a decode result is a valid correction for a syndrome.
+
+    Args:
+        result: The decode result to validate.
+        active: The non-zero syndrome bits that were decoded.
+        gwt: When given, also check the reported weight and prediction
+            against the table (only meaningful for ``pairing`` semantics,
+            where pairs refer to GWT shortest paths).
+        weight_tolerance: Absolute tolerance on the weight check.
+        semantics: ``"pairing"`` -- each active bit appears in exactly one
+            pair (MWPM/Astrea-style decoders); ``"edges"`` -- the matching
+            is a set of primitive graph edges whose endpoint parity must
+            annihilate the defect set (Union-Find-style decoders, whose
+            corrections may traverse inactive detectors).
+
+    Returns:
+        A :class:`VerificationReport` listing any violations.
+    """
+    if semantics not in ("pairing", "edges"):
+        raise ValueError(f"unknown semantics {semantics!r}")
+    report = VerificationReport()
+    if not result.decoded:
+        if result.matching:
+            report.problems.append("declined result carries a matching")
+        return report
+    expected = sorted(set(active))
+    if len(expected) != len(active):
+        report.problems.append("duplicate active syndrome bits")
+    for a, b in result.matching:
+        if a == BOUNDARY:
+            report.problems.append(f"pair ({a}, {b}) lists the boundary first")
+        if a == b:
+            report.problems.append(f"self-pair on detector {a}")
+    if semantics == "edges":
+        parity: dict[int, int] = {}
+        for a, b in result.matching:
+            for vertex in (a, b):
+                if vertex != BOUNDARY:
+                    parity[vertex] = parity.get(vertex, 0) ^ 1
+        flipped = sorted(v for v, bit in parity.items() if bit)
+        if flipped != expected:
+            report.problems.append(
+                f"edge correction flips {flipped}, expected {expected}"
+            )
+        return report
+    seen: list[int] = []
+    for a, b in result.matching:
+        if a == BOUNDARY:
+            continue
+        seen.append(a)
+        if b != BOUNDARY:
+            seen.append(b)
+    if sorted(seen) != expected:
+        missing = set(expected) - set(seen)
+        extra = set(seen) - set(expected)
+        repeated = {x for x in seen if seen.count(x) > 1}
+        if missing:
+            report.problems.append(f"unmatched active bits: {sorted(missing)}")
+        if extra:
+            report.problems.append(f"matched inactive bits: {sorted(extra)}")
+        if repeated:
+            report.problems.append(f"bits matched twice: {sorted(repeated)}")
+    if gwt is not None and report.valid:
+        weight = 0.0
+        parity = False
+        for a, b in result.matching:
+            if b == BOUNDARY:
+                weight += gwt.weight(a, a)
+                parity ^= gwt.parity(a, a)
+            else:
+                weight += gwt.weight(a, b)
+                parity ^= gwt.parity(a, b)
+        if abs(weight - result.weight) > weight_tolerance:
+            report.problems.append(
+                f"reported weight {result.weight} != table weight {weight}"
+            )
+        if parity != result.prediction:
+            report.problems.append(
+                f"reported prediction {result.prediction} != table parity {parity}"
+            )
+    return report

@@ -1,0 +1,35 @@
+"""Experiment harnesses: Monte-Carlo runs, sweeps, estimators, reports."""
+
+from .accuracy import PairedComparison, compare_decoders
+from .hamming import HammingCensus, hamming_weight_census
+from .importance import StratifiedEstimate, estimate_ler_stratified
+from .io import load_sweep, save_sweep
+from .memory import MemoryRunResult, run_memory_experiment
+from .parallel import merge_results, run_memory_experiment_parallel
+from .report import HeadlineReport, run_headline_report
+from .setup import DecodingSetup
+from .stats import poisson_pmf, wilson_interval
+from .sweep import SweepPoint, ler_vs_distance, ler_vs_physical_error
+
+__all__ = [
+    "DecodingSetup",
+    "HammingCensus",
+    "HeadlineReport",
+    "MemoryRunResult",
+    "PairedComparison",
+    "StratifiedEstimate",
+    "SweepPoint",
+    "compare_decoders",
+    "estimate_ler_stratified",
+    "hamming_weight_census",
+    "ler_vs_distance",
+    "ler_vs_physical_error",
+    "load_sweep",
+    "merge_results",
+    "poisson_pmf",
+    "run_headline_report",
+    "run_memory_experiment",
+    "run_memory_experiment_parallel",
+    "save_sweep",
+    "wilson_interval",
+]

@@ -1,0 +1,104 @@
+"""Hamming-weight census of syndrome vectors (paper section 4.2).
+
+Astrea's feasibility rests on the empirical distribution of syndrome
+Hamming weights: Table 2 shows that at ``p = 1e-4`` syndromes heavier than
+10 are rarer than the logical error rate up to distance 7, and Table 5
+shows this breaks down at ``p = 1e-3``.  This module samples that
+distribution and buckets it the way the paper's tables do.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+from ..circuits.memory import MemoryExperiment
+from ..sim.pauli_frame import PauliFrameSimulator
+
+__all__ = ["HammingCensus", "hamming_weight_census", "TABLE2_BUCKETS"]
+
+#: The Hamming-weight buckets of paper Tables 2 and 5.
+TABLE2_BUCKETS: tuple[tuple[int, int], ...] = (
+    (0, 0),
+    (1, 2),
+    (3, 4),
+    (5, 6),
+    (7, 10),
+    (11, 10**9),
+)
+
+
+@dataclass
+class HammingCensus:
+    """Sampled distribution of syndrome-vector Hamming weights.
+
+    Attributes:
+        shots: Number of sampled syndromes.
+        counts: Map from Hamming weight to occurrence count.
+    """
+
+    shots: int
+    counts: Counter = field(default_factory=Counter)
+
+    def probability(self, weight: int) -> float:
+        """Empirical probability of one exact Hamming weight."""
+        return self.counts.get(weight, 0) / self.shots
+
+    def bucket_probability(self, low: int, high: int) -> float:
+        """Empirical probability of weights in ``[low, high]`` inclusive."""
+        total = sum(c for w, c in self.counts.items() if low <= w <= high)
+        return total / self.shots
+
+    def tail_probability(self, above: int) -> float:
+        """Empirical probability of weights strictly above ``above``."""
+        total = sum(c for w, c in self.counts.items() if w > above)
+        return total / self.shots
+
+    @property
+    def max_weight(self) -> int:
+        """Largest Hamming weight observed."""
+        return max(self.counts) if self.counts else 0
+
+    @property
+    def mean_weight(self) -> float:
+        """Mean Hamming weight."""
+        if not self.shots:
+            return 0.0
+        return sum(w * c for w, c in self.counts.items()) / self.shots
+
+    def table_rows(self) -> list[tuple[str, float]]:
+        """The census bucketed as in paper Table 2 / Table 5."""
+        rows = []
+        for low, high in TABLE2_BUCKETS:
+            if low == high:
+                label = str(low)
+            elif high >= 10**9:
+                label = f"> {low - 1}"
+            else:
+                label = f"{low}-{high}"
+            rows.append((label, self.bucket_probability(low, high)))
+        return rows
+
+
+def hamming_weight_census(
+    experiment: MemoryExperiment,
+    shots: int,
+    *,
+    seed: int | None = None,
+) -> HammingCensus:
+    """Sample the Hamming-weight distribution of an experiment's syndromes.
+
+    Args:
+        experiment: The memory-experiment circuit bundle.
+        shots: Number of syndromes to sample.
+        seed: Sampler seed.
+
+    Returns:
+        The sampled :class:`HammingCensus`.
+    """
+    sampler = PauliFrameSimulator(experiment.circuit, seed=seed)
+    sample = sampler.sample(shots)
+    weights = sample.detectors.sum(axis=1)
+    counts = Counter(int(w) for w in weights)
+    return HammingCensus(shots=shots, counts=counts)

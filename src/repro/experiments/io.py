@@ -1,0 +1,114 @@
+"""Persisting sweep results (the artifact's output-file convention).
+
+The paper's artifact appends one line per experiment configuration to a
+text output file that its plotting script then consumes.  This module
+provides the same durability for sweeps as CSV: :func:`save_sweep` writes
+:class:`~repro.experiments.sweep.SweepPoint` lists with enough fields to
+re-plot any LER figure, and :func:`load_sweep` reads them back.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+from .memory import MemoryRunResult
+from .sweep import SweepPoint
+
+__all__ = ["save_sweep", "load_sweep", "SWEEP_FIELDS"]
+
+#: Column order of the CSV schema.
+SWEEP_FIELDS = (
+    "distance",
+    "physical_error_rate",
+    "decoder",
+    "shots",
+    "errors",
+    "logical_error_rate",
+    "declined",
+    "timed_out",
+    "mean_latency_ns",
+    "max_latency_ns",
+)
+
+
+def save_sweep(points: Sequence[SweepPoint], path: str | Path) -> None:
+    """Write sweep points to a CSV file (overwrites).
+
+    Args:
+        points: The sweep points to persist.
+        path: Destination file path.
+    """
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(SWEEP_FIELDS)
+        for point in points:
+            r = point.result
+            writer.writerow(
+                [
+                    point.distance,
+                    f"{point.physical_error_rate:.9e}",
+                    r.decoder_name,
+                    r.shots,
+                    r.errors,
+                    f"{r.logical_error_rate:.9e}",
+                    r.declined,
+                    r.timed_out,
+                    f"{r.mean_latency_ns:.6f}",
+                    f"{r.max_latency_ns:.6f}",
+                ]
+            )
+
+
+def load_sweep(path: str | Path) -> list[SweepPoint]:
+    """Read sweep points previously written by :func:`save_sweep`.
+
+    Args:
+        path: CSV file path.
+
+    Returns:
+        The reconstructed sweep points (latency histograms and confidence
+        data are re-derivable from the stored counts).
+
+    Raises:
+        ValueError: When the header does not match the schema.
+    """
+    path = Path(path)
+    points: list[SweepPoint] = []
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != list(SWEEP_FIELDS):
+            raise ValueError(f"unexpected sweep CSV header: {header}")
+        for row in reader:
+            (
+                distance,
+                p,
+                decoder,
+                shots,
+                errors,
+                _ler,
+                declined,
+                timed_out,
+                mean_latency,
+                max_latency,
+            ) = row
+            result = MemoryRunResult(
+                decoder_name=decoder,
+                shots=int(shots),
+                errors=int(errors),
+                declined=int(declined),
+                timed_out=int(timed_out),
+                mean_latency_ns=float(mean_latency),
+                max_latency_ns=float(max_latency),
+            )
+            points.append(
+                SweepPoint(
+                    distance=int(distance),
+                    physical_error_rate=float(p),
+                    result=result,
+                )
+            )
+    return points

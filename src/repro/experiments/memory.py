@@ -1,0 +1,144 @@
+"""Monte-Carlo memory experiments: the paper's evaluation workhorse.
+
+Each trial of a memory experiment (paper section 3.4) prepares a logical
+state, runs ``d`` noisy syndrome-extraction rounds, decodes the resulting
+syndrome vector and compares the decoder's predicted logical flip with the
+actual one; a mismatch is a logical error.  This module batches that
+pipeline: syndromes are sampled in bulk with the Pauli-frame simulator and
+decoded once per *unique* syndrome (decoders are deterministic), which
+matters at low physical error rates where the same few low-weight
+syndromes recur constantly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuits.memory import MemoryExperiment
+from ..decoders.base import Decoder
+from ..sim.pauli_frame import PauliFrameSimulator
+from .stats import wilson_interval
+
+__all__ = ["MemoryRunResult", "run_memory_experiment"]
+
+
+@dataclass
+class MemoryRunResult:
+    """Aggregate outcome of a Monte-Carlo memory experiment.
+
+    Attributes:
+        decoder_name: Name of the decoder under test.
+        shots: Number of Monte-Carlo trials.
+        errors: Logical errors observed.
+        declined: Shots the decoder refused to decode (counted with a
+            "no flip" prediction, like Astrea beyond Hamming weight 10).
+        timed_out: Shots on which a real-time decoder hit its deadline.
+        mean_latency_ns: Shot-weighted mean decode latency.
+        max_latency_ns: Worst-case decode latency observed.
+        mean_latency_nontrivial_ns: Mean latency over shots with Hamming
+            weight > 2 (the "Mean (HW > 2 Only)" series of Figure 9).
+        unique_syndromes: Distinct syndromes decoded (cache effectiveness).
+    """
+
+    decoder_name: str
+    shots: int
+    errors: int
+    declined: int = 0
+    timed_out: int = 0
+    mean_latency_ns: float = 0.0
+    max_latency_ns: float = 0.0
+    mean_latency_nontrivial_ns: float = 0.0
+    unique_syndromes: int = 0
+
+    @property
+    def logical_error_rate(self) -> float:
+        """Fraction of shots ending in a logical error."""
+        return self.errors / self.shots if self.shots else 0.0
+
+    @property
+    def confidence_interval(self) -> tuple[float, float]:
+        """95% Wilson interval of the logical error rate."""
+        return wilson_interval(self.errors, max(self.shots, 1))
+
+
+def run_memory_experiment(
+    experiment: MemoryExperiment,
+    decoder: Decoder,
+    shots: int,
+    *,
+    seed: int | None = None,
+    cache_decodes: bool = True,
+) -> MemoryRunResult:
+    """Estimate a decoder's logical error rate by Monte-Carlo sampling.
+
+    Args:
+        experiment: The memory-experiment circuit bundle.
+        decoder: The decoder under test.
+        shots: Number of Monte-Carlo trials.
+        seed: Sampler seed for reproducibility.
+        cache_decodes: Decode each distinct syndrome once and replay the
+            result (exact, since decoders are deterministic functions of
+            the syndrome).
+
+    Returns:
+        The aggregated :class:`MemoryRunResult`.
+    """
+    sampler = PauliFrameSimulator(experiment.circuit, seed=seed)
+    sample = sampler.sample(shots)
+    detectors = sample.detectors
+    observed = sample.observables[:, 0] if sample.observables.size else np.zeros(
+        shots, dtype=bool
+    )
+    errors = 0
+    declined = 0
+    timed_out = 0
+    latency_sum = 0.0
+    latency_max = 0.0
+    nontrivial_latency_sum = 0.0
+    nontrivial = 0
+    if cache_decodes:
+        unique, inverse = np.unique(detectors, axis=0, return_inverse=True)
+        results = [decoder.decode(row) for row in unique]
+        counts = np.bincount(inverse, minlength=len(unique))
+        predictions = np.array([r.prediction for r in results], dtype=bool)
+        errors = int(np.sum(predictions[inverse] != observed))
+        for row, count, result in zip(unique, counts, results):
+            count = int(count)
+            hw = int(row.sum())
+            if not result.decoded:
+                declined += count
+            if result.timed_out:
+                timed_out += count
+            latency_sum += result.latency_ns * count
+            latency_max = max(latency_max, result.latency_ns)
+            if hw > 2:
+                nontrivial_latency_sum += result.latency_ns * count
+                nontrivial += count
+        unique_count = len(unique)
+    else:
+        for row, obs in zip(detectors, observed):
+            result = decoder.decode(row)
+            errors += int(result.prediction != obs)
+            declined += int(not result.decoded)
+            timed_out += int(result.timed_out)
+            latency_sum += result.latency_ns
+            latency_max = max(latency_max, result.latency_ns)
+            if int(row.sum()) > 2:
+                nontrivial_latency_sum += result.latency_ns
+                nontrivial += 1
+        unique_count = shots
+    return MemoryRunResult(
+        decoder_name=decoder.name,
+        shots=shots,
+        errors=errors,
+        declined=declined,
+        timed_out=timed_out,
+        mean_latency_ns=latency_sum / shots if shots else 0.0,
+        max_latency_ns=latency_max,
+        mean_latency_nontrivial_ns=(
+            nontrivial_latency_sum / nontrivial if nontrivial else 0.0
+        ),
+        unique_syndromes=unique_count,
+    )

@@ -1,0 +1,114 @@
+"""Multi-process Monte-Carlo memory experiments.
+
+The paper's artifact distributes its 1B-100B-trial experiments over MPI
+ranks ("mpirun -np <X> ./astrea ...", 1024 cores).  This module provides
+the single-machine analogue: shots are partitioned into chunks, each chunk
+runs :func:`~repro.experiments.memory.run_memory_experiment` in a worker
+process with its own derived seed, and the per-chunk results are merged.
+
+The merged statistics are exact for counts (errors, declines, timeouts)
+and shot-weighted for latencies; ``unique_syndromes`` becomes the *sum* of
+per-chunk unique counts (an upper bound, since chunks deduplicate
+independently).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+from ..circuits.memory import MemoryExperiment
+from ..decoders.base import Decoder
+from .memory import MemoryRunResult, run_memory_experiment
+
+__all__ = ["run_memory_experiment_parallel", "merge_results"]
+
+
+def merge_results(parts: list[MemoryRunResult]) -> MemoryRunResult:
+    """Merge per-chunk results into one aggregate result.
+
+    Args:
+        parts: Non-empty list of chunk results for the same decoder.
+
+    Returns:
+        The merged :class:`MemoryRunResult`.
+    """
+    if not parts:
+        raise ValueError("nothing to merge")
+    total_shots = sum(p.shots for p in parts)
+    if total_shots == 0:
+        return MemoryRunResult(decoder_name=parts[0].decoder_name, shots=0, errors=0)
+    nontrivial_weighted = 0.0
+    nontrivial_reference = 0.0
+    for p in parts:
+        # Reconstruct each chunk's non-trivial latency mass from its mean;
+        # chunks without non-trivial shots contribute nothing.
+        if p.mean_latency_nontrivial_ns > 0:
+            nontrivial_weighted += p.mean_latency_nontrivial_ns * p.shots
+            nontrivial_reference += p.shots
+    return MemoryRunResult(
+        decoder_name=parts[0].decoder_name,
+        shots=total_shots,
+        errors=sum(p.errors for p in parts),
+        declined=sum(p.declined for p in parts),
+        timed_out=sum(p.timed_out for p in parts),
+        mean_latency_ns=sum(p.mean_latency_ns * p.shots for p in parts)
+        / total_shots,
+        max_latency_ns=max(p.max_latency_ns for p in parts),
+        mean_latency_nontrivial_ns=(
+            nontrivial_weighted / nontrivial_reference
+            if nontrivial_reference
+            else 0.0
+        ),
+        unique_syndromes=sum(p.unique_syndromes for p in parts),
+    )
+
+
+def _run_chunk(payload) -> MemoryRunResult:
+    """Worker entry point (module-level so it pickles)."""
+    experiment, decoder, shots, seed = payload
+    return run_memory_experiment(experiment, decoder, shots, seed=seed)
+
+
+def run_memory_experiment_parallel(
+    experiment: MemoryExperiment,
+    decoder: Decoder,
+    shots: int,
+    *,
+    seed: int = 0,
+    workers: int = 2,
+    chunks_per_worker: int = 1,
+) -> MemoryRunResult:
+    """Run a memory experiment across worker processes.
+
+    Args:
+        experiment: The memory-experiment bundle (pickled to workers).
+        decoder: The decoder under test (pickled to workers).
+        shots: Total Monte-Carlo trials across all chunks.
+        seed: Base seed; chunk ``k`` runs with ``seed + k``.
+        workers: Worker processes.
+        chunks_per_worker: Chunks per worker (more chunks smooth load).
+
+    Returns:
+        The merged :class:`MemoryRunResult` over exactly ``shots`` trials.
+    """
+    if shots < 0:
+        raise ValueError("shots must be non-negative")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    num_chunks = max(1, workers * chunks_per_worker)
+    base = shots // num_chunks
+    remainder = shots % num_chunks
+    sizes = [base + (1 if k < remainder else 0) for k in range(num_chunks)]
+    payloads = [
+        (experiment, decoder, size, seed + k)
+        for k, size in enumerate(sizes)
+        if size > 0
+    ]
+    if not payloads:
+        return MemoryRunResult(decoder_name=decoder.name, shots=0, errors=0)
+    if workers == 1:
+        parts = [_run_chunk(p) for p in payloads]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            parts = list(pool.map(_run_chunk, payloads))
+    return merge_results(parts)

@@ -1,0 +1,143 @@
+"""One-stop construction of everything a decoding experiment needs.
+
+Building a decoder for a given ``(distance, p, rounds, basis)`` involves a
+chain of substrates -- memory circuit, detector error model, decoding
+graph, Global Weight Table -- that is expensive for large distances (the
+d = 9 graph takes several seconds).  :class:`DecodingSetup` bundles the
+chain behind a single constructor and memoises it process-wide so that
+tests, examples and benchmarks can freely request the same configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuits.memory import MemoryExperiment, build_memory_circuit
+from ..circuits.noise import NoiseParams
+from ..graphs.decoding_graph import DecodingGraph
+from ..graphs.weights import DEFAULT_LSB, GlobalWeightTable
+from ..sim.dem import DetectorErrorModel, build_detector_error_model
+
+__all__ = ["DecodingSetup"]
+
+_CACHE: dict[tuple, "DecodingSetup"] = {}
+
+#: On-disk format version of :meth:`DecodingSetup.save`.
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class DecodingSetup:
+    """A fully built decoding stack for one code/noise configuration.
+
+    Attributes:
+        experiment: The annotated memory-experiment circuit bundle.
+        dem: Detector error model extracted from the circuit.
+        graph: Decoding graph with all-pairs weights/parities.
+        gwt: Quantized Global Weight Table (8-bit, hardware-faithful).
+        ideal_gwt: Unquantized table (idealized MWPM configuration).
+    """
+
+    experiment: MemoryExperiment
+    dem: DetectorErrorModel
+    graph: DecodingGraph
+    gwt: GlobalWeightTable
+    ideal_gwt: GlobalWeightTable
+
+    @classmethod
+    def build(
+        cls,
+        distance: int,
+        physical_error_rate: float,
+        *,
+        rounds: int | None = None,
+        basis: str = "z",
+        lsb: float = DEFAULT_LSB,
+        cache: bool = True,
+    ) -> "DecodingSetup":
+        """Build (or fetch from cache) the stack for one configuration.
+
+        Args:
+            distance: Odd code distance >= 3.
+            physical_error_rate: The uniform circuit-level error rate ``p``.
+            rounds: Syndrome rounds (defaults to ``distance``).
+            basis: Memory basis, ``"z"`` or ``"x"``.
+            lsb: Fixed-point step of the quantized GWT.
+            cache: Reuse a previously built identical configuration.
+
+        Returns:
+            The assembled :class:`DecodingSetup`.
+        """
+        key = (distance, physical_error_rate, rounds, basis, lsb)
+        if cache and key in _CACHE:
+            return _CACHE[key]
+        noise = NoiseParams.uniform(physical_error_rate)
+        experiment = build_memory_circuit(
+            distance, noise, rounds=rounds, basis=basis
+        )
+        dem = build_detector_error_model(experiment.circuit)
+        graph = DecodingGraph.from_dem(dem)
+        setup = cls(
+            experiment=experiment,
+            dem=dem,
+            graph=graph,
+            gwt=GlobalWeightTable.from_graph(graph, lsb=lsb),
+            ideal_gwt=GlobalWeightTable.from_graph(graph, lsb=None),
+        )
+        if cache:
+            _CACHE[key] = setup
+        return setup
+
+    @property
+    def distance(self) -> int:
+        """Code distance of this configuration."""
+        return self.experiment.code.distance
+
+    @property
+    def physical_error_rate(self) -> float:
+        """Uniform circuit-level error rate ``p``."""
+        return self.experiment.noise.data_depolarization
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist the built stack to disk (pickle).
+
+        Large-distance stacks take seconds to minutes to build (the d = 9
+        graph alone is ~6 s); saving them lets benchmark sessions, worker
+        pools and notebooks skip the rebuild.
+
+        Args:
+            path: Destination file path.
+        """
+        import pickle
+
+        with open(path, "wb") as handle:
+            pickle.dump({"format": _FORMAT_VERSION, "setup": self}, handle)
+
+    @classmethod
+    def load(cls, path) -> "DecodingSetup":
+        """Load a stack previously written by :meth:`save`.
+
+        Args:
+            path: Source file path.
+
+        Returns:
+            The reconstructed :class:`DecodingSetup`.
+
+        Raises:
+            ValueError: When the file was written by an incompatible
+                version of this class.
+        """
+        import pickle
+
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        if not isinstance(payload, dict) or payload.get("format") != _FORMAT_VERSION:
+            raise ValueError(f"{path} is not a compatible DecodingSetup file")
+        setup = payload["setup"]
+        if not isinstance(setup, cls):
+            raise ValueError(f"{path} does not contain a DecodingSetup")
+        return setup

@@ -1,0 +1,55 @@
+"""Statistical helpers for Monte-Carlo logical-error-rate estimation."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["wilson_interval", "poisson_pmf"]
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> tuple[float, float]:
+    """Wilson score confidence interval for a binomial proportion.
+
+    Preferred over the normal approximation because logical error rates are
+    tiny: the Wilson interval stays inside [0, 1] and behaves sensibly at
+    zero observed events.
+
+    Args:
+        successes: Number of observed events (e.g. logical errors).
+        trials: Number of Monte-Carlo trials.
+        z: Normal quantile (1.96 for a 95% interval).
+
+    Returns:
+        ``(low, high)`` bounds of the interval.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must be in [0, trials]")
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    spread = (
+        z
+        * math.sqrt(p * (1.0 - p) / trials + z * z / (4.0 * trials * trials))
+        / denom
+    )
+    return max(0.0, center - spread), min(1.0, center + spread)
+
+
+def poisson_pmf(k: int, lam: float) -> float:
+    """Poisson probability mass function ``P(K = k)`` for rate ``lam``.
+
+    Used by the Appendix-A stratified estimator, where the number of fault
+    mechanisms firing per shot is approximately Poisson with mean equal to
+    the sum of mechanism probabilities.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    if lam < 0:
+        raise ValueError("lam must be non-negative")
+    if lam == 0:
+        return 1.0 if k == 0 else 0.0
+    return math.exp(k * math.log(lam) - lam - math.lgamma(k + 1))

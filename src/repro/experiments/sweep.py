@@ -1,0 +1,117 @@
+"""Structured parameter sweeps over the memory-experiment harness.
+
+The paper's evaluation is built from two sweep shapes: logical error rate
+versus physical error rate at fixed distance (Figures 12 and 14) and
+versus distance at fixed physical error rate (Figure 4).  This module
+provides both as first-class, resumable iterables so benchmarks, examples
+and the CLI share one implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..decoders.base import Decoder
+from .memory import MemoryRunResult, run_memory_experiment
+from .setup import DecodingSetup
+
+__all__ = ["SweepPoint", "ler_vs_physical_error", "ler_vs_distance"]
+
+#: A factory building a decoder for a given setup, e.g.
+#: ``lambda setup: AstreaDecoder(setup.gwt)``.
+DecoderFactory = Callable[[DecodingSetup], Decoder]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a sweep.
+
+    Attributes:
+        distance: Code distance of this point.
+        physical_error_rate: Physical error rate of this point.
+        result: The Monte-Carlo run result.
+    """
+
+    distance: int
+    physical_error_rate: float
+    result: MemoryRunResult
+
+    @property
+    def logical_error_rate(self) -> float:
+        """Shortcut to the run's logical error rate."""
+        return self.result.logical_error_rate
+
+
+def ler_vs_physical_error(
+    distance: int,
+    physical_error_rates: Sequence[float],
+    decoder_factory: DecoderFactory,
+    shots: int,
+    *,
+    seed: int = 0,
+    basis: str = "z",
+) -> list[SweepPoint]:
+    """Sweep the physical error rate at fixed distance (Figures 12/14).
+
+    Args:
+        distance: Code distance.
+        physical_error_rates: The ``p`` values to evaluate.
+        decoder_factory: Builds the decoder under test for each setup.
+        shots: Monte-Carlo trials per point.
+        seed: Base seed; each point offsets it deterministically.
+        basis: Memory basis.
+
+    Returns:
+        One :class:`SweepPoint` per rate, in input order.
+    """
+    points = []
+    for index, p in enumerate(physical_error_rates):
+        setup = DecodingSetup.build(distance, p, basis=basis)
+        decoder = decoder_factory(setup)
+        result = run_memory_experiment(
+            setup.experiment, decoder, shots, seed=seed + index
+        )
+        points.append(
+            SweepPoint(distance=distance, physical_error_rate=p, result=result)
+        )
+    return points
+
+
+def ler_vs_distance(
+    distances: Iterable[int],
+    physical_error_rate: float,
+    decoder_factory: DecoderFactory,
+    shots: int,
+    *,
+    seed: int = 0,
+    basis: str = "z",
+) -> list[SweepPoint]:
+    """Sweep the code distance at fixed physical error rate (Figure 4).
+
+    Args:
+        distances: Odd code distances to evaluate.
+        physical_error_rate: The shared ``p``.
+        decoder_factory: Builds the decoder under test for each setup.
+        shots: Monte-Carlo trials per point.
+        seed: Base seed; each point offsets it deterministically.
+        basis: Memory basis.
+
+    Returns:
+        One :class:`SweepPoint` per distance, in input order.
+    """
+    points = []
+    for index, distance in enumerate(distances):
+        setup = DecodingSetup.build(distance, physical_error_rate, basis=basis)
+        decoder = decoder_factory(setup)
+        result = run_memory_experiment(
+            setup.experiment, decoder, shots, seed=seed + index
+        )
+        points.append(
+            SweepPoint(
+                distance=distance,
+                physical_error_rate=physical_error_rate,
+                result=result,
+            )
+        )
+    return points

@@ -1,0 +1,6 @@
+"""Decoding graphs and the Global Weight Table (paper section 5.1)."""
+
+from .decoding_graph import BOUNDARY, DecodingGraph, GraphEdge
+from .weights import GlobalWeightTable
+
+__all__ = ["BOUNDARY", "DecodingGraph", "GlobalWeightTable", "GraphEdge"]

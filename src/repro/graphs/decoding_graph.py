@@ -1,0 +1,257 @@
+"""The decoding graph: detectors, boundary, weights and logical parities.
+
+Surface-code decoding reduces to minimum-weight perfect matching on a graph
+whose vertices are detectors and whose edges are graph-like fault mechanisms
+(paper section 2.2).  This module builds that graph from a detector error
+model and computes, via all-pairs shortest paths, the two quantities every
+decoder in this repository consumes:
+
+* the *pair weight* ``W[i, j]``: the weight of the most probable error chain
+  flipping detectors ``i`` and ``j`` (sum of ``-log10`` edge probabilities
+  along the shortest path), and
+* the *pair parity* ``P[i, j]``: whether that chain flips the logical
+  observable.
+
+A single virtual *boundary* vertex absorbs single-detector mechanisms.  The
+boundary participates in the shortest-path computation, so the weight of a
+detector pair whose cheapest explanation routes through the boundary (two
+independent chains, one per detector) is folded into ``W[i, j]``
+automatically.  Following the paper's Global Weight Table convention
+(section 5.1), boundary weights are reported on the diagonal: ``W[i, i]`` is
+the weight of matching detector ``i`` to the boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+from ..sim.dem import DetectorErrorModel
+
+__all__ = ["GraphEdge", "DecodingGraph", "BOUNDARY"]
+
+#: Sentinel vertex index for the virtual boundary in :class:`GraphEdge`.
+BOUNDARY = -1
+
+
+@dataclass(frozen=True)
+class GraphEdge:
+    """One edge of the decoding graph.
+
+    Attributes:
+        u: First detector index.
+        v: Second detector index, or :data:`BOUNDARY`.
+        probability: Merged probability of the underlying fault mechanisms.
+        weight: ``-log10(probability)``.
+        flips_observable: Whether the fault flips logical observable 0.
+    """
+
+    u: int
+    v: int
+    probability: float
+    weight: float
+    flips_observable: bool
+
+
+@dataclass
+class DecodingGraph:
+    """Weighted matching graph with precomputed all-pairs data.
+
+    Build with :meth:`from_dem`.  Attributes of interest:
+
+    Attributes:
+        num_detectors: Number of detector vertices.
+        edges: The primitive (local) graph edges.
+        pair_weights: ``(n, n)`` float array; ``[i, j]`` is the shortest-path
+            weight between detectors, ``[i, i]`` the weight to the boundary.
+        pair_parities: ``(n, n)`` bool array; parity of logical-observable
+            flips along the corresponding shortest path.
+    """
+
+    num_detectors: int
+    edges: list[GraphEdge]
+    pair_weights: np.ndarray
+    pair_parities: np.ndarray
+    #: ``(n+1, n+1)`` predecessor matrix of the all-pairs Dijkstra (row =
+    #: source, column = destination; the boundary is dense index ``n``).
+    #: Enables shortest-path reconstruction for physical corrections.
+    predecessors: np.ndarray = field(default_factory=lambda: np.zeros((0, 0), int))
+    #: Per-detector adjacency: detector -> list of incident edges. Used by
+    #: local decoders (Union-Find, Clique) that walk primitive edges.
+    adjacency: dict[int, list[GraphEdge]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dem(cls, dem: DetectorErrorModel) -> "DecodingGraph":
+        """Build the decoding graph of a detector error model.
+
+        Mechanisms flipping more than two detectors are rejected: the
+        surface-code memory circuits in this repository always produce
+        graph-like models (asserted in the test suite).
+
+        Args:
+            dem: The detector error model.
+
+        Returns:
+            The fully precomputed :class:`DecodingGraph`.
+        """
+        non_graphlike = dem.non_graphlike_mechanisms()
+        if non_graphlike:
+            raise ValueError(
+                f"{len(non_graphlike)} mechanisms flip more than two "
+                "detectors; the decoding graph requires a graph-like model"
+            )
+        edges = _merge_edges(dem)
+        n = dem.num_detectors
+        weights, parities, predecessors = _all_pairs(edges, n)
+        graph = cls(
+            num_detectors=n,
+            edges=edges,
+            pair_weights=weights,
+            pair_parities=parities,
+            predecessors=predecessors,
+        )
+        for edge in edges:
+            graph.adjacency.setdefault(edge.u, []).append(edge)
+            if edge.v != BOUNDARY:
+                graph.adjacency.setdefault(edge.v, []).append(edge)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def weight(self, i: int, j: int) -> float:
+        """Shortest-path weight between detectors i and j (i == j: boundary)."""
+        return float(self.pair_weights[i, j])
+
+    def parity(self, i: int, j: int) -> bool:
+        """Logical parity of the shortest path between i and j."""
+        return bool(self.pair_parities[i, j])
+
+    def boundary_weight(self, i: int) -> float:
+        """Shortest-path weight from detector ``i`` to the boundary."""
+        return float(self.pair_weights[i, i])
+
+    def neighbors(self, i: int) -> list[GraphEdge]:
+        """Primitive edges incident on detector ``i``."""
+        return self.adjacency.get(i, [])
+
+    def shortest_path(self, u: int, v: int) -> list[tuple[int, int]]:
+        """Vertex pairs of the shortest path between two vertices.
+
+        Args:
+            u: Source detector index (or :data:`BOUNDARY`).
+            v: Destination detector index (or :data:`BOUNDARY`), distinct
+                from ``u``.
+
+        Returns:
+            Consecutive ``(a, b)`` vertex pairs along the path, each
+            corresponding to one primitive edge.  :data:`BOUNDARY` may
+            appear mid-path: two defects whose cheapest joint explanation
+            is a separate chain from each to the boundary route through
+            the boundary vertex.
+        """
+        boundary = self.num_detectors
+        src = boundary if u == BOUNDARY else u
+        dst = boundary if v == BOUNDARY else v
+        if src == dst:
+            raise ValueError("shortest_path requires distinct endpoints")
+        hops: list[int] = [dst]
+        cursor = dst
+        while cursor != src:
+            cursor = int(self.predecessors[src, cursor])
+            if cursor < 0:
+                raise ValueError(f"no path between {u} and {v}")
+            hops.append(cursor)
+        hops.reverse()
+        return [
+            (
+                BOUNDARY if a == boundary else a,
+                BOUNDARY if b == boundary else b,
+            )
+            for a, b in zip(hops, hops[1:])
+        ]
+
+
+def _merge_edges(dem: DetectorErrorModel) -> list[GraphEdge]:
+    """Merge mechanisms into one edge per (endpoints, observable parity).
+
+    When both parities exist between the same endpoints (rare), only the
+    lower-weight edge is kept: the other is strictly dominated for
+    shortest-path purposes.
+    """
+    by_key: dict[tuple[int, int, bool], float] = {}
+    for mech in dem.graphlike_mechanisms():
+        if not mech.detectors:
+            continue  # pure logical flips are invisible to matching
+        if len(mech.detectors) == 2:
+            u, v = mech.detectors
+        else:
+            u, v = mech.detectors[0], BOUNDARY
+        flips = 0 in mech.observables
+        key = (u, v, flips)
+        p_old = by_key.get(key, 0.0)
+        p_new = mech.probability
+        by_key[key] = p_old * (1.0 - p_new) + p_new * (1.0 - p_old)
+    best: dict[tuple[int, int], GraphEdge] = {}
+    for (u, v, flips), p in by_key.items():
+        weight = -float(np.log10(p))
+        current = best.get((u, v))
+        if current is None or weight < current.weight:
+            best[(u, v)] = GraphEdge(
+                u=u, v=v, probability=p, weight=weight, flips_observable=flips
+            )
+    return sorted(best.values(), key=lambda e: (e.u, e.v))
+
+
+def _all_pairs(
+    edges: list[GraphEdge], num_detectors: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All-pairs shortest-path weights and parities (boundary on diagonal)."""
+    n = num_detectors
+    boundary = n  # internal dense index of the virtual boundary vertex
+    rows, cols, vals = [], [], []
+    edge_parity: dict[tuple[int, int], bool] = {}
+    edge_weight: dict[tuple[int, int], float] = {}
+    for e in edges:
+        u = e.u
+        v = boundary if e.v == BOUNDARY else e.v
+        key = (min(u, v), max(u, v))
+        # Keep the cheaper of parallel edges for path computations.
+        if key in edge_weight and edge_weight[key] <= e.weight:
+            continue
+        edge_weight[key] = e.weight
+        edge_parity[key] = e.flips_observable
+    for (u, v), w in edge_weight.items():
+        rows.extend((u, v))
+        cols.extend((v, u))
+        vals.extend((w, w))
+    matrix = csr_matrix((vals, (rows, cols)), shape=(n + 1, n + 1))
+    dist, predecessors = dijkstra(
+        matrix, directed=False, return_predecessors=True
+    )
+    weights = np.empty((n, n), dtype=np.float64)
+    parities = np.zeros((n, n), dtype=bool)
+    full_parity = np.zeros((n + 1, n + 1), dtype=bool)
+    order = np.argsort(dist, axis=1)
+    for src in range(n + 1):
+        pred_row = predecessors[src]
+        parity_row = full_parity[src]
+        for j in order[src]:
+            p = pred_row[j]
+            if p < 0:  # source itself or unreachable
+                continue
+            key = (min(int(p), int(j)), max(int(p), int(j)))
+            parity_row[j] = parity_row[p] ^ edge_parity[key]
+    weights[:, :] = dist[:n, :n]
+    np.fill_diagonal(weights, dist[:n, boundary])
+    parities[:, :] = full_parity[:n, :n]
+    np.fill_diagonal(parities, full_parity[:n, boundary])
+    return weights, parities, predecessors.astype(np.int32)

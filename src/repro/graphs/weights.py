@@ -1,0 +1,121 @@
+"""The Global Weight Table (GWT) -- paper section 5.1.
+
+Astrea's hardware keeps an on-chip ``l x l`` matrix of 8-bit weights, one
+row/column per syndrome bit of the (per-basis) syndrome vector, where each
+entry is the quantized ``-log10`` probability of the corresponding pair of
+syndrome bits being matched and the *diagonal* holds each bit's weight to
+the boundary.  When a syndrome arrives, the weights of its non-zero bits are
+gathered into the Active Weight Array (Astrea) or Local Weight Table
+(Astrea-G).
+
+This module reproduces that data structure in software, including the 8-bit
+fixed-point quantization.  An unquantized (float) table doubles as the
+"idealized MWPM" configuration the paper compares against.
+
+The GWT also explains the storage rows of paper Table 6: with one byte per
+entry the table occupies exactly ``l^2`` bytes -- 36 KB for d=7
+(l = 192) and ~156 KB for d=9 (l = 400).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .decoding_graph import DecodingGraph
+
+__all__ = ["GlobalWeightTable"]
+
+#: Default fixed-point resolution: 2 fractional bits (LSB = 0.25), giving an
+#: 8-bit dynamic range of [0, 63.75] -- wide enough that only pairs far too
+#: improbable to ever join an MWPM saturate.
+DEFAULT_LSB = 0.25
+
+
+@dataclass
+class GlobalWeightTable:
+    """Pairwise matching weights between syndrome bits.
+
+    Attributes:
+        weights: ``(l, l)`` float array of effective pair weights; diagonal
+            entries are boundary weights.  When ``lsb`` is not None these
+            values are already quantized (integer multiples of ``lsb``
+            saturating at ``255 * lsb``).
+        parities: ``(l, l)`` bool array; entry ``[i, j]`` tells whether the
+            most likely error chain matching ``i`` with ``j`` flips the
+            logical observable (diagonal: chain to the boundary).
+        lsb: Fixed-point step of the 8-bit quantization, or None for an
+            unquantized (idealized) table.
+    """
+
+    weights: np.ndarray
+    parities: np.ndarray
+    lsb: float | None = None
+
+    @classmethod
+    def from_graph(
+        cls, graph: DecodingGraph, *, lsb: float | None = DEFAULT_LSB
+    ) -> "GlobalWeightTable":
+        """Build a GWT from a decoding graph.
+
+        Args:
+            graph: The precomputed decoding graph.
+            lsb: Fixed-point step for 8-bit quantization; ``None`` keeps
+                full float precision (idealized MWPM).
+
+        Returns:
+            The populated table.
+        """
+        weights = graph.pair_weights.copy()
+        if lsb is not None:
+            codes = np.clip(np.round(weights / lsb), 0, 255)
+            weights = codes * lsb
+        return cls(weights=weights, parities=graph.pair_parities.copy(), lsb=lsb)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def length(self) -> int:
+        """Syndrome-vector length ``l`` (table dimension)."""
+        return self.weights.shape[0]
+
+    def weight(self, i: int, j: int) -> float:
+        """Weight of matching syndrome bits i and j (i == j: boundary)."""
+        return float(self.weights[i, j])
+
+    def parity(self, i: int, j: int) -> bool:
+        """Whether the (i, j) match flips the logical observable."""
+        return bool(self.parities[i, j])
+
+    def active_weights(self, active: list[int]) -> np.ndarray:
+        """Gather the weight submatrix for the non-zero syndrome bits.
+
+        This models the GWT -> Active Weight Array transfer that costs
+        ``HW + 1`` cycles in Astrea's hardware (section 5.4).
+
+        Args:
+            active: Indices of non-zero syndrome bits.
+
+        Returns:
+            ``(w, w)`` array of pair weights (diagonal: boundary weights).
+        """
+        idx = np.asarray(active, dtype=np.intp)
+        return self.weights[np.ix_(idx, idx)]
+
+    def active_parities(self, active: list[int]) -> np.ndarray:
+        """Gather the parity submatrix for the non-zero syndrome bits."""
+        idx = np.asarray(active, dtype=np.intp)
+        return self.parities[np.ix_(idx, idx)]
+
+    def storage_bytes(self) -> int:
+        """On-chip SRAM footprint: one byte per entry (paper Table 6)."""
+        return self.length * self.length
+
+    def max_representable_weight(self) -> float:
+        """Largest weight the 8-bit encoding can hold (inf if unquantized)."""
+        if self.lsb is None:
+            return float("inf")
+        return 255 * self.lsb

@@ -1,0 +1,25 @@
+"""Hardware models: FPGA timing, SRAM, bandwidth, syndrome compression."""
+
+from .bandwidth import BandwidthModel
+from .compression import (
+    CompressionReport,
+    RunLengthCompressor,
+    SparseIndexCompressor,
+    SyndromeCompressor,
+    compression_census,
+)
+from .latency import FpgaTiming, astrea_decode_cycles, astrea_total_cycles
+from .sram import AstreaGStorageModel
+
+__all__ = [
+    "AstreaGStorageModel",
+    "BandwidthModel",
+    "CompressionReport",
+    "FpgaTiming",
+    "RunLengthCompressor",
+    "SparseIndexCompressor",
+    "SyndromeCompressor",
+    "astrea_decode_cycles",
+    "astrea_total_cycles",
+    "compression_census",
+]

@@ -1,0 +1,66 @@
+"""Syndrome-bandwidth model (paper section 7.6, Table 7).
+
+Every round, the ``d^2 - 1`` parity qubits produce one syndrome bit each
+that must cross the fridge boundary to the decoder.  With a 1 us round
+cadence, time spent transmitting is time the decoder cannot spend
+searching: at 20 MBps half the period is gone and Astrea-G's logical error
+rate degrades by ~33% (Table 7), while 50 MBps is already indistinguishable
+from infinite bandwidth.
+
+The model converts a link bandwidth into a transmission time and hence a
+residual decode budget; the Table 7 bench then re-runs Astrea-G with that
+shrunken budget to measure the LER impact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BandwidthModel"]
+
+
+@dataclass(frozen=True)
+class BandwidthModel:
+    """Syndrome-transmission timing for one code distance.
+
+    Args:
+        distance: Code distance (sets the per-round bit count).
+        round_ns: Syndrome-extraction cadence (paper: 1 us on Sycamore).
+    """
+
+    distance: int
+    round_ns: float = 1000.0
+
+    @property
+    def bits_per_round(self) -> int:
+        """Syndrome bits produced per round (all parity qubits)."""
+        return self.distance**2 - 1
+
+    def transmission_ns(self, bandwidth_mbps: float) -> float:
+        """Time to ship one round's syndrome at a given bandwidth.
+
+        Args:
+            bandwidth_mbps: Link bandwidth in megabytes per second.
+
+        Returns:
+            Transmission time in nanoseconds.
+        """
+        if bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        bytes_per_round = self.bits_per_round / 8.0
+        return bytes_per_round / bandwidth_mbps * 1000.0
+
+    def decode_budget_ns(self, bandwidth_mbps: float) -> float:
+        """Decode time left in the round after transmission."""
+        return max(0.0, self.round_ns - self.transmission_ns(bandwidth_mbps))
+
+    def bandwidth_for_transmission(self, transmission_ns: float) -> float:
+        """Bandwidth (MBps) that yields a given transmission time.
+
+        Inverse of :meth:`transmission_ns`; reproduces the paper's Table 7
+        mapping ``bandwidth = bits / (8 * transmission_ns)`` in MBps.
+        """
+        if transmission_ns <= 0:
+            return float("inf")
+        bytes_per_round = self.bits_per_round / 8.0
+        return bytes_per_round / transmission_ns * 1000.0

@@ -1,0 +1,258 @@
+"""Syndrome compression (paper section 7.6).
+
+Astrea-G needs each round's syndrome across the fridge boundary fast
+enough to leave decode time inside the 1 us budget.  The paper notes that
+"as syndromes are typically compressible, we can further employ Syndrome
+Compression to reduce bandwidth requirement" (citing the AFS paper's
+scheme).  This module implements two lossless codecs exploiting syndrome
+sparsity and quantifies their payoff:
+
+* :class:`SparseIndexCompressor` -- a count header followed by the indices
+  of the set bits; near-optimal for the low-Hamming-weight syndromes that
+  dominate (Table 2);
+* :class:`RunLengthCompressor` -- Golomb-style unary-terminated run
+  lengths of zeros; robust when defects cluster.
+
+Both fall back to transmitting the raw bitmap (plus a one-bit mode flag)
+whenever encoding would expand the syndrome, so the compressed size is
+never more than ``length + 1`` bits.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuits.memory import MemoryExperiment
+from ..sim.pauli_frame import PauliFrameSimulator
+
+__all__ = [
+    "SyndromeCompressor",
+    "SparseIndexCompressor",
+    "RunLengthCompressor",
+    "CompressionReport",
+    "compression_census",
+]
+
+
+class SyndromeCompressor(ABC):
+    """A lossless codec for fixed-length syndrome bit vectors.
+
+    Args:
+        length: Number of bits per syndrome.
+    """
+
+    def __init__(self, length: int) -> None:
+        if length <= 0:
+            raise ValueError("length must be positive")
+        self.length = length
+
+    # -- abstract core --------------------------------------------------
+
+    @abstractmethod
+    def _encode_bits(self, active: list[int]) -> list[int]:
+        """Encode the active-bit indices as a bit list (no fallback)."""
+
+    @abstractmethod
+    def _decode_bits(self, bits: list[int]) -> list[int]:
+        """Inverse of :meth:`_encode_bits`."""
+
+    # -- public API with raw-bitmap fallback -----------------------------
+
+    def encode(self, syndrome: np.ndarray) -> list[int]:
+        """Encode a syndrome; first bit flags compressed (1) vs raw (0)."""
+        syndrome = np.asarray(syndrome).astype(bool)
+        if syndrome.shape != (self.length,):
+            raise ValueError(
+                f"expected a {self.length}-bit syndrome, got {syndrome.shape}"
+            )
+        active = [int(i) for i in np.nonzero(syndrome)[0]]
+        payload = self._encode_bits(active)
+        if len(payload) >= self.length:
+            return [0] + [int(b) for b in syndrome]
+        return [1] + payload
+
+    def decode(self, bits: list[int]) -> np.ndarray:
+        """Decode an :meth:`encode` output back to the syndrome vector."""
+        if not bits:
+            raise ValueError("empty payload")
+        mode, payload = bits[0], bits[1:]
+        syndrome = np.zeros(self.length, dtype=bool)
+        if mode == 0:
+            if len(payload) != self.length:
+                raise ValueError("raw payload has the wrong length")
+            syndrome[:] = [bool(b) for b in payload]
+            return syndrome
+        for index in self._decode_bits(payload):
+            if not 0 <= index < self.length:
+                raise ValueError(f"decoded index {index} out of range")
+            syndrome[index] = True
+        return syndrome
+
+    def encoded_bits(self, syndrome: np.ndarray) -> int:
+        """Number of bits :meth:`encode` produces for a syndrome."""
+        return len(self.encode(syndrome))
+
+    # -- helpers ----------------------------------------------------------
+
+    @property
+    def index_bits(self) -> int:
+        """Bits needed to address one syndrome position."""
+        return max(1, math.ceil(math.log2(self.length)))
+
+    @staticmethod
+    def _to_bits(value: int, width: int) -> list[int]:
+        return [(value >> k) & 1 for k in reversed(range(width))]
+
+    @staticmethod
+    def _from_bits(bits: list[int]) -> int:
+        value = 0
+        for b in bits:
+            value = (value << 1) | int(b)
+        return value
+
+
+class SparseIndexCompressor(SyndromeCompressor):
+    """Count header + explicit set-bit indices.
+
+    Encoded size: ``index_bits * (1 + hamming_weight)`` bits, i.e. ~9 bits
+    per defect for a d = 9 syndrome -- a 10-40x round-trip saving at the
+    Hamming weights that dominate Table 2.
+    """
+
+    @property
+    def _count_bits(self) -> int:
+        """Header width: must represent counts 0..length inclusive."""
+        return max(1, math.ceil(math.log2(self.length + 1)))
+
+    def _encode_bits(self, active: list[int]) -> list[int]:
+        bits = self._to_bits(len(active), self._count_bits)
+        for index in active:
+            bits.extend(self._to_bits(index, self.index_bits))
+        return bits
+
+    def _decode_bits(self, bits: list[int]) -> list[int]:
+        header = self._count_bits
+        w = self.index_bits
+        if len(bits) < header:
+            raise ValueError("payload too short for the count header")
+        count = self._from_bits(bits[:header])
+        if len(bits) != header + w * count:
+            raise ValueError("payload length disagrees with the count header")
+        return [
+            self._from_bits(bits[header + w * k : header + w * (k + 1)])
+            for k in range(count)
+        ]
+
+
+class RunLengthCompressor(SyndromeCompressor):
+    """Zero-run lengths in fixed-width chunks with unary continuation.
+
+    Each run of zeros before a set bit is emitted as ``chunk`` bits; a run
+    longer than a chunk can express is continued with an all-ones escape
+    chunk.  A final escape-terminated tail covers trailing zeros.
+    """
+
+    def __init__(self, length: int, chunk: int = 5) -> None:
+        super().__init__(length)
+        if chunk < 2:
+            raise ValueError("chunk must be >= 2")
+        self.chunk = chunk
+        self._escape = (1 << chunk) - 1
+
+    def _encode_bits(self, active: list[int]) -> list[int]:
+        bits: list[int] = []
+        previous = -1
+        for index in active:
+            run = index - previous - 1
+            while run >= self._escape:
+                bits.extend(self._to_bits(self._escape, self.chunk))
+                run -= self._escape
+            bits.extend(self._to_bits(run, self.chunk))
+            previous = index
+        # Terminator: an escape chunk marks "no more set bits".
+        bits.extend(self._to_bits(self._escape, self.chunk))
+        return bits
+
+    def _decode_bits(self, bits: list[int]) -> list[int]:
+        if len(bits) % self.chunk:
+            raise ValueError("payload is not chunk-aligned")
+        active: list[int] = []
+        position = 0
+        run = 0
+        cursor = 0
+        terminated = False
+        while cursor < len(bits):
+            value = self._from_bits(bits[cursor : cursor + self.chunk])
+            cursor += self.chunk
+            if value == self._escape:
+                if cursor == len(bits):
+                    terminated = True
+                    break
+                run += self._escape
+                continue
+            position += run + value
+            active.append(position)
+            position += 1
+            run = 0
+        if not terminated:
+            raise ValueError("payload missing its terminator chunk")
+        return active
+
+
+@dataclass
+class CompressionReport:
+    """Aggregate compression statistics over sampled syndromes.
+
+    Attributes:
+        shots: Number of syndromes measured.
+        raw_bits: Bits per uncompressed syndrome.
+        mean_bits: Mean encoded size in bits.
+        max_bits: Largest encoded size observed.
+        mean_ratio: ``raw_bits / mean_bits``.
+    """
+
+    shots: int
+    raw_bits: int
+    mean_bits: float
+    max_bits: int
+
+    @property
+    def mean_ratio(self) -> float:
+        """Average compression factor."""
+        return self.raw_bits / self.mean_bits if self.mean_bits else float("inf")
+
+
+def compression_census(
+    experiment: MemoryExperiment,
+    compressor: SyndromeCompressor,
+    shots: int,
+    *,
+    seed: int | None = None,
+) -> CompressionReport:
+    """Measure a codec's compression on sampled memory-experiment syndromes.
+
+    Args:
+        experiment: The memory-experiment circuit bundle.
+        compressor: Codec sized for the experiment's detector count.
+        shots: Syndromes to sample.
+        seed: Sampler seed.
+
+    Returns:
+        The aggregate :class:`CompressionReport`.
+    """
+    if compressor.length != experiment.num_detectors:
+        raise ValueError(
+            "compressor length must equal the experiment's detector count"
+        )
+    sample = PauliFrameSimulator(experiment.circuit, seed=seed).sample(shots)
+    sizes = [compressor.encoded_bits(det) for det in sample.detectors]
+    return CompressionReport(
+        shots=shots,
+        raw_bits=compressor.length,
+        mean_bits=float(np.mean(sizes)),
+        max_bits=int(np.max(sizes)),
+    )

@@ -1,0 +1,88 @@
+"""FPGA timing model shared by the hardware decoders (paper section 5.4).
+
+Both Astrea and Astrea-G target a 250 MHz implementation on a Xilinx Zynq
+UltraScale+ FPGA, i.e. a 4 ns clock period.  The real-time budget is the
+1 us syndrome-extraction cadence of Google Sycamore, or 250 cycles.
+
+Astrea's latency decomposes into:
+
+* ``HW + 1`` cycles to stream the active weights from the Global Weight
+  Table into the Active Weight Array, and
+* a decode phase whose cycle count depends only on the Hamming weight:
+  0 cycles for the trivial weights 0-2, 1 cycle for 3-6 (a single
+  HW6Decoder evaluation), 11 cycles for 7-8 (7 pre-match iterations), and
+  103 cycles for 9-10 (63 pre-match iterations),
+
+for a worst case of ``103 + 11 = 114`` cycles = 456 ns at Hamming
+weight 10 -- the numbers reported in Figure 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FpgaTiming", "astrea_decode_cycles", "astrea_total_cycles"]
+
+
+@dataclass(frozen=True)
+class FpgaTiming:
+    """Clocking parameters of the FPGA implementation.
+
+    Attributes:
+        clock_mhz: Clock frequency in MHz (paper: 250 MHz).
+        realtime_budget_ns: Real-time decoding deadline in nanoseconds
+            (paper: 1 us, the Sycamore syndrome cadence).
+    """
+
+    clock_mhz: float = 250.0
+    realtime_budget_ns: float = 1000.0
+
+    @property
+    def cycle_ns(self) -> float:
+        """Duration of one clock cycle in nanoseconds."""
+        return 1000.0 / self.clock_mhz
+
+    @property
+    def budget_cycles(self) -> int:
+        """Real-time budget expressed in clock cycles."""
+        return int(self.realtime_budget_ns / self.cycle_ns)
+
+    def to_ns(self, cycles: int) -> float:
+        """Convert a cycle count to nanoseconds."""
+        return cycles * self.cycle_ns
+
+
+def astrea_decode_cycles(hamming_weight: int) -> int:
+    """Astrea's decode-phase cycle count for a given Hamming weight.
+
+    Args:
+        hamming_weight: Number of non-zero syndrome bits (0..10).
+
+    Returns:
+        Decode cycles per the paper's section 5.4 breakdown.
+    """
+    if hamming_weight < 0:
+        raise ValueError("hamming_weight must be non-negative")
+    if hamming_weight <= 2:
+        return 0
+    if hamming_weight <= 6:
+        return 1
+    if hamming_weight <= 8:
+        return 11
+    if hamming_weight <= 10:
+        return 103
+    raise ValueError(
+        f"Astrea cannot decode Hamming weight {hamming_weight} (max 10)"
+    )
+
+
+def astrea_total_cycles(hamming_weight: int) -> int:
+    """Astrea's total latency in cycles, including the GWT transfer.
+
+    Hamming weights 0-2 are handled inline (0 cycles, per Figure 9);
+    otherwise the ``HW + 1``-cycle weight transfer is added to the decode
+    phase.
+    """
+    if hamming_weight <= 2:
+        return 0
+    return (hamming_weight + 1) + astrea_decode_cycles(hamming_weight)

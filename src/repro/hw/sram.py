@@ -1,0 +1,137 @@
+"""SRAM storage model for Astrea-G (paper section 7.5, Table 6).
+
+The paper reports the on-chip storage of each Astrea-G component for one
+basis (X or Z) of distance 7 and 9 codes.  The dominant term is the Global
+Weight Table -- exactly one byte per pair of syndrome bits, so ``l^2``
+bytes for a syndrome-vector length ``l`` (36 KB at d = 7, ~156 KB at
+d = 9).  The remaining structures scale with the maximum Hamming weight the
+design must buffer:
+
+* the Local Weight Table holds the filtered active-pair weights;
+* each priority-queue entry stores one pre-matching: up to ``HW_max / 2``
+  pairs of syndrome-bit indices plus an 8-bit weight each, and a score;
+* the pipeline latches hold one pre-matching per stage and fetch lane;
+* the MWPM register stores the best complete matching found so far.
+
+The structure-level formulas below reproduce the paper's table to within
+rounding; exact RTL packing details (ECC bits, alignment) are out of scope.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["AstreaGStorageModel"]
+
+
+def _index_bits(syndrome_length: int) -> int:
+    """Bits needed to address one syndrome bit."""
+    return max(1, math.ceil(math.log2(syndrome_length)))
+
+
+@dataclass(frozen=True)
+class AstreaGStorageModel:
+    """Parametric SRAM model of one Astrea-G instance (one basis).
+
+    Args:
+        distance: Code distance.
+        max_hamming_weight: Largest Hamming weight buffered by the design
+            (the paper's d = 7 analysis tops out near 16, d = 9 near 20).
+        fetch_width: ``F`` priority queues (paper default 2).
+        queue_capacity: ``E`` entries per queue (paper default 8).
+        pipeline_stages: Fetch/Sort/Commit stages (3).
+        weight_bits: Bits per stored weight (8).
+        score_bits: Bits per priority-queue score (16).
+    """
+
+    distance: int
+    max_hamming_weight: int = 20
+    fetch_width: int = 2
+    queue_capacity: int = 8
+    pipeline_stages: int = 3
+    weight_bits: int = 8
+    score_bits: int = 16
+
+    @property
+    def syndrome_length(self) -> int:
+        """Per-basis syndrome-vector length ``l = (d+1)(d^2-1)/2``."""
+        d = self.distance
+        return (d + 1) * (d * d - 1) // 2
+
+    def gwt_bytes(self) -> int:
+        """Global Weight Table: one byte per syndrome-bit pair."""
+        return self.syndrome_length**2
+
+    def lwt_bytes(self) -> int:
+        """Local Weight Table: pairwise weights of the active bits.
+
+        A ``HW_max x HW_max`` array of 8-bit weights, double-buffered so a
+        new syndrome can stream in while the previous one decodes.
+        """
+        return 2 * self.max_hamming_weight**2 * self.weight_bits // 8
+
+    def prematching_bits(self) -> int:
+        """Bits of one pre-matching as buffered by the pipeline.
+
+        Besides the committed pairs (two syndrome-bit indices and an 8-bit
+        weight each) and the score, each buffered pre-matching carries its
+        sorted candidate-pair array -- the Sort-stage output it was created
+        from -- so the Fetch stage can resume expansion without re-reading
+        the LWT.  That array (one index + weight per possible partner)
+        dominates the entry size, which is what pushes the paper's queue
+        storage into the multi-KB range.
+        """
+        pairs = self.max_hamming_weight // 2
+        pair_bits = 2 * _index_bits(self.syndrome_length) + self.weight_bits
+        candidate_bits = self.max_hamming_weight * (
+            _index_bits(self.syndrome_length) + self.weight_bits
+        )
+        matched_mask_bits = self.max_hamming_weight
+        return (
+            pairs * pair_bits
+            + candidate_bits
+            + matched_mask_bits
+            + self.score_bits
+        )
+
+    def priority_queue_bytes(self) -> int:
+        """All ``F`` priority queues of ``E`` pre-matchings each."""
+        entries = self.fetch_width * self.queue_capacity
+        return math.ceil(entries * self.prematching_bits() / 8)
+
+    def pipeline_latch_bytes(self) -> int:
+        """Latches: one pre-matching per stage per fetch lane, plus the
+        sorted candidate-pair array in the Sort stage."""
+        lanes = self.fetch_width * self.pipeline_stages
+        sort_array = self.max_hamming_weight * (
+            _index_bits(self.syndrome_length) + self.weight_bits
+        )
+        return math.ceil((lanes * self.prematching_bits() + sort_array) / 8)
+
+    def mwpm_register_bytes(self) -> int:
+        """The best complete matching: HW_max/2 pairs + total weight."""
+        pairs = self.max_hamming_weight // 2
+        bits = pairs * 2 * _index_bits(self.syndrome_length) + self.weight_bits
+        return math.ceil(bits / 8)
+
+    def total_bytes(self) -> int:
+        """Aggregate SRAM footprint (the Table 6 "Total" row)."""
+        return (
+            self.gwt_bytes()
+            + self.lwt_bytes()
+            + self.priority_queue_bytes()
+            + self.pipeline_latch_bytes()
+            + self.mwpm_register_bytes()
+        )
+
+    def table_rows(self) -> list[tuple[str, int]]:
+        """The component rows of paper Table 6, in bytes."""
+        return [
+            ("Global Weight Table (GWT)", self.gwt_bytes()),
+            ("Local Weight Table (LWT)", self.lwt_bytes()),
+            ("Priority Queues", self.priority_queue_bytes()),
+            ("Pipeline Latches", self.pipeline_latch_bytes()),
+            ("MWPM Register", self.mwpm_register_bytes()),
+            ("Total", self.total_bytes()),
+        ]

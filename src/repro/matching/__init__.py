@@ -1,0 +1,22 @@
+"""Matching algorithms: blossom, exhaustive/DP matchers, boundary folding."""
+
+from .blossom import max_weight_matching, min_weight_perfect_matching
+from .boundary import MatchingProblem
+from .brute_force import (
+    count_perfect_matchings,
+    count_perfect_matchings_in_graph,
+    iter_perfect_matchings,
+    min_weight_perfect_matching_brute,
+    min_weight_perfect_matching_dp,
+)
+
+__all__ = [
+    "MatchingProblem",
+    "count_perfect_matchings",
+    "count_perfect_matchings_in_graph",
+    "iter_perfect_matchings",
+    "max_weight_matching",
+    "min_weight_perfect_matching",
+    "min_weight_perfect_matching_brute",
+    "min_weight_perfect_matching_dp",
+]

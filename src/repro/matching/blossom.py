@@ -1,0 +1,487 @@
+"""Exact maximum-weight general matching (the blossom algorithm).
+
+This module is the repository's stand-in for BlossomV, the C++ library the
+paper uses as its gold-standard software MWPM implementation (section 3.3).
+It implements Galil's O(n^3) primal-dual method for maximum-weight matching
+in general graphs, including blossom shrinking/expansion and the
+max-cardinality mode needed to force *perfect* matchings.
+
+The implementation follows the classic structure popularised by Joris van
+Rantwijk's reference code (also the basis of NetworkX's implementation):
+a single array-based state machine over vertices ``0..n-1`` and blossoms
+``n..2n-1``, alternating primal augmentation with dual-variable updates.
+With integer weights the result is provably optimal; the public
+:func:`min_weight_perfect_matching` wrapper scales float weights to integers
+before solving.
+
+Correctness is established in the test suite by differential testing
+against exhaustive search and ``networkx.max_weight_matching`` on thousands
+of random graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["max_weight_matching", "min_weight_perfect_matching"]
+
+
+def max_weight_matching(
+    edges: list[tuple[int, int, int]], maxcardinality: bool = False
+) -> list[int]:
+    """Compute a maximum-weight matching of a general graph.
+
+    Args:
+        edges: List of ``(i, j, weight)`` with ``i != j`` and integer
+            weights (floats work but exactness is only guaranteed for
+            integers).
+        maxcardinality: When True, only maximum-cardinality matchings are
+            considered (among which the weight is maximised).
+
+    Returns:
+        List ``mate`` such that ``mate[i]`` is the vertex matched to ``i``
+        or ``-1`` if ``i`` is single.
+    """
+    if not edges:
+        return []
+
+    nedge = len(edges)
+    nvertex = 1 + max(max(i, j) for (i, j, _w) in edges)
+    for (i, j, w) in edges:
+        if i == j or i < 0 or j < 0:
+            raise ValueError(f"invalid edge ({i}, {j}, {w})")
+
+    maxweight = max(0, max(w for (_i, _j, w) in edges))
+
+    # endpoint[p] is the vertex at endpoint p; edge k has endpoints 2k, 2k+1.
+    endpoint = [edges[p // 2][p % 2] for p in range(2 * nedge)]
+    # neighbend[v] lists the remote endpoints of edges incident to v.
+    neighbend: list[list[int]] = [[] for _ in range(nvertex)]
+    for k, (i, j, _w) in enumerate(edges):
+        neighbend[i].append(2 * k + 1)
+        neighbend[j].append(2 * k)
+
+    mate = [-1] * nvertex  # mate[v]: remote endpoint of v's matched edge
+    label = [0] * (2 * nvertex)  # 0 free, 1 S-vertex, 2 T-vertex
+    labelend = [-1] * (2 * nvertex)
+    inblossom = list(range(nvertex))  # top-level blossom containing v
+    blossomparent = [-1] * (2 * nvertex)
+    blossomchilds: list[list[int] | None] = [None] * (2 * nvertex)
+    blossombase = list(range(nvertex)) + [-1] * nvertex
+    blossomendps: list[list[int] | None] = [None] * (2 * nvertex)
+    bestedge = [-1] * (2 * nvertex)
+    blossombestedges: list[list[int] | None] = [None] * (2 * nvertex)
+    unusedblossoms = list(range(nvertex, 2 * nvertex))
+    dualvar = [maxweight] * nvertex + [0] * nvertex
+    allowedge = [False] * nedge
+    queue: list[int] = []
+
+    def slack(k: int) -> int:
+        (i, j, wt) = edges[k]
+        return dualvar[i] + dualvar[j] - 2 * wt
+
+    def blossom_leaves(b: int):
+        if b < nvertex:
+            yield b
+        else:
+            for t in blossomchilds[b]:  # type: ignore[union-attr]
+                if t < nvertex:
+                    yield t
+                else:
+                    yield from blossom_leaves(t)
+
+    def assign_label(w: int, t: int, p: int) -> None:
+        b = inblossom[w]
+        label[w] = label[b] = t
+        labelend[w] = labelend[b] = p
+        bestedge[w] = bestedge[b] = -1
+        if t == 1:
+            queue.extend(blossom_leaves(b))
+        elif t == 2:
+            base = blossombase[b]
+            assign_label(endpoint[mate[base]], 1, mate[base] ^ 1)
+
+    def scan_blossom(v: int, w: int) -> int:
+        """Find a common ancestor blossom of v and w, or -1."""
+        path = []
+        base = -1
+        while v != -1 or w != -1:
+            b = inblossom[v]
+            if label[b] & 4:
+                base = blossombase[b]
+                break
+            path.append(b)
+            label[b] = 5
+            if mate[blossombase[b]] == -1:
+                v = -1
+            else:
+                v = endpoint[mate[blossombase[b]]]
+                b = inblossom[v]
+                v = endpoint[labelend[b]]
+            if w != -1:
+                v, w = w, v
+        for b in path:
+            label[b] = 1
+        return base
+
+    def add_blossom(base: int, k: int) -> None:
+        (v, w, _wt) = edges[k]
+        bb = inblossom[base]
+        bv = inblossom[v]
+        bw = inblossom[w]
+        b = unusedblossoms.pop()
+        blossombase[b] = base
+        blossomparent[b] = -1
+        blossomparent[bb] = b
+        path: list[int] = []
+        endps: list[int] = []
+        blossomchilds[b] = path
+        blossomendps[b] = endps
+        while bv != bb:
+            blossomparent[bv] = b
+            path.append(bv)
+            endps.append(labelend[bv])
+            v = endpoint[labelend[bv]]
+            bv = inblossom[v]
+        path.append(bb)
+        path.reverse()
+        endps.reverse()
+        endps.append(2 * k)
+        while bw != bb:
+            blossomparent[bw] = b
+            path.append(bw)
+            endps.append(labelend[bw] ^ 1)
+            w = endpoint[labelend[bw]]
+            bw = inblossom[w]
+        label[b] = 1
+        labelend[b] = labelend[bb]
+        dualvar[b] = 0
+        for leaf in blossom_leaves(b):
+            if label[inblossom[leaf]] == 2:
+                queue.append(leaf)
+            inblossom[leaf] = b
+        bestedgeto = [-1] * (2 * nvertex)
+        for bv in path:
+            if blossombestedges[bv] is None:
+                nblists = [
+                    [p // 2 for p in neighbend[leaf]]
+                    for leaf in blossom_leaves(bv)
+                ]
+            else:
+                nblists = [blossombestedges[bv]]  # type: ignore[list-item]
+            for nblist in nblists:
+                for kk in nblist:
+                    (i, j, _wt2) = edges[kk]
+                    if inblossom[j] == b:
+                        i, j = j, i
+                    bj = inblossom[j]
+                    if (
+                        bj != b
+                        and label[bj] == 1
+                        and (
+                            bestedgeto[bj] == -1
+                            or slack(kk) < slack(bestedgeto[bj])
+                        )
+                    ):
+                        bestedgeto[bj] = kk
+            blossombestedges[bv] = None
+            bestedge[bv] = -1
+        blossombestedges[b] = [kk for kk in bestedgeto if kk != -1]
+        be = -1
+        for kk in blossombestedges[b]:  # type: ignore[union-attr]
+            if be == -1 or slack(kk) < slack(be):
+                be = kk
+        bestedge[b] = be
+
+    def expand_blossom(b: int, endstage: bool) -> None:
+        for s in blossomchilds[b]:  # type: ignore[union-attr]
+            blossomparent[s] = -1
+            if s < nvertex:
+                inblossom[s] = s
+            elif endstage and dualvar[s] == 0:
+                expand_blossom(s, endstage)
+            else:
+                for leaf in blossom_leaves(s):
+                    inblossom[leaf] = s
+        if (not endstage) and label[b] == 2:
+            entrychild = inblossom[endpoint[labelend[b] ^ 1]]
+            j = blossomchilds[b].index(entrychild)  # type: ignore[union-attr]
+            if j & 1:
+                j -= len(blossomchilds[b])  # type: ignore[arg-type]
+                jstep = 1
+                endptrick = 0
+            else:
+                jstep = -1
+                endptrick = 1
+            p = labelend[b]
+            while j != 0:
+                label[endpoint[p ^ 1]] = 0
+                label[
+                    endpoint[
+                        blossomendps[b][j - endptrick] ^ endptrick ^ 1
+                    ]
+                ] = 0
+                assign_label(endpoint[p ^ 1], 2, p)
+                allowedge[blossomendps[b][j - endptrick] // 2] = True
+                j += jstep
+                p = blossomendps[b][j - endptrick] ^ endptrick
+                allowedge[p // 2] = True
+                j += jstep
+            bv = blossomchilds[b][j]  # type: ignore[index]
+            label[endpoint[p ^ 1]] = label[bv] = 2
+            labelend[endpoint[p ^ 1]] = labelend[bv] = p
+            bestedge[bv] = -1
+            j += jstep
+            while blossomchilds[b][j] != entrychild:  # type: ignore[index]
+                bv = blossomchilds[b][j]  # type: ignore[index]
+                if label[bv] == 1:
+                    j += jstep
+                    continue
+                for v in blossom_leaves(bv):
+                    if label[v] != 0:
+                        break
+                if label[v] != 0:
+                    label[v] = 0
+                    label[endpoint[mate[blossombase[bv]]]] = 0
+                    assign_label(v, 2, labelend[v])
+                j += jstep
+        label[b] = labelend[b] = -1
+        blossomchilds[b] = blossomendps[b] = None
+        blossombase[b] = -1
+        blossombestedges[b] = None
+        bestedge[b] = -1
+        unusedblossoms.append(b)
+
+    def augment_blossom(b: int, v: int) -> None:
+        t = v
+        while blossomparent[t] != b:
+            t = blossomparent[t]
+        if t >= nvertex:
+            augment_blossom(t, v)
+        i = j = blossomchilds[b].index(t)  # type: ignore[union-attr]
+        if i & 1:
+            j -= len(blossomchilds[b])  # type: ignore[arg-type]
+            jstep = 1
+            endptrick = 0
+        else:
+            jstep = -1
+            endptrick = 1
+        while j != 0:
+            j += jstep
+            t = blossomchilds[b][j]  # type: ignore[index]
+            p = blossomendps[b][j - endptrick] ^ endptrick
+            if t >= nvertex:
+                augment_blossom(t, endpoint[p])
+            j += jstep
+            t = blossomchilds[b][j]  # type: ignore[index]
+            if t >= nvertex:
+                augment_blossom(t, endpoint[p ^ 1])
+            mate[endpoint[p]] = p ^ 1
+            mate[endpoint[p ^ 1]] = p
+        blossomchilds[b] = (
+            blossomchilds[b][i:] + blossomchilds[b][:i]  # type: ignore[index]
+        )
+        blossomendps[b] = (
+            blossomendps[b][i:] + blossomendps[b][:i]  # type: ignore[index]
+        )
+        blossombase[b] = blossombase[blossomchilds[b][0]]  # type: ignore[index]
+        assert blossombase[b] == v
+
+    def augment_matching(k: int) -> None:
+        (v, w, _wt) = edges[k]
+        for (s, p) in ((v, 2 * k + 1), (w, 2 * k)):
+            while True:
+                bs = inblossom[s]
+                assert label[bs] == 1
+                assert labelend[bs] == mate[blossombase[bs]]
+                if bs >= nvertex:
+                    augment_blossom(bs, s)
+                mate[s] = p
+                if labelend[bs] == -1:
+                    break
+                t = endpoint[labelend[bs]]
+                bt = inblossom[t]
+                assert label[bt] == 2
+                s = endpoint[labelend[bt]]
+                j = endpoint[labelend[bt] ^ 1]
+                assert blossombase[bt] == t
+                if inblossom[j] >= nvertex:
+                    augment_blossom(inblossom[j], j)
+                mate[j] = labelend[bt]
+                p = labelend[bt] ^ 1
+
+    # Main loop: one stage per augmentation.
+    for _t in range(nvertex):
+        label[:] = [0] * (2 * nvertex)
+        bestedge[:] = [-1] * (2 * nvertex)
+        for i in range(nvertex, 2 * nvertex):
+            blossombestedges[i] = None
+        allowedge[:] = [False] * nedge
+        queue[:] = []
+        for v in range(nvertex):
+            if mate[v] == -1 and label[inblossom[v]] == 0:
+                assign_label(v, 1, -1)
+        augmented = False
+        while True:
+            while queue and not augmented:
+                v = queue.pop()
+                assert label[inblossom[v]] == 1
+                for p in neighbend[v]:
+                    k = p // 2
+                    w = endpoint[p]
+                    if inblossom[v] == inblossom[w]:
+                        continue
+                    if not allowedge[k]:
+                        kslack = slack(k)
+                        if kslack <= 0:
+                            allowedge[k] = True
+                    if allowedge[k]:
+                        if label[inblossom[w]] == 0:
+                            assign_label(w, 2, p ^ 1)
+                        elif label[inblossom[w]] == 1:
+                            base = scan_blossom(v, w)
+                            if base >= 0:
+                                add_blossom(base, k)
+                            else:
+                                augment_matching(k)
+                                augmented = True
+                                break
+                        elif label[w] == 0:
+                            assert label[inblossom[w]] == 2
+                            label[w] = 2
+                            labelend[w] = p ^ 1
+                    elif label[inblossom[w]] == 1:
+                        b = inblossom[v]
+                        if bestedge[b] == -1 or kslack < slack(bestedge[b]):
+                            bestedge[b] = k
+                    elif label[w] == 0:
+                        if bestedge[w] == -1 or kslack < slack(bestedge[w]):
+                            bestedge[w] = k
+            if augmented:
+                break
+
+            # Dual update.
+            deltatype = -1
+            delta = deltaedge = deltablossom = None
+            if not maxcardinality:
+                deltatype = 1
+                delta = min(dualvar[:nvertex])
+            for v in range(nvertex):
+                if label[inblossom[v]] == 0 and bestedge[v] != -1:
+                    d = slack(bestedge[v])
+                    if deltatype == -1 or d < delta:  # type: ignore[operator]
+                        delta = d
+                        deltatype = 2
+                        deltaedge = bestedge[v]
+            for b in range(2 * nvertex):
+                if (
+                    blossomparent[b] == -1
+                    and label[b] == 1
+                    and bestedge[b] != -1
+                ):
+                    kslack = slack(bestedge[b])
+                    d = kslack // 2
+                    if deltatype == -1 or d < delta:  # type: ignore[operator]
+                        delta = d
+                        deltatype = 3
+                        deltaedge = bestedge[b]
+            for b in range(nvertex, 2 * nvertex):
+                if (
+                    blossombase[b] >= 0
+                    and blossomparent[b] == -1
+                    and label[b] == 2
+                    and (deltatype == -1 or dualvar[b] < delta)  # type: ignore[operator]
+                ):
+                    delta = dualvar[b]
+                    deltatype = 4
+                    deltablossom = b
+            if deltatype == -1:
+                # No further improvement possible (max-cardinality mode).
+                deltatype = 1
+                delta = max(0, min(dualvar[:nvertex]))
+
+            for v in range(nvertex):
+                lbl = label[inblossom[v]]
+                if lbl == 1:
+                    dualvar[v] -= delta  # type: ignore[operator]
+                elif lbl == 2:
+                    dualvar[v] += delta  # type: ignore[operator]
+            for b in range(nvertex, 2 * nvertex):
+                if blossombase[b] >= 0 and blossomparent[b] == -1:
+                    if label[b] == 1:
+                        dualvar[b] += delta  # type: ignore[operator]
+                    elif label[b] == 2:
+                        dualvar[b] -= delta  # type: ignore[operator]
+
+            if deltatype == 1:
+                break
+            elif deltatype == 2:
+                allowedge[deltaedge] = True  # type: ignore[index]
+                (i, j, _wt) = edges[deltaedge]  # type: ignore[index]
+                if label[inblossom[i]] == 0:
+                    i, j = j, i
+                queue.append(i)
+            elif deltatype == 3:
+                allowedge[deltaedge] = True  # type: ignore[index]
+                (i, j, _wt) = edges[deltaedge]  # type: ignore[index]
+                queue.append(i)
+            elif deltatype == 4:
+                expand_blossom(deltablossom, False)  # type: ignore[arg-type]
+
+        if not augmented:
+            break
+
+        for b in range(nvertex, 2 * nvertex):
+            if (
+                blossomparent[b] == -1
+                and blossombase[b] >= 0
+                and label[b] == 1
+                and dualvar[b] == 0
+            ):
+                expand_blossom(b, True)
+
+    result = [-1] * nvertex
+    for v in range(nvertex):
+        if mate[v] >= 0:
+            result[v] = endpoint[mate[v]]
+    for v in range(nvertex):
+        assert result[v] == -1 or result[result[v]] == v
+    return result
+
+
+def min_weight_perfect_matching(
+    weights: np.ndarray, *, scale: float = 1 << 16
+) -> list[tuple[int, int]]:
+    """Minimum-weight perfect matching on a dense complete graph.
+
+    Args:
+        weights: Symmetric ``(n, n)`` array of pair weights; ``n`` even.
+            Diagonal entries are ignored.
+        scale: Float weights are multiplied by this factor and rounded to
+            integers before solving; the default keeps ~5 decimal digits.
+
+    Returns:
+        The matching as ``n/2`` pairs ``(i, j)`` with ``i < j``.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    n = weights.shape[0]
+    if n == 0:
+        return []
+    if n % 2:
+        raise ValueError("perfect matching needs an even number of vertices")
+    if weights.shape != (n, n):
+        raise ValueError("weights must be a square matrix")
+    int_weights = np.round(weights * scale).astype(np.int64)
+    max_w = int(int_weights.max())
+    edges = [
+        (i, j, max_w - int(int_weights[i, j]))
+        for i in range(n)
+        for j in range(i + 1, n)
+    ]
+    mate = max_weight_matching(edges, maxcardinality=True)
+    pairs = sorted(
+        (i, mate[i]) for i in range(n) if mate[i] > i
+    )
+    if len(pairs) != n // 2:
+        raise AssertionError("blossom failed to produce a perfect matching")
+    return pairs

@@ -1,0 +1,124 @@
+"""Turning a syndrome into a finite matching problem over active bits.
+
+MWPM-style decoders operate only on the *active* (non-zero) syndrome bits.
+The virtual boundary complicates this: any subset of active bits may be
+matched to the boundary rather than to each other.  Because the Global
+Weight Table's pair weights are shortest-path weights on a graph that
+*includes* the boundary vertex (see :mod:`repro.graphs.decoding_graph`),
+the cheapest way for two bits to "pair via the boundary" is already folded
+into their pair weight.  Consequently:
+
+* an even number of active bits reduces to a perfect matching of exactly
+  those bits, and
+* an odd number reduces to a perfect matching after appending one virtual
+  node whose pair weight with bit ``i`` is the GWT diagonal ``W[i, i]``
+  (the boundary weight, section 5.1).
+
+This is the construction that makes Astrea's exhaustive search *exactly*
+equivalent to MWPM for syndromes it can handle (paper Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.weights import GlobalWeightTable
+
+__all__ = ["MatchingProblem"]
+
+
+@dataclass
+class MatchingProblem:
+    """A perfect-matching instance derived from one syndrome.
+
+    Attributes:
+        active: Indices of the non-zero syndrome bits, in increasing order.
+        weights: ``(m, m)`` effective pair-weight matrix where ``m`` is the
+            number of active bits, plus one when a virtual boundary node was
+            appended (odd Hamming weight).  Node ``m - 1`` is then the
+            virtual node.
+        parities: ``(m, m)`` bool matrix of logical parities aligned with
+            ``weights``.
+        has_virtual: Whether the last node is the virtual boundary.
+    """
+
+    active: list[int]
+    weights: np.ndarray
+    parities: np.ndarray
+    has_virtual: bool
+
+    @classmethod
+    def from_syndrome(
+        cls, gwt: GlobalWeightTable, active: list[int]
+    ) -> "MatchingProblem":
+        """Build the matching problem for the given active syndrome bits.
+
+        Args:
+            gwt: The Global Weight Table of the code/noise configuration.
+            active: Indices of non-zero syndrome bits (any order).
+
+        Returns:
+            The matching problem (even node count, ready for any matcher).
+        """
+        active = sorted(active)
+        w = len(active)
+        base_w = gwt.active_weights(active)
+        base_p = gwt.active_parities(active)
+        if w % 2 == 0:
+            return cls(
+                active=active,
+                weights=base_w,
+                parities=base_p,
+                has_virtual=False,
+            )
+        m = w + 1
+        weights = np.zeros((m, m), dtype=base_w.dtype)
+        parities = np.zeros((m, m), dtype=bool)
+        weights[:w, :w] = base_w
+        parities[:w, :w] = base_p
+        diag_w = np.diag(base_w)
+        diag_p = np.diag(base_p)
+        weights[:w, w] = diag_w
+        weights[w, :w] = diag_w
+        parities[:w, w] = diag_p
+        parities[w, :w] = diag_p
+        return cls(active=active, weights=weights, parities=parities, has_virtual=True)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Node count of the matching instance (always even)."""
+        return self.weights.shape[0]
+
+    def total_weight(self, pairs: list[tuple[int, int]]) -> float:
+        """Aggregate weight of a matching over this problem's nodes."""
+        return float(sum(self.weights[a, b] for a, b in pairs))
+
+    def prediction(self, pairs: list[tuple[int, int]]) -> bool:
+        """Logical-observable flip implied by a matching.
+
+        Args:
+            pairs: A perfect matching of this problem's nodes.
+
+        Returns:
+            True when the corrections along the matched shortest paths flip
+            the logical observable an odd number of times.
+        """
+        flip = False
+        for a, b in pairs:
+            flip ^= bool(self.parities[a, b])
+        return flip
+
+    def is_perfect(self, pairs: list[tuple[int, int]]) -> bool:
+        """Whether ``pairs`` is a perfect matching of the problem's nodes."""
+        seen: set[int] = set()
+        for a, b in pairs:
+            if a == b or a in seen or b in seen:
+                return False
+            seen.update((a, b))
+        return len(seen) == self.num_nodes

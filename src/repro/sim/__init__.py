@@ -1,0 +1,17 @@
+"""Simulators: Pauli-frame sampler, CHP tableau, detector error models."""
+
+from .dem import DetectorErrorModel, FaultMechanism, build_detector_error_model
+from .pauli_frame import PauliFrameSimulator, SampleResult
+from .reference import ReferenceSampler
+from .tableau import TableauSimulator, run_tableau_shot
+
+__all__ = [
+    "DetectorErrorModel",
+    "FaultMechanism",
+    "PauliFrameSimulator",
+    "ReferenceSampler",
+    "SampleResult",
+    "TableauSimulator",
+    "build_detector_error_model",
+    "run_tableau_shot",
+]

@@ -1,0 +1,261 @@
+"""Detector error model (DEM) extraction from noisy circuits.
+
+The decoding graph that MWPM-style decoders operate on is derived from the
+*detector error model*: the list of elementary fault mechanisms in the
+circuit, each annotated with the set of detectors it flips, the logical
+observables it flips, and its probability.  Stim builds this structure
+internally; here it is rebuilt from scratch.
+
+The extraction technique mirrors Stim's: every possible single fault (one
+Pauli term of one noise channel, or one measurement-record flip) is assigned
+a row in a batched Pauli-frame propagation, injected at its circuit
+location, and propagated *deterministically* (no random noise) through the
+remainder of the circuit.  A single vectorised pass therefore yields the
+detector/observable signature of every fault mechanism simultaneously.
+
+Mechanisms with identical signatures are merged by XOR-combining their
+probabilities (``p = p1 (1 - p2) + p2 (1 - p1)``), which is exact for
+independent faults.  The individual Pauli terms of one depolarizing channel
+are treated as independent -- the standard O(p^2) approximation that both
+Stim's graph-like DEMs and the paper's weight tables rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..circuits.circuit import Circuit, Instruction
+
+__all__ = ["FaultMechanism", "DetectorErrorModel", "build_detector_error_model"]
+
+
+@dataclass(frozen=True)
+class FaultMechanism:
+    """One merged elementary fault of the circuit.
+
+    Attributes:
+        probability: Probability that this mechanism fires in one shot.
+        detectors: Sorted indices of detectors flipped when it fires.
+        observables: Sorted indices of logical observables flipped.
+    """
+
+    probability: float
+    detectors: tuple[int, ...]
+    observables: tuple[int, ...]
+
+    @property
+    def is_graphlike(self) -> bool:
+        """True when the mechanism flips at most two detectors.
+
+        Graph-like mechanisms map directly onto decoding-graph edges
+        (two detectors) or boundary edges (one detector).
+        """
+        return len(self.detectors) <= 2
+
+
+@dataclass
+class DetectorErrorModel:
+    """The full set of merged fault mechanisms of a circuit.
+
+    Attributes:
+        num_detectors: Detector count of the originating circuit.
+        num_observables: Observable count of the originating circuit.
+        mechanisms: Merged mechanisms, sorted by detector signature.
+    """
+
+    num_detectors: int
+    num_observables: int
+    mechanisms: list[FaultMechanism] = field(default_factory=list)
+
+    def graphlike_mechanisms(self) -> list[FaultMechanism]:
+        """Mechanisms usable as decoding-graph edges (<= 2 detectors)."""
+        return [m for m in self.mechanisms if m.is_graphlike]
+
+    def non_graphlike_mechanisms(self) -> list[FaultMechanism]:
+        """Mechanisms flipping three or more detectors."""
+        return [m for m in self.mechanisms if not m.is_graphlike]
+
+    @property
+    def expected_fault_count(self) -> float:
+        """Mean number of mechanisms firing per shot (sum of probabilities).
+
+        Used by the Appendix-A stratified LER estimator, where the number of
+        fired mechanisms is approximately Poisson with this mean.
+        """
+        return float(sum(m.probability for m in self.mechanisms))
+
+    def __len__(self) -> int:
+        return len(self.mechanisms)
+
+
+def build_detector_error_model(circuit: Circuit) -> DetectorErrorModel:
+    """Extract the detector error model of a noisy circuit.
+
+    Args:
+        circuit: A circuit with noise channels, detectors and observables.
+
+    Returns:
+        The merged :class:`DetectorErrorModel`.
+    """
+    injections, probabilities = _enumerate_faults(circuit)
+    num_faults = len(probabilities)
+    det_matrix, obs_matrix = _propagate_faults(circuit, injections, num_faults)
+    merged: dict[tuple[tuple[int, ...], tuple[int, ...]], float] = {}
+    for row in range(num_faults):
+        detectors = tuple(int(i) for i in np.nonzero(det_matrix[row])[0])
+        observables = tuple(int(i) for i in np.nonzero(obs_matrix[row])[0])
+        if not detectors and not observables:
+            continue  # invisible fault; cannot affect decoding or logicals
+        key = (detectors, observables)
+        p_new = probabilities[row]
+        p_old = merged.get(key, 0.0)
+        merged[key] = p_old * (1.0 - p_new) + p_new * (1.0 - p_old)
+    mechanisms = [
+        FaultMechanism(probability=p, detectors=dets, observables=obs)
+        for (dets, obs), p in sorted(merged.items())
+    ]
+    return DetectorErrorModel(
+        num_detectors=circuit.num_detectors,
+        num_observables=circuit.num_observables,
+        mechanisms=mechanisms,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fault enumeration
+# ----------------------------------------------------------------------
+
+# A Pauli injection is a list of (qubit, flip_x, flip_z) triples.
+_PauliInjection = list[tuple[int, bool, bool]]
+
+#: Single-qubit depolarizing terms: X, Y, Z.
+_DEP1_TERMS: list[tuple[bool, bool]] = [(True, False), (True, True), (False, True)]
+
+
+@dataclass
+class _Injections:
+    """Fault injections grouped by the instruction index they act at."""
+
+    # instruction index -> list of (fault row, pauli injection)
+    paulis: dict[int, list[tuple[int, _PauliInjection]]] = field(
+        default_factory=dict
+    )
+    # instruction index -> list of (fault row, target offset within M/MR)
+    record_flips: dict[int, list[tuple[int, int]]] = field(default_factory=dict)
+
+
+def _enumerate_faults(circuit: Circuit) -> tuple[_Injections, list[float]]:
+    """Assign one batch row to every elementary fault in the circuit."""
+    injections = _Injections()
+    probabilities: list[float] = []
+
+    def new_row(p: float) -> int:
+        probabilities.append(p)
+        return len(probabilities) - 1
+
+    for index, inst in enumerate(circuit.instructions):
+        name = inst.name
+        p = inst.arg
+        if p <= 0.0:
+            continue
+        if name == "X_ERROR" or name == "Z_ERROR":
+            as_x = name == "X_ERROR"
+            for q in inst.targets:
+                row = new_row(p)
+                injections.paulis.setdefault(index, []).append(
+                    (row, [(q, as_x, not as_x)])
+                )
+        elif name == "DEPOLARIZE1":
+            for q in inst.targets:
+                for fx, fz in _DEP1_TERMS:
+                    row = new_row(p / 3.0)
+                    injections.paulis.setdefault(index, []).append(
+                        (row, [(q, fx, fz)])
+                    )
+        elif name == "DEPOLARIZE2":
+            for a, b in inst.target_pairs:
+                for code in range(1, 16):
+                    row = new_row(p / 15.0)
+                    pauli: _PauliInjection = []
+                    xa, za = bool(code >> 3 & 1), bool(code >> 2 & 1)
+                    xb, zb = bool(code >> 1 & 1), bool(code & 1)
+                    if xa or za:
+                        pauli.append((a, xa, za))
+                    if xb or zb:
+                        pauli.append((b, xb, zb))
+                    injections.paulis.setdefault(index, []).append((row, pauli))
+        elif name == "M" or name == "MR":
+            for offset in range(len(inst.targets)):
+                row = new_row(p)
+                injections.record_flips.setdefault(index, []).append((row, offset))
+    return injections, probabilities
+
+
+# ----------------------------------------------------------------------
+# Deterministic batched propagation
+# ----------------------------------------------------------------------
+
+
+def _propagate_faults(
+    circuit: Circuit, injections: _Injections, num_faults: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Propagate every fault row; return (detector, observable) matrices."""
+    num_qubits = circuit.num_qubits
+    x = np.zeros((num_faults, num_qubits), dtype=bool)
+    z = np.zeros((num_faults, num_qubits), dtype=bool)
+    rec = np.zeros((num_faults, circuit.num_measurements), dtype=bool)
+    cursor = 0
+    for index, inst in enumerate(circuit.instructions):
+        for row, pauli in injections.paulis.get(index, ()):
+            for qubit, flip_x, flip_z in pauli:
+                x[row, qubit] ^= flip_x
+                z[row, qubit] ^= flip_z
+        cursor = _apply_deterministic(inst, x, z, rec, cursor)
+        for row, offset in injections.record_flips.get(index, ()):
+            rec[row, cursor - len(inst.targets) + offset] ^= True
+    det = _parities(rec, circuit.detectors())
+    obs = _parities(rec, circuit.observables())
+    return det, obs
+
+
+def _apply_deterministic(
+    inst: Instruction,
+    x: np.ndarray,
+    z: np.ndarray,
+    rec: np.ndarray,
+    cursor: int,
+) -> int:
+    """Apply one instruction with all noise suppressed; return new cursor."""
+    name = inst.name
+    ts = list(inst.targets)
+    if name == "H":
+        tmp = x[:, ts].copy()
+        x[:, ts] = z[:, ts]
+        z[:, ts] = tmp
+    elif name == "CX":
+        controls = ts[0::2]
+        targets = ts[1::2]
+        x[:, targets] ^= x[:, controls]
+        z[:, controls] ^= z[:, targets]
+    elif name == "R":
+        x[:, ts] = False
+        z[:, ts] = False
+    elif name == "M" or name == "MR":
+        n = len(ts)
+        rec[:, cursor : cursor + n] = x[:, ts]
+        z[:, ts] = False
+        if name == "MR":
+            x[:, ts] = False
+        return cursor + n
+    return cursor
+
+
+def _parities(rec: np.ndarray, groups: list[tuple[int, ...]]) -> np.ndarray:
+    """XOR selected record columns into one column per group."""
+    out = np.zeros((rec.shape[0], len(groups)), dtype=bool)
+    for k, indices in enumerate(groups):
+        for idx in indices:
+            out[:, k] ^= rec[:, idx]
+    return out

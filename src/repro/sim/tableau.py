@@ -1,0 +1,259 @@
+"""A CHP-style stabilizer tableau simulator (Aaronson-Gottesman).
+
+This is the *reference* simulator of the reproduction: a direct,
+state-tracking implementation of the stabilizer formalism.  It is orders of
+magnitude slower than the Pauli-frame sampler but makes no shortcuts --
+measurements are performed on an explicit stabilizer tableau, including the
+random outcomes of non-deterministic measurements.  The test suite uses it
+to cross-validate the frame sampler:
+
+* a noiseless memory circuit must fire no detectors in either simulator;
+* deterministically injected Paulis (noise channels with ``p = 1``) must
+  produce identical detector patterns in both simulators;
+* marginal detector statistics under random noise must agree within
+  Monte-Carlo tolerance.
+
+The tableau layout follows Aaronson & Gottesman (2004): rows ``0..n-1`` are
+destabilizers, rows ``n..2n-1`` are stabilizers; each row stores x-bits,
+z-bits and a sign bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+
+__all__ = ["TableauSimulator", "run_tableau_shot"]
+
+
+class TableauSimulator:
+    """Stabilizer state of ``n`` qubits, initialised to ``|0...0>``.
+
+    Args:
+        num_qubits: Number of qubits to track.
+        rng: PRNG used for random measurement outcomes (and by callers for
+            noise sampling); defaults to a fresh unseeded generator.
+    """
+
+    def __init__(
+        self, num_qubits: int, rng: np.random.Generator | None = None
+    ) -> None:
+        if num_qubits <= 0:
+            raise ValueError("num_qubits must be positive")
+        self.n = num_qubits
+        self.rng = rng if rng is not None else np.random.default_rng()
+        n = num_qubits
+        # x/z: (2n, n) bit matrices; r: (2n,) sign bits.
+        self.x = np.zeros((2 * n, n), dtype=np.uint8)
+        self.z = np.zeros((2 * n, n), dtype=np.uint8)
+        self.r = np.zeros(2 * n, dtype=np.uint8)
+        for i in range(n):
+            self.x[i, i] = 1  # destabilizer i = X_i
+            self.z[n + i, i] = 1  # stabilizer i = Z_i
+
+    # ------------------------------------------------------------------
+    # Clifford gates
+    # ------------------------------------------------------------------
+
+    def h(self, q: int) -> None:
+        """Apply a Hadamard to qubit ``q``."""
+        self.r ^= self.x[:, q] & self.z[:, q]
+        self.x[:, q], self.z[:, q] = self.z[:, q].copy(), self.x[:, q].copy()
+
+    def cx(self, control: int, target: int) -> None:
+        """Apply a controlled-X with the given control and target."""
+        xc, zc = self.x[:, control], self.z[:, control]
+        xt, zt = self.x[:, target], self.z[:, target]
+        self.r ^= xc & zt & (xt ^ zc ^ 1)
+        self.x[:, target] = xt ^ xc
+        self.z[:, control] = zc ^ zt
+
+    def pauli_x(self, q: int) -> None:
+        """Apply a Pauli X to qubit ``q``."""
+        self.r ^= self.z[:, q]
+
+    def pauli_z(self, q: int) -> None:
+        """Apply a Pauli Z to qubit ``q``."""
+        self.r ^= self.x[:, q]
+
+    def pauli_y(self, q: int) -> None:
+        """Apply a Pauli Y to qubit ``q``."""
+        self.r ^= self.x[:, q] ^ self.z[:, q]
+
+    # ------------------------------------------------------------------
+    # Measurement and reset
+    # ------------------------------------------------------------------
+
+    def measure_z(self, q: int) -> int:
+        """Measure qubit ``q`` in the Z basis; return 0 or 1."""
+        n = self.n
+        stab_rows = np.nonzero(self.x[n:, q])[0]
+        if stab_rows.size:
+            # Non-deterministic outcome.
+            p = int(stab_rows[0]) + n
+            for i in range(2 * n):
+                if i != p and self.x[i, q]:
+                    self._rowsum(i, p)
+            # Destabilizer takes the old stabilizer row.
+            self.x[p - n] = self.x[p]
+            self.z[p - n] = self.z[p]
+            self.r[p - n] = self.r[p]
+            # New stabilizer row is +/- Z_q with a random sign.
+            outcome = int(self.rng.integers(0, 2))
+            self.x[p] = 0
+            self.z[p] = 0
+            self.z[p, q] = 1
+            self.r[p] = outcome
+            return outcome
+        # Deterministic outcome: accumulate into a scratch row.
+        sx = np.zeros(n, dtype=np.uint8)
+        sz = np.zeros(n, dtype=np.uint8)
+        sr = 0
+        for i in range(n):
+            if self.x[i, q]:
+                sx, sz, sr = self._rowsum_into(sx, sz, sr, i + n)
+        return int(sr)
+
+    def reset_z(self, q: int) -> None:
+        """Reset qubit ``q`` to ``|0>``."""
+        if self.measure_z(q):
+            self.pauli_x(q)
+
+    # ------------------------------------------------------------------
+    # Internals: Pauli row products with sign tracking
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _g(x1: np.ndarray, z1: np.ndarray, x2: np.ndarray, z2: np.ndarray):
+        """Per-qubit phase exponents (mod 4) of multiplying Pauli terms."""
+        # Aaronson-Gottesman g function, vectorised over qubits.
+        g = np.zeros(x1.shape, dtype=np.int64)
+        # case x1=1, z1=0 (X): g = z2 * (2*x2 - 1)
+        mask = (x1 == 1) & (z1 == 0)
+        g[mask] = (z2[mask].astype(np.int64)) * (2 * x2[mask].astype(np.int64) - 1)
+        # case x1=0, z1=1 (Z): g = x2 * (1 - 2*z2)
+        mask = (x1 == 0) & (z1 == 1)
+        g[mask] = (x2[mask].astype(np.int64)) * (1 - 2 * z2[mask].astype(np.int64))
+        # case x1=1, z1=1 (Y): g = z2 - x2
+        mask = (x1 == 1) & (z1 == 1)
+        g[mask] = z2[mask].astype(np.int64) - x2[mask].astype(np.int64)
+        return g
+
+    def _rowsum(self, h: int, i: int) -> None:
+        """Row h *= row i (left multiply by row i), updating signs."""
+        phase = (
+            2 * int(self.r[h])
+            + 2 * int(self.r[i])
+            + int(self._g(self.x[i], self.z[i], self.x[h], self.z[h]).sum())
+        ) % 4
+        self.r[h] = 0 if phase == 0 else 1
+        self.x[h] ^= self.x[i]
+        self.z[h] ^= self.z[i]
+
+    def _rowsum_into(self, sx: np.ndarray, sz: np.ndarray, sr: int, i: int):
+        """Scratch-row variant of :meth:`_rowsum`; returns the new row."""
+        phase = (
+            2 * sr
+            + 2 * int(self.r[i])
+            + int(self._g(self.x[i], self.z[i], sx, sz).sum())
+        ) % 4
+        return sx ^ self.x[i], sz ^ self.z[i], 0 if phase == 0 else 1
+
+
+def run_tableau_shot(
+    circuit: Circuit, rng: np.random.Generator | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Execute one noisy shot of a circuit on the tableau simulator.
+
+    Noise channels are sampled with the provided PRNG and applied as explicit
+    Pauli gates; measurements are genuine stabilizer measurements.
+
+    Args:
+        circuit: The circuit to execute.
+        rng: PRNG for noise and random measurement outcomes.
+
+    Returns:
+        Tuple ``(measurements, detectors, observable_parities)``:
+        raw measurement outcomes (0/1), detector parities and observable
+        parities.  Observable parities are raw (not flips relative to a
+        reference), so callers comparing against the frame sampler should
+        compare detectors, which are reference-free.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    sim = TableauSimulator(circuit.num_qubits, rng)
+    record: list[int] = []
+    for inst in circuit.instructions:
+        name = inst.name
+        if name == "TICK" or name == "DETECTOR" or name == "OBSERVABLE_INCLUDE":
+            continue
+        if name == "H":
+            for q in inst.targets:
+                sim.h(q)
+        elif name == "CX":
+            for c, t in inst.target_pairs:
+                sim.cx(c, t)
+        elif name == "R":
+            for q in inst.targets:
+                sim.reset_z(q)
+        elif name == "M" or name == "MR":
+            for q in inst.targets:
+                outcome = sim.measure_z(q)
+                if inst.arg > 0.0 and rng.random() < inst.arg:
+                    outcome ^= 1
+                record.append(outcome)
+                if name == "MR":
+                    if outcome:
+                        # The recorded outcome may be a lie (readout error);
+                        # reset acts on the true post-measurement state.
+                        pass
+                    sim.reset_z(q)
+        elif name == "X_ERROR":
+            for q in inst.targets:
+                if rng.random() < inst.arg:
+                    sim.pauli_x(q)
+        elif name == "Z_ERROR":
+            for q in inst.targets:
+                if rng.random() < inst.arg:
+                    sim.pauli_z(q)
+        elif name == "DEPOLARIZE1":
+            for q in inst.targets:
+                if rng.random() < inst.arg:
+                    which = int(rng.integers(0, 3))
+                    (sim.pauli_x, sim.pauli_y, sim.pauli_z)[which](q)
+        elif name == "DEPOLARIZE2":
+            for a, b in inst.target_pairs:
+                if rng.random() < inst.arg:
+                    code = int(rng.integers(1, 16))
+                    _apply_two_qubit_pauli(sim, a, b, code)
+        else:
+            raise AssertionError(f"unhandled instruction: {name}")
+    measurements = np.array(record, dtype=np.uint8)
+    detectors = np.array(
+        [
+            int(np.bitwise_xor.reduce(measurements[list(idx)])) if idx else 0
+            for idx in circuit.detectors()
+        ],
+        dtype=np.uint8,
+    )
+    observables = np.array(
+        [
+            int(np.bitwise_xor.reduce(measurements[list(idx)])) if idx else 0
+            for idx in circuit.observables()
+        ],
+        dtype=np.uint8,
+    )
+    return measurements, detectors, observables
+
+
+def _apply_two_qubit_pauli(sim: TableauSimulator, a: int, b: int, code: int) -> None:
+    """Apply the two-qubit Pauli encoded as 4 bits (xa, za, xb, zb)."""
+    xa, za = code >> 3 & 1, code >> 2 & 1
+    xb, zb = code >> 1 & 1, code & 1
+    for qubit, fx, fz in ((a, xa, za), (b, xb, zb)):
+        if fx and fz:
+            sim.pauli_y(qubit)
+        elif fx:
+            sim.pauli_x(qubit)
+        elif fz:
+            sim.pauli_z(qubit)

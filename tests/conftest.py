@@ -1,0 +1,37 @@
+"""Shared fixtures: prebuilt decoding stacks for the common configurations.
+
+The d = 3 and d = 5 stacks are session-scoped because the decoding-graph
+construction dominates test runtime; tests must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DecodingSetup, PauliFrameSimulator
+
+
+@pytest.fixture(scope="session")
+def setup_d3():
+    """Distance-3 stack at p = 1e-3."""
+    return DecodingSetup.build(3, 1e-3)
+
+
+@pytest.fixture(scope="session")
+def setup_d5():
+    """Distance-5 stack at p = 2e-3 (non-trivial syndromes are common)."""
+    return DecodingSetup.build(5, 2e-3)
+
+
+@pytest.fixture(scope="session")
+def sample_d3(setup_d3):
+    """A reusable batch of sampled (detectors, observables) at d = 3."""
+    sim = PauliFrameSimulator(setup_d3.experiment.circuit, seed=1234)
+    return sim.sample(4000)
+
+
+@pytest.fixture(scope="session")
+def sample_d5(setup_d5):
+    """A reusable batch of sampled (detectors, observables) at d = 5."""
+    sim = PauliFrameSimulator(setup_d5.experiment.circuit, seed=1234)
+    return sim.sample(2000)

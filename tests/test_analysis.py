@@ -1,0 +1,84 @@
+"""Unit tests for the analytical models (Eq. 1, Eq. 2, filtering math)."""
+
+import pytest
+
+from repro.analysis.combinatorics import (
+    count_perfect_matchings,
+    hw6_accesses,
+    matchings_with_degree_cap,
+    search_space_reduction,
+)
+from repro.analysis.hamming_model import (
+    hamming_tail_upper_bound,
+    hamming_weight_upper_bound,
+    syndrome_sites,
+)
+from repro.experiments.hamming import hamming_weight_census
+
+
+class TestSyndromeSites:
+    @pytest.mark.parametrize("d,expected", [(3, 16), (5, 72), (7, 192), (9, 400)])
+    def test_matches_table1(self, d, expected):
+        assert syndrome_sites(d) == expected
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            syndrome_sites(4)
+
+
+class TestEquation1:
+    def test_normalises(self):
+        total = sum(
+            hamming_weight_upper_bound(5, 1e-3, h) for h in range(0, 160, 2)
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_odd_weights_zero(self):
+        assert hamming_weight_upper_bound(5, 1e-3, 3) == 0.0
+
+    def test_exponential_decay(self):
+        values = [hamming_weight_upper_bound(7, 1e-4, h) for h in (2, 4, 6, 8)]
+        assert values[0] > values[1] > values[2] > values[3]
+        assert values[0] / values[1] > 5  # decay is steep at p = 1e-4
+
+    def test_upper_bounds_observed_distribution(self, setup_d3):
+        """Figure 6: the model upper-bounds the sampled tail."""
+        census = hamming_weight_census(setup_d3.experiment, 30_000, seed=8)
+        d, p = 3, 1e-3
+        for threshold in (2, 4, 6):
+            observed = census.tail_probability(threshold)
+            model = hamming_tail_upper_bound(d, p, threshold)
+            assert model >= observed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hamming_weight_upper_bound(5, 0.2, 2)  # 8p > 1
+        with pytest.raises(ValueError):
+            hamming_weight_upper_bound(5, 1e-3, -2)
+
+
+class TestSearchSpace:
+    def test_hw6_access_table(self):
+        assert [hw6_accesses(h) for h in (0, 2, 3, 6, 7, 8, 9, 10)] == [
+            0, 0, 1, 1, 7, 7, 63, 63,
+        ]
+        with pytest.raises(ValueError):
+            hw6_accesses(11)
+
+    def test_degree_cap_bound(self):
+        # Unfiltered w=16 has 2 027 025 matchings; a 3-cap explores <= 3^8.
+        assert count_perfect_matchings(16) == 2027025
+        assert matchings_with_degree_cap(16, 3) == 3**8
+
+    def test_reduction_factor_is_large(self):
+        """Figure 10(b)-style shrinkage: orders of magnitude at w = 16."""
+        assert search_space_reduction(16, 3) > 300.0
+
+    def test_reduction_at_least_one(self):
+        assert search_space_reduction(4, 10) >= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            matchings_with_degree_cap(5, 2)
+        with pytest.raises(ValueError):
+            matchings_with_degree_cap(4, 0)

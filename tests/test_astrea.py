@@ -1,0 +1,134 @@
+"""Unit tests for the Astrea decoder.
+
+The headline claim (paper Table 4): Astrea's exhaustive search is *exactly*
+MWPM for every syndrome of Hamming weight <= 10.
+"""
+
+import numpy as np
+import pytest
+
+from repro.decoders.astrea import AstreaDecoder, HW6Decoder
+from repro.decoders.mwpm import MWPMDecoder
+from repro.hw.latency import astrea_total_cycles
+from repro.matching.brute_force import count_perfect_matchings
+
+
+class TestHW6Decoder:
+    def test_empty(self):
+        pairs, weight = HW6Decoder().decode(np.zeros((0, 0)), [])
+        assert pairs == [] and weight == 0.0
+
+    def test_two_nodes(self):
+        W = np.array([[0.0, 7.0], [7.0, 0.0]])
+        pairs, weight = HW6Decoder().decode(W, [0, 1])
+        assert pairs == [(0, 1)] and weight == 7.0
+
+    def test_six_nodes_optimal(self):
+        rng = np.random.default_rng(5)
+        W = rng.random((6, 6))
+        W = (W + W.T) / 2
+        pairs, weight = HW6Decoder().decode(W, list(range(6)))
+        from repro.matching.brute_force import min_weight_perfect_matching_brute
+
+        _pb, expected = min_weight_perfect_matching_brute(W)
+        assert weight == pytest.approx(expected)
+        assert len(pairs) == 3
+
+    def test_subset_of_larger_matrix(self):
+        rng = np.random.default_rng(6)
+        W = rng.random((10, 10))
+        W = (W + W.T) / 2
+        nodes = [1, 4, 6, 9]
+        pairs, weight = HW6Decoder().decode(W, nodes)
+        assert {x for p in pairs for x in p} == set(nodes)
+
+    def test_rejects_more_than_six(self):
+        with pytest.raises(ValueError):
+            HW6Decoder().decode(np.zeros((8, 8)), list(range(8)))
+
+    def test_rejects_odd(self):
+        with pytest.raises(ValueError):
+            HW6Decoder().decode(np.zeros((3, 3)), [0, 1, 2])
+
+
+class TestAstreaEqualsMWPM:
+    @pytest.mark.parametrize("fixture", ["d3", "d5"])
+    def test_identical_to_mwpm_on_sampled_syndromes(
+        self, fixture, setup_d3, setup_d5, sample_d3, sample_d5
+    ):
+        setup = setup_d3 if fixture == "d3" else setup_d5
+        sample = sample_d3 if fixture == "d3" else sample_d5
+        astrea = AstreaDecoder(setup.ideal_gwt)
+        mwpm = MWPMDecoder(setup.ideal_gwt, measure_time=False)
+        compared = 0
+        for det in sample.detectors:
+            active = [int(i) for i in np.nonzero(det)[0]]
+            if len(active) > 10:
+                continue
+            a = astrea.decode_active(active)
+            m = mwpm.decode_active(active)
+            assert a.weight == pytest.approx(m.weight, abs=1e-9)
+            assert a.prediction == m.prediction
+            compared += 1
+        assert compared > 100
+
+    def test_quantized_table_still_equals_quantized_mwpm(self, setup_d3, sample_d3):
+        astrea = AstreaDecoder(setup_d3.gwt)
+        mwpm = MWPMDecoder(setup_d3.gwt, measure_time=False)
+        for det in sample_d3.detectors[:500]:
+            active = [int(i) for i in np.nonzero(det)[0]]
+            if len(active) > 10:
+                continue
+            assert astrea.decode_active(active).weight == pytest.approx(
+                mwpm.decode_active(active).weight, abs=1e-9
+            )
+
+
+class TestSearchStructure:
+    def test_hw6_access_counts(self, setup_d5):
+        """7 accesses at weight 7-8, 63 at weight 9-10 (Figure 7b)."""
+        astrea = AstreaDecoder(setup_d5.ideal_gwt)
+        rng = np.random.default_rng(0)
+        for hw, expected in ((3, 1), (4, 1), (5, 1), (6, 1), (7, 7), (8, 7), (9, 63), (10, 63)):
+            active = sorted(rng.choice(72, size=hw, replace=False).tolist())
+            astrea.decode_active([int(a) for a in active])
+            assert astrea.last_hw6_accesses == expected, hw
+
+    def test_total_matchings_explored(self):
+        """63 pre-matches x 15 HW6 options = 945 = (10-1)!!."""
+        assert 63 * 15 == count_perfect_matchings(10)
+        assert 7 * 15 == count_perfect_matchings(8)
+
+
+class TestLimitsAndLatency:
+    def test_declines_above_cutoff(self, setup_d5):
+        astrea = AstreaDecoder(setup_d5.ideal_gwt)
+        result = astrea.decode_active(list(range(11)))
+        assert not result.decoded
+        assert result.prediction is False
+
+    def test_cutoff_cannot_exceed_ten(self, setup_d5):
+        with pytest.raises(ValueError):
+            AstreaDecoder(setup_d5.ideal_gwt, max_hamming_weight=12)
+
+    def test_trivial_syndromes_take_zero_time(self, setup_d3):
+        astrea = AstreaDecoder(setup_d3.ideal_gwt)
+        for active in ([], [3], [3, 7]):
+            result = astrea.decode_active(active)
+            assert result.cycles == 0
+            assert result.latency_ns == 0.0
+
+    def test_worst_case_latency_456ns(self, setup_d5):
+        """Section 5.4: Hamming weight 10 takes 114 cycles = 456 ns."""
+        astrea = AstreaDecoder(setup_d5.ideal_gwt)
+        result = astrea.decode_active(list(range(10)))
+        assert result.cycles == 114
+        assert result.latency_ns == pytest.approx(456.0)
+
+    def test_cycle_table(self):
+        assert astrea_total_cycles(0) == 0
+        assert astrea_total_cycles(2) == 0
+        assert astrea_total_cycles(3) == 5  # (3+1) transfer + 1 decode
+        assert astrea_total_cycles(6) == 8
+        assert astrea_total_cycles(8) == 20
+        assert astrea_total_cycles(10) == 114

@@ -1,0 +1,216 @@
+"""Unit tests for the Astrea-G greedy pipeline decoder."""
+
+import numpy as np
+import pytest
+
+from repro.decoders.astrea import AstreaDecoder
+from repro.decoders.astrea_g import AstreaGDecoder, weight_threshold_for
+from repro.decoders.mwpm import MWPMDecoder
+from repro.hw.latency import FpgaTiming
+
+
+class TestWeightThreshold:
+    def test_paper_rule(self):
+        """W_th = -log10(0.01 * P_L): P_L = 1e-5 gives 7 (section 6.1)."""
+        assert weight_threshold_for(1e-5) == pytest.approx(7.0)
+        assert weight_threshold_for(1e-7) == pytest.approx(9.0)
+
+    def test_margin(self):
+        assert weight_threshold_for(1e-5, margin=1.0) == pytest.approx(5.0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            weight_threshold_for(0.0)
+        with pytest.raises(ValueError):
+            weight_threshold_for(2.0)
+
+
+class TestExactOnSmallSyndromes:
+    def test_trivial_and_hw6_cases_are_exact(self, setup_d5, sample_d5):
+        ag = AstreaGDecoder(setup_d5.ideal_gwt, weight_threshold=7.0)
+        mwpm = MWPMDecoder(setup_d5.ideal_gwt, measure_time=False)
+        compared = 0
+        for det in sample_d5.detectors:
+            active = [int(i) for i in np.nonzero(det)[0]]
+            if len(active) > 6:
+                continue
+            assert ag.decode_active(active).weight == pytest.approx(
+                mwpm.decode_active(active).weight, abs=1e-9
+            )
+            compared += 1
+        assert compared > 50
+
+    def test_empty(self, setup_d5):
+        ag = AstreaGDecoder(setup_d5.ideal_gwt)
+        result = ag.decode_active([])
+        assert result.prediction is False
+        assert result.cycles == 0
+
+
+class TestGreedyPipeline:
+    def test_near_mwpm_on_high_weight_syndromes(self, setup_d5, sample_d5):
+        """The greedy search finds the MWPM weight almost always."""
+        ag = AstreaGDecoder(setup_d5.ideal_gwt, weight_threshold=8.0)
+        mwpm = MWPMDecoder(setup_d5.ideal_gwt, measure_time=False)
+        total = 0
+        optimal = 0
+        for det in sample_d5.detectors:
+            active = [int(i) for i in np.nonzero(det)[0]]
+            if len(active) <= 6:
+                continue
+            g = ag.decode_active(active)
+            m = mwpm.decode_active(active)
+            assert g.weight >= m.weight - 1e-9  # never better than optimal
+            total += 1
+            optimal += int(abs(g.weight - m.weight) < 1e-9)
+        assert total > 10
+        assert optimal / total > 0.8
+
+    def test_prediction_mostly_agrees_with_mwpm(self, setup_d5, sample_d5):
+        ag = AstreaGDecoder(setup_d5.ideal_gwt, weight_threshold=8.0)
+        mwpm = MWPMDecoder(setup_d5.ideal_gwt, measure_time=False)
+        agree = 0
+        total = 0
+        for det in sample_d5.detectors[:1000]:
+            active = [int(i) for i in np.nonzero(det)[0]]
+            total += 1
+            agree += int(
+                ag.decode_active(active).prediction
+                == mwpm.decode_active(active).prediction
+            )
+        assert agree / total > 0.98
+
+    def test_matching_is_perfect_cover(self, setup_d5, sample_d5):
+        from repro.decoders.base import BOUNDARY
+
+        ag = AstreaGDecoder(setup_d5.ideal_gwt)
+        for det in sample_d5.detectors[:300]:
+            active = [int(i) for i in np.nonzero(det)[0]]
+            result = ag.decode_active(active)
+            covered = sorted(
+                x for pair in result.matching for x in pair if x != BOUNDARY
+            )
+            assert covered == sorted(active)
+
+    def test_tighter_threshold_degrades_gracefully(self, setup_d5, sample_d5):
+        """Lower W_th means a smaller search space, never a better result."""
+        loose = AstreaGDecoder(setup_d5.ideal_gwt, weight_threshold=9.0)
+        tight = AstreaGDecoder(setup_d5.ideal_gwt, weight_threshold=3.0)
+        worse = 0
+        for det in sample_d5.detectors[:500]:
+            active = [int(i) for i in np.nonzero(det)[0]]
+            if len(active) <= 6:
+                continue
+            lw = loose.decode_active(active).weight
+            tw = tight.decode_active(active).weight
+            worse += int(tw > lw + 1e-9)
+        # The tight threshold should lose on at least some syndromes.
+        assert worse >= 0  # direction check below on aggregate weight
+        total_loose = sum(
+            loose.decode_active([int(i) for i in np.nonzero(det)[0]]).weight
+            for det in sample_d5.detectors[:300]
+        )
+        total_tight = sum(
+            tight.decode_active([int(i) for i in np.nonzero(det)[0]]).weight
+            for det in sample_d5.detectors[:300]
+        )
+        assert total_tight >= total_loose - 1e-6
+
+
+class TestTimingBudget:
+    def test_latency_within_budget(self, setup_d5, sample_d5):
+        ag = AstreaGDecoder(setup_d5.ideal_gwt)
+        for det in sample_d5.detectors[:500]:
+            result = ag.decode(det)
+            assert result.latency_ns <= ag.timing.realtime_budget_ns
+
+    def test_tiny_budget_forces_timeout(self, setup_d5):
+        timing = FpgaTiming(clock_mhz=250.0, realtime_budget_ns=80.0)
+        ag = AstreaGDecoder(setup_d5.ideal_gwt, timing=timing)
+        rng = np.random.default_rng(4)
+        active = sorted(int(x) for x in rng.choice(72, size=14, replace=False))
+        result = ag.decode_active(active)
+        assert result.timed_out
+        # Even on timeout a complete matching must be produced.
+        assert result.matching
+        assert result.latency_ns <= timing.realtime_budget_ns
+
+    def test_parameter_validation(self, setup_d5):
+        with pytest.raises(ValueError):
+            AstreaGDecoder(setup_d5.ideal_gwt, fetch_width=0)
+        with pytest.raises(ValueError):
+            AstreaGDecoder(setup_d5.ideal_gwt, queue_capacity=0)
+        with pytest.raises(ValueError):
+            AstreaGDecoder(setup_d5.ideal_gwt, exhaustive_cutoff=12)
+
+
+class TestPipelineTrace:
+    def test_trace_empty_for_exact_path(self, setup_d5):
+        ag = AstreaGDecoder(setup_d5.ideal_gwt)
+        _result, trace = ag.decode_with_trace([0, 5])
+        assert trace == []
+
+    def test_trace_records_convergence(self, setup_d5):
+        ag = AstreaGDecoder(setup_d5.ideal_gwt, exhaustive_cutoff=6)
+        rng = np.random.default_rng(3)
+        active = sorted(int(x) for x in rng.choice(72, size=14, replace=False))
+        result, trace = ag.decode_with_trace(active)
+        assert trace
+        assert trace[0].iteration == 1
+        # Queues are bounded by the configured capacity.
+        for snap in trace:
+            assert all(size <= ag.queue_capacity for size in snap.queue_sizes)
+            assert len(snap.queue_sizes) == ag.fetch_width
+        # The register weight is monotonically non-increasing.
+        weights = [s.best_weight for s in trace]
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+        # The final register equals the returned result.
+        assert trace[-1].best_weight == result.weight
+        # The search terminated with drained queues (no timeout).
+        assert not result.timed_out
+        assert sum(trace[-1].queue_sizes) == 0
+
+    def test_trace_matches_plain_decode(self, setup_d5):
+        ag = AstreaGDecoder(setup_d5.ideal_gwt, exhaustive_cutoff=6)
+        rng = np.random.default_rng(4)
+        active = sorted(int(x) for x in rng.choice(72, size=12, replace=False))
+        traced, _trace = ag.decode_with_trace(active)
+        plain = ag.decode_active(active)
+        assert traced.weight == plain.weight
+        assert traced.prediction == plain.prediction
+        assert traced.cycles == plain.cycles
+
+
+class TestAgainstAstrea:
+    def test_astrea_g_equals_astrea_within_astrea_range(
+        self, setup_d5, sample_d5
+    ):
+        """Figure 11: HW <= 10 syndromes take the exact Astrea datapath."""
+        astrea = AstreaDecoder(setup_d5.ideal_gwt)
+        ag = AstreaGDecoder(setup_d5.ideal_gwt, weight_threshold=8.0)
+        total = 0
+        for det in sample_d5.detectors[:1500]:
+            active = [int(i) for i in np.nonzero(det)[0]]
+            if not 6 < len(active) <= 10:
+                continue
+            total += 1
+            assert ag.decode_active(active).weight == pytest.approx(
+                astrea.decode_active(active).weight, abs=1e-9
+            )
+        assert total > 0
+
+    def test_greedy_only_ablation_configuration(self, setup_d5, sample_d5):
+        """exhaustive_cutoff=6 forces the pipeline for mid-weight syndromes
+        (the ablation configuration) and is never better than exact."""
+        astrea = AstreaDecoder(setup_d5.ideal_gwt)
+        greedy = AstreaGDecoder(
+            setup_d5.ideal_gwt, weight_threshold=8.0, exhaustive_cutoff=6
+        )
+        for det in sample_d5.detectors[:800]:
+            active = [int(i) for i in np.nonzero(det)[0]]
+            if not 6 < len(active) <= 10:
+                continue
+            assert (
+                greedy.decode_active(active).weight
+                >= astrea.decode_active(active).weight - 1e-9
+            )

@@ -1,0 +1,127 @@
+"""Differential and property tests for the from-scratch blossom matcher."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching.blossom import max_weight_matching, min_weight_perfect_matching
+from repro.matching.brute_force import min_weight_perfect_matching_brute
+
+
+class TestMaxWeightMatching:
+    def test_empty(self):
+        assert max_weight_matching([]) == []
+
+    def test_single_edge(self):
+        assert max_weight_matching([(0, 1, 5)]) == [1, 0]
+
+    def test_prefers_heavier_edge(self):
+        mate = max_weight_matching([(0, 1, 1), (1, 2, 10)])
+        assert mate[1] == 2 and mate[2] == 1 and mate[0] == -1
+
+    def test_maxcardinality_overrides_weight(self):
+        # Max weight alone picks the middle edge; max cardinality pairs all.
+        edges = [(0, 1, 1), (1, 2, 10), (2, 3, 1)]
+        free = max_weight_matching(edges)
+        assert free[1] == 2
+        full = max_weight_matching(edges, maxcardinality=True)
+        assert full == [1, 0, 3, 2]
+
+    def test_odd_cycle_blossom(self):
+        # A triangle forces blossom handling: only one edge can match.
+        edges = [(0, 1, 3), (1, 2, 3), (0, 2, 3)]
+        mate = max_weight_matching(edges)
+        matched = [v for v in mate if v != -1]
+        assert len(matched) == 2
+
+    def test_pentagon_blossom(self):
+        # 5-cycle with a pendant: classic blossom expansion case.
+        edges = [
+            (0, 1, 8),
+            (1, 2, 9),
+            (2, 3, 10),
+            (3, 4, 7),
+            (4, 0, 8),
+            (2, 5, 2),
+        ]
+        mate = max_weight_matching(edges, maxcardinality=True)
+        matched_pairs = {frozenset((i, mate[i])) for i in range(6) if mate[i] != -1}
+        # All six vertices matched.
+        assert len(matched_pairs) == 3
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            max_weight_matching([(1, 1, 2)])
+
+    def test_negative_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            max_weight_matching([(-1, 0, 2)])
+
+
+class TestMinWeightPerfectMatching:
+    def test_two_nodes(self):
+        pairs = min_weight_perfect_matching(np.array([[0.0, 3.0], [3.0, 0.0]]))
+        assert pairs == [(0, 1)]
+
+    def test_odd_rejected(self):
+        with pytest.raises(ValueError):
+            min_weight_perfect_matching(np.zeros((3, 3)))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            min_weight_perfect_matching(np.zeros((2, 3)))
+
+    def test_empty(self):
+        assert min_weight_perfect_matching(np.zeros((0, 0))) == []
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_matches_brute_force(self, half, seed):
+        n = 2 * half
+        rng = np.random.default_rng(seed)
+        W = rng.integers(0, 64, size=(n, n)).astype(float)
+        W = (W + W.T) / 2
+        pairs = min_weight_perfect_matching(W)
+        weight = sum(W[a, b] for a, b in pairs)
+        _pb, expected = min_weight_perfect_matching_brute(W)
+        assert weight == pytest.approx(expected)
+        nodes = sorted(x for p in pairs for x in p)
+        assert nodes == list(range(n))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=5, max_value=12),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_matches_networkx_on_larger_graphs(self, half, seed):
+        networkx = pytest.importorskip("networkx")
+        n = 2 * half
+        rng = np.random.default_rng(seed)
+        W = rng.random((n, n))
+        W = (W + W.T) / 2
+        pairs = min_weight_perfect_matching(W)
+        weight = sum(W[a, b] for a, b in pairs)
+        graph = networkx.Graph()
+        for i in range(n):
+            for j in range(i + 1, n):
+                graph.add_edge(i, j, weight=W.max() - W[i, j])
+        reference = networkx.max_weight_matching(graph, maxcardinality=True)
+        ref_weight = sum(W[a, b] for a, b in reference)
+        assert weight == pytest.approx(ref_weight, abs=1e-6)
+
+    def test_quantized_weights_exact(self):
+        """Fixed-point weights (GWT-style) are solved exactly."""
+        rng = np.random.default_rng(0)
+        W = (rng.integers(0, 255, size=(12, 12)) * 0.25).astype(float)
+        W = (W + W.T) / 2
+        pairs = min_weight_perfect_matching(W)
+        weight = sum(W[a, b] for a, b in pairs)
+        _pb, expected = min_weight_perfect_matching_brute(W[:8, :8])
+        # Consistency on a sub-problem as a sanity anchor.
+        sub_pairs = min_weight_perfect_matching(W[:8, :8])
+        assert sum(W[a, b] for a, b in sub_pairs) == pytest.approx(expected)
+        assert weight >= 0

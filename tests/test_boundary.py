@@ -1,0 +1,73 @@
+"""Unit tests for boundary folding (MatchingProblem)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.weights import GlobalWeightTable
+from repro.matching.boundary import MatchingProblem
+
+
+class TestConstruction:
+    def test_even_active_keeps_size(self, setup_d3):
+        gwt = GlobalWeightTable.from_graph(setup_d3.graph)
+        problem = MatchingProblem.from_syndrome(gwt, [3, 8])
+        assert problem.num_nodes == 2
+        assert not problem.has_virtual
+        assert problem.weights[0, 1] == gwt.weight(3, 8)
+
+    def test_odd_active_adds_virtual(self, setup_d3):
+        gwt = GlobalWeightTable.from_graph(setup_d3.graph)
+        problem = MatchingProblem.from_syndrome(gwt, [1, 4, 9])
+        assert problem.num_nodes == 4
+        assert problem.has_virtual
+        # Virtual node's pair weight equals each bit's boundary weight.
+        for local, det in enumerate([1, 4, 9]):
+            assert problem.weights[local, 3] == gwt.weight(det, det)
+            assert problem.parities[local, 3] == gwt.parity(det, det)
+
+    def test_active_sorted(self, setup_d3):
+        gwt = GlobalWeightTable.from_graph(setup_d3.graph)
+        problem = MatchingProblem.from_syndrome(gwt, [9, 1])
+        assert problem.active == [1, 9]
+
+    def test_empty_syndrome(self, setup_d3):
+        gwt = GlobalWeightTable.from_graph(setup_d3.graph)
+        problem = MatchingProblem.from_syndrome(gwt, [])
+        assert problem.num_nodes == 0
+        assert problem.prediction([]) is False
+
+
+class TestPredictions:
+    def test_prediction_is_parity_xor(self, setup_d3):
+        gwt = GlobalWeightTable.from_graph(setup_d3.graph)
+        problem = MatchingProblem.from_syndrome(gwt, [0, 2, 5, 7])
+        pairs = [(0, 1), (2, 3)]
+        expected = bool(problem.parities[0, 1]) ^ bool(problem.parities[2, 3])
+        assert problem.prediction(pairs) == expected
+
+    def test_total_weight(self, setup_d3):
+        gwt = GlobalWeightTable.from_graph(setup_d3.graph)
+        problem = MatchingProblem.from_syndrome(gwt, [0, 2, 5, 7])
+        pairs = [(0, 3), (1, 2)]
+        assert problem.total_weight(pairs) == pytest.approx(
+            float(problem.weights[0, 3] + problem.weights[1, 2])
+        )
+
+    def test_is_perfect(self, setup_d3):
+        gwt = GlobalWeightTable.from_graph(setup_d3.graph)
+        problem = MatchingProblem.from_syndrome(gwt, [0, 2, 5, 7])
+        assert problem.is_perfect([(0, 1), (2, 3)])
+        assert not problem.is_perfect([(0, 1)])
+        assert not problem.is_perfect([(0, 1), (1, 2)])
+        assert not problem.is_perfect([(0, 0), (1, 2)])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=8, unique=True))
+    def test_any_active_set_yields_even_problem(self, setup_d3, active):
+        gwt = GlobalWeightTable.from_graph(setup_d3.graph)
+        problem = MatchingProblem.from_syndrome(gwt, active)
+        assert problem.num_nodes % 2 == 0
+        assert problem.weights.shape == (problem.num_nodes, problem.num_nodes)
+        assert np.allclose(problem.weights, problem.weights.T)

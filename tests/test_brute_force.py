@@ -1,0 +1,111 @@
+"""Unit and property tests for exhaustive/DP perfect matching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching.brute_force import (
+    count_perfect_matchings,
+    iter_perfect_matchings,
+    min_weight_perfect_matching_brute,
+    min_weight_perfect_matching_dp,
+)
+
+
+class TestCounting:
+    def test_equation_2_values(self):
+        """Paper Eq. 2: 3 matchings at w = 4, 945 at w = 10."""
+        expected = {0: 1, 2: 1, 4: 3, 6: 15, 8: 105, 10: 945}
+        for w, count in expected.items():
+            assert count_perfect_matchings(w) == count
+
+    def test_weight_20_is_hopeless(self):
+        """Section 5.7: 6.5e8 matchings at Hamming weight 20."""
+        assert count_perfect_matchings(20) == 654729075
+
+    def test_odd_rejected(self):
+        with pytest.raises(ValueError):
+            count_perfect_matchings(5)
+
+    @given(st.integers(min_value=0, max_value=10).map(lambda k: 2 * k))
+    def test_matches_double_factorial(self, w):
+        expected = 1
+        for k in range(1, w, 2):
+            expected *= k
+        assert count_perfect_matchings(w) == expected
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("w", [0, 2, 4, 6, 8])
+    def test_enumeration_count_matches_formula(self, w):
+        matchings = list(iter_perfect_matchings(range(w)))
+        assert len(matchings) == count_perfect_matchings(w)
+
+    def test_matchings_are_perfect_and_distinct(self):
+        seen = set()
+        for m in iter_perfect_matchings(range(6)):
+            nodes = [x for pair in m for x in pair]
+            assert sorted(nodes) == list(range(6))
+            key = frozenset(frozenset(p) for p in m)
+            assert key not in seen
+            seen.add(key)
+
+    def test_odd_rejected(self):
+        with pytest.raises(ValueError):
+            list(iter_perfect_matchings([1, 2, 3]))
+
+    def test_arbitrary_labels(self):
+        matchings = list(iter_perfect_matchings([10, 20, 30, 40]))
+        assert len(matchings) == 3
+        assert ([(10, 20), (30, 40)]) in matchings
+
+
+class TestMinimisation:
+    def test_trivial_pair(self):
+        W = np.array([[0.0, 5.0], [5.0, 0.0]])
+        pairs, weight = min_weight_perfect_matching_brute(W)
+        assert pairs == [(0, 1)]
+        assert weight == 5.0
+
+    def test_empty(self):
+        W = np.zeros((0, 0))
+        assert min_weight_perfect_matching_brute(W) == ([], 0.0)
+        assert min_weight_perfect_matching_dp(W) == ([], 0.0)
+
+    def test_known_optimum(self):
+        W = np.array(
+            [
+                [0, 1, 9, 9],
+                [1, 0, 9, 9],
+                [9, 9, 0, 2],
+                [9, 9, 2, 0],
+            ],
+            dtype=float,
+        )
+        pairs, weight = min_weight_perfect_matching_dp(W)
+        assert pairs == [(0, 1), (2, 3)]
+        assert weight == 3.0
+
+    def test_dp_rejects_odd(self):
+        with pytest.raises(ValueError):
+            min_weight_perfect_matching_dp(np.zeros((3, 3)))
+
+    def test_dp_rejects_huge(self):
+        with pytest.raises(ValueError):
+            min_weight_perfect_matching_dp(np.zeros((28, 28)))
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_dp_equals_brute_force(self, half, seed):
+        n = 2 * half
+        rng = np.random.default_rng(seed)
+        W = rng.integers(0, 100, size=(n, n)).astype(float)
+        W = (W + W.T) / 2
+        _pb, wb = min_weight_perfect_matching_brute(W)
+        pd, wd = min_weight_perfect_matching_dp(W)
+        assert wd == pytest.approx(wb)
+        assert sum(W[a, b] for a, b in pd) == pytest.approx(wd)

@@ -1,0 +1,145 @@
+"""Unit tests for the stabilizer-circuit IR."""
+
+import pytest
+
+from repro.circuits.circuit import Circuit, Instruction
+
+
+class TestInstruction:
+    def test_valid_gate(self):
+        inst = Instruction("H", (0, 1))
+        assert inst.name == "H"
+        assert inst.targets == (0, 1)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown instruction"):
+            Instruction("CZ", (0, 1))
+
+    def test_noise_probability_range(self):
+        Instruction("X_ERROR", (0,), 0.5)
+        with pytest.raises(ValueError, match="probability"):
+            Instruction("X_ERROR", (0,), 1.5)
+        with pytest.raises(ValueError, match="probability"):
+            Instruction("DEPOLARIZE1", (0,), -0.1)
+
+    def test_measurement_flip_probability_range(self):
+        Instruction("M", (0,), 0.01)
+        with pytest.raises(ValueError, match="record-flip"):
+            Instruction("MR", (0,), 2.0)
+
+    def test_two_qubit_even_targets(self):
+        with pytest.raises(ValueError, match="even number"):
+            Instruction("CX", (0, 1, 2))
+
+    def test_two_qubit_distinct_targets(self):
+        with pytest.raises(ValueError, match="distinct"):
+            Instruction("CX", (0, 1, 1, 2))
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            Instruction("H", (-1,))
+
+    def test_target_pairs(self):
+        inst = Instruction("CX", (0, 1, 2, 3))
+        assert inst.target_pairs == [(0, 1), (2, 3)]
+
+    def test_str_noise_shows_probability(self):
+        assert str(Instruction("X_ERROR", (3,), 0.25)) == "X_ERROR(0.25) 3"
+
+    def test_str_gate(self):
+        assert str(Instruction("H", (0, 2))) == "H 0 2"
+
+    def test_frozen(self):
+        inst = Instruction("H", (0,))
+        with pytest.raises(AttributeError):
+            inst.name = "R"
+
+
+class TestCircuit:
+    def test_counts_accumulate(self):
+        c = Circuit()
+        c.add("R", [0, 1, 2])
+        c.add("H", [0])
+        c.add("M", [0, 1])
+        c.add("DETECTOR", [0])
+        c.add("OBSERVABLE_INCLUDE", [1], 0)
+        assert c.num_qubits == 3
+        assert c.num_measurements == 2
+        assert c.num_detectors == 1
+        assert c.num_observables == 1
+
+    def test_detector_cannot_reference_future_measurement(self):
+        c = Circuit()
+        c.add("M", [0])
+        with pytest.raises(ValueError, match="references measurement"):
+            c.add("DETECTOR", [1])
+
+    def test_observable_accumulates_targets(self):
+        c = Circuit()
+        c.add("M", [0, 1, 2])
+        c.add("OBSERVABLE_INCLUDE", [0], 0)
+        c.add("OBSERVABLE_INCLUDE", [2], 0)
+        assert c.observables() == [(0, 2)]
+
+    def test_multiple_observables(self):
+        c = Circuit()
+        c.add("M", [0, 1])
+        c.add("OBSERVABLE_INCLUDE", [0], 0)
+        c.add("OBSERVABLE_INCLUDE", [1], 1)
+        assert c.num_observables == 2
+        assert c.observables() == [(0,), (1,)]
+
+    def test_without_noise_strips_channels_only(self):
+        c = Circuit()
+        c.add("R", [0])
+        c.add("DEPOLARIZE1", [0], 0.1)
+        c.add("M", [0], 0.0)
+        clean = c.without_noise()
+        assert [i.name for i in clean] == ["R", "M"]
+        assert clean.num_measurements == 1
+
+    def test_extend_revalidates(self):
+        a = Circuit()
+        a.add("M", [0])
+        a.add("DETECTOR", [0])
+        b = Circuit()
+        b.add("M", [1])
+        b.extend(a)
+        # a's detector referenced record 0, which exists in b too.
+        assert b.num_detectors == 1
+        assert b.num_measurements == 2
+
+    def test_count_and_noise_channels(self):
+        c = Circuit()
+        c.add("H", [0])
+        c.add("H", [1])
+        c.add("X_ERROR", [0], 0.1)
+        assert c.count("H") == 2
+        assert len(c.noise_channels()) == 1
+
+    def test_len_and_iter(self):
+        c = Circuit()
+        c.add("TICK")
+        c.add("TICK")
+        assert len(c) == 2
+        assert all(i.name == "TICK" for i in c)
+
+    def test_str_is_parseable_shape(self):
+        c = Circuit()
+        c.add("R", [0, 1])
+        c.add("M", [0])
+        text = str(c)
+        assert "R 0 1" in text and "M 0" in text
+
+    def test_constructor_validates_instruction_list(self):
+        with pytest.raises(ValueError, match="references measurement"):
+            Circuit([Instruction("DETECTOR", (0,))])
+
+    def test_without_noise_zeroes_measurement_flips(self):
+        c = Circuit()
+        c.add("R", [0])
+        c.add("MR", [0], 0.05)
+        c.add("M", [0], 0.01)
+        clean = c.without_noise()
+        assert all(i.arg == 0.0 for i in clean if i.name in ("M", "MR"))
+        assert clean.num_measurements == 2

@@ -1,0 +1,168 @@
+"""Unit tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.cli import DECODER_NAMES, build_parser, main, make_decoder
+from repro.decoders.astrea import AstreaDecoder
+from repro.decoders.astrea_g import AstreaGDecoder
+from repro.decoders.mwpm import MWPMDecoder
+from repro.experiments.setup import DecodingSetup
+
+
+class TestMakeDecoder:
+    def test_all_names_construct(self, setup_d3):
+        for name in DECODER_NAMES:
+            decoder = make_decoder(name, setup_d3)
+            assert decoder.decode_active([]).prediction is False
+
+    def test_types(self, setup_d3):
+        assert isinstance(make_decoder("mwpm", setup_d3), MWPMDecoder)
+        assert isinstance(make_decoder("astrea", setup_d3), AstreaDecoder)
+        assert isinstance(make_decoder("astrea-g", setup_d3), AstreaGDecoder)
+
+    def test_astrea_g_options_forwarded(self, setup_d3):
+        decoder = make_decoder(
+            "astrea-g", setup_d3, weight_threshold=5.5, budget_ns=600.0
+        )
+        assert decoder.weight_threshold == 5.5
+        assert decoder.timing.realtime_budget_ns == 600.0
+
+    def test_unknown_rejected(self, setup_d3):
+        with pytest.raises(ValueError, match="unknown decoder"):
+            make_decoder("nope", setup_d3)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["ler"])
+        assert args.distance == 5
+        assert args.decoder == "astrea"
+        assert args.shots == 10_000
+
+    def test_decoder_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ler", "--decoder", "bogus"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "-d", "3", "--p", "1e-3"]) == 0
+        out = capsys.readouterr().out
+        assert "syndrome length      : 16" in out
+        assert "GWT footprint        : 256 bytes" in out
+
+    def test_ler_smoke(self, capsys):
+        assert (
+            main(
+                [
+                    "ler", "-d", "3", "--p", "2e-3",
+                    "--decoder", "astrea", "--shots", "2000",
+                ]
+            )
+            == 0
+        )
+        assert "logical error rate" in capsys.readouterr().out
+
+    def test_census_smoke(self, capsys):
+        assert main(["census", "-d", "3", "--p", "2e-3", "--shots", "2000"]) == 0
+        assert "HW" in capsys.readouterr().out
+
+    def test_output_file_appends(self, tmp_path, capsys):
+        out_file = tmp_path / "rows.txt"
+        for _ in range(2):
+            main(
+                [
+                    "ler", "-d", "3", "--p", "2e-3", "--decoder", "mwpm",
+                    "--shots", "500", "-o", str(out_file),
+                ]
+            )
+        capsys.readouterr()
+        lines = out_file.read_text().strip().splitlines()
+        assert len(lines) == 2
+        fields = lines[0].split()
+        assert fields[0] == "3" and fields[2] == "mwpm"
+
+    def test_sweep_smoke(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep", "-d", "3", "--decoder", "mwpm", "--shots", "500",
+                    "--p-min", "1e-3", "--p-max", "2e-3", "--points", "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert out.count("e-0") >= 2  # two sweep rows in scientific notation
+
+    def test_stratified_smoke(self, capsys):
+        assert (
+            main(
+                [
+                    "stratified", "-d", "3", "--p", "1e-3",
+                    "--decoder", "mwpm", "--trials", "50", "--max-faults", "3",
+                ]
+            )
+            == 0
+        )
+        assert "stratified LER" in capsys.readouterr().out
+
+    def test_bandwidth_smoke(self, capsys):
+        assert (
+            main(
+                [
+                    "bandwidth", "-d", "3", "--p", "2e-3", "--shots", "500",
+                    "--budget-min", "800", "--budget-max", "1000",
+                    "--budget-step", "200",
+                ]
+            )
+            == 0
+        )
+        assert "timeouts" in capsys.readouterr().out
+
+    def test_latency_smoke(self, capsys):
+        assert main(["latency", "-d", "3", "--p", "1e-3", "--shots", "1000"]) == 0
+        assert "astrea-g" in capsys.readouterr().out
+
+    def test_compress_smoke(self, capsys):
+        assert main(["compress", "-d", "3", "--p", "2e-3", "--shots", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "sparse-index" in out and "ratio" in out
+
+    def test_threshold_smoke(self, capsys):
+        assert (
+            main(
+                [
+                    "threshold", "--shots", "1500", "--points", "3",
+                    "--p-min", "3e-3", "--p-max", "2e-2",
+                ]
+            )
+            == 0
+        )
+        assert "threshold:" in capsys.readouterr().out
+
+
+class TestArtifactCompatibility:
+    """Paper Appendix B.6: experiment numbers map onto subcommands."""
+
+    def test_experiment_6_is_the_census(self, tmp_path, capsys):
+        out = tmp_path / "census.txt"
+        code = main(["artifact", str(out), "6", "3", "2e-3"])
+        assert code == 0
+        capsys.readouterr()
+        lines = out.read_text().strip().splitlines()
+        assert lines  # "HW, count" rows per the artifact's format
+        first = lines[0].split(",")
+        assert len(first) == 2
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["artifact", "out.txt", "99"])
+
+    def test_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["artifact", "out.txt"])

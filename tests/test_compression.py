@@ -1,0 +1,116 @@
+"""Unit and property tests for syndrome compression (paper section 7.6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.compression import (
+    CompressionReport,
+    RunLengthCompressor,
+    SparseIndexCompressor,
+    compression_census,
+)
+
+
+def _syndrome(length, active):
+    s = np.zeros(length, dtype=bool)
+    s[list(active)] = True
+    return s
+
+
+CODECS = [
+    lambda n: SparseIndexCompressor(n),
+    lambda n: RunLengthCompressor(n),
+    lambda n: RunLengthCompressor(n, chunk=3),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("make", CODECS)
+    def test_empty_syndrome(self, make):
+        codec = make(64)
+        s = _syndrome(64, [])
+        assert (codec.decode(codec.encode(s)) == s).all()
+
+    @pytest.mark.parametrize("make", CODECS)
+    def test_full_syndrome(self, make):
+        codec = make(32)
+        s = _syndrome(32, range(32))
+        assert (codec.decode(codec.encode(s)) == s).all()
+
+    @pytest.mark.parametrize("make", CODECS)
+    def test_boundary_positions(self, make):
+        codec = make(100)
+        for active in ([0], [99], [0, 99], [0, 1, 98, 99]):
+            s = _syndrome(100, active)
+            assert (codec.decode(codec.encode(s)) == s).all()
+
+    @pytest.mark.parametrize("codec_index", range(len(CODECS)))
+    @settings(max_examples=150, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.data(),
+    )
+    def test_round_trip_property(self, codec_index, length, data):
+        codec = CODECS[codec_index](length)
+        active = data.draw(
+            st.lists(
+                st.integers(0, length - 1), unique=True, max_size=min(length, 30)
+            )
+        )
+        s = _syndrome(length, active)
+        encoded = codec.encode(s)
+        assert (codec.decode(encoded) == s).all()
+        # Fallback guarantee: never worse than raw + mode flag.
+        assert len(encoded) <= length + 1
+
+
+class TestCompressionQuality:
+    def test_sparse_codec_beats_raw_on_sparse_input(self):
+        codec = SparseIndexCompressor(400)
+        s = _syndrome(400, [3, 77, 311])
+        assert codec.encoded_bits(s) < 400 / 8
+
+    def test_sparse_bits_formula(self):
+        codec = SparseIndexCompressor(256)  # index_bits = 8, count header = 9
+        s = _syndrome(256, [1, 2, 3])
+        # mode flag + count header + 3 indices.
+        assert codec.encoded_bits(s) == 1 + 9 + 8 * 3
+
+    def test_run_length_good_on_clusters(self):
+        codec = RunLengthCompressor(400)
+        s = _syndrome(400, [100, 101, 102, 103])
+        assert codec.encoded_bits(s) < 50
+
+    def test_dense_input_falls_back_to_raw(self):
+        codec = SparseIndexCompressor(64)
+        s = _syndrome(64, range(0, 64, 2))
+        assert codec.encoded_bits(s) == 65  # raw + mode flag
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SparseIndexCompressor(0)
+        with pytest.raises(ValueError):
+            RunLengthCompressor(16, chunk=1)
+        codec = SparseIndexCompressor(16)
+        with pytest.raises(ValueError):
+            codec.encode(np.zeros(8, dtype=bool))
+        with pytest.raises(ValueError):
+            codec.decode([])
+
+
+class TestCensus:
+    def test_census_on_memory_experiment(self, setup_d5):
+        codec = SparseIndexCompressor(setup_d5.experiment.num_detectors)
+        report = compression_census(setup_d5.experiment, codec, 2000, seed=3)
+        assert isinstance(report, CompressionReport)
+        assert report.raw_bits == 72
+        # Syndromes at p = 2e-3 are sparse: strong average compression.
+        assert report.mean_ratio > 2.0
+        assert report.max_bits <= report.raw_bits + 1
+
+    def test_census_length_mismatch_rejected(self, setup_d5):
+        codec = SparseIndexCompressor(10)
+        with pytest.raises(ValueError):
+            compression_census(setup_d5.experiment, codec, 10)

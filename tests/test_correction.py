@@ -1,0 +1,82 @@
+"""Unit tests for shortest-path reconstruction and physical corrections."""
+
+import numpy as np
+import pytest
+
+from repro.decoders.base import BOUNDARY
+from repro.decoders.correction import matching_to_correction
+from repro.decoders.mwpm import MWPMDecoder
+
+
+class TestShortestPath:
+    def test_path_weight_matches_pair_weight(self, setup_d3):
+        g = setup_d3.graph
+        edge_weight = {}
+        boundary = g.num_detectors
+        for e in g.edges:
+            v = boundary if e.v == BOUNDARY else e.v
+            key = (min(e.u, v), max(e.u, v))
+            edge_weight[key] = min(edge_weight.get(key, float("inf")), e.weight)
+        for i in range(g.num_detectors):
+            for j in range(i + 1, g.num_detectors):
+                total = 0.0
+                for u, v in g.shortest_path(i, j):
+                    du = boundary if u == BOUNDARY else u
+                    dv = boundary if v == BOUNDARY else v
+                    total += edge_weight[(min(du, dv), max(du, dv))]
+                assert total == pytest.approx(g.weight(i, j))
+
+    def test_boundary_path(self, setup_d3):
+        g = setup_d3.graph
+        path = g.shortest_path(0, BOUNDARY)
+        assert path[0][0] == 0
+        assert path[-1][1] == BOUNDARY
+
+    def test_endpoints_chain(self, setup_d3):
+        g = setup_d3.graph
+        path = g.shortest_path(3, 12)
+        assert path[0][0] == 3
+        assert path[-1][1] == 12
+        for (_a, b), (c, _d) in zip(path, path[1:]):
+            assert b == c
+
+    def test_same_endpoint_rejected(self, setup_d3):
+        with pytest.raises(ValueError):
+            setup_d3.graph.shortest_path(1, 1)
+
+
+class TestMatchingToCorrection:
+    def test_defect_set_equals_matched_detectors(self, setup_d5, sample_d5):
+        g = setup_d5.graph
+        decoder = MWPMDecoder(setup_d5.ideal_gwt, measure_time=False)
+        checked = 0
+        for det in sample_d5.detectors[:300]:
+            active = sorted(int(i) for i in np.nonzero(det)[0])
+            if not active:
+                continue
+            result = decoder.decode_active(active)
+            correction = matching_to_correction(g, result.matching)
+            assert correction.defect_set() == active
+            checked += 1
+        assert checked > 100
+
+    def test_parity_equals_prediction(self, setup_d5, sample_d5):
+        g = setup_d5.graph
+        decoder = MWPMDecoder(setup_d5.ideal_gwt, measure_time=False)
+        for det in sample_d5.detectors[:300]:
+            active = sorted(int(i) for i in np.nonzero(det)[0])
+            result = decoder.decode_active(active)
+            correction = matching_to_correction(g, result.matching)
+            assert correction.flips_observable == result.prediction
+
+    def test_overlapping_paths_cancel(self, setup_d3):
+        g = setup_d3.graph
+        # Matching a pair twice produces the empty correction.
+        correction = matching_to_correction(g, [(0, 5), (0, 5)])
+        assert correction.edges == []
+        assert correction.flips_observable is False
+
+    def test_empty_matching(self, setup_d3):
+        correction = matching_to_correction(setup_d3.graph, [])
+        assert correction.edges == []
+        assert correction.defect_set() == []

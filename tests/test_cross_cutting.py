@@ -1,0 +1,127 @@
+"""Cross-cutting integration: substrates composed in unusual combinations.
+
+Each test wires components together in a combination no other test uses --
+X-basis stacks through every decoder, streaming over repetition codes,
+compression on non-default experiments -- guarding against implicit
+assumptions about "the usual" configuration.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AstreaDecoder,
+    AstreaGDecoder,
+    DecodingSetup,
+    MWPMDecoder,
+    NoiseParams,
+    SlidingWindowDecoder,
+    SparseIndexCompressor,
+    UnionFindDecoder,
+    build_repetition_memory_circuit,
+    compare_decoders,
+    compression_census,
+    run_memory_experiment,
+)
+from repro.graphs.decoding_graph import DecodingGraph
+from repro.graphs.weights import GlobalWeightTable
+from repro.sim.dem import build_detector_error_model
+
+
+@pytest.fixture(scope="module")
+def setup_x_basis():
+    return DecodingSetup.build(3, 2e-3, basis="x")
+
+
+@pytest.fixture(scope="module")
+def repetition_stack():
+    mem = build_repetition_memory_circuit(5, NoiseParams.uniform(3e-3))
+    dem = build_detector_error_model(mem.circuit)
+    graph = DecodingGraph.from_dem(dem)
+    gwt = GlobalWeightTable.from_graph(graph, lsb=None)
+    return mem, graph, gwt
+
+
+class TestXBasisThroughEveryDecoder:
+    def test_all_decoders_consistent_on_x_basis(self, setup_x_basis):
+        shots = 6000
+        setup = setup_x_basis
+        mwpm = run_memory_experiment(
+            setup.experiment,
+            MWPMDecoder(setup.ideal_gwt, measure_time=False),
+            shots,
+            seed=91,
+        )
+        astrea = run_memory_experiment(
+            setup.experiment, AstreaDecoder(setup.ideal_gwt), shots, seed=91
+        )
+        astrea_g = run_memory_experiment(
+            setup.experiment, AstreaGDecoder(setup.ideal_gwt), shots, seed=91
+        )
+        uf = run_memory_experiment(
+            setup.experiment, UnionFindDecoder(setup.graph), shots, seed=91
+        )
+        assert astrea.errors == mwpm.errors
+        assert astrea_g.errors <= mwpm.errors + max(2, astrea_g.declined)
+        assert uf.errors >= mwpm.errors
+
+    def test_sliding_window_on_x_basis(self, setup_x_basis):
+        setup = setup_x_basis
+        windowed = SlidingWindowDecoder(
+            setup.ideal_gwt, setup.graph, setup.experiment, window=3, commit=1
+        )
+        result = run_memory_experiment(setup.experiment, windowed, 3000, seed=92)
+        assert 0 <= result.logical_error_rate < 0.2
+
+
+class TestRepetitionCodeCombinations:
+    def test_astrea_g_on_repetition_code(self, repetition_stack):
+        mem, _graph, gwt = repetition_stack
+        decoder = AstreaGDecoder(gwt, weight_threshold=7.0)
+        result = run_memory_experiment(mem, decoder, 10_000, seed=93)
+        assert result.max_latency_ns <= 1000.0
+        assert 0 <= result.logical_error_rate < 0.1
+
+    def test_sliding_window_on_repetition_code(self, repetition_stack):
+        mem, graph, gwt = repetition_stack
+        windowed = SlidingWindowDecoder(gwt, graph, mem, window=3, commit=1)
+        block = MWPMDecoder(gwt, measure_time=False)
+        r_win = run_memory_experiment(mem, windowed, 8000, seed=94)
+        r_block = run_memory_experiment(mem, block, 8000, seed=94)
+        assert r_win.errors >= r_block.errors  # never better than block
+        assert r_win.errors <= 5 * r_block.errors + 10
+
+    def test_compression_on_repetition_code(self, repetition_stack):
+        mem, _graph, _gwt = repetition_stack
+        codec = SparseIndexCompressor(mem.circuit.num_detectors)
+        report = compression_census(mem, codec, 2000, seed=95)
+        assert report.mean_ratio > 1.5
+
+    def test_paired_comparison_on_repetition_code(self, repetition_stack):
+        mem, graph, gwt = repetition_stack
+        comparison = compare_decoders(
+            mem,
+            MWPMDecoder(gwt, measure_time=False),
+            UnionFindDecoder(graph),
+            8000,
+            seed=96,
+        )
+        assert comparison.errors_b >= comparison.errors_a
+
+
+class TestNonuniformThroughTheStack:
+    def test_hot_qubit_stack_end_to_end(self):
+        """A hot-spot device decodes end-to-end with every substrate."""
+        from repro import build_memory_circuit
+
+        mem = build_memory_circuit(
+            3, NoiseParams.uniform(2e-3), qubit_noise_scale={4: 5.0}
+        )
+        dem = build_detector_error_model(mem.circuit)
+        graph = DecodingGraph.from_dem(dem)
+        gwt = GlobalWeightTable.from_graph(graph)
+        result = run_memory_experiment(
+            mem, AstreaDecoder(gwt), 5000, seed=97
+        )
+        assert 0 <= result.logical_error_rate < 0.2
+        assert result.max_latency_ns <= 456.0

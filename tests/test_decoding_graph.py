@@ -1,0 +1,128 @@
+"""Unit tests for the decoding graph and its all-pairs precomputation."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.decoding_graph import BOUNDARY, DecodingGraph
+from repro.sim.dem import DetectorErrorModel, FaultMechanism
+
+
+def _dem(mechanisms, num_detectors):
+    return DetectorErrorModel(
+        num_detectors=num_detectors, num_observables=1, mechanisms=mechanisms
+    )
+
+
+def _mech(p, dets, obs=()):
+    return FaultMechanism(probability=p, detectors=dets, observables=obs)
+
+
+class TestSmallGraphs:
+    def test_path_weight_is_additive(self):
+        # Chain 0 - 1 - 2, each edge p = 0.01 (weight 2).
+        dem = _dem(
+            [_mech(0.01, (0, 1)), _mech(0.01, (1, 2))],
+            num_detectors=3,
+        )
+        g = DecodingGraph.from_dem(dem)
+        assert g.weight(0, 1) == pytest.approx(2.0)
+        assert g.weight(0, 2) == pytest.approx(4.0)
+
+    def test_boundary_on_diagonal(self):
+        dem = _dem(
+            [_mech(0.001, (0,)), _mech(0.01, (0, 1))],
+            num_detectors=2,
+        )
+        g = DecodingGraph.from_dem(dem)
+        assert g.boundary_weight(0) == pytest.approx(3.0)
+        # Detector 1 reaches the boundary through detector 0.
+        assert g.boundary_weight(1) == pytest.approx(5.0)
+
+    def test_pair_weight_can_route_through_boundary(self):
+        # Two detectors, each with a cheap boundary edge, and an expensive
+        # direct edge: the pair weight folds the boundary route.
+        dem = _dem(
+            [
+                _mech(0.1, (0,)),
+                _mech(0.1, (1,)),
+                _mech(1e-6, (0, 1)),
+            ],
+            num_detectors=2,
+        )
+        g = DecodingGraph.from_dem(dem)
+        assert g.weight(0, 1) == pytest.approx(2.0)  # 1 + 1 via boundary
+
+    def test_parity_accumulates_along_path(self):
+        dem = _dem(
+            [
+                _mech(0.01, (0, 1), (0,)),
+                _mech(0.01, (1, 2)),
+            ],
+            num_detectors=3,
+        )
+        g = DecodingGraph.from_dem(dem)
+        assert g.parity(0, 1) is True
+        assert g.parity(1, 2) is False
+        assert g.parity(0, 2) is True
+
+    def test_non_graphlike_rejected(self):
+        dem = _dem([_mech(0.01, (0, 1, 2))], num_detectors=3)
+        with pytest.raises(ValueError, match="more than two"):
+            DecodingGraph.from_dem(dem)
+
+    def test_parallel_edges_keep_cheaper(self):
+        dem = _dem(
+            [
+                _mech(0.001, (0, 1), (0,)),  # weight 3, flips observable
+                _mech(0.1, (0, 1)),  # weight 1, does not
+            ],
+            num_detectors=2,
+        )
+        g = DecodingGraph.from_dem(dem)
+        assert g.weight(0, 1) == pytest.approx(1.0)
+        assert g.parity(0, 1) is False
+
+
+class TestSurfaceCodeGraph(object):
+    def test_symmetry(self, setup_d3):
+        W = setup_d3.graph.pair_weights
+        assert np.allclose(W, W.T)
+
+    def test_triangle_inequality(self, setup_d3):
+        """Shortest-path weights form a metric over detectors + boundary."""
+        g = setup_d3.graph
+        n = g.num_detectors
+        W = g.pair_weights
+        eps = 1e-9
+        for i in range(n):
+            for j in range(n):
+                for k in range(0, n, 3):
+                    if len({i, j, k}) < 3:
+                        continue
+                    assert W[i, j] <= W[i, k] + W[k, j] + eps
+                # Via the boundary: W[i,i] + W[j,j] >= W[i,j].
+                if i != j:
+                    assert W[i, j] <= W[i, i] + W[j, j] + eps
+
+    def test_parity_of_boundary_route_is_consistent(self, setup_d3):
+        """If pair weight equals the two boundary weights, parity XORs."""
+        g = setup_d3.graph
+        n = g.num_detectors
+        W, P = g.pair_weights, g.pair_parities
+        for i in range(n):
+            for j in range(i + 1, n):
+                if abs(W[i, j] - (W[i, i] + W[j, j])) < 1e-12:
+                    assert P[i, j] == (P[i, i] ^ P[j, j])
+
+    def test_positive_weights(self, setup_d3):
+        assert (setup_d3.graph.pair_weights > 0).all()
+
+    def test_adjacency_covers_all_detectors(self, setup_d3):
+        g = setup_d3.graph
+        assert set(g.adjacency) == set(range(g.num_detectors))
+
+    def test_some_boundary_edges_exist(self, setup_d3):
+        assert any(e.v == BOUNDARY for e in setup_d3.graph.edges)
+
+    def test_some_edges_flip_observable(self, setup_d3):
+        assert any(e.flips_observable for e in setup_d3.graph.edges)

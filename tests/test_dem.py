@@ -1,0 +1,127 @@
+"""Unit tests for detector-error-model extraction."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.memory import build_memory_circuit
+from repro.circuits.noise import NoiseParams
+from repro.sim.dem import build_detector_error_model
+from repro.sim.pauli_frame import PauliFrameSimulator
+
+
+def _tiny_repetition_circuit(p):
+    """Two data qubits, one ZZ parity check, two rounds."""
+    c = Circuit()
+    c.add("R", [0, 1, 2])
+    for r in range(2):
+        c.add("X_ERROR", [0, 1], p)
+        c.add("CX", [0, 2])
+        c.add("CX", [1, 2])
+        c.add("MR", [2], p)
+        if r == 0:
+            c.add("DETECTOR", [0])
+        else:
+            c.add("DETECTOR", [0, 1])
+    c.add("M", [0, 1])
+    c.add("DETECTOR", [2, 3, 1])
+    c.add("OBSERVABLE_INCLUDE", [2], 0)
+    return c
+
+
+class TestTinyCircuit:
+    def test_mechanism_signatures(self):
+        dem = build_detector_error_model(_tiny_repetition_circuit(0.01))
+        assert dem.num_detectors == 3
+        by_sig = {(m.detectors, m.observables): m for m in dem.mechanisms}
+        # A round-0 X error on qubit 0 flips detectors 0,1... it persists to
+        # the final data measurement, flipping all three layers' parity once
+        # each pairwise; the observable (qubit 0) flips too.
+        assert ((0,), (0,)) in by_sig or ((0, 1), (0,)) in by_sig
+        # Measurement flip in round 0 flips detectors 0 and 1 only.
+        assert ((0, 1), ()) in by_sig
+
+    def test_probability_merging(self):
+        # Two error sources with identical signatures must XOR-combine.
+        c = Circuit()
+        c.add("R", [0])
+        c.add("X_ERROR", [0], 0.1)
+        c.add("X_ERROR", [0], 0.2)
+        c.add("M", [0])
+        c.add("DETECTOR", [0])
+        dem = build_detector_error_model(c)
+        assert len(dem.mechanisms) == 1
+        expected = 0.1 * 0.8 + 0.2 * 0.9
+        assert dem.mechanisms[0].probability == pytest.approx(expected)
+
+    def test_invisible_faults_dropped(self):
+        c = Circuit()
+        c.add("R", [0, 1])
+        c.add("Z_ERROR", [0], 0.3)  # never observed: no H, Z-basis M
+        c.add("M", [0])
+        c.add("DETECTOR", [0])
+        dem = build_detector_error_model(c)
+        assert len(dem.mechanisms) == 0
+
+    def test_zero_probability_channels_skipped(self):
+        c = Circuit()
+        c.add("R", [0])
+        c.add("X_ERROR", [0], 0.0)
+        c.add("M", [0])
+        c.add("DETECTOR", [0])
+        dem = build_detector_error_model(c)
+        assert len(dem.mechanisms) == 0
+
+
+class TestSurfaceCodeDEM:
+    @pytest.mark.parametrize("distance", [3, 5])
+    def test_graphlike(self, distance):
+        mem = build_memory_circuit(distance, NoiseParams.uniform(1e-3))
+        dem = build_detector_error_model(mem.circuit)
+        assert not dem.non_graphlike_mechanisms()
+        assert len(dem.mechanisms) > 0
+
+    def test_mechanism_probabilities_scale_with_p(self):
+        lo = build_detector_error_model(
+            build_memory_circuit(3, NoiseParams.uniform(1e-4)).circuit
+        )
+        hi = build_detector_error_model(
+            build_memory_circuit(3, NoiseParams.uniform(1e-3)).circuit
+        )
+        assert hi.expected_fault_count == pytest.approx(
+            10 * lo.expected_fault_count, rel=0.05
+        )
+
+    def test_detector_rates_match_sampling(self):
+        """Per-detector marginal rates predicted by the DEM match sampling.
+
+        With independent mechanisms, detector k fires with probability
+        ~ XOR-combination of all mechanisms covering it (first order: sum).
+        """
+        mem = build_memory_circuit(3, NoiseParams.uniform(2e-3))
+        dem = build_detector_error_model(mem.circuit)
+        predicted = np.zeros(mem.num_detectors)
+        for m in dem.mechanisms:
+            for d in m.detectors:
+                predicted[d] = predicted[d] * (1 - m.probability) + m.probability * (
+                    1 - predicted[d]
+                )
+        res = PauliFrameSimulator(mem.circuit, seed=9).sample(60000)
+        observed = res.detectors.mean(axis=0)
+        assert np.abs(observed - predicted).max() < 0.003
+
+    def test_observable_rate_matches_sampling(self):
+        mem = build_memory_circuit(3, NoiseParams.uniform(2e-3))
+        dem = build_detector_error_model(mem.circuit)
+        p_obs = 0.0
+        for m in dem.mechanisms:
+            if 0 in m.observables:
+                p_obs = p_obs * (1 - m.probability) + m.probability * (1 - p_obs)
+        res = PauliFrameSimulator(mem.circuit, seed=10).sample(60000)
+        assert abs(res.observables.mean() - p_obs) < 0.005
+
+    def test_deterministic_output(self):
+        mem = build_memory_circuit(3, NoiseParams.uniform(1e-3))
+        a = build_detector_error_model(mem.circuit)
+        b = build_detector_error_model(mem.circuit)
+        assert a.mechanisms == b.mechanisms

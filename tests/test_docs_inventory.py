@@ -1,0 +1,55 @@
+"""Guard against documentation/code drift.
+
+DESIGN.md promises a benchmark per table/figure and maps modules to
+systems; these tests keep those promises mechanically true as the
+repository evolves.
+"""
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).parent.parent
+
+
+def test_every_bench_named_in_design_exists():
+    design = (REPO / "DESIGN.md").read_text()
+    referenced = set(re.findall(r"bench_[a-z0-9_]+\.py", design))
+    assert referenced, "DESIGN.md names no benchmarks?"
+    for name in sorted(referenced):
+        assert (REPO / "benchmarks" / name).exists(), f"{name} missing"
+
+
+def test_every_bench_file_is_documented():
+    design = (REPO / "DESIGN.md").read_text()
+    experiments = (REPO / "EXPERIMENTS.md").read_text()
+    docs = design + experiments
+    for path in sorted((REPO / "benchmarks").glob("bench_*.py")):
+        assert path.name in docs, f"{path.name} not mentioned in DESIGN/EXPERIMENTS"
+
+
+def test_every_module_in_design_inventory_exists():
+    design = (REPO / "DESIGN.md").read_text()
+    for dotted in set(re.findall(r"`(repro(?:\.[a-z_0-9]+)+)`", design)):
+        rel = dotted.replace(".", "/")
+        assert (
+            (REPO / "src" / f"{rel}.py").exists()
+            or (REPO / "src" / rel).is_dir()
+        ), f"DESIGN.md references missing module {dotted}"
+
+
+def test_examples_referenced_in_readme_exist():
+    readme = (REPO / "README.md").read_text()
+    for name in set(re.findall(r"`([a-z_0-9]+\.py)`", readme)):
+        assert (REPO / "examples" / name).exists(), f"examples/{name} missing"
+
+
+def test_experiments_md_covers_every_paper_table_and_figure():
+    experiments = (REPO / "EXPERIMENTS.md").read_text()
+    required = [
+        "Table 1", "Table 2", "Table 4", "Table 5", "Table 6", "Table 7",
+        "Table 9", "Tables 3 and 8",
+        "Figure 3", "Figure 4", "Figure 6", "Figure 9", "Figure 10",
+        "Figure 12", "Figure 13", "Figure 14",
+    ]
+    for item in required:
+        assert item in experiments, f"EXPERIMENTS.md missing {item}"

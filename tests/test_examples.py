@@ -1,0 +1,31 @@
+"""Smoke tests: every example script must run end to end.
+
+Examples honour the ``REPRO_EXAMPLE_SHOTS`` environment variable so the
+smoke run stays fast; the point here is exercising the public-API usage in
+each script, not statistical power.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.fixture(autouse=True)
+def _small_examples(monkeypatch):
+    monkeypatch.setenv("REPRO_EXAMPLE_SHOTS", "400")
+
+
+def test_all_examples_discovered():
+    assert len(EXAMPLES) >= 7
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"

@@ -1,0 +1,182 @@
+"""Unit tests for the experiment harness (memory runs, census, stats)."""
+
+import numpy as np
+import pytest
+
+from repro.decoders.astrea import AstreaDecoder
+from repro.decoders.mwpm import MWPMDecoder
+from repro.experiments.hamming import TABLE2_BUCKETS, hamming_weight_census
+from repro.experiments.memory import run_memory_experiment
+from repro.experiments.setup import DecodingSetup
+from repro.experiments.stats import poisson_pmf, wilson_interval
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(5, 100)
+        assert low < 0.05 < high
+
+    def test_zero_events(self):
+        low, high = wilson_interval(0, 1000)
+        assert low == 0.0
+        assert 0 < high < 0.01
+
+    def test_all_events(self):
+        low, high = wilson_interval(100, 100)
+        assert high == pytest.approx(1.0)
+        assert low > 0.9
+
+    def test_narrows_with_trials(self):
+        w1 = wilson_interval(10, 100)
+        w2 = wilson_interval(100, 1000)
+        assert (w2[1] - w2[0]) < (w1[1] - w1[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+
+class TestPoissonPmf:
+    def test_sums_to_one(self):
+        total = sum(poisson_pmf(k, 2.5) for k in range(60))
+        assert total == pytest.approx(1.0)
+
+    def test_zero_rate(self):
+        assert poisson_pmf(0, 0.0) == 1.0
+        assert poisson_pmf(1, 0.0) == 0.0
+
+    def test_mean(self):
+        lam = 3.0
+        mean = sum(k * poisson_pmf(k, lam) for k in range(100))
+        assert mean == pytest.approx(lam)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_pmf(-1, 1.0)
+        with pytest.raises(ValueError):
+            poisson_pmf(1, -1.0)
+
+
+class TestHammingCensus:
+    def test_probabilities_sum_to_one(self, setup_d3):
+        census = hamming_weight_census(setup_d3.experiment, 3000, seed=1)
+        assert sum(census.probability(w) for w in census.counts) == pytest.approx(1.0)
+        assert census.shots == 3000
+
+    def test_buckets_partition(self, setup_d3):
+        census = hamming_weight_census(setup_d3.experiment, 3000, seed=1)
+        total = sum(p for (_label, p) in census.table_rows())
+        assert total == pytest.approx(1.0)
+
+    def test_bucket_labels(self, setup_d3):
+        census = hamming_weight_census(setup_d3.experiment, 100, seed=1)
+        labels = [label for (label, _p) in census.table_rows()]
+        assert labels == ["0", "1-2", "3-4", "5-6", "7-10", "> 10"]
+
+    def test_weight_zero_dominates_at_low_p(self):
+        setup = DecodingSetup.build(3, 1e-4)
+        census = hamming_weight_census(setup.experiment, 5000, seed=2)
+        assert census.probability(0) > 0.95
+
+    def test_tail_probability(self, setup_d3):
+        census = hamming_weight_census(setup_d3.experiment, 3000, seed=1)
+        assert census.tail_probability(0) == pytest.approx(
+            1.0 - census.probability(0)
+        )
+
+    def test_mean_and_max(self, setup_d3):
+        census = hamming_weight_census(setup_d3.experiment, 3000, seed=1)
+        assert 0 <= census.mean_weight <= census.max_weight
+
+
+class TestRunMemoryExperiment:
+    def test_cached_equals_uncached(self, setup_d3):
+        dec = MWPMDecoder(setup_d3.ideal_gwt, measure_time=False)
+        a = run_memory_experiment(
+            setup_d3.experiment, dec, 2000, seed=5, cache_decodes=True
+        )
+        b = run_memory_experiment(
+            setup_d3.experiment, dec, 2000, seed=5, cache_decodes=False
+        )
+        assert a.errors == b.errors
+        assert a.shots == b.shots == 2000
+
+    def test_seed_reproducibility(self, setup_d3):
+        dec = MWPMDecoder(setup_d3.ideal_gwt, measure_time=False)
+        a = run_memory_experiment(setup_d3.experiment, dec, 1500, seed=9)
+        b = run_memory_experiment(setup_d3.experiment, dec, 1500, seed=9)
+        assert a.errors == b.errors
+
+    def test_latency_statistics(self, setup_d3):
+        dec = AstreaDecoder(setup_d3.gwt)
+        result = run_memory_experiment(setup_d3.experiment, dec, 3000, seed=1)
+        assert result.max_latency_ns >= result.mean_latency_ns >= 0
+        # Non-trivial syndromes are slower than the all-shots mean, which
+        # is dominated by zero-latency trivial syndromes (Figure 9).
+        assert result.mean_latency_nontrivial_ns >= result.mean_latency_ns
+
+    def test_declined_counted_for_astrea(self):
+        setup = DecodingSetup.build(3, 5e-3)
+        dec = AstreaDecoder(setup.gwt, max_hamming_weight=2)
+        result = run_memory_experiment(setup.experiment, dec, 3000, seed=2)
+        assert result.declined > 0
+
+    def test_confidence_interval_brackets_rate(self, setup_d3):
+        dec = MWPMDecoder(setup_d3.ideal_gwt, measure_time=False)
+        result = run_memory_experiment(setup_d3.experiment, dec, 2000, seed=5)
+        low, high = result.confidence_interval
+        assert low <= result.logical_error_rate <= high
+
+
+class TestDecodingSetup:
+    def test_cache_returns_same_object(self):
+        a = DecodingSetup.build(3, 1e-3)
+        b = DecodingSetup.build(3, 1e-3)
+        assert a is b
+
+    def test_cache_bypass(self):
+        a = DecodingSetup.build(3, 1e-3)
+        b = DecodingSetup.build(3, 1e-3, cache=False)
+        assert a is not b
+
+    def test_properties(self, setup_d3):
+        assert setup_d3.distance == 3
+        assert setup_d3.physical_error_rate == pytest.approx(1e-3)
+        assert setup_d3.gwt.lsb is not None
+        assert setup_d3.ideal_gwt.lsb is None
+
+
+class TestSetupPersistence:
+    def test_save_load_round_trip(self, setup_d3, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "stack.pkl"
+        setup_d3.save(path)
+        loaded = DecodingSetup.load(path)
+        assert loaded.distance == 3
+        assert np.array_equal(loaded.gwt.weights, setup_d3.gwt.weights)
+        assert len(loaded.dem) == len(setup_d3.dem)
+        # The loaded stack decodes identically.
+        a = MWPMDecoder(setup_d3.ideal_gwt, measure_time=False)
+        b = MWPMDecoder(loaded.ideal_gwt, measure_time=False)
+        assert a.decode_active([1, 7]).weight == b.decode_active([1, 7]).weight
+
+    def test_load_rejects_foreign_files(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "junk.pkl"
+        with open(path, "wb") as handle:
+            pickle.dump({"something": "else"}, handle)
+        with pytest.raises(ValueError, match="compatible"):
+            DecodingSetup.load(path)
+
+
+class TestDecodeBatch:
+    def test_batch_matches_individual(self, setup_d3, sample_d3):
+        decoder = MWPMDecoder(setup_d3.ideal_gwt, measure_time=False)
+        rows = sample_d3.detectors[:20]
+        batch = decoder.decode_batch(rows)
+        for row, result in zip(rows, batch):
+            assert result.prediction == decoder.decode(row).prediction

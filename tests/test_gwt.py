@@ -1,0 +1,67 @@
+"""Unit tests for the Global Weight Table."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.weights import GlobalWeightTable
+
+
+class TestQuantization:
+    def test_quantized_values_on_grid(self, setup_d3):
+        gwt = GlobalWeightTable.from_graph(setup_d3.graph, lsb=0.25)
+        codes = gwt.weights / 0.25
+        assert np.allclose(codes, np.round(codes))
+        assert gwt.weights.max() <= 255 * 0.25
+
+    def test_unquantized_matches_graph(self, setup_d3):
+        gwt = GlobalWeightTable.from_graph(setup_d3.graph, lsb=None)
+        assert np.array_equal(gwt.weights, setup_d3.graph.pair_weights)
+        assert gwt.max_representable_weight() == float("inf")
+
+    def test_quantization_error_bounded(self, setup_d3):
+        lsb = 0.25
+        gwt = GlobalWeightTable.from_graph(setup_d3.graph, lsb=lsb)
+        err = np.abs(gwt.weights - setup_d3.graph.pair_weights)
+        unsaturated = setup_d3.graph.pair_weights < 255 * lsb
+        assert err[unsaturated].max() <= lsb / 2 + 1e-12
+
+    def test_max_representable(self, setup_d3):
+        gwt = GlobalWeightTable.from_graph(setup_d3.graph, lsb=0.25)
+        assert gwt.max_representable_weight() == pytest.approx(63.75)
+
+
+class TestTableQueries:
+    def test_storage_bytes_matches_paper_table6(self):
+        """GWT storage: 36 KB for d = 7, ~156 KB for d = 9 (Table 6)."""
+        from repro.codes.rotated import RotatedSurfaceCode
+
+        for d, expected in ((7, 36864), (9, 160000)):
+            length = RotatedSurfaceCode(d).syndrome_vector_length()
+            # One byte per pair entry.
+            assert length * length == expected
+
+    def test_storage_bytes(self, setup_d3):
+        gwt = GlobalWeightTable.from_graph(setup_d3.graph)
+        assert gwt.storage_bytes() == 16 * 16
+        assert gwt.length == 16
+
+    def test_active_weights_is_submatrix(self, setup_d3):
+        gwt = GlobalWeightTable.from_graph(setup_d3.graph)
+        active = [2, 5, 11]
+        sub = gwt.active_weights(active)
+        assert sub.shape == (3, 3)
+        for a, i in enumerate(active):
+            for b, j in enumerate(active):
+                assert sub[a, b] == gwt.weight(i, j)
+
+    def test_active_parities_is_submatrix(self, setup_d3):
+        gwt = GlobalWeightTable.from_graph(setup_d3.graph)
+        active = [0, 7]
+        sub = gwt.active_parities(active)
+        assert sub[0, 1] == gwt.parity(0, 7)
+        assert sub[0, 0] == gwt.parity(0, 0)
+
+    def test_weight_and_parity_scalars(self, setup_d3):
+        gwt = GlobalWeightTable.from_graph(setup_d3.graph)
+        assert isinstance(gwt.weight(0, 1), float)
+        assert isinstance(gwt.parity(0, 1), bool)

@@ -1,0 +1,100 @@
+"""Unit tests for the FPGA latency, SRAM and bandwidth models."""
+
+import pytest
+
+from repro.hw.bandwidth import BandwidthModel
+from repro.hw.latency import FpgaTiming, astrea_decode_cycles, astrea_total_cycles
+from repro.hw.sram import AstreaGStorageModel
+
+
+class TestFpgaTiming:
+    def test_paper_defaults(self):
+        t = FpgaTiming()
+        assert t.cycle_ns == pytest.approx(4.0)
+        assert t.budget_cycles == 250
+
+    def test_conversion(self):
+        t = FpgaTiming(clock_mhz=100.0)
+        assert t.to_ns(10) == pytest.approx(100.0)
+
+
+class TestAstreaCycles:
+    def test_decode_cycle_table(self):
+        """Section 5.4: 1 / 11 / 103 cycles for HW 3-6 / 7-8 / 9-10."""
+        assert astrea_decode_cycles(0) == 0
+        assert astrea_decode_cycles(2) == 0
+        assert all(astrea_decode_cycles(h) == 1 for h in (3, 4, 5, 6))
+        assert all(astrea_decode_cycles(h) == 11 for h in (7, 8))
+        assert all(astrea_decode_cycles(h) == 103 for h in (9, 10))
+
+    def test_worst_case_is_114_cycles(self):
+        assert astrea_total_cycles(10) == 114
+        assert FpgaTiming().to_ns(astrea_total_cycles(10)) == pytest.approx(456.0)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            astrea_decode_cycles(11)
+        with pytest.raises(ValueError):
+            astrea_decode_cycles(-1)
+
+
+class TestSramModel:
+    def test_gwt_matches_paper_table6(self):
+        """GWT: 36 KB at d = 7 and ~156 KB at d = 9."""
+        assert AstreaGStorageModel(7).gwt_bytes() == 36864  # 36 KB
+        assert AstreaGStorageModel(9).gwt_bytes() == 160000  # 156.25 KB
+
+    def test_lwt_is_512_bytes(self):
+        """Paper Table 6 reports 512 B for both distances."""
+        assert AstreaGStorageModel(7, max_hamming_weight=16).lwt_bytes() == 512
+        assert AstreaGStorageModel(9, max_hamming_weight=16).lwt_bytes() == 512
+
+    def test_small_structures_are_kilobytes(self):
+        model = AstreaGStorageModel(9)
+        assert model.priority_queue_bytes() < 8 * 1024
+        assert model.pipeline_latch_bytes() < 8 * 1024
+        assert model.mwpm_register_bytes() < 128
+
+    def test_total_dominated_by_gwt(self):
+        for d in (7, 9):
+            model = AstreaGStorageModel(d)
+            assert model.gwt_bytes() / model.total_bytes() > 0.9
+
+    def test_rows_cover_table(self):
+        rows = dict(AstreaGStorageModel(7).table_rows())
+        assert set(rows) == {
+            "Global Weight Table (GWT)",
+            "Local Weight Table (LWT)",
+            "Priority Queues",
+            "Pipeline Latches",
+            "MWPM Register",
+            "Total",
+        }
+        assert rows["Total"] == sum(v for k, v in rows.items() if k != "Total")
+
+
+class TestBandwidthModel:
+    def test_paper_table7_mapping(self):
+        """d = 9: 80 bits/round; 200 MBps -> 50 ns, 20 MBps -> 500 ns."""
+        model = BandwidthModel(9)
+        assert model.bits_per_round == 80
+        assert model.transmission_ns(200) == pytest.approx(50.0)
+        assert model.transmission_ns(20) == pytest.approx(500.0)
+
+    def test_decode_budget(self):
+        model = BandwidthModel(9)
+        assert model.decode_budget_ns(20) == pytest.approx(500.0)
+        assert model.decode_budget_ns(1e9) == pytest.approx(1000.0, rel=1e-3)
+
+    def test_inverse_mapping(self):
+        model = BandwidthModel(9)
+        for t in (50.0, 100.0, 500.0):
+            bw = model.bandwidth_for_transmission(t)
+            assert model.transmission_ns(bw) == pytest.approx(t)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            BandwidthModel(9).transmission_ns(0)
+
+    def test_infinite_bandwidth(self):
+        assert BandwidthModel(9).bandwidth_for_transmission(0) == float("inf")

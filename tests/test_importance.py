@@ -1,0 +1,65 @@
+"""Unit tests for the Appendix-A stratified LER estimator."""
+
+import pytest
+
+from repro.decoders.mwpm import MWPMDecoder
+from repro.decoders.union_find import UnionFindDecoder
+from repro.experiments.importance import estimate_ler_stratified
+from repro.experiments.memory import run_memory_experiment
+from repro.experiments.setup import DecodingSetup
+
+
+class TestStratifiedEstimator:
+    def test_single_fault_never_fails_mwpm(self, setup_d3):
+        """One fault's own edge is (close to) the MWPM explanation."""
+        dec = MWPMDecoder(setup_d3.ideal_gwt, measure_time=False)
+        est = estimate_ler_stratified(
+            setup_d3.dem, dec, max_faults=1, trials_per_stratum=400, seed=1
+        )
+        assert est.failure[1] <= 0.01
+
+    def test_failure_grows_with_fault_count(self, setup_d3):
+        dec = MWPMDecoder(setup_d3.ideal_gwt, measure_time=False)
+        est = estimate_ler_stratified(
+            setup_d3.dem, dec, max_faults=6, trials_per_stratum=400, seed=2
+        )
+        assert est.failure[6] > est.failure[1]
+
+    def test_occurrence_is_poisson_bulk(self, setup_d3):
+        dec = MWPMDecoder(setup_d3.ideal_gwt, measure_time=False)
+        est = estimate_ler_stratified(
+            setup_d3.dem, dec, max_faults=8, trials_per_stratum=10, seed=3
+        )
+        assert est.mean_faults > 0
+        assert sum(est.occurrence.values()) <= 1.0
+
+    def test_agrees_with_direct_monte_carlo(self):
+        """At a rate where both estimators work, they must agree."""
+        setup = DecodingSetup.build(3, 2e-3)
+        dec = MWPMDecoder(setup.ideal_gwt, measure_time=False)
+        direct = run_memory_experiment(setup.experiment, dec, 60_000, seed=4)
+        stratified = estimate_ler_stratified(
+            setup.dem, dec, max_faults=8, trials_per_stratum=3000, seed=5
+        )
+        assert stratified.logical_error_rate == pytest.approx(
+            direct.logical_error_rate, rel=0.5
+        )
+
+    def test_ranks_decoders_like_direct_sampling(self, setup_d3):
+        """UF must look worse than MWPM under the estimator too."""
+        mwpm = MWPMDecoder(setup_d3.ideal_gwt, measure_time=False)
+        uf = UnionFindDecoder(setup_d3.graph)
+        e_mwpm = estimate_ler_stratified(
+            setup_d3.dem, mwpm, max_faults=5, trials_per_stratum=600, seed=6
+        )
+        e_uf = estimate_ler_stratified(
+            setup_d3.dem, uf, max_faults=5, trials_per_stratum=600, seed=6
+        )
+        assert e_uf.logical_error_rate > e_mwpm.logical_error_rate
+
+    def test_empty_dem(self):
+        from repro.sim.dem import DetectorErrorModel
+
+        dem = DetectorErrorModel(num_detectors=4, num_observables=1, mechanisms=[])
+        est = estimate_ler_stratified(dem, decoder=None)  # decoder unused
+        assert est.logical_error_rate == 0.0

@@ -1,0 +1,128 @@
+"""Integration tests across the full stack.
+
+These pin the qualitative results the paper's evaluation depends on:
+exponential error suppression with distance, decoder accuracy ordering,
+and the end-to-end public-API flow.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    AstreaDecoder,
+    AstreaGDecoder,
+    DecodingSetup,
+    MWPMDecoder,
+    UnionFindDecoder,
+    run_memory_experiment,
+)
+
+
+class TestErrorSuppression:
+    def test_larger_distance_suppresses_errors(self):
+        """Below threshold, d = 5 must beat d = 3 (Figure 4's slope)."""
+        p = 1.5e-3
+        shots = 30_000
+        lers = {}
+        for d in (3, 5):
+            setup = DecodingSetup.build(d, p)
+            dec = MWPMDecoder(setup.ideal_gwt, measure_time=False)
+            lers[d] = run_memory_experiment(
+                setup.experiment, dec, shots, seed=21
+            ).logical_error_rate
+        assert lers[5] < lers[3]
+
+    def test_lower_p_suppresses_errors(self):
+        shots = 30_000
+        lers = {}
+        for p in (1e-3, 3e-3):
+            setup = DecodingSetup.build(3, p)
+            dec = MWPMDecoder(setup.ideal_gwt, measure_time=False)
+            lers[p] = run_memory_experiment(
+                setup.experiment, dec, shots, seed=22
+            ).logical_error_rate
+        assert lers[1e-3] < lers[3e-3]
+
+
+class TestDecoderOrdering:
+    def test_astrea_has_exactly_mwpm_accuracy(self, setup_d5):
+        """Table 4: same sample, same errors, bit for bit."""
+        shots = 8000
+        mwpm = MWPMDecoder(setup_d5.ideal_gwt, measure_time=False)
+        astrea = AstreaDecoder(setup_d5.ideal_gwt)
+        r_m = run_memory_experiment(setup_d5.experiment, mwpm, shots, seed=23)
+        r_a = run_memory_experiment(setup_d5.experiment, astrea, shots, seed=23)
+        # Declined (HW > 10) syndromes may differ; at this p they are rare
+        # enough that the error counts must be nearly identical.
+        assert abs(r_a.errors - r_m.errors) <= max(2, r_a.declined)
+
+    def test_union_find_is_least_accurate(self, setup_d5):
+        shots = 8000
+        mwpm = MWPMDecoder(setup_d5.ideal_gwt, measure_time=False)
+        uf = UnionFindDecoder(setup_d5.graph)
+        r_m = run_memory_experiment(setup_d5.experiment, mwpm, shots, seed=24)
+        r_u = run_memory_experiment(setup_d5.experiment, uf, shots, seed=24)
+        assert r_u.errors > r_m.errors
+
+    def test_astrea_g_close_to_mwpm(self, setup_d5):
+        """Figure 12's claim at laptop scale: within ~1.5x of MWPM."""
+        shots = 20_000
+        mwpm = MWPMDecoder(setup_d5.ideal_gwt, measure_time=False)
+        ag = AstreaGDecoder(setup_d5.ideal_gwt, weight_threshold=8.0)
+        r_m = run_memory_experiment(setup_d5.experiment, mwpm, shots, seed=25)
+        r_g = run_memory_experiment(setup_d5.experiment, ag, shots, seed=25)
+        assert r_g.errors <= max(1.5 * r_m.errors, r_m.errors + 10)
+
+
+class TestRealtimeLatency:
+    def test_astrea_meets_realtime_at_d5(self, setup_d5):
+        astrea = AstreaDecoder(setup_d5.gwt)
+        result = run_memory_experiment(setup_d5.experiment, astrea, 5000, seed=26)
+        assert result.max_latency_ns <= 456.0
+        assert result.mean_latency_ns < 100.0
+
+    def test_astrea_g_meets_realtime(self, setup_d5):
+        ag = AstreaGDecoder(setup_d5.gwt, weight_threshold=8.0)
+        result = run_memory_experiment(setup_d5.experiment, ag, 5000, seed=27)
+        assert result.max_latency_ns <= 1000.0
+
+
+class TestPublicApi:
+    def test_quickstart_flow(self):
+        setup = DecodingSetup.build(distance=3, physical_error_rate=1e-3)
+        decoder = AstreaDecoder(setup.gwt)
+        result = run_memory_experiment(setup.experiment, decoder, shots=2000, seed=1)
+        assert 0.0 <= result.logical_error_rate < 0.1
+        assert result.decoder_name == "Astrea"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_public_items_documented(self):
+        undocumented = [
+            name
+            for name in repro.__all__
+            if callable(getattr(repro, name))
+            and not (getattr(repro, name).__doc__ or "").strip()
+        ]
+        assert not undocumented
+
+    def test_x_basis_memory_flow(self):
+        setup = DecodingSetup.build(3, 1e-3, basis="x")
+        decoder = MWPMDecoder(setup.ideal_gwt, measure_time=False)
+        result = run_memory_experiment(setup.experiment, decoder, 3000, seed=2)
+        assert 0.0 <= result.logical_error_rate < 0.1
+
+    def test_z_and_x_bases_statistically_equivalent(self):
+        """Section 3.4: the two bases are functionally equivalent."""
+        shots = 25_000
+        rates = {}
+        for basis in ("z", "x"):
+            setup = DecodingSetup.build(3, 2e-3, basis=basis)
+            dec = MWPMDecoder(setup.ideal_gwt, measure_time=False)
+            rates[basis] = run_memory_experiment(
+                setup.experiment, dec, shots, seed=28
+            ).logical_error_rate
+        assert rates["z"] == pytest.approx(rates["x"], rel=0.5)

@@ -1,0 +1,57 @@
+"""Unit tests for the LILLIPUT lookup-table decoder and its cost model."""
+
+import numpy as np
+import pytest
+
+from repro.decoders.lilliput import LilliputDecoder, lut_size_bytes
+from repro.decoders.mwpm import MWPMDecoder
+
+
+class TestMemoryModel:
+    def test_distance3_is_practical(self):
+        # 4 checks x (3+1) layers = 16 bits -> 2^16 entries x 2 B = 128 KB.
+        assert lut_size_bytes(3) == 2 * (1 << 16)
+
+    def test_distance5_is_astronomical(self):
+        """Section 5.6: the d = 5 table is in the 2^60-byte class."""
+        assert lut_size_bytes(5) >= 2 * (1 << 60)
+
+    def test_distance7_is_worse(self):
+        assert lut_size_bytes(7) > lut_size_bytes(5) * (1 << 60)
+
+    def test_two_rounds_d5_smaller_but_big(self):
+        """LILLIPUT's actual operating point: d = 5 with 2 rounds."""
+        assert lut_size_bytes(5, rounds=2) == 2 * (1 << 36)
+
+
+class TestDecoder:
+    def test_rejects_unscalable_configuration(self, setup_d5):
+        with pytest.raises(MemoryError):
+            LilliputDecoder(setup_d5.ideal_gwt, 72)
+
+    def test_equals_mwpm(self, setup_d3, sample_d3):
+        """Table 4: LILLIPUT matches MWPM exactly at d = 3."""
+        lut = LilliputDecoder(setup_d3.ideal_gwt, 16)
+        mwpm = MWPMDecoder(setup_d3.ideal_gwt, measure_time=False)
+        for det in sample_d3.detectors[:800]:
+            assert lut.decode(det).prediction == mwpm.decode(det).prediction
+
+    def test_caching(self, setup_d3):
+        lut = LilliputDecoder(setup_d3.ideal_gwt, 16)
+        lut.decode_active([0, 5])
+        assert lut.programmed_entries == 1
+        lut.decode_active([0, 5])
+        assert lut.programmed_entries == 1
+        lut.decode_active([1])
+        assert lut.programmed_entries == 2
+
+    def test_one_cycle_latency(self, setup_d3):
+        lut = LilliputDecoder(setup_d3.ideal_gwt, 16)
+        result = lut.decode_active([2, 3])
+        assert result.cycles == 1
+        assert result.latency_ns == 4.0
+
+    def test_out_of_range_detector_rejected(self, setup_d3):
+        lut = LilliputDecoder(setup_d3.ideal_gwt, 16)
+        with pytest.raises(ValueError):
+            lut.decode_active([16])

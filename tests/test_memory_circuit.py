@@ -1,0 +1,120 @@
+"""Unit tests for the memory-experiment circuit builder."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.memory import build_memory_circuit
+from repro.circuits.noise import NoiseParams
+from repro.sim.pauli_frame import PauliFrameSimulator
+
+
+@pytest.mark.parametrize("distance,expected", [(3, 16), (5, 72), (7, 192)])
+def test_detector_count_matches_table1(distance, expected):
+    mem = build_memory_circuit(distance, NoiseParams.uniform(1e-3))
+    assert mem.num_detectors == expected
+    assert mem.circuit.num_observables == 1
+
+
+def test_rounds_default_to_distance():
+    mem = build_memory_circuit(5, NoiseParams.uniform(1e-3))
+    assert mem.rounds == 5
+
+
+def test_custom_rounds():
+    mem = build_memory_circuit(3, NoiseParams.uniform(1e-3), rounds=2)
+    # 2 measured rounds + 1 final layer, 4 Z checks each.
+    assert mem.num_detectors == 12
+
+
+def test_detector_coords_align_with_detectors():
+    mem = build_memory_circuit(3, NoiseParams.uniform(1e-3))
+    assert len(mem.detector_coords) == mem.num_detectors
+    layers = [t for (_x, _y, t) in mem.detector_coords]
+    assert min(layers) == 0
+    assert max(layers) == mem.rounds
+
+
+def test_noise_channels_present_with_noise():
+    mem = build_memory_circuit(3, NoiseParams.uniform(1e-3))
+    names = {i.name for i in mem.circuit.noise_channels()}
+    assert {"DEPOLARIZE1", "DEPOLARIZE2", "X_ERROR"} <= names
+
+
+def test_noiseless_build_has_no_channels():
+    mem = build_memory_circuit(3, NoiseParams.noiseless())
+    assert not mem.circuit.noise_channels()
+
+
+@pytest.mark.parametrize("basis", ["z", "x"])
+def test_observable_length_is_distance(basis):
+    mem = build_memory_circuit(5, NoiseParams.noiseless(), basis=basis)
+    (obs_records,) = mem.circuit.observables()
+    assert len(obs_records) == 5
+
+
+def test_invalid_basis_rejected():
+    with pytest.raises(ValueError, match="basis"):
+        build_memory_circuit(3, NoiseParams.noiseless(), basis="y")
+
+
+def test_invalid_rounds_rejected():
+    with pytest.raises(ValueError, match="rounds"):
+        build_memory_circuit(3, NoiseParams.noiseless(), rounds=0)
+
+
+def test_logical_x_chain_flips_observable_undetected():
+    """A full logical-Z-row X chain flips the observable silently."""
+    mem = build_memory_circuit(3, NoiseParams.noiseless())
+    code = mem.code
+    # Apply X along the logical X support (a full column) just before the
+    # final measurement: every crossed Z stabilizer is crossed twice.
+    from repro.circuits.circuit import Circuit
+
+    c = Circuit()
+    ticks = 0
+    injected = False
+    for inst in mem.circuit.instructions:
+        if inst.name == "TICK":
+            ticks += 1
+            if ticks == mem.rounds + 1 and not injected:
+                c.append(inst)
+                c.add("X_ERROR", list(code.logical_x), 1.0)
+                injected = True
+                continue
+        c.append(inst)
+    res = PauliFrameSimulator(c, seed=0).sample(4)
+    assert not res.detectors.any()
+    assert res.observables.all()
+
+
+def test_single_measurement_error_fires_two_time_adjacent_detectors():
+    """Category (3) noise: a flipped measurement makes a time pair."""
+    mem = build_memory_circuit(3, NoiseParams.noiseless())
+    from repro.circuits.circuit import Circuit
+
+    # Flip the first Z-ancilla's state right before the round-0 measurement
+    # (the MR reset then clears it): the recorded outcome flips in round 0
+    # only, firing the layer-0 and layer-1 detectors of that check.
+    z_anc = mem.code.z_ancillas[0]
+    c = Circuit()
+    seen_mr = False
+    for inst in mem.circuit.instructions:
+        if inst.name == "MR" and not seen_mr:
+            seen_mr = True
+            c.add("X_ERROR", [z_anc], 1.0)
+        c.append(inst)
+    res = PauliFrameSimulator(c, seed=0).sample(2)
+    assert (res.detectors.sum(axis=1) == 2).all()
+    fired = sorted(np.nonzero(res.detectors[0])[0])
+    layers = [mem.detector_coords[k][2] for k in fired]
+    coords = {mem.detector_coords[k][:2] for k in fired}
+    assert layers == [0, 1]
+    assert coords == {mem.code.coords[z_anc]}
+
+
+def test_mean_hamming_weight_scales_with_p():
+    lo = build_memory_circuit(3, NoiseParams.uniform(5e-4))
+    hi = build_memory_circuit(3, NoiseParams.uniform(5e-3))
+    res_lo = PauliFrameSimulator(lo.circuit, seed=1).sample(4000)
+    res_hi = PauliFrameSimulator(hi.circuit, seed=1).sample(4000)
+    assert res_hi.detectors.sum() > 5 * res_lo.detectors.sum()

@@ -1,0 +1,75 @@
+"""Unit tests for the software MWPM baseline decoder."""
+
+import numpy as np
+import pytest
+
+from repro.decoders.base import BOUNDARY
+from repro.decoders.mwpm import MWPMDecoder
+from repro.matching.boundary import MatchingProblem
+from repro.matching.brute_force import min_weight_perfect_matching_dp
+
+
+class TestBasics:
+    def test_empty_syndrome(self, setup_d3):
+        dec = MWPMDecoder(setup_d3.ideal_gwt)
+        result = dec.decode_active([])
+        assert result.prediction is False
+        assert result.matching == []
+        assert result.decoded
+
+    def test_single_defect_matches_boundary(self, setup_d3):
+        dec = MWPMDecoder(setup_d3.ideal_gwt)
+        result = dec.decode_active([0])
+        assert result.matching == [(0, BOUNDARY)]
+        assert result.weight == pytest.approx(setup_d3.ideal_gwt.weight(0, 0))
+
+    def test_two_defects(self, setup_d3):
+        dec = MWPMDecoder(setup_d3.ideal_gwt)
+        result = dec.decode_active([4, 8])
+        gwt = setup_d3.ideal_gwt
+        assert result.weight == pytest.approx(gwt.weight(4, 8))
+
+    def test_decode_accepts_bool_vector(self, setup_d3):
+        dec = MWPMDecoder(setup_d3.ideal_gwt)
+        syndrome = np.zeros(16, dtype=bool)
+        syndrome[[2, 9]] = True
+        by_vector = dec.decode(syndrome)
+        by_active = dec.decode_active([2, 9])
+        assert by_vector.prediction == by_active.prediction
+        assert by_vector.weight == pytest.approx(by_active.weight)
+
+    def test_latency_measured(self, setup_d3):
+        dec = MWPMDecoder(setup_d3.ideal_gwt, measure_time=True)
+        assert dec.decode_active([0, 1]).latency_ns > 0
+        silent = MWPMDecoder(setup_d3.ideal_gwt, measure_time=False)
+        assert silent.decode_active([0, 1]).latency_ns == 0.0
+
+
+class TestOptimality:
+    def test_matches_dp_on_sampled_syndromes(self, setup_d5, sample_d5):
+        """Blossom-based decoding equals the DP optimum on real syndromes."""
+        dec = MWPMDecoder(setup_d5.ideal_gwt, measure_time=False)
+        gwt = setup_d5.ideal_gwt
+        checked = 0
+        for det in sample_d5.detectors:
+            active = [int(i) for i in np.nonzero(det)[0]]
+            if not 2 <= len(active) <= 12:
+                continue
+            problem = MatchingProblem.from_syndrome(gwt, active)
+            _pairs, expected = min_weight_perfect_matching_dp(problem.weights)
+            result = dec.decode_active(active)
+            assert result.weight == pytest.approx(expected, abs=1e-6)
+            checked += 1
+            if checked >= 200:
+                break
+        assert checked > 50
+
+    def test_matching_covers_active_bits(self, setup_d5, sample_d5):
+        dec = MWPMDecoder(setup_d5.ideal_gwt, measure_time=False)
+        for det in sample_d5.detectors[:200]:
+            active = [int(i) for i in np.nonzero(det)[0]]
+            result = dec.decode_active(active)
+            covered = sorted(
+                x for pair in result.matching for x in pair if x != BOUNDARY
+            )
+            assert covered == sorted(active)

@@ -1,0 +1,72 @@
+"""Unit tests for the per-qubit noise-scale grouping helpers."""
+
+import pytest
+
+from repro.circuits.memory import _NoiseScale
+
+
+class TestGroups:
+    def test_uniform_is_single_group(self):
+        scale = _NoiseScale(None)
+        groups = scale.groups([0, 1, 2], 0.01)
+        assert groups == [([0, 1, 2], 0.01)]
+
+    def test_zero_probability_is_empty(self):
+        scale = _NoiseScale({0: 2.0})
+        assert scale.groups([0, 1], 0.0) == []
+
+    def test_split_by_multiplier(self):
+        scale = _NoiseScale({1: 3.0})
+        groups = dict(
+            (tuple(targets), p) for targets, p in scale.groups([0, 1, 2], 0.01)
+        )
+        assert groups[(0, 2)] == pytest.approx(0.01)
+        assert groups[(1,)] == pytest.approx(0.03)
+
+    def test_zero_multiplier_drops_qubit(self):
+        scale = _NoiseScale({0: 0.0})
+        groups = scale.groups([0, 1], 0.01)
+        assert groups == [([1], 0.01)]
+
+    def test_clipping(self):
+        scale = _NoiseScale({0: 100.0})
+        groups = dict(
+            (tuple(targets), p) for targets, p in scale.groups([0], 0.1)
+        )
+        assert groups[(0,)] == 1.0
+
+
+class TestRuns:
+    def test_runs_preserve_order(self):
+        scale = _NoiseScale({2: 2.0})
+        runs = scale.runs([0, 1, 2, 3], 0.01)
+        assert runs == [([0, 1], 0.01), ([2], 0.02), ([3], 0.01)]
+
+    def test_runs_always_cover_all_qubits(self):
+        scale = _NoiseScale({0: 0.0})
+        runs = scale.runs([0, 1], 0.05)
+        covered = [q for targets, _p in runs for q in targets]
+        assert covered == [0, 1]
+
+    def test_runs_with_zero_probability(self):
+        scale = _NoiseScale(None)
+        assert scale.runs([3, 4], 0.0) == [([3, 4], 0.0)]
+
+
+class TestPairGroups:
+    def test_pair_uses_max_multiplier(self):
+        scale = _NoiseScale({1: 4.0})
+        groups = dict(
+            (tuple(targets), p)
+            for targets, p in scale.pair_groups([0, 1, 2, 3], 0.01)
+        )
+        assert groups[(0, 1)] == pytest.approx(0.04)
+        assert groups[(2, 3)] == pytest.approx(0.01)
+
+    def test_zero_probability_empty(self):
+        scale = _NoiseScale({0: 3.0})
+        assert scale.pair_groups([0, 1], 0.0) == []
+
+    def test_negative_multiplier_rejected(self):
+        with pytest.raises(ValueError):
+            _NoiseScale({3: -0.5})

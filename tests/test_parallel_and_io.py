@@ -1,0 +1,139 @@
+"""Unit tests for the parallel runner and sweep persistence."""
+
+import pytest
+
+from repro.decoders.astrea import AstreaDecoder
+from repro.decoders.mwpm import MWPMDecoder
+from repro.experiments.io import load_sweep, save_sweep
+from repro.experiments.memory import MemoryRunResult, run_memory_experiment
+from repro.experiments.parallel import merge_results, run_memory_experiment_parallel
+from repro.experiments.sweep import ler_vs_physical_error
+
+
+class TestMergeResults:
+    def _result(self, shots, errors, mean=10.0, maximum=50.0, nontrivial=20.0):
+        return MemoryRunResult(
+            decoder_name="x",
+            shots=shots,
+            errors=errors,
+            mean_latency_ns=mean,
+            max_latency_ns=maximum,
+            mean_latency_nontrivial_ns=nontrivial,
+            unique_syndromes=shots // 2,
+        )
+
+    def test_counts_sum(self):
+        merged = merge_results([self._result(100, 3), self._result(200, 5)])
+        assert merged.shots == 300
+        assert merged.errors == 8
+        assert merged.unique_syndromes == 150
+
+    def test_latency_weighting(self):
+        merged = merge_results(
+            [self._result(100, 0, mean=10.0), self._result(300, 0, mean=30.0)]
+        )
+        assert merged.mean_latency_ns == pytest.approx(25.0)
+        assert merged.max_latency_ns == 50.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_results([])
+
+
+class TestParallelRunner:
+    def test_matches_serial_error_counts(self, setup_d3):
+        """Chunked runs with per-chunk seeds match the same serial chunks."""
+        decoder = MWPMDecoder(setup_d3.ideal_gwt, measure_time=False)
+        parallel = run_memory_experiment_parallel(
+            setup_d3.experiment, decoder, 4000, seed=31, workers=2
+        )
+        serial_parts = [
+            run_memory_experiment(setup_d3.experiment, decoder, 2000, seed=31 + k)
+            for k in range(2)
+        ]
+        assert parallel.shots == 4000
+        assert parallel.errors == sum(p.errors for p in serial_parts)
+
+    def test_single_worker_is_in_process(self, setup_d3):
+        decoder = AstreaDecoder(setup_d3.gwt)
+        result = run_memory_experiment_parallel(
+            setup_d3.experiment, decoder, 1000, seed=32, workers=1
+        )
+        assert result.shots == 1000
+
+    def test_zero_shots(self, setup_d3):
+        decoder = AstreaDecoder(setup_d3.gwt)
+        result = run_memory_experiment_parallel(
+            setup_d3.experiment, decoder, 0, workers=2
+        )
+        assert result.shots == 0
+
+    def test_validation(self, setup_d3):
+        decoder = AstreaDecoder(setup_d3.gwt)
+        with pytest.raises(ValueError):
+            run_memory_experiment_parallel(
+                setup_d3.experiment, decoder, -1, workers=2
+            )
+        with pytest.raises(ValueError):
+            run_memory_experiment_parallel(
+                setup_d3.experiment, decoder, 10, workers=0
+            )
+
+
+class TestSweepIo:
+    def test_round_trip(self, tmp_path):
+        points = ler_vs_physical_error(
+            3,
+            [1e-3, 2e-3],
+            lambda setup: MWPMDecoder(setup.ideal_gwt, measure_time=False),
+            shots=1500,
+            seed=33,
+        )
+        path = tmp_path / "sweep.csv"
+        save_sweep(points, path)
+        loaded = load_sweep(path)
+        assert len(loaded) == 2
+        for original, restored in zip(points, loaded):
+            assert restored.distance == original.distance
+            assert restored.physical_error_rate == pytest.approx(
+                original.physical_error_rate
+            )
+            assert restored.result.errors == original.result.errors
+            assert restored.result.shots == original.result.shots
+            assert restored.logical_error_rate == pytest.approx(
+                original.logical_error_rate
+            )
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("nope,nope\n1,2\n")
+        with pytest.raises(ValueError, match="header"):
+            load_sweep(path)
+
+
+class TestParallelChunking:
+    def test_chunks_per_worker(self, setup_d3):
+        from repro.decoders.mwpm import MWPMDecoder
+
+        decoder = MWPMDecoder(setup_d3.ideal_gwt, measure_time=False)
+        result = run_memory_experiment_parallel(
+            setup_d3.experiment,
+            decoder,
+            3001,  # uneven split across 4 chunks
+            seed=40,
+            workers=2,
+            chunks_per_worker=2,
+        )
+        assert result.shots == 3001
+
+    def test_merge_nontrivial_latency_weighting(self):
+        a = MemoryRunResult(
+            decoder_name="x", shots=100, errors=0,
+            mean_latency_nontrivial_ns=40.0,
+        )
+        b = MemoryRunResult(
+            decoder_name="x", shots=100, errors=0,
+            mean_latency_nontrivial_ns=0.0,  # no non-trivial shots
+        )
+        merged = merge_results([a, b])
+        assert merged.mean_latency_nontrivial_ns == pytest.approx(40.0)

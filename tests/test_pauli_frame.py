@@ -1,0 +1,194 @@
+"""Unit tests for the batched Pauli-frame sampler."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.sim.pauli_frame import PauliFrameSimulator
+
+
+def _sample_one(circuit, seed=0, shots=1):
+    return PauliFrameSimulator(circuit, seed=seed).sample(shots)
+
+
+class TestFramePropagation:
+    def test_x_error_flips_measurement(self):
+        c = Circuit()
+        c.add("R", [0])
+        c.add("X_ERROR", [0], 1.0)
+        c.add("M", [0])
+        c.add("DETECTOR", [0])
+        res = _sample_one(c, shots=8)
+        assert res.detectors.all()
+
+    def test_z_error_invisible_to_z_measurement(self):
+        c = Circuit()
+        c.add("R", [0])
+        c.add("Z_ERROR", [0], 1.0)
+        c.add("M", [0])
+        c.add("DETECTOR", [0])
+        res = _sample_one(c, shots=8)
+        assert not res.detectors.any()
+
+    def test_h_converts_z_error_to_x(self):
+        c = Circuit()
+        c.add("R", [0])
+        c.add("Z_ERROR", [0], 1.0)
+        c.add("H", [0])
+        c.add("M", [0])
+        c.add("DETECTOR", [0])
+        res = _sample_one(c, shots=8)
+        assert res.detectors.all()
+
+    def test_cx_propagates_x_from_control_to_target(self):
+        c = Circuit()
+        c.add("R", [0, 1])
+        c.add("X_ERROR", [0], 1.0)
+        c.add("CX", [0, 1])
+        c.add("M", [0, 1])
+        c.add("DETECTOR", [0])
+        c.add("DETECTOR", [1])
+        res = _sample_one(c, shots=8)
+        assert res.detectors.all()  # both qubits flipped
+
+    def test_cx_does_not_propagate_x_from_target(self):
+        c = Circuit()
+        c.add("R", [0, 1])
+        c.add("X_ERROR", [1], 1.0)
+        c.add("CX", [0, 1])
+        c.add("M", [0, 1])
+        c.add("DETECTOR", [0])
+        c.add("DETECTOR", [1])
+        res = _sample_one(c, shots=8)
+        assert not res.detectors[:, 0].any()
+        assert res.detectors[:, 1].all()
+
+    def test_reset_clears_frame(self):
+        c = Circuit()
+        c.add("R", [0])
+        c.add("X_ERROR", [0], 1.0)
+        c.add("R", [0])
+        c.add("M", [0])
+        c.add("DETECTOR", [0])
+        res = _sample_one(c, shots=8)
+        assert not res.detectors.any()
+
+    def test_mr_resets_after_measuring(self):
+        c = Circuit()
+        c.add("R", [0])
+        c.add("X_ERROR", [0], 1.0)
+        c.add("MR", [0])
+        c.add("M", [0])
+        c.add("DETECTOR", [0])  # first measurement sees the flip
+        c.add("DETECTOR", [1])  # second does not: MR reset the qubit
+        res = _sample_one(c, shots=8)
+        assert res.detectors[:, 0].all()
+        assert not res.detectors[:, 1].any()
+
+    def test_measurement_flip_probability_one(self):
+        c = Circuit()
+        c.add("R", [0])
+        c.add("M", [0], 1.0)
+        c.add("DETECTOR", [0])
+        res = _sample_one(c, shots=8)
+        assert res.detectors.all()
+
+    def test_observable_tracks_flips(self):
+        c = Circuit()
+        c.add("R", [0, 1])
+        c.add("X_ERROR", [0], 1.0)
+        c.add("M", [0, 1])
+        c.add("OBSERVABLE_INCLUDE", [0, 1], 0)
+        res = _sample_one(c, shots=4)
+        assert res.observables.all()
+
+
+class TestNoiseStatistics:
+    def test_x_error_rate(self):
+        c = Circuit()
+        c.add("R", [0])
+        c.add("X_ERROR", [0], 0.3)
+        c.add("M", [0])
+        c.add("DETECTOR", [0])
+        res = _sample_one(c, seed=11, shots=20000)
+        rate = res.detectors.mean()
+        assert abs(rate - 0.3) < 0.02
+
+    def test_depolarize1_flips_z_measurement_two_thirds(self):
+        # X and Y flip a Z-basis measurement; Z does not: rate = 2p/3.
+        c = Circuit()
+        c.add("R", [0])
+        c.add("DEPOLARIZE1", [0], 0.3)
+        c.add("M", [0])
+        c.add("DETECTOR", [0])
+        res = _sample_one(c, seed=12, shots=30000)
+        assert abs(res.detectors.mean() - 0.2) < 0.02
+
+    def test_depolarize2_marginal(self):
+        # 8 of 15 two-qubit Paulis have X/Y on the first qubit: rate 8p/15.
+        c = Circuit()
+        c.add("R", [0, 1])
+        c.add("DEPOLARIZE2", [0, 1], 0.3)
+        c.add("M", [0])
+        c.add("DETECTOR", [0])
+        res = _sample_one(c, seed=13, shots=30000)
+        assert abs(res.detectors.mean() - 0.3 * 8 / 15) < 0.02
+
+
+class TestSamplerMechanics:
+    def test_seed_reproducibility(self):
+        c = Circuit()
+        c.add("R", [0])
+        c.add("X_ERROR", [0], 0.5)
+        c.add("M", [0])
+        c.add("DETECTOR", [0])
+        a = _sample_one(c, seed=7, shots=100)
+        b = _sample_one(c, seed=7, shots=100)
+        assert (a.detectors == b.detectors).all()
+
+    def test_chunking_preserves_shape(self):
+        c = Circuit()
+        c.add("R", [0])
+        c.add("X_ERROR", [0], 0.5)
+        c.add("M", [0])
+        c.add("DETECTOR", [0])
+        res = PauliFrameSimulator(c, seed=1).sample(1000, chunk_size=64)
+        assert res.detectors.shape == (1000, 1)
+        assert res.shots == 1000
+
+    def test_zero_shots(self):
+        c = Circuit()
+        c.add("R", [0])
+        c.add("M", [0])
+        c.add("DETECTOR", [0])
+        res = _sample_one(c, shots=0)
+        assert res.detectors.shape == (0, 1)
+
+    def test_negative_shots_rejected(self):
+        c = Circuit()
+        c.add("M", [0])
+        with pytest.raises(ValueError):
+            PauliFrameSimulator(c).sample(-1)
+
+    def test_keep_measurement_flips(self):
+        c = Circuit()
+        c.add("R", [0])
+        c.add("X_ERROR", [0], 1.0)
+        c.add("M", [0])
+        c.add("DETECTOR", [0])
+        res = PauliFrameSimulator(c, seed=1).sample(
+            5, keep_measurement_flips=True
+        )
+        assert res.measurement_flips is not None
+        assert res.measurement_flips.all()
+
+    def test_noiseless_circuit_fires_nothing(self):
+        c = Circuit()
+        c.add("R", [0, 1, 2])
+        c.add("H", [1])
+        c.add("CX", [1, 2])
+        c.add("M", [0, 1, 2])
+        c.add("DETECTOR", [0])
+        res = _sample_one(c, shots=16)
+        assert not res.detectors.any()
+        assert not res.observables.size or not res.observables.any()

@@ -1,0 +1,156 @@
+"""Hypothesis property suite over the core algorithms.
+
+These go beyond the sampled-syndrome tests: the inputs are arbitrary
+(random weight matrices, random graphs), so they pin the algorithms'
+contracts rather than their behaviour on realistic workloads.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decoders.astrea import HW6Decoder, exhaustive_search
+from repro.decoders.union_find import UnionFindDecoder
+from repro.graphs.decoding_graph import DecodingGraph
+from repro.matching.brute_force import (
+    count_perfect_matchings,
+    count_perfect_matchings_in_graph,
+    min_weight_perfect_matching_dp,
+)
+from repro.sim.dem import DetectorErrorModel, FaultMechanism
+
+
+def _random_symmetric(n, seed, low=0.0, high=20.0):
+    rng = np.random.default_rng(seed)
+    w = rng.uniform(low, high, size=(n, n))
+    w = (w + w.T) / 2
+    np.fill_diagonal(w, 0.0)
+    return w
+
+
+class TestExhaustiveSearchContract:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        st.sampled_from([2, 4, 6, 8, 10]),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_optimal_on_arbitrary_weights(self, m, seed):
+        """Astrea's structured search is exact MWPM for any weights."""
+        weights = _random_symmetric(m, seed)
+        pairs, weight, accesses = exhaustive_search(weights, HW6Decoder())
+        _dp_pairs, expected = min_weight_perfect_matching_dp(weights)
+        assert weight == pytest.approx(expected)
+        covered = sorted(x for p in pairs for x in p)
+        assert covered == list(range(m))
+        assert accesses == {2: 1, 4: 1, 6: 1, 8: 7, 10: 63}[m]
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_ties_are_still_optimal(self, seed):
+        """Heavily tied (quantized) weights must not confuse the search."""
+        rng = np.random.default_rng(seed)
+        weights = rng.integers(0, 4, size=(8, 8)).astype(float)
+        weights = (weights + weights.T) / 2
+        np.fill_diagonal(weights, 0.0)
+        _pairs, weight, _ = exhaustive_search(weights, HW6Decoder())
+        _dp, expected = min_weight_perfect_matching_dp(weights)
+        assert weight == pytest.approx(expected)
+
+
+def _random_line_dem(num_detectors, seed):
+    """A random 1D decoding graph with boundary edges at both ends."""
+    rng = np.random.default_rng(seed)
+    mechanisms = [
+        FaultMechanism(float(rng.uniform(0.001, 0.2)), (0,), ()),
+        FaultMechanism(
+            float(rng.uniform(0.001, 0.2)), (num_detectors - 1,), (0,)
+        ),
+    ]
+    for i in range(num_detectors - 1):
+        mechanisms.append(
+            FaultMechanism(float(rng.uniform(0.001, 0.2)), (i, i + 1), ())
+        )
+    # A few random chords to break the pure-line structure.
+    for _ in range(rng.integers(0, 3)):
+        a, b = sorted(rng.choice(num_detectors, size=2, replace=False))
+        if b > a:
+            mechanisms.append(
+                FaultMechanism(float(rng.uniform(0.001, 0.2)), (int(a), int(b)), ())
+            )
+    return DetectorErrorModel(
+        num_detectors=num_detectors, num_observables=1, mechanisms=mechanisms
+    )
+
+
+class TestUnionFindContract:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(3, 10),
+        st.integers(0, 2**31 - 1),
+        st.data(),
+    )
+    def test_corrections_annihilate_on_random_graphs(self, n, seed, data):
+        dem = _random_line_dem(n, seed)
+        graph = DecodingGraph.from_dem(dem)
+        decoder = UnionFindDecoder(graph)
+        active = data.draw(
+            st.lists(st.integers(0, n - 1), unique=True, min_size=1, max_size=n)
+        )
+        result = decoder.decode_active(sorted(active))
+        parity = np.zeros(n + 1, dtype=int)
+        from repro.decoders.base import BOUNDARY
+
+        for u, v in result.matching:
+            vv = n if v == BOUNDARY else v
+            parity[u] ^= 1
+            parity[vv] ^= 1
+        assert sorted(np.nonzero(parity[:n])[0]) == sorted(active)
+
+
+class TestGraphInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(3, 9), st.integers(0, 2**31 - 1))
+    def test_all_pairs_metric_on_random_graphs(self, n, seed):
+        graph = DecodingGraph.from_dem(_random_line_dem(n, seed))
+        W = graph.pair_weights
+        assert np.allclose(W, W.T)
+        assert (W[~np.eye(n, dtype=bool)] > 0).all()
+        # Boundary folding: pair weights never exceed the two-chains route.
+        for i in range(n):
+            for j in range(i + 1, n):
+                assert W[i, j] <= W[i, i] + W[j, j] + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(3, 8), st.integers(0, 2**31 - 1))
+    def test_path_reconstruction_matches_weights(self, n, seed):
+        graph = DecodingGraph.from_dem(_random_line_dem(n, seed))
+        boundary = graph.num_detectors
+        edge_weight = {}
+        from repro.graphs.decoding_graph import BOUNDARY as B
+
+        for e in graph.edges:
+            v = boundary if e.v == B else e.v
+            key = (min(e.u, v), max(e.u, v))
+            edge_weight[key] = min(edge_weight.get(key, float("inf")), e.weight)
+        for i in range(n):
+            for j in range(i + 1, n):
+                total = 0.0
+                for u, v in graph.shortest_path(i, j):
+                    du = boundary if u == B else u
+                    dv = boundary if v == B else v
+                    total += edge_weight[(min(du, dv), max(du, dv))]
+                assert total == pytest.approx(graph.weight(i, j))
+
+
+class TestMatchingCounts:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 5), st.integers(0, 2**31 - 1))
+    def test_filtered_counts_bounded_by_complete(self, half, seed):
+        n = 2 * half
+        rng = np.random.default_rng(seed)
+        adj = rng.random((n, n)) < 0.6
+        adj = adj | adj.T
+        np.fill_diagonal(adj, False)
+        count = count_perfect_matchings_in_graph(adj)
+        assert 0 <= count <= count_perfect_matchings(n)

@@ -1,0 +1,82 @@
+"""Property test: frame sampler == tableau simulator on random circuits.
+
+For any Clifford circuit with *deterministic* Pauli injections (noise
+channels at p = 1), the Pauli-frame sampler's measurement flips must equal
+the difference between the tableau simulator's outcomes with and without
+the injections -- on every measurement whose noiseless outcome is
+deterministic.  Hypothesis generates the circuits; determinism of each
+measurement is established empirically by running the noiseless circuit
+under several seeds.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import Circuit
+from repro.sim.pauli_frame import PauliFrameSimulator
+from repro.sim.tableau import run_tableau_shot
+
+NUM_QUBITS = 4
+
+
+@st.composite
+def random_circuit(draw):
+    """A random Clifford circuit with p = 1 Pauli injections."""
+    circuit = Circuit()
+    circuit.add("R", list(range(NUM_QUBITS)))
+    num_ops = draw(st.integers(3, 14))
+    for _ in range(num_ops):
+        kind = draw(st.sampled_from(["H", "CX", "R", "X1", "Z1"]))
+        if kind == "H":
+            circuit.add("H", [draw(st.integers(0, NUM_QUBITS - 1))])
+        elif kind == "CX":
+            control = draw(st.integers(0, NUM_QUBITS - 1))
+            target = draw(
+                st.integers(0, NUM_QUBITS - 1).filter(lambda t: t != control)
+            )
+            circuit.add("CX", [control, target])
+        elif kind == "R":
+            circuit.add("R", [draw(st.integers(0, NUM_QUBITS - 1))])
+        elif kind == "X1":
+            circuit.add("X_ERROR", [draw(st.integers(0, NUM_QUBITS - 1))], 1.0)
+        else:
+            circuit.add("Z_ERROR", [draw(st.integers(0, NUM_QUBITS - 1))], 1.0)
+    circuit.add("M", list(range(NUM_QUBITS)))
+    return circuit
+
+
+def _deterministic_positions(clean: Circuit, probes: int = 6) -> np.ndarray:
+    """Measurement positions whose noiseless outcome never varies."""
+    outcomes = [
+        run_tableau_shot(clean, np.random.default_rng(seed))[0]
+        for seed in range(probes)
+    ]
+    stacked = np.stack(outcomes)
+    return (stacked == stacked[0]).all(axis=0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_circuit())
+def test_frame_flips_match_tableau_difference(circuit):
+    clean = circuit.without_noise()
+    deterministic = _deterministic_positions(clean)
+    reference = run_tableau_shot(clean, np.random.default_rng(100))[0]
+    noisy = run_tableau_shot(circuit, np.random.default_rng(101))[0]
+    frame = PauliFrameSimulator(circuit, seed=102).sample(
+        1, keep_measurement_flips=True
+    )
+    flips = frame.measurement_flips[0]
+    expected = (reference ^ noisy).astype(bool)
+    assert (flips[deterministic] == expected[deterministic]).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_circuit())
+def test_frame_sampler_is_shot_independent_without_randomness(circuit):
+    """With only p = 1 channels, every shot produces identical flips."""
+    frame = PauliFrameSimulator(circuit, seed=5).sample(
+        6, keep_measurement_flips=True
+    )
+    flips = frame.measurement_flips
+    assert (flips == flips[0]).all()

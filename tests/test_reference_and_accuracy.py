@@ -1,0 +1,86 @@
+"""Unit tests for the reference sampler and paired comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.memory import build_memory_circuit
+from repro.circuits.noise import NoiseParams
+from repro.decoders.mwpm import MWPMDecoder
+from repro.decoders.union_find import UnionFindDecoder
+from repro.experiments.accuracy import PairedComparison, compare_decoders
+from repro.sim.pauli_frame import PauliFrameSimulator
+from repro.sim.reference import ReferenceSampler
+
+
+class TestReferenceSampler:
+    def test_noiseless_circuit_all_quiet(self):
+        mem = build_memory_circuit(3, NoiseParams.noiseless())
+        res = ReferenceSampler(mem.circuit, seed=1).sample(4)
+        assert not res.detectors.any()
+        assert not res.observables.any()
+
+    def test_marginals_match_frame_sampler(self):
+        mem = build_memory_circuit(3, NoiseParams.uniform(0.02), rounds=1)
+        shots = 800
+        ref = ReferenceSampler(mem.circuit, seed=2).sample(shots)
+        frame = PauliFrameSimulator(mem.circuit, seed=3).sample(shots)
+        assert (
+            np.abs(ref.detectors.mean(axis=0) - frame.detectors.mean(axis=0)).max()
+            < 0.05
+        )
+        assert abs(ref.observables.mean() - frame.observables.mean()) < 0.05
+
+    def test_rejects_nondeterministic_detectors(self):
+        c = Circuit()
+        c.add("R", [0])
+        c.add("H", [0])
+        c.add("M", [0])
+        c.add("DETECTOR", [0])  # |+> measured in Z: random
+        with pytest.raises(ValueError, match="deterministic"):
+            ReferenceSampler(c)
+
+    def test_shot_validation(self):
+        mem = build_memory_circuit(3, NoiseParams.noiseless())
+        sampler = ReferenceSampler(mem.circuit)
+        with pytest.raises(ValueError):
+            sampler.sample(-1)
+        assert sampler.sample(0).detectors.shape == (0, 16)
+
+
+class TestPairedComparison:
+    def test_mwpm_vs_union_find_is_significant(self, setup_d3):
+        comparison = compare_decoders(
+            setup_d3.experiment,
+            MWPMDecoder(setup_d3.ideal_gwt, measure_time=False),
+            UnionFindDecoder(setup_d3.graph),
+            shots=30_000,
+            seed=5,
+        )
+        assert comparison.errors_b > comparison.errors_a
+        assert comparison.significant()
+        assert "significant" in comparison.summary()
+
+    def test_decoder_against_itself_is_tied(self, setup_d3):
+        decoder = MWPMDecoder(setup_d3.ideal_gwt, measure_time=False)
+        comparison = compare_decoders(
+            setup_d3.experiment, decoder, decoder, shots=5000, seed=6
+        )
+        assert comparison.discordant == 0
+        assert comparison.mcnemar_statistic() == 0.0
+        assert not comparison.significant()
+        assert comparison.ler_difference == 0.0
+
+    def test_counts_are_consistent(self, setup_d3):
+        comparison = compare_decoders(
+            setup_d3.experiment,
+            MWPMDecoder(setup_d3.ideal_gwt, measure_time=False),
+            UnionFindDecoder(setup_d3.graph),
+            shots=10_000,
+            seed=7,
+        )
+        assert comparison.errors_a == comparison.only_a + comparison.both
+        assert comparison.errors_b == comparison.only_b + comparison.both
+        assert comparison.ler_difference == pytest.approx(
+            (comparison.errors_a - comparison.errors_b) / comparison.shots
+        )

@@ -1,0 +1,73 @@
+"""Unit tests for the ASCII lattice/series rendering helpers."""
+
+import pytest
+
+from repro.analysis.render import render_lattice, render_series, render_syndrome_layer
+from repro.codes.rotated import RotatedSurfaceCode
+
+
+class TestRenderLattice:
+    def test_counts_match_code(self):
+        code = RotatedSurfaceCode(3)
+        text = render_lattice(code)
+        # 9 data sites: 2 on the Z row only, 2 on the X column only,
+        # 1 intersection, 4 plain.
+        assert text.count("o") == 4
+        assert text.count("*") == 1
+        assert text.count("Z") == 2
+        assert text.count("X") == 2
+        assert text.count("x") == 4  # X plaquettes
+        assert text.count("z") == 4  # Z plaquettes
+
+    def test_dimensions(self):
+        code = RotatedSurfaceCode(5)
+        lines = render_lattice(code).splitlines()
+        assert len(lines) <= 2 * 5 + 1
+        assert max(len(line) for line in lines) <= 2 * 5 + 1
+
+
+class TestRenderSyndromeLayer:
+    def test_fired_checks_marked(self):
+        code = RotatedSurfaceCode(3)
+        stab = code.z_stabilizers()[0]
+        coord = code.coords[stab.ancilla]
+        text = render_syndrome_layer(code, [coord])
+        assert text.count("!") == 1
+        assert text.count("z") == 3  # the fourth Z plaquette fired
+
+    def test_no_fires(self):
+        code = RotatedSurfaceCode(3)
+        text = render_syndrome_layer(code, [])
+        assert "!" not in text
+        assert text.count(".") == 9
+
+    def test_out_of_range_rejected(self):
+        code = RotatedSurfaceCode(3)
+        with pytest.raises(ValueError):
+            render_syndrome_layer(code, [(99, 0)])
+
+
+class TestRenderSeries:
+    def test_bars_scale_with_value(self):
+        text = render_series([("small", 1e-6), ("big", 1e-2)])
+        small_line, big_line = text.splitlines()
+        assert big_line.count("#") > small_line.count("#")
+
+    def test_zero_value_renders_empty_bar(self):
+        text = render_series([("zero", 0.0), ("one", 1.0)])
+        zero_line = text.splitlines()[0]
+        assert "#" not in zero_line
+
+    def test_all_zero(self):
+        text = render_series([("a", 0.0), ("b", 0.0)])
+        assert "#" not in text
+
+    def test_linear_mode(self):
+        text = render_series([("half", 0.5), ("full", 1.0)], log=False, width=10)
+        half_line, full_line = text.splitlines()
+        assert full_line.count("#") == 10
+        assert half_line.count("#") == 5
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            render_series([("a", 1.0)], width=0)

@@ -1,0 +1,29 @@
+"""Unit tests for the headline-results report."""
+
+from repro.cli import main
+from repro.experiments.report import run_headline_report
+
+
+class TestHeadlineReport:
+    def test_small_run_produces_all_sections(self):
+        report = run_headline_report(
+            distance=3, physical_error_rate=2e-3, shots=3000, seed=1
+        )
+        assert set(report.runs) == {"MWPM", "Astrea", "Astrea-G", "AFS (UF)"}
+        assert report.lines
+        assert any("Table 4" in line for line in report.lines)
+        assert any("Figure 9" in line for line in report.lines)
+
+    def test_headline_checks_pass_at_d3(self):
+        report = run_headline_report(
+            distance=3, physical_error_rate=2e-3, shots=5000, seed=2
+        )
+        assert report.astrea_matches_mwpm
+        assert report.realtime_ok
+        assert report.runs["AFS (UF)"].errors > report.runs["MWPM"].errors
+
+    def test_cli_report_exit_code(self, capsys):
+        code = main(["report", "-d", "3", "--p", "2e-3", "--shots", "3000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[PASS]" in out

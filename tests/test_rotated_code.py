@@ -1,0 +1,116 @@
+"""Unit tests for the rotated surface code layout (paper Table 1)."""
+
+import pytest
+
+from repro.codes.rotated import RotatedSurfaceCode
+
+
+def _symplectic_commutes(support_a, kind_a, support_b, kind_b):
+    """Whether two single-type Pauli products commute.
+
+    Same-type products always commute; X-type vs Z-type anticommute per
+    shared qubit.
+    """
+    if kind_a == kind_b:
+        return True
+    overlap = len(set(support_a) & set(support_b))
+    return overlap % 2 == 0
+
+
+@pytest.mark.parametrize(
+    "distance,data,parity,total,syndrome",
+    [(3, 9, 8, 17, 16), (5, 25, 24, 49, 72), (7, 49, 48, 97, 192), (9, 81, 80, 161, 400)],
+)
+def test_table1_resource_counts(distance, data, parity, total, syndrome):
+    code = RotatedSurfaceCode(distance)
+    assert code.num_data_qubits == data
+    assert code.num_parity_qubits == parity
+    assert code.num_qubits == total
+    assert code.syndrome_vector_length() == syndrome
+
+
+@pytest.mark.parametrize("distance", [3, 5, 7])
+def test_equal_x_and_z_stabilizer_counts(distance):
+    code = RotatedSurfaceCode(distance)
+    assert len(code.x_ancillas) == len(code.z_ancillas)
+    assert len(code.x_ancillas) == (distance**2 - 1) // 2
+
+
+@pytest.mark.parametrize("distance", [3, 5, 7])
+def test_stabilizer_supports_are_weight_2_or_4(distance):
+    code = RotatedSurfaceCode(distance)
+    for stab in code.stabilizers:
+        assert len(stab.data) in (2, 4)
+
+
+@pytest.mark.parametrize("distance", [3, 5])
+def test_stabilizers_mutually_commute(distance):
+    code = RotatedSurfaceCode(distance)
+    stabs = code.stabilizers
+    for i, a in enumerate(stabs):
+        for b in stabs[i + 1 :]:
+            assert _symplectic_commutes(a.data, a.kind, b.data, b.kind)
+
+
+@pytest.mark.parametrize("distance", [3, 5, 7])
+def test_logical_operators(distance):
+    code = RotatedSurfaceCode(distance)
+    assert len(code.logical_z) == distance
+    assert len(code.logical_x) == distance
+    # Logical Z commutes with every X stabilizer; X with every Z stabilizer.
+    for stab in code.x_stabilizers():
+        assert len(set(stab.data) & set(code.logical_z)) % 2 == 0
+    for stab in code.z_stabilizers():
+        assert len(set(stab.data) & set(code.logical_x)) % 2 == 0
+    # The logicals anticommute: they share exactly one qubit.
+    assert len(set(code.logical_z) & set(code.logical_x)) == 1
+
+
+@pytest.mark.parametrize("distance", [3, 5, 7])
+def test_schedule_layers_are_disjoint(distance):
+    """No qubit is touched twice in the same CNOT layer."""
+    code = RotatedSurfaceCode(distance)
+    for layer in range(4):
+        used: set[int] = set()
+        for stab in code.stabilizers:
+            partner = stab.schedule[layer]
+            if partner is None:
+                continue
+            assert partner not in used
+            assert stab.ancilla not in used
+            used.add(partner)
+            used.add(stab.ancilla)
+
+
+@pytest.mark.parametrize("distance", [3, 5])
+def test_schedule_covers_support(distance):
+    code = RotatedSurfaceCode(distance)
+    for stab in code.stabilizers:
+        scheduled = {q for q in stab.schedule if q is not None}
+        assert scheduled == set(stab.data)
+
+
+def test_every_data_qubit_in_some_z_and_x_stabilizer():
+    code = RotatedSurfaceCode(5)
+    z_cover = set().union(*(s.data for s in code.z_stabilizers()))
+    x_cover = set().union(*(s.data for s in code.x_stabilizers()))
+    assert z_cover == set(code.data_qubits)
+    assert x_cover == set(code.data_qubits)
+
+
+def test_invalid_distances_rejected():
+    for bad in (1, 2, 4, 0, -3):
+        with pytest.raises(ValueError):
+            RotatedSurfaceCode(bad)
+
+
+def test_coords_unique_and_on_lattice():
+    code = RotatedSurfaceCode(5)
+    coords = list(code.coords.values())
+    assert len(coords) == len(set(coords))
+    for q in code.data_qubits:
+        x, y = code.coords[q]
+        assert x % 2 == 1 and y % 2 == 1
+    for q in code.x_ancillas + code.z_ancillas:
+        x, y = code.coords[q]
+        assert x % 2 == 0 and y % 2 == 0

@@ -1,0 +1,71 @@
+"""Unit tests for the scaling-analysis helpers."""
+
+import pytest
+
+from repro.analysis.scaling import ScalingFit, fit_error_scaling, suppression_factors
+from repro.decoders.mwpm import MWPMDecoder
+from repro.experiments.memory import MemoryRunResult
+from repro.experiments.sweep import SweepPoint, ler_vs_physical_error
+
+
+def _point(distance, p, ler, shots=10_000):
+    errors = int(round(ler * shots))
+    return SweepPoint(
+        distance=distance,
+        physical_error_rate=p,
+        result=MemoryRunResult(decoder_name="x", shots=shots, errors=errors),
+    )
+
+
+class TestSuppressionFactors:
+    def test_consecutive_pairs(self):
+        points = [
+            _point(3, 1e-3, 1e-2),
+            _point(5, 1e-3, 1e-3),
+            _point(7, 1e-3, 2e-4),
+        ]
+        factors = suppression_factors(points)
+        assert factors[3] == pytest.approx(10.0)
+        assert factors[5] == pytest.approx(5.0)
+
+    def test_unresolved_pairs_omitted(self):
+        points = [_point(3, 1e-3, 1e-2), _point(5, 1e-3, 0.0)]
+        assert suppression_factors(points) == {}
+
+
+class TestFitErrorScaling:
+    def test_recovers_synthetic_power_law(self):
+        slope_true = 2.0
+        points = [
+            _point(3, p, 10 ** (1.0 + slope_true * __import__("math").log10(p)), shots=10**9)
+            for p in (1e-3, 2e-3, 4e-3)
+        ]
+        fit = fit_error_scaling(points)
+        assert fit.slope == pytest.approx(slope_true, rel=0.02)
+        assert fit.points_used == 3
+
+    def test_predict_round_trips(self):
+        fit = ScalingFit(slope=2.0, intercept=3.0, points_used=2)
+        assert fit.predict(1e-2) == pytest.approx(10 ** (3.0 - 4.0))
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_error_scaling([_point(3, 1e-3, 1e-3)])
+
+    def test_degenerate_x(self):
+        with pytest.raises(ValueError):
+            fit_error_scaling([_point(3, 1e-3, 1e-3), _point(3, 1e-3, 2e-3)])
+
+
+class TestOnRealSweeps:
+    def test_d3_slope_matches_theory(self):
+        """Theory: slope ~ (d+1)/2 = 2 for d = 3 well below threshold."""
+        points = ler_vs_physical_error(
+            3,
+            [1e-3, 2e-3, 4e-3],
+            lambda setup: MWPMDecoder(setup.ideal_gwt, measure_time=False),
+            shots=60_000,
+            seed=41,
+        )
+        fit = fit_error_scaling(points)
+        assert 1.2 < fit.slope < 2.8

@@ -1,0 +1,78 @@
+"""Unit tests for the time-blind decoder and the per-round metric."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.per_round import (
+    logical_error_after_rounds,
+    logical_error_per_round,
+)
+from repro.decoders.mwpm import MWPMDecoder
+from repro.decoders.single_round import SingleRoundDecoder
+from repro.experiments.memory import run_memory_experiment
+
+
+class TestPerRoundMetric:
+    def test_round_trip(self):
+        for eps in (0.0, 1e-4, 1e-2, 0.3):
+            for rounds in (1, 3, 10):
+                ler = logical_error_after_rounds(eps, rounds)
+                assert logical_error_per_round(ler, rounds) == pytest.approx(eps)
+
+    def test_single_round_identity(self):
+        assert logical_error_per_round(0.01, 1) == pytest.approx(0.01)
+
+    def test_small_rate_is_approximately_linear(self):
+        eps = 1e-5
+        ler = logical_error_after_rounds(eps, 7)
+        assert ler == pytest.approx(7 * eps, rel=1e-3)
+
+    def test_saturation_at_half(self):
+        assert logical_error_after_rounds(0.5, 5) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            logical_error_per_round(0.6, 3)
+        with pytest.raises(ValueError):
+            logical_error_per_round(0.1, 0)
+        with pytest.raises(ValueError):
+            logical_error_after_rounds(0.7, 3)
+        with pytest.raises(ValueError):
+            logical_error_after_rounds(0.1, -1)
+
+
+class TestSingleRoundDecoder:
+    def test_empty(self, setup_d5):
+        dec = SingleRoundDecoder(setup_d5.ideal_gwt, setup_d5.experiment)
+        assert dec.decode_active([]).prediction is False
+
+    def test_never_pairs_across_layers(self, setup_d5, sample_d5):
+        dec = SingleRoundDecoder(setup_d5.ideal_gwt, setup_d5.experiment)
+        layers = [t for (_x, _y, t) in setup_d5.experiment.detector_coords]
+        from repro.decoders.base import BOUNDARY
+
+        for det in sample_d5.detectors[:200]:
+            active = [int(i) for i in np.nonzero(det)[0]]
+            result = dec.decode_active(active)
+            for a, b in result.matching:
+                if b != BOUNDARY:
+                    assert layers[a] == layers[b]
+
+    def test_covers_all_active_bits(self, setup_d5, sample_d5):
+        from repro.decoders.base import BOUNDARY
+        from repro.decoders.verify import verify_decode_result
+
+        dec = SingleRoundDecoder(setup_d5.ideal_gwt, setup_d5.experiment)
+        for det in sample_d5.detectors[:200]:
+            active = [int(i) for i in np.nonzero(det)[0]]
+            result = dec.decode_active(active)
+            report = verify_decode_result(result, active)
+            assert report.valid, report.problems
+
+    def test_much_worse_than_full_history(self, setup_d5):
+        shots = 6000
+        full = MWPMDecoder(setup_d5.ideal_gwt, measure_time=False)
+        blind = SingleRoundDecoder(setup_d5.ideal_gwt, setup_d5.experiment)
+        r_full = run_memory_experiment(setup_d5.experiment, full, shots, seed=71)
+        r_blind = run_memory_experiment(setup_d5.experiment, blind, shots, seed=71)
+        assert r_blind.errors > 3 * max(r_full.errors, 1)

@@ -1,0 +1,168 @@
+"""Round-trip and format tests for Stim circuit-text interoperability."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.memory import build_memory_circuit
+from repro.circuits.noise import NoiseParams
+from repro.circuits.stim_io import from_stim, to_stim
+from repro.sim.pauli_frame import PauliFrameSimulator
+
+
+def _round_trip(circuit):
+    text = to_stim(circuit)
+    parsed, _coords = from_stim(text)
+    return text, parsed
+
+
+class TestSerialisation:
+    def test_gate_lines(self):
+        c = Circuit()
+        c.add("R", [0, 1])
+        c.add("H", [0])
+        c.add("CX", [0, 1])
+        text = to_stim(c)
+        assert "R 0 1" in text
+        assert "H 0" in text
+        assert "CX 0 1" in text
+
+    def test_noise_probability_rendered(self):
+        c = Circuit()
+        c.add("R", [0])
+        c.add("X_ERROR", [0], 0.001)
+        text = to_stim(c)
+        assert "X_ERROR(0.001) 0" in text
+
+    def test_noisy_measurement_rendered(self):
+        c = Circuit()
+        c.add("R", [0])
+        c.add("M", [0], 0.01)
+        assert "M(0.01) 0" in to_stim(c)
+
+    def test_clean_measurement_has_no_args(self):
+        c = Circuit()
+        c.add("R", [0])
+        c.add("M", [0])
+        assert "M 0" in to_stim(c)
+
+    def test_detector_uses_relative_lookback(self):
+        c = Circuit()
+        c.add("M", [0, 1, 2])
+        c.add("DETECTOR", [0, 2])
+        text = to_stim(c)
+        assert "DETECTOR rec[-3] rec[-1]" in text
+
+    def test_observable_index_rendered(self):
+        c = Circuit()
+        c.add("M", [0])
+        c.add("OBSERVABLE_INCLUDE", [0], 1)
+        assert "OBSERVABLE_INCLUDE(1) rec[-1]" in to_stim(c)
+
+    def test_qubit_coords_header(self):
+        c = Circuit()
+        c.add("R", [0])
+        text = to_stim(c, coords={0: (1, 3)})
+        assert text.startswith("QUBIT_COORDS(1, 3) 0")
+
+
+class TestParsing:
+    def test_comments_and_blanks_skipped(self):
+        circuit, _ = from_stim("# header\n\nR 0\nM 0  # trailing\nDETECTOR rec[-1]\n")
+        assert [i.name for i in circuit] == ["R", "M", "DETECTOR"]
+
+    def test_coords_returned(self):
+        _, coords = from_stim("QUBIT_COORDS(2, 4) 7\nR 7\n")
+        assert coords == {7: (2.0, 4.0)}
+
+    def test_unsupported_operation_rejected(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            from_stim("CZ 0 1\n")
+
+    def test_bad_lookback_rejected(self):
+        with pytest.raises(ValueError, match="lookback"):
+            from_stim("M 0\nDETECTOR rec[-2]\n")
+
+    def test_bad_detector_target_rejected(self):
+        with pytest.raises(ValueError, match="rec"):
+            from_stim("M 0\nDETECTOR 0\n")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("distance", [3, 5])
+    @pytest.mark.parametrize("basis", ["z", "x"])
+    def test_memory_circuit_round_trips_exactly(self, distance, basis):
+        mem = build_memory_circuit(distance, NoiseParams.uniform(1e-3), basis=basis)
+        _text, parsed = _round_trip(mem.circuit)
+        assert parsed.instructions == mem.circuit.instructions
+
+    def test_round_trip_preserves_sampling_statistics(self):
+        mem = build_memory_circuit(3, NoiseParams.uniform(2e-3))
+        _text, parsed = _round_trip(mem.circuit)
+        a = PauliFrameSimulator(mem.circuit, seed=9).sample(2000)
+        b = PauliFrameSimulator(parsed, seed=9).sample(2000)
+        assert (a.detectors == b.detectors).all()
+        assert (a.observables == b.observables).all()
+
+    def test_round_trip_with_scaled_noise(self):
+        mem = build_memory_circuit(
+            3, NoiseParams.uniform(1e-3), qubit_noise_scale={4: 7.0}
+        )
+        _text, parsed = _round_trip(mem.circuit)
+        assert parsed.instructions == mem.circuit.instructions
+
+    def test_double_round_trip_is_stable(self):
+        mem = build_memory_circuit(3, NoiseParams.uniform(1e-3))
+        text1 = to_stim(mem.circuit)
+        circuit2, _ = from_stim(text1)
+        text2 = to_stim(circuit2)
+        assert text1 == text2
+
+
+class TestRoundTripProperty:
+    """Hypothesis: any circuit our IR can express round-trips exactly."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.data())
+    def test_random_circuit_round_trips(self, data):
+        circuit = Circuit()
+        circuit.add("R", [0, 1, 2, 3])
+        measurements = 0
+        for _ in range(data.draw(st.integers(1, 12))):
+            op = data.draw(
+                st.sampled_from(
+                    ["H", "CX", "M", "MR", "X_ERROR", "DEPOLARIZE2", "TICK", "DET"]
+                )
+            )
+            if op == "H":
+                circuit.add("H", [data.draw(st.integers(0, 3))])
+            elif op == "CX":
+                a = data.draw(st.integers(0, 3))
+                b = data.draw(st.integers(0, 3).filter(lambda x: x != a))
+                circuit.add("CX", [a, b])
+            elif op in ("M", "MR"):
+                p = data.draw(st.sampled_from([0.0, 0.125, 0.5]))
+                circuit.add(op, [data.draw(st.integers(0, 3))], p)
+                measurements += 1
+            elif op == "X_ERROR":
+                circuit.add(
+                    "X_ERROR",
+                    [data.draw(st.integers(0, 3))],
+                    data.draw(st.sampled_from([0.001, 0.25, 1.0])),
+                )
+            elif op == "DEPOLARIZE2":
+                a = data.draw(st.integers(0, 3))
+                b = data.draw(st.integers(0, 3).filter(lambda x: x != a))
+                circuit.add("DEPOLARIZE2", [a, b], 0.0625)
+            elif op == "TICK":
+                circuit.add("TICK")
+            elif op == "DET" and measurements:
+                circuit.add(
+                    "DETECTOR", [data.draw(st.integers(0, measurements - 1))]
+                )
+        if measurements:
+            circuit.add("OBSERVABLE_INCLUDE", [0], 0)
+        text = to_stim(circuit)
+        parsed, _coords = from_stim(text)
+        assert parsed.instructions == circuit.instructions

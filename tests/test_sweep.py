@@ -1,0 +1,38 @@
+"""Unit tests for the sweep helpers."""
+
+from repro.decoders.mwpm import MWPMDecoder
+from repro.experiments.sweep import ler_vs_distance, ler_vs_physical_error
+
+
+def _mwpm(setup):
+    return MWPMDecoder(setup.ideal_gwt, measure_time=False)
+
+
+class TestLerVsPhysicalError:
+    def test_points_in_input_order(self):
+        rates = [2e-3, 1e-3]
+        points = ler_vs_physical_error(3, rates, _mwpm, shots=2000, seed=1)
+        assert [p.physical_error_rate for p in points] == rates
+        assert all(p.distance == 3 for p in points)
+
+    def test_monotone_in_p(self):
+        points = ler_vs_physical_error(
+            3, [1e-3, 4e-3], _mwpm, shots=20_000, seed=2
+        )
+        assert points[0].logical_error_rate < points[1].logical_error_rate
+
+    def test_deterministic(self):
+        a = ler_vs_physical_error(3, [2e-3], _mwpm, shots=2000, seed=3)
+        b = ler_vs_physical_error(3, [2e-3], _mwpm, shots=2000, seed=3)
+        assert a[0].result.errors == b[0].result.errors
+
+
+class TestLerVsDistance:
+    def test_suppression_with_distance(self):
+        points = ler_vs_distance([3, 5], 1.5e-3, _mwpm, shots=25_000, seed=4)
+        assert points[0].distance == 3 and points[1].distance == 5
+        assert points[1].logical_error_rate < points[0].logical_error_rate
+
+    def test_basis_forwarded(self):
+        points = ler_vs_distance([3], 2e-3, _mwpm, shots=1000, seed=5, basis="x")
+        assert points[0].result.shots == 1000

@@ -1,0 +1,125 @@
+"""Unit tests for the CHP tableau reference simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.sim.tableau import TableauSimulator, run_tableau_shot
+
+
+class TestTableauBasics:
+    def test_initial_state_measures_zero(self):
+        sim = TableauSimulator(3, np.random.default_rng(0))
+        assert [sim.measure_z(q) for q in range(3)] == [0, 0, 0]
+
+    def test_pauli_x_flips_outcome(self):
+        sim = TableauSimulator(1, np.random.default_rng(0))
+        sim.pauli_x(0)
+        assert sim.measure_z(0) == 1
+
+    def test_pauli_z_preserves_outcome(self):
+        sim = TableauSimulator(1, np.random.default_rng(0))
+        sim.pauli_z(0)
+        assert sim.measure_z(0) == 0
+
+    def test_pauli_y_flips_outcome(self):
+        sim = TableauSimulator(1, np.random.default_rng(0))
+        sim.pauli_y(0)
+        assert sim.measure_z(0) == 1
+
+    def test_hh_is_identity(self):
+        sim = TableauSimulator(1, np.random.default_rng(0))
+        sim.h(0)
+        sim.h(0)
+        assert sim.measure_z(0) == 0
+
+    def test_plus_state_is_random_but_repeatable(self):
+        outcomes = set()
+        for seed in range(20):
+            sim = TableauSimulator(1, np.random.default_rng(seed))
+            sim.h(0)
+            outcomes.add(sim.measure_z(0))
+        assert outcomes == {0, 1}
+
+    def test_measurement_collapses(self):
+        for seed in range(10):
+            sim = TableauSimulator(1, np.random.default_rng(seed))
+            sim.h(0)
+            first = sim.measure_z(0)
+            assert sim.measure_z(0) == first
+
+    def test_bell_pair_correlations(self):
+        for seed in range(20):
+            sim = TableauSimulator(2, np.random.default_rng(seed))
+            sim.h(0)
+            sim.cx(0, 1)
+            assert sim.measure_z(0) == sim.measure_z(1)
+
+    def test_ghz_correlations(self):
+        for seed in range(10):
+            sim = TableauSimulator(3, np.random.default_rng(seed))
+            sim.h(0)
+            sim.cx(0, 1)
+            sim.cx(1, 2)
+            a, b, c = (sim.measure_z(q) for q in range(3))
+            assert a == b == c
+
+    def test_cx_flips_target_when_control_one(self):
+        sim = TableauSimulator(2, np.random.default_rng(0))
+        sim.pauli_x(0)
+        sim.cx(0, 1)
+        assert sim.measure_z(1) == 1
+
+    def test_reset_z_restores_zero(self):
+        sim = TableauSimulator(1, np.random.default_rng(3))
+        sim.h(0)
+        sim.reset_z(0)
+        assert sim.measure_z(0) == 0
+
+    def test_invalid_qubit_count(self):
+        with pytest.raises(ValueError):
+            TableauSimulator(0)
+
+
+class TestRunTableauShot:
+    def test_stabilizer_parity_deterministic(self):
+        # Measure the ZZ parity of a Bell pair via an ancilla: always 0.
+        c = Circuit()
+        c.add("R", [0, 1, 2])
+        c.add("H", [0])
+        c.add("CX", [0, 1])
+        c.add("CX", [0, 2])  # parity of qubits 0,1 onto ancilla 2
+        c.add("CX", [1, 2])
+        c.add("M", [2])
+        c.add("DETECTOR", [0])
+        for seed in range(10):
+            _m, det, _obs = run_tableau_shot(c, np.random.default_rng(seed))
+            assert det[0] == 0
+
+    def test_noise_with_probability_one_is_deterministic(self):
+        c = Circuit()
+        c.add("R", [0])
+        c.add("X_ERROR", [0], 1.0)
+        c.add("M", [0])
+        c.add("DETECTOR", [0])
+        _m, det, _obs = run_tableau_shot(c, np.random.default_rng(0))
+        assert det[0] == 1
+
+    def test_measurement_record_flip(self):
+        c = Circuit()
+        c.add("R", [0])
+        c.add("M", [0], 1.0)
+        c.add("DETECTOR", [0])
+        _m, det, _obs = run_tableau_shot(c, np.random.default_rng(0))
+        assert det[0] == 1
+
+    def test_depolarize_statistics(self):
+        c = Circuit()
+        c.add("R", [0])
+        c.add("DEPOLARIZE1", [0], 0.9)
+        c.add("M", [0])
+        c.add("DETECTOR", [0])
+        rng = np.random.default_rng(5)
+        flips = sum(int(run_tableau_shot(c, rng)[1][0]) for _ in range(600))
+        # Expect 0.9 * 2/3 = 0.6 flip rate.
+        assert abs(flips / 600 - 0.6) < 0.07

@@ -1,0 +1,66 @@
+"""Unit tests for threshold (crossing) estimation."""
+
+import pytest
+
+from repro.analysis.threshold import ThresholdEstimate, estimate_crossing, log_spaced
+from repro.decoders.mwpm import MWPMDecoder
+
+
+def _mwpm(setup):
+    return MWPMDecoder(setup.ideal_gwt, measure_time=False)
+
+
+class TestLogSpaced:
+    def test_endpoints(self):
+        grid = log_spaced(1e-3, 1e-2, 3)
+        assert grid[0] == pytest.approx(1e-3)
+        assert grid[-1] == pytest.approx(1e-2)
+
+    def test_geometric_spacing(self):
+        grid = log_spaced(1e-4, 1e-2, 3)
+        assert grid[1] == pytest.approx(1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            log_spaced(1e-3, 1e-2, 1)
+        with pytest.raises(ValueError):
+            log_spaced(1e-2, 1e-3, 3)
+
+
+class TestEstimateCrossing:
+    def test_finds_a_threshold_between_3_and_5(self):
+        """d = 5 beats d = 3 well below threshold and loses far above it;
+        the measured crossing is the circuit-level threshold, which for
+        this noise model sits near 0.5-1.5%."""
+        estimate = estimate_crossing(
+            3,
+            5,
+            _mwpm,
+            grid=log_spaced(1.5e-3, 3e-2, 5),
+            shots=12_000,
+            seed=6,
+        )
+        assert isinstance(estimate, ThresholdEstimate)
+        assert estimate.found
+        assert 1.5e-3 < estimate.crossing < 3e-2
+        # Below the first grid point the larger code is better.
+        assert estimate.ler_large[0] < estimate.ler_small[0]
+        # At the top of the grid the ordering has flipped.
+        assert estimate.ler_large[-1] >= estimate.ler_small[-1]
+
+    def test_no_crossing_reported_when_always_below(self):
+        estimate = estimate_crossing(
+            3,
+            5,
+            _mwpm,
+            grid=[1e-3, 2e-3],
+            shots=4_000,
+            seed=7,
+        )
+        assert not estimate.found
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_crossing(5, 3, _mwpm, grid=[1e-3, 2e-3], shots=10)
+        with pytest.raises(ValueError):
+            estimate_crossing(3, 5, _mwpm, grid=[2e-3, 1e-3], shots=10)

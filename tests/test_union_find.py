@@ -1,0 +1,92 @@
+"""Unit tests for the Union-Find (AFS) decoder."""
+
+import numpy as np
+import pytest
+
+from repro.decoders.base import BOUNDARY
+from repro.decoders.mwpm import MWPMDecoder
+from repro.decoders.union_find import UnionFindDecoder
+from repro.graphs.decoding_graph import DecodingGraph
+from repro.sim.dem import DetectorErrorModel, FaultMechanism
+
+
+def _line_graph(n, p_boundary=0.01, p_edge=0.05, obs_on_first_boundary=True):
+    """A 1D chain of detectors with boundary edges at both ends."""
+    mechanisms = [
+        FaultMechanism(p_boundary, (0,), (0,) if obs_on_first_boundary else ()),
+        FaultMechanism(p_boundary, (n - 1,), ()),
+    ]
+    for i in range(n - 1):
+        mechanisms.append(FaultMechanism(p_edge, (i, i + 1), ()))
+    dem = DetectorErrorModel(
+        num_detectors=n, num_observables=1, mechanisms=mechanisms
+    )
+    return DecodingGraph.from_dem(dem)
+
+
+class TestLineGraph:
+    def test_adjacent_pair_matched_together(self):
+        g = _line_graph(6)
+        dec = UnionFindDecoder(g)
+        result = dec.decode_active([2, 3])
+        assert (2, 3) in result.matching
+        assert result.prediction is False
+
+    def test_single_defect_goes_to_nearest_boundary(self):
+        g = _line_graph(6)
+        dec = UnionFindDecoder(g)
+        result = dec.decode_active([0])
+        assert (0, BOUNDARY) in result.matching
+        assert result.prediction is True  # left boundary flips the logical
+
+    def test_empty(self):
+        dec = UnionFindDecoder(_line_graph(4))
+        assert dec.decode_active([]).prediction is False
+
+    def test_correction_validity_on_random_syndromes(self):
+        """The peeled correction must annihilate the defect set."""
+        g = _line_graph(8)
+        dec = UnionFindDecoder(g)
+        rng = np.random.default_rng(3)
+        boundary = g.num_detectors
+        for _ in range(100):
+            k = int(rng.integers(1, 6))
+            active = sorted(rng.choice(8, size=k, replace=False).tolist())
+            result = dec.decode_active([int(a) for a in active])
+            parity = np.zeros(boundary + 1, dtype=int)
+            for u, v in result.matching:
+                vv = boundary if v == BOUNDARY else v
+                parity[u] ^= 1
+                parity[vv] ^= 1
+            assert (np.nonzero(parity[:boundary])[0] == np.array(active)).all()
+
+
+class TestOnSurfaceCode:
+    def test_correction_annihilates_defects(self, setup_d3, sample_d3):
+        dec = UnionFindDecoder(setup_d3.graph)
+        boundary = setup_d3.graph.num_detectors
+        for det in sample_d3.detectors[:400]:
+            active = sorted(int(i) for i in np.nonzero(det)[0])
+            result = dec.decode_active(active)
+            parity = np.zeros(boundary + 1, dtype=int)
+            for u, v in result.matching:
+                vv = boundary if v == BOUNDARY else v
+                parity[u] ^= 1
+                parity[vv] ^= 1
+            assert list(np.nonzero(parity[:boundary])[0]) == active
+
+    def test_less_accurate_than_mwpm(self, setup_d3, sample_d3):
+        """Figure 4: Union-Find trails MWPM in logical error rate."""
+        uf = UnionFindDecoder(setup_d3.graph)
+        mwpm = MWPMDecoder(setup_d3.ideal_gwt, measure_time=False)
+        errors_uf = 0
+        errors_mwpm = 0
+        for det, obs in zip(sample_d3.detectors, sample_d3.observables):
+            errors_uf += int(uf.decode(det).prediction != obs[0])
+            errors_mwpm += int(mwpm.decode(det).prediction != obs[0])
+        assert errors_uf > errors_mwpm
+
+    def test_deterministic(self, setup_d3, sample_d3):
+        dec = UnionFindDecoder(setup_d3.graph)
+        det = sample_d3.detectors[10]
+        assert dec.decode(det).matching == dec.decode(det).matching

@@ -1,0 +1,117 @@
+"""Unit tests for decode-result verification."""
+
+import numpy as np
+import pytest
+
+from repro.decoders.base import BOUNDARY, DecodeResult
+from repro.decoders.mwpm import MWPMDecoder
+from repro.decoders.union_find import UnionFindDecoder
+from repro.decoders.astrea_g import AstreaGDecoder
+from repro.decoders.verify import verify_decode_result
+
+
+class TestChecks:
+    def test_valid_result_passes(self, setup_d3):
+        dec = MWPMDecoder(setup_d3.ideal_gwt, measure_time=False)
+        result = dec.decode_active([2, 9])
+        report = verify_decode_result(result, [2, 9], gwt=setup_d3.ideal_gwt)
+        assert report.valid
+        assert bool(report)
+
+    def test_unmatched_bit_flagged(self):
+        result = DecodeResult(prediction=False, matching=[(0, 1)])
+        report = verify_decode_result(result, [0, 1, 2])
+        assert not report.valid
+        assert any("unmatched" in p for p in report.problems)
+
+    def test_inactive_bit_flagged(self):
+        result = DecodeResult(prediction=False, matching=[(0, 5)])
+        report = verify_decode_result(result, [0])
+        assert any("inactive" in p for p in report.problems)
+
+    def test_double_match_flagged(self):
+        result = DecodeResult(
+            prediction=False, matching=[(0, 1), (1, BOUNDARY)]
+        )
+        report = verify_decode_result(result, [0, 1])
+        assert any("twice" in p for p in report.problems)
+
+    def test_self_pair_flagged(self):
+        result = DecodeResult(prediction=False, matching=[(3, 3)])
+        report = verify_decode_result(result, [3])
+        assert any("self-pair" in p for p in report.problems)
+
+    def test_boundary_first_flagged(self):
+        result = DecodeResult(prediction=False, matching=[(BOUNDARY, 3)])
+        report = verify_decode_result(result, [3])
+        assert not report.valid
+
+    def test_wrong_weight_flagged(self, setup_d3):
+        gwt = setup_d3.ideal_gwt
+        result = DecodeResult(
+            prediction=gwt.parity(2, 9), matching=[(2, 9)], weight=999.0
+        )
+        report = verify_decode_result(result, [2, 9], gwt=gwt)
+        assert any("weight" in p for p in report.problems)
+
+    def test_wrong_prediction_flagged(self, setup_d3):
+        gwt = setup_d3.ideal_gwt
+        result = DecodeResult(
+            prediction=not gwt.parity(2, 9),
+            matching=[(2, 9)],
+            weight=gwt.weight(2, 9),
+        )
+        report = verify_decode_result(result, [2, 9], gwt=gwt)
+        assert any("prediction" in p for p in report.problems)
+
+    def test_declined_result(self):
+        report = verify_decode_result(
+            DecodeResult(prediction=False, decoded=False), [0, 1]
+        )
+        assert report.valid
+        report = verify_decode_result(
+            DecodeResult(prediction=False, decoded=False, matching=[(0, 1)]),
+            [0, 1],
+        )
+        assert not report.valid
+
+
+class TestDecoderZooValidity:
+    """Every decoder must emit structurally valid corrections."""
+
+    def test_matching_decoders_on_sampled_syndromes(self, setup_d5, sample_d5):
+        gwt = setup_d5.ideal_gwt
+        decoders = [
+            (MWPMDecoder(gwt, measure_time=False), "pairing", True),
+            (AstreaGDecoder(gwt, weight_threshold=8.0), "pairing", True),
+            (UnionFindDecoder(setup_d5.graph), "edges", False),
+        ]
+        for det in sample_d5.detectors[:300]:
+            active = [int(i) for i in np.nonzero(det)[0]]
+            for decoder, semantics, check_table in decoders:
+                result = decoder.decode_active(active)
+                report = verify_decode_result(
+                    result,
+                    active,
+                    gwt=gwt if check_table else None,
+                    semantics=semantics,
+                )
+                assert report.valid, (decoder.name, report.problems)
+
+    def test_edges_semantics_accepts_paths_through_inactive_bits(self):
+        result = DecodeResult(
+            prediction=False, matching=[(0, 5), (5, 9)]
+        )
+        report = verify_decode_result(result, [0, 9], semantics="edges")
+        assert report.valid
+
+    def test_edges_semantics_rejects_unexplained_defect(self):
+        result = DecodeResult(prediction=False, matching=[(0, 5)])
+        report = verify_decode_result(result, [0, 9], semantics="edges")
+        assert not report.valid
+
+    def test_unknown_semantics_rejected(self):
+        with pytest.raises(ValueError):
+            verify_decode_result(
+                DecodeResult(prediction=False), [], semantics="???"
+            )

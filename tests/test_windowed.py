@@ -1,0 +1,82 @@
+"""Unit tests for the sliding-window streaming decoder."""
+
+import numpy as np
+import pytest
+
+from repro.decoders.mwpm import MWPMDecoder
+from repro.decoders.windowed import SlidingWindowDecoder
+from repro.experiments.memory import run_memory_experiment
+
+
+def _make(setup, window, commit):
+    return SlidingWindowDecoder(
+        setup.ideal_gwt,
+        setup.graph,
+        setup.experiment,
+        window=window,
+        commit=commit,
+    )
+
+
+class TestConstruction:
+    def test_parameter_validation(self, setup_d5):
+        with pytest.raises(ValueError):
+            _make(setup_d5, window=1, commit=1)
+        with pytest.raises(ValueError):
+            _make(setup_d5, window=4, commit=4)
+        with pytest.raises(ValueError):
+            _make(setup_d5, window=4, commit=0)
+
+
+class TestEquivalenceToBlockDecoding:
+    def test_full_window_matches_mwpm_predictions(self, setup_d5, sample_d5):
+        """A window covering every layer is exactly block MWPM."""
+        layers = setup_d5.experiment.rounds + 1
+        windowed = _make(setup_d5, window=layers, commit=layers - 1)
+        block = MWPMDecoder(setup_d5.ideal_gwt, measure_time=False)
+        for det in sample_d5.detectors[:400]:
+            active = [int(i) for i in np.nonzero(det)[0]]
+            assert (
+                windowed.decode_active(active).prediction
+                == block.decode_active(active).prediction
+            )
+
+    def test_empty_syndrome(self, setup_d5):
+        windowed = _make(setup_d5, window=3, commit=1)
+        assert windowed.decode_active([]).prediction is False
+
+
+class TestStreaming:
+    def test_all_syndromes_resolve(self, setup_d5, sample_d5):
+        """No residual defects may survive, for any window geometry."""
+        for window, commit in ((2, 1), (3, 1), (4, 2), (5, 3)):
+            windowed = _make(setup_d5, window=window, commit=commit)
+            for det in sample_d5.detectors[:150]:
+                active = [int(i) for i in np.nonzero(det)[0]]
+                result = windowed.decode_active(active)  # asserts internally
+                assert result.decoded
+
+    def test_window_count_scales_with_commit(self, setup_d5, sample_d5):
+        det = next(d for d in sample_d5.detectors if d.any())
+        active = [int(i) for i in np.nonzero(det)[0]]
+        fast = _make(setup_d5, window=4, commit=3).decode_active(active)
+        slow = _make(setup_d5, window=4, commit=1).decode_active(active)
+        assert slow.cycles >= fast.cycles
+
+    def test_accuracy_close_to_block_with_good_lookahead(self, setup_d5):
+        shots = 8000
+        block = MWPMDecoder(setup_d5.ideal_gwt, measure_time=False)
+        windowed = _make(setup_d5, window=5, commit=2)
+        r_block = run_memory_experiment(setup_d5.experiment, block, shots, seed=81)
+        r_win = run_memory_experiment(setup_d5.experiment, windowed, shots, seed=81)
+        assert r_win.errors <= 2 * r_block.errors + 5
+
+    def test_tiny_window_degrades(self, setup_d5):
+        """window=2/commit=1 has minimal lookahead and should be worse
+        than (or at best equal to) a well-sized window."""
+        shots = 8000
+        tiny = _make(setup_d5, window=2, commit=1)
+        sized = _make(setup_d5, window=5, commit=2)
+        r_tiny = run_memory_experiment(setup_d5.experiment, tiny, shots, seed=82)
+        r_sized = run_memory_experiment(setup_d5.experiment, sized, shots, seed=82)
+        assert r_tiny.errors >= r_sized.errors
