@@ -1,0 +1,108 @@
+"""Extension bench: batched decode throughput (shots/sec) per decoder.
+
+The paper's evaluation runs 1B-100B Monte-Carlo trials over 1024 MPI
+cores; the single-machine analogue lives or dies on decode throughput.
+This bench measures shots/sec for Astrea, Astrea-G, Union-Find and MWPM
+at d in {3, 5, 7}, p = 1e-3, decoding raw sampled syndrome batches (no
+unique-syndrome caching, so the number is a true per-shot decode rate).
+
+For Astrea it measures *both* the retained scalar reference path
+(``use_vectorized=False``, per-row ``decode``) and the vectorized
+``decode_batch`` pipeline, and records the speedup -- the perf gate for
+the batched pipeline is >= 5x at d = 5.  Each run appends a JSON record
+to ``benchmarks/results/ext_decode_throughput_d<d>.json`` so future
+changes have a throughput trajectory to compare against.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.decoders.astrea import AstreaDecoder
+from repro.decoders.astrea_g import AstreaGDecoder
+from repro.decoders.mwpm import MWPMDecoder
+from repro.decoders.union_find import UnionFindDecoder
+from repro.experiments.setup import DecodingSetup
+from repro.sim.pauli_frame import PauliFrameSimulator
+
+from _util import RESULTS_DIR, emit, seed, trials
+
+P = 1e-3
+
+#: Astrea's batch speedup gate at d = 5 (only asserted at full trial scale,
+#: where timing noise is negligible).
+SPEEDUP_GATE = 5.0
+
+
+def _shots_per_sec(decode, num_shots: int) -> float:
+    start = time.perf_counter()
+    decode()
+    elapsed = time.perf_counter() - start
+    return num_shots / elapsed if elapsed > 0 else float("inf")
+
+
+@pytest.mark.parametrize("distance", [3, 5, 7])
+def test_ext_decode_throughput(distance, benchmark):
+    setup = DecodingSetup.build(distance, P)
+    shots = trials(20_000)
+    sim = PauliFrameSimulator(setup.experiment.circuit, seed=seed(70 + distance))
+    detectors = sim.sample(shots).detectors
+    # The software decoders (per-row Python) get a subset, normalised to
+    # shots/sec, so the bench stays laptop-scale at d = 7.
+    slow_rows = detectors[: max(1, min(shots, trials(3_000)))]
+
+    record = {
+        "bench": "ext_decode_throughput",
+        "distance": distance,
+        "p": P,
+        "shots": shots,
+        "throughput_shots_per_sec": {},
+    }
+
+    def run():
+        throughput = record["throughput_shots_per_sec"]
+        scalar = AstreaDecoder(setup.gwt, use_vectorized=False)
+        batch = AstreaDecoder(setup.gwt)
+        throughput["astrea_scalar"] = _shots_per_sec(
+            lambda: [scalar.decode(row) for row in slow_rows], len(slow_rows)
+        )
+        throughput["astrea_batch"] = _shots_per_sec(
+            lambda: batch.decode_batch(detectors), shots
+        )
+        astrea_g = AstreaGDecoder(setup.gwt)
+        throughput["astrea_g_batch"] = _shots_per_sec(
+            lambda: astrea_g.decode_batch(detectors), shots
+        )
+        union_find = UnionFindDecoder(setup.graph)
+        throughput["union_find_batch"] = _shots_per_sec(
+            lambda: union_find.decode_batch(slow_rows), len(slow_rows)
+        )
+        mwpm = MWPMDecoder(setup.gwt, measure_time=False)
+        throughput["mwpm_batch"] = _shots_per_sec(
+            lambda: mwpm.decode_batch(slow_rows), len(slow_rows)
+        )
+        return throughput
+
+    throughput = benchmark.pedantic(run, rounds=1, iterations=1)
+    record["astrea_batch_speedup"] = (
+        throughput["astrea_batch"] / throughput["astrea_scalar"]
+    )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    json_path = RESULTS_DIR / f"ext_decode_throughput_d{distance}.json"
+    json_path.write_text(json.dumps(record, indent=2) + "\n")
+
+    lines = [f"d={distance}, p={P}, shots={shots}"]
+    for name, value in throughput.items():
+        lines.append(f"{name:18s}: {value:12.0f} shots/s")
+    lines.append(
+        f"astrea batch vs scalar speedup: {record['astrea_batch_speedup']:.1f}x"
+    )
+    emit(f"ext_decode_throughput_d{distance}", lines)
+
+    assert throughput["astrea_batch"] > 0
+    # The >= 5x acceptance gate -- only meaningful at full trial counts
+    # (tiny smoke batches are dominated by fixed per-call overheads).
+    if distance == 5 and shots >= 20_000:
+        assert record["astrea_batch_speedup"] >= SPEEDUP_GATE

@@ -33,9 +33,21 @@ import numpy as np
 from ..graphs.weights import GlobalWeightTable
 from ..hw.latency import FpgaTiming, astrea_total_cycles
 from ..matching.boundary import MatchingProblem
-from .base import DecodeResult, Decoder, matching_to_detectors
+from .base import BOUNDARY, DecodeResult, Decoder, matching_to_detectors
 
-__all__ = ["HW6Decoder", "AstreaDecoder", "exhaustive_search"]
+__all__ = [
+    "HW6Decoder",
+    "AstreaDecoder",
+    "exhaustive_search",
+    "matchings_tensor",
+    "vectorized_search",
+    "batched_search",
+    "bucket_results",
+]
+
+#: Rows per batched-kernel invocation; bounds the size of the per-bucket
+#: gather tensor (``rows x 945 x 5`` float64 at Hamming weight 10).
+KERNEL_CHUNK_ROWS = 4096
 
 
 @lru_cache(maxsize=None)
@@ -56,6 +68,244 @@ def _matchings_of(m: int) -> tuple[tuple[tuple[int, int], ...], ...]:
                 + tuple((remap[a], remap[b]) for a, b in sub)
             )
     return tuple(out)
+
+
+@lru_cache(maxsize=None)
+def matchings_tensor(m: int) -> np.ndarray:
+    """All perfect matchings of ``m`` nodes as one integer index tensor.
+
+    Returns a read-only ``(num_matchings, m / 2, 2)`` array enumerating the
+    ``(m - 1)!!`` perfect matchings in *exactly* the order the scalar search
+    explores them (:func:`_matchings_of` shares its recursive structure with
+    :func:`_search_with_prematch`), so that ``argmin`` over the vectorized
+    totals breaks ties identically to the scalar search's strict-improvement
+    rule.
+
+    Args:
+        m: Even node count, 0 <= m <= 10.
+
+    Returns:
+        The index tensor; fancy-indexing a weight matrix with its two
+        trailing columns gathers every candidate matching's pair weights at
+        once.
+    """
+    if m % 2 or m > 10:
+        raise ValueError(f"matchings_tensor supports even m <= 10, got {m}")
+    if m == 0:
+        tensor = np.zeros((1, 0, 2), dtype=np.intp)
+    else:
+        tensor = np.asarray(_matchings_of(m), dtype=np.intp)
+    tensor.setflags(write=False)
+    return tensor
+
+
+def _hw6_accesses_for(m: int) -> int:
+    """HW6Decoder accesses the exhaustive search performs for ``m`` nodes."""
+    if m == 0:
+        return 0
+    if m <= 6:
+        return 1
+    return 7 if m == 8 else 63
+
+
+def _ltr_sum(gathered: np.ndarray) -> np.ndarray:
+    """Sum the last axis left to right (the HW6Decoder's accumulation)."""
+    total = gathered[..., 0]
+    for k in range(1, gathered.shape[-1]):
+        total = total + gathered[..., k]
+    return total
+
+
+def _scalar_order_select(
+    gathered: np.ndarray, m: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pick each row's minimum matching exactly as the scalar search does.
+
+    The scalar search is *hierarchical*: the HW6Decoder first selects the
+    best completion of each pre-match block by comparing its partial sums,
+    and only then does each pre-match level compare ``head + sub`` block
+    totals (section 5.3 / Figure 7b).  Because every comparison operates
+    on *rounded* floating-point partials, a flat ``argmin`` over full
+    matching totals can break ties differently; this helper replicates the
+    per-level comparisons (and their left-to-right accumulation order) so
+    the selected matching -- not just its weight -- is bit-identical to
+    the scalar reference.
+
+    Args:
+        gathered: ``(B, K, num_pairs)`` per-pair weights of every candidate
+            matching, in :func:`matchings_tensor` order.
+        m: Node count (even, 2 <= m <= 10).
+
+    Returns:
+        Tuple ``(best_index, best_total)`` of ``(B,)`` arrays.
+    """
+    num = gathered.shape[0]
+    rows = np.arange(num)
+    if m <= 6:
+        totals = _ltr_sum(gathered)
+        best = totals.argmin(axis=-1)
+        return best, totals[rows, best]
+    if m == 8:
+        # 7 pre-match blocks x 15 HW6 completions.
+        blocks = gathered.reshape(num, 7, 15, 4)
+        subs = _ltr_sum(blocks[..., 1:])
+        sub_idx = subs.argmin(axis=-1)
+        sub_best = np.take_along_axis(subs, sub_idx[..., None], axis=-1)[..., 0]
+        totals = blocks[..., 0, 0] + sub_best
+        block_idx = totals.argmin(axis=-1)
+        best = block_idx * 15 + sub_idx[rows, block_idx]
+        return best, totals[rows, block_idx]
+    # m == 10: 9 x 7 pre-match blocks x 15 HW6 completions.
+    blocks = gathered.reshape(num, 9, 7, 15, 5)
+    subs = _ltr_sum(blocks[..., 2:])
+    sub_idx = subs.argmin(axis=-1)
+    sub_best = np.take_along_axis(subs, sub_idx[..., None], axis=-1)[..., 0]
+    inner = blocks[..., 0, 1] + sub_best
+    inner_idx = inner.argmin(axis=-1)
+    inner_best = np.take_along_axis(inner, inner_idx[..., None], axis=-1)[..., 0]
+    outer = blocks[..., 0, 0, 0] + inner_best
+    outer_idx = outer.argmin(axis=-1)
+    inner_sel = inner_idx[rows, outer_idx]
+    sub_sel = sub_idx[rows, outer_idx, inner_sel]
+    best = (outer_idx * 7 + inner_sel) * 15 + sub_sel
+    return best, outer[rows, outer_idx]
+
+
+def vectorized_search(
+    weights: np.ndarray,
+) -> tuple[list[tuple[int, int]], float, int]:
+    """Vectorized drop-in for :func:`exhaustive_search` (one syndrome).
+
+    Evaluates all candidate matchings with a single fancy-indexed gather
+    plus an ``argmin`` instead of nested Python loops.  Returns bit-identical
+    pairs, weight and access count to the scalar search.
+
+    Args:
+        weights: Effective pair-weight matrix of an even node count <= 10.
+
+    Returns:
+        Tuple ``(pairs, total_weight, hw6_accesses)``.
+    """
+    m = weights.shape[0]
+    if m == 0:
+        return [], 0.0, 0
+    if m % 2 or m > 10:
+        raise ValueError(f"exhaustive search supports at most 10 nodes, got {m}")
+    tensor = matchings_tensor(m)
+    gathered = weights[None, tensor[:, :, 0], tensor[:, :, 1]]
+    best, total = _scalar_order_select(gathered, m)
+    pairs = [(int(a), int(b)) for a, b in tensor[int(best[0])]]
+    return pairs, float(total[0]), _hw6_accesses_for(m)
+
+
+def batched_search(
+    weights: np.ndarray, parities: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Exhaustive MWPM search over a whole bucket of syndromes at once.
+
+    Args:
+        weights: ``(B, m, m)`` pair-weight tensor (even ``m`` <= 10), e.g.
+            from :meth:`MatchingProblem.from_syndrome_batch`.
+        parities: ``(B, m, m)`` bool tensor of logical parities.
+
+    Returns:
+        Tuple ``(pair_tensor, total_weights, predictions)`` where
+        ``pair_tensor`` is ``(B, m / 2, 2)`` (row ``i`` holds syndrome
+        ``i``'s minimum matching), ``total_weights`` is ``(B,)`` and
+        ``predictions`` is the ``(B,)`` bool logical-flip vector.
+    """
+    num, m, _ = weights.shape
+    if m == 0:
+        return (
+            np.zeros((num, 0, 2), dtype=np.intp),
+            np.zeros(num, dtype=np.float64),
+            np.zeros(num, dtype=bool),
+        )
+    if m % 2 or m > 10:
+        raise ValueError(f"exhaustive search supports at most 10 nodes, got {m}")
+    tensor = matchings_tensor(m)
+    gathered = weights[:, tensor[:, :, 0], tensor[:, :, 1]]
+    best, totals = _scalar_order_select(gathered, m)
+    rows = np.arange(num)
+    pair_tensor = tensor[best]
+    sel_parities = parities[
+        rows[:, None], pair_tensor[:, :, 0], pair_tensor[:, :, 1]
+    ]
+    predictions = np.bitwise_xor.reduce(sel_parities, axis=1)
+    return pair_tensor, totals, predictions
+
+
+def bucket_results(
+    batch,
+    pair_tensor: np.ndarray,
+    weights: np.ndarray,
+    predictions: np.ndarray,
+    *,
+    cycles: int,
+    latency_ns: float,
+) -> list[DecodeResult]:
+    """Materialise :class:`DecodeResult` objects for one decoded bucket.
+
+    Performs the local-node -> detector-index translation of
+    :func:`~repro.decoders.base.matching_to_detectors` for the whole bucket
+    with array operations (the translation is the per-row hot spot once the
+    search itself is vectorized).
+
+    Args:
+        batch: The bucket's :class:`MatchingProblemBatch`.
+        pair_tensor: ``(B, m / 2, 2)`` winning matchings from
+            :func:`batched_search`.
+        weights: ``(B,)`` matching weights.
+        predictions: ``(B,)`` bool logical-flip predictions.
+        cycles: Modeled cycle count shared by the bucket.
+        latency_ns: Modeled latency shared by the bucket.
+
+    Returns:
+        One :class:`DecodeResult` per bucket row, identical to the scalar
+        path's output.
+    """
+    num, npairs, _ = pair_tensor.shape
+    weight_list = weights.tolist()
+    pred_list = predictions.tolist()
+    if npairs == 0:
+        return [
+            DecodeResult(
+                prediction=pred_list[j],
+                weight=weight_list[j],
+                cycles=cycles,
+                latency_ns=latency_ns,
+            )
+            for j in range(num)
+        ]
+    lookup = batch.active
+    if batch.has_virtual:
+        pad = np.full((num, 1), BOUNDARY, dtype=lookup.dtype)
+        lookup = np.concatenate([lookup, pad], axis=1)
+    rows = np.arange(num)[:, None]
+    da = lookup[rows, pair_tensor[:, :, 0]]
+    db = lookup[rows, pair_tensor[:, :, 1]]
+    lo = np.minimum(da, db)
+    hi = np.maximum(da, db)
+    # Boundary matches list the detector first, BOUNDARY second.
+    virtual = lo == BOUNDARY
+    first = np.where(virtual, hi, lo)
+    second = np.where(virtual, lo, hi)
+    # Each detector appears in at most one pair, so sorting on the first
+    # element alone reproduces matching_to_detectors' lexicographic order.
+    order = np.argsort(first, axis=1)
+    first = np.take_along_axis(first, order, axis=1)
+    second = np.take_along_axis(second, order, axis=1)
+    matchings = np.stack([first, second], axis=2).tolist()
+    return [
+        DecodeResult(
+            prediction=pred_list[j],
+            matching=[(a, b) for a, b in matchings[j]],
+            weight=weight_list[j],
+            cycles=cycles,
+            latency_ns=latency_ns,
+        )
+        for j in range(num)
+    ]
 
 
 class HW6Decoder:
@@ -106,6 +356,11 @@ class AstreaDecoder(Decoder):
         max_hamming_weight: Syndromes above this weight are declined
             (``decoded=False`` with a "no flip" prediction), reproducing
             Astrea's design limit of 10.
+        use_vectorized: Evaluate all candidate matchings with the NumPy
+            index-tensor kernel (:func:`vectorized_search`) instead of the
+            scalar reference loops.  Bit-identical results either way; the
+            scalar path is retained as the reference implementation (and
+            for the access-count bookkeeping of the latency benches).
     """
 
     name = "Astrea"
@@ -116,6 +371,7 @@ class AstreaDecoder(Decoder):
         *,
         timing: FpgaTiming | None = None,
         max_hamming_weight: int = 10,
+        use_vectorized: bool = True,
     ) -> None:
         if max_hamming_weight > 10:
             raise ValueError(
@@ -125,6 +381,7 @@ class AstreaDecoder(Decoder):
         self.gwt = gwt
         self.timing = timing if timing is not None else FpgaTiming()
         self.max_hamming_weight = max_hamming_weight
+        self.use_vectorized = use_vectorized
         self.hw6 = HW6Decoder()
         #: HW6Decoder accesses performed by the last decode (7 for weight
         #: 7-8, 63 for 9-10), exposed for the latency/ablation benches.
@@ -148,6 +405,49 @@ class AstreaDecoder(Decoder):
             latency_ns=self.timing.to_ns(cycles),
         )
 
+    def decode_batch(self, syndromes: np.ndarray) -> list[DecodeResult]:
+        """Decode a (shots, detectors) syndrome matrix in bulk.
+
+        Syndromes are bucketed by Hamming weight; every bucket's weight
+        submatrices are gathered from the GWT at once
+        (:meth:`MatchingProblem.from_syndrome_batch`) and all its candidate
+        matchings evaluated by one :func:`batched_search` kernel call.
+        Results are identical to per-row :meth:`decode`
+        (``last_hw6_accesses`` is not updated by the batch path).
+        """
+        syndromes = np.asarray(syndromes).astype(bool, copy=False)
+        if syndromes.ndim != 2:
+            raise ValueError("decode_batch expects a (shots, detectors) matrix")
+        results: list[DecodeResult | None] = [None] * syndromes.shape[0]
+        hw = syndromes.sum(axis=1)
+        for w in np.unique(hw):
+            w = int(w)
+            rows = np.nonzero(hw == w)[0]
+            if w > self.max_hamming_weight:
+                for i in rows:
+                    results[i] = DecodeResult(prediction=False, decoded=False)
+                continue
+            cycles = astrea_total_cycles(w)
+            latency_ns = self.timing.to_ns(cycles)
+            for start in range(0, len(rows), KERNEL_CHUNK_ROWS):
+                chunk = rows[start : start + KERNEL_CHUNK_ROWS]
+                active = np.nonzero(syndromes[chunk])[1].reshape(len(chunk), w)
+                batch = MatchingProblem.from_syndrome_batch(self.gwt, active)
+                pair_tensor, weights, predictions = batched_search(
+                    batch.weights, batch.parities
+                )
+                bucket = bucket_results(
+                    batch,
+                    pair_tensor,
+                    weights,
+                    predictions,
+                    cycles=cycles,
+                    latency_ns=latency_ns,
+                )
+                for j, i in enumerate(chunk):
+                    results[i] = bucket[j]
+        return results
+
     # ------------------------------------------------------------------
     # Search structure (Figure 7)
     # ------------------------------------------------------------------
@@ -156,6 +456,8 @@ class AstreaDecoder(Decoder):
         self, weights: np.ndarray
     ) -> tuple[list[tuple[int, int]], float, int]:
         """Exhaustive search structured around the HW6Decoder."""
+        if self.use_vectorized:
+            return vectorized_search(weights)
         return exhaustive_search(weights, self.hw6)
 
 

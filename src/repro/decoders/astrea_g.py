@@ -38,7 +38,14 @@ import numpy as np
 from ..graphs.weights import GlobalWeightTable
 from ..hw.latency import FpgaTiming, astrea_decode_cycles
 from ..matching.boundary import MatchingProblem
-from .astrea import HW6Decoder, exhaustive_search
+from .astrea import (
+    KERNEL_CHUNK_ROWS,
+    HW6Decoder,
+    batched_search,
+    bucket_results,
+    exhaustive_search,
+    vectorized_search,
+)
 from .base import DecodeResult, Decoder, matching_to_detectors
 
 __all__ = ["AstreaGDecoder", "PipelineSnapshot", "weight_threshold_for"]
@@ -131,6 +138,9 @@ class AstreaGDecoder(Decoder):
         min_candidates: Cheapest pairings per syndrome bit that survive
             filtering even above ``W_th``, guaranteeing the search can
             always complete a perfect matching.
+        use_vectorized: Route the exact (low-Hamming-weight) datapath
+            through the NumPy index-tensor kernel instead of the scalar
+            reference loops; results are bit-identical.
     """
 
     name = "Astrea-G"
@@ -145,6 +155,7 @@ class AstreaGDecoder(Decoder):
         timing: FpgaTiming | None = None,
         exhaustive_cutoff: int = 10,
         min_candidates: int = 2,
+        use_vectorized: bool = True,
     ) -> None:
         if fetch_width < 1:
             raise ValueError("fetch_width must be >= 1")
@@ -159,7 +170,18 @@ class AstreaGDecoder(Decoder):
         self.timing = timing if timing is not None else FpgaTiming()
         self.exhaustive_cutoff = exhaustive_cutoff
         self.min_candidates = min_candidates
+        self.use_vectorized = use_vectorized
         self.hw6 = HW6Decoder()
+
+    def _exact_search(
+        self, weights: np.ndarray
+    ) -> tuple[list[tuple[int, int]], float]:
+        """Exact MWPM of a small problem via the configured datapath."""
+        if self.use_vectorized:
+            pairs, weight, _accesses = vectorized_search(weights)
+        else:
+            pairs, weight, _accesses = exhaustive_search(weights, self.hw6)
+        return pairs, weight
 
     # ------------------------------------------------------------------
     # Decoding
@@ -174,14 +196,12 @@ class AstreaGDecoder(Decoder):
         m = problem.num_nodes
         if hw <= 2:
             # Trivial syndromes are handled inline at zero latency (Fig. 9).
-            pairs, weight = self.hw6.decode(problem.weights, list(range(m)))
+            pairs, weight = self._exact_search(problem.weights)
             return self._result(problem, pairs, weight, cycles=0)
         transfer_cycles = hw + 1
         if m <= self.exhaustive_cutoff:
             # The Astrea datapath: exact search, Astrea's cycle cost.
-            pairs, weight, _accesses = exhaustive_search(
-                problem.weights, self.hw6
-            )
+            pairs, weight = self._exact_search(problem.weights)
             return self._result(
                 problem,
                 pairs,
@@ -232,6 +252,58 @@ class AstreaGDecoder(Decoder):
             self._result(problem, pairs, weight, cycles=cycles, timed_out=timed_out),
             trace,
         )
+
+    def decode_batch(self, syndromes: np.ndarray) -> list[DecodeResult]:
+        """Decode a (shots, detectors) syndrome matrix in bulk.
+
+        Syndromes routed to the exact Astrea datapath (Hamming weight <= 2
+        or at most ``exhaustive_cutoff`` matching nodes) are bucketed by
+        weight and searched with one :func:`batched_search` kernel call per
+        bucket; higher weights fall back to the per-syndrome greedy
+        pipeline, whose search state is inherently sequential.  Results are
+        identical to per-row :meth:`decode`.
+        """
+        syndromes = np.asarray(syndromes).astype(bool, copy=False)
+        if syndromes.ndim != 2:
+            raise ValueError("decode_batch expects a (shots, detectors) matrix")
+        results: list[DecodeResult | None] = [None] * syndromes.shape[0]
+        hw = syndromes.sum(axis=1)
+        for w in np.unique(hw):
+            w = int(w)
+            rows = np.nonzero(hw == w)[0]
+            if w == 0:
+                for i in rows:
+                    results[i] = DecodeResult(prediction=False)
+                continue
+            m = w if w % 2 == 0 else w + 1
+            if w > 2 and m > self.exhaustive_cutoff:
+                for i in rows:
+                    active = [int(x) for x in np.nonzero(syndromes[i])[0]]
+                    results[i] = self.decode_active(active)
+                continue
+            if w <= 2:
+                cycles = 0
+            else:
+                cycles = (w + 1) + astrea_decode_cycles(min(w, m))
+            latency_ns = self.timing.to_ns(cycles)
+            for start in range(0, len(rows), KERNEL_CHUNK_ROWS):
+                chunk = rows[start : start + KERNEL_CHUNK_ROWS]
+                active = np.nonzero(syndromes[chunk])[1].reshape(len(chunk), w)
+                batch = MatchingProblem.from_syndrome_batch(self.gwt, active)
+                pair_tensor, weights, predictions = batched_search(
+                    batch.weights, batch.parities
+                )
+                bucket = bucket_results(
+                    batch,
+                    pair_tensor,
+                    weights,
+                    predictions,
+                    cycles=cycles,
+                    latency_ns=latency_ns,
+                )
+                for j, i in enumerate(chunk):
+                    results[i] = bucket[j]
+        return results
 
     def _result(
         self,

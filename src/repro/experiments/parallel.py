@@ -1,30 +1,143 @@
-"""Multi-process Monte-Carlo memory experiments.
+"""Multi-process Monte-Carlo memory experiments with an exact syndrome cache.
 
 The paper's artifact distributes its 1B-100B-trial experiments over MPI
 ranks ("mpirun -np <X> ./astrea ...", 1024 cores).  This module provides
-the single-machine analogue: shots are partitioned into chunks, each chunk
-runs :func:`~repro.experiments.memory.run_memory_experiment` in a worker
-process with its own derived seed, and the per-chunk results are merged.
+the single-machine analogue in two phases:
 
-The merged statistics are exact for counts (errors, declines, timeouts)
-and shot-weighted for latencies; ``unique_syndromes`` becomes the *sum* of
-per-chunk unique counts (an upper bound, since chunks deduplicate
-independently).
+1. **Sampling census** -- shots are partitioned into fixed-size *sampling
+   blocks* (seeded ``seed + k`` for block ``k``, independent of how many
+   workers run), and worker processes reduce their blocks to a
+   :class:`SyndromeCensus`: each unique syndrome with its shot count and
+   observable-flip count.  Because the block decomposition depends only on
+   ``(shots, seed, block_shots)``, the merged census -- and therefore every
+   count in the final result -- is identical for any worker/chunk split.
+2. **Deduplicated decode** -- the per-chunk censuses are merged into one
+   global census, and each *globally unique* syndrome is decoded exactly
+   once via :meth:`~repro.decoders.base.Decoder.decode_batch` (sliced
+   across workers when the unique set is large).  A syndrome that recurs
+   in many chunks is never decoded twice, and ``unique_syndromes`` is the
+   exact deduplicated count rather than a per-chunk sum.
+
+:func:`merge_results` remains available for merging independently produced
+:class:`MemoryRunResult` chunks (its ``unique_syndromes`` sum is an upper
+bound in that usage, since separate results cannot be deduplicated after
+the fact).
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
 
 from ..circuits.memory import MemoryExperiment
-from ..decoders.base import Decoder
-from .memory import MemoryRunResult, run_memory_experiment
+from ..decoders.base import DecodeResult, Decoder
+from ..sim.pauli_frame import PauliFrameSimulator
+from .memory import MemoryRunResult
 
-__all__ = ["run_memory_experiment_parallel", "merge_results"]
+__all__ = [
+    "run_memory_experiment_parallel",
+    "merge_results",
+    "merge_censuses",
+    "SyndromeCensus",
+    "DEFAULT_BLOCK_SHOTS",
+]
+
+#: Default shots per sampling block.  The block decomposition (not the
+#: worker count) determines which syndromes are sampled, so results are
+#: reproducible across any worker/chunk configuration.
+DEFAULT_BLOCK_SHOTS = 4096
+
+
+@dataclass
+class SyndromeCensus:
+    """Unique syndromes of a sampled batch, with shot and flip counts.
+
+    Attributes:
+        syndromes: ``(U, num_detectors)`` bool array of distinct syndromes
+            in lexicographic order (the order :func:`numpy.unique` yields),
+            making the census canonical for a given sample multiset.
+        counts: ``(U,)`` shots that produced each syndrome.
+        flips: ``(U,)`` of those shots, how many had their logical
+            observable actually flipped.
+    """
+
+    syndromes: np.ndarray
+    counts: np.ndarray
+    flips: np.ndarray
+
+    @property
+    def shots(self) -> int:
+        """Total shots summarised by this census."""
+        return int(self.counts.sum())
+
+
+def _census_from_sample(
+    detectors: np.ndarray, observed: np.ndarray
+) -> SyndromeCensus:
+    """Reduce a sampled (detectors, observable) batch to its census."""
+    unique, inverse = np.unique(detectors, axis=0, return_inverse=True)
+    counts = np.bincount(inverse, minlength=len(unique))
+    flips = np.bincount(
+        inverse, weights=observed.astype(np.float64), minlength=len(unique)
+    ).astype(np.int64)
+    return SyndromeCensus(syndromes=unique, counts=counts, flips=flips)
+
+
+def merge_censuses(parts: list[SyndromeCensus]) -> SyndromeCensus:
+    """Merge censuses exactly: re-deduplicate syndromes, sum the counts.
+
+    Args:
+        parts: Non-empty list of censuses over the same detector layout.
+
+    Returns:
+        The deduplicated union census.
+    """
+    if not parts:
+        raise ValueError("nothing to merge")
+    if len(parts) == 1:
+        return parts[0]
+    stacked = np.concatenate([p.syndromes for p in parts], axis=0)
+    counts = np.concatenate([p.counts for p in parts])
+    flips = np.concatenate([p.flips for p in parts])
+    unique, inverse = np.unique(stacked, axis=0, return_inverse=True)
+    merged_counts = np.zeros(len(unique), dtype=np.int64)
+    merged_flips = np.zeros(len(unique), dtype=np.int64)
+    np.add.at(merged_counts, inverse, counts)
+    np.add.at(merged_flips, inverse, flips)
+    return SyndromeCensus(syndromes=unique, counts=merged_counts, flips=merged_flips)
+
+
+def _sample_census_chunk(payload) -> SyndromeCensus:
+    """Worker entry point for phase 1 (module-level so it pickles)."""
+    experiment, blocks = payload
+    parts = []
+    for block_seed, block_shots in blocks:
+        sampler = PauliFrameSimulator(experiment.circuit, seed=block_seed)
+        sample = sampler.sample(block_shots)
+        if sample.observables.size:
+            observed = sample.observables[:, 0]
+        else:
+            observed = np.zeros(block_shots, dtype=bool)
+        parts.append(_census_from_sample(sample.detectors, observed))
+    return merge_censuses(parts)
+
+
+def _decode_chunk(payload) -> list[DecodeResult]:
+    """Worker entry point for phase 2 (module-level so it pickles)."""
+    decoder, syndromes = payload
+    return decoder.decode_batch(syndromes)
 
 
 def merge_results(parts: list[MemoryRunResult]) -> MemoryRunResult:
     """Merge per-chunk results into one aggregate result.
+
+    Counts (errors, declines, timeouts) sum exactly; latencies are
+    weighted by each chunk's shot count, and the non-trivial mean by each
+    chunk's ``nontrivial_shots``.  ``unique_syndromes`` sums, which is an
+    *upper bound* when the chunks may share syndromes -- use
+    :func:`run_memory_experiment_parallel` for an exact deduplicated count.
 
     Args:
         parts: Non-empty list of chunk results for the same decoder.
@@ -37,14 +150,10 @@ def merge_results(parts: list[MemoryRunResult]) -> MemoryRunResult:
     total_shots = sum(p.shots for p in parts)
     if total_shots == 0:
         return MemoryRunResult(decoder_name=parts[0].decoder_name, shots=0, errors=0)
-    nontrivial_weighted = 0.0
-    nontrivial_reference = 0.0
-    for p in parts:
-        # Reconstruct each chunk's non-trivial latency mass from its mean;
-        # chunks without non-trivial shots contribute nothing.
-        if p.mean_latency_nontrivial_ns > 0:
-            nontrivial_weighted += p.mean_latency_nontrivial_ns * p.shots
-            nontrivial_reference += p.shots
+    total_nontrivial = sum(p.nontrivial_shots for p in parts)
+    nontrivial_weighted = sum(
+        p.mean_latency_nontrivial_ns * p.nontrivial_shots for p in parts
+    )
     return MemoryRunResult(
         decoder_name=parts[0].decoder_name,
         shots=total_shots,
@@ -55,18 +164,25 @@ def merge_results(parts: list[MemoryRunResult]) -> MemoryRunResult:
         / total_shots,
         max_latency_ns=max(p.max_latency_ns for p in parts),
         mean_latency_nontrivial_ns=(
-            nontrivial_weighted / nontrivial_reference
-            if nontrivial_reference
-            else 0.0
+            nontrivial_weighted / total_nontrivial if total_nontrivial else 0.0
         ),
+        nontrivial_shots=total_nontrivial,
         unique_syndromes=sum(p.unique_syndromes for p in parts),
     )
 
 
-def _run_chunk(payload) -> MemoryRunResult:
-    """Worker entry point (module-level so it pickles)."""
-    experiment, decoder, shots, seed = payload
-    return run_memory_experiment(experiment, decoder, shots, seed=seed)
+def _partition(items: int, groups: int) -> list[tuple[int, int]]:
+    """Split ``items`` into up to ``groups`` contiguous (start, stop) slices."""
+    groups = max(1, min(groups, items))
+    base = items // groups
+    remainder = items % groups
+    slices = []
+    start = 0
+    for k in range(groups):
+        size = base + (1 if k < remainder else 0)
+        slices.append((start, start + size))
+        start += size
+    return slices
 
 
 def run_memory_experiment_parallel(
@@ -77,38 +193,95 @@ def run_memory_experiment_parallel(
     seed: int = 0,
     workers: int = 2,
     chunks_per_worker: int = 1,
+    block_shots: int = DEFAULT_BLOCK_SHOTS,
 ) -> MemoryRunResult:
     """Run a memory experiment across worker processes.
+
+    Shots are sampled in blocks of ``block_shots`` (block ``k`` seeded
+    ``seed + k``) and reduced to per-chunk syndrome censuses; the merged
+    census is then decoded once per globally unique syndrome.  Every count
+    in the result therefore depends only on ``(shots, seed, block_shots)``
+    and the decoder -- not on ``workers`` or ``chunks_per_worker``, which
+    merely distribute the sampling and decoding work.
 
     Args:
         experiment: The memory-experiment bundle (pickled to workers).
         decoder: The decoder under test (pickled to workers).
-        shots: Total Monte-Carlo trials across all chunks.
-        seed: Base seed; chunk ``k`` runs with ``seed + k``.
+        shots: Total Monte-Carlo trials across all blocks.
+        seed: Base seed; sampling block ``k`` runs with ``seed + k``.
         workers: Worker processes.
         chunks_per_worker: Chunks per worker (more chunks smooth load).
+        block_shots: Shots per sampling block (fixes the sample multiset
+            independently of the worker/chunk split).
 
     Returns:
-        The merged :class:`MemoryRunResult` over exactly ``shots`` trials.
+        The merged :class:`MemoryRunResult` over exactly ``shots`` trials,
+        with ``unique_syndromes`` the exact deduplicated count.
     """
     if shots < 0:
         raise ValueError("shots must be non-negative")
     if workers < 1:
         raise ValueError("workers must be >= 1")
-    num_chunks = max(1, workers * chunks_per_worker)
-    base = shots // num_chunks
-    remainder = shots % num_chunks
-    sizes = [base + (1 if k < remainder else 0) for k in range(num_chunks)]
-    payloads = [
-        (experiment, decoder, size, seed + k)
-        for k, size in enumerate(sizes)
-        if size > 0
-    ]
-    if not payloads:
+    if block_shots < 1:
+        raise ValueError("block_shots must be >= 1")
+    if shots == 0:
         return MemoryRunResult(decoder_name=decoder.name, shots=0, errors=0)
-    if workers == 1:
-        parts = [_run_chunk(p) for p in payloads]
+    blocks = []
+    remaining = shots
+    k = 0
+    while remaining > 0:
+        size = min(block_shots, remaining)
+        blocks.append((seed + k, size))
+        remaining -= size
+        k += 1
+    num_chunks = max(1, workers * chunks_per_worker)
+    sample_payloads = [
+        (experiment, blocks[start:stop])
+        for start, stop in _partition(len(blocks), num_chunks)
+        if stop > start
+    ]
+    if workers == 1 or len(sample_payloads) == 1:
+        censuses = [_sample_census_chunk(p) for p in sample_payloads]
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            parts = list(pool.map(_run_chunk, payloads))
-    return merge_results(parts)
+            censuses = list(pool.map(_sample_census_chunk, sample_payloads))
+    census = merge_censuses(censuses)
+
+    unique = census.syndromes
+    decode_payloads = [
+        (decoder, unique[start:stop])
+        for start, stop in _partition(len(unique), num_chunks)
+        if stop > start
+    ]
+    if workers == 1 or len(decode_payloads) == 1:
+        decoded = [_decode_chunk(p) for p in decode_payloads]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            decoded = list(pool.map(_decode_chunk, decode_payloads))
+    results: list[DecodeResult] = [r for part in decoded for r in part]
+
+    counts = census.counts
+    flips = census.flips
+    hamming = unique.sum(axis=1)
+    predictions = np.array([r.prediction for r in results], dtype=bool)
+    decoded_mask = np.array([r.decoded for r in results], dtype=bool)
+    timeout_mask = np.array([r.timed_out for r in results], dtype=bool)
+    latencies = np.array([r.latency_ns for r in results], dtype=np.float64)
+    errors = int(np.where(predictions, counts - flips, flips).sum())
+    nontrivial_mask = hamming > 2
+    nontrivial = int(counts[nontrivial_mask].sum())
+    nontrivial_latency = float((latencies * counts)[nontrivial_mask].sum())
+    return MemoryRunResult(
+        decoder_name=decoder.name,
+        shots=shots,
+        errors=errors,
+        declined=int(counts[~decoded_mask].sum()),
+        timed_out=int(counts[timeout_mask].sum()),
+        mean_latency_ns=float((latencies * counts).sum()) / shots,
+        max_latency_ns=float(latencies.max()) if len(latencies) else 0.0,
+        mean_latency_nontrivial_ns=(
+            nontrivial_latency / nontrivial if nontrivial else 0.0
+        ),
+        nontrivial_shots=nontrivial,
+        unique_syndromes=len(unique),
+    )

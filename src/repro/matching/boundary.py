@@ -26,7 +26,58 @@ import numpy as np
 
 from ..graphs.weights import GlobalWeightTable
 
-__all__ = ["MatchingProblem"]
+__all__ = ["MatchingProblem", "MatchingProblemBatch"]
+
+
+@dataclass
+class MatchingProblemBatch:
+    """A bucket of same-Hamming-weight matching problems, built in bulk.
+
+    The batch decode path groups syndromes by Hamming weight so that the
+    GWT -> weight-submatrix gather (the ``HW + 1``-cycle transfer of the
+    hardware, section 5.4) happens once per bucket as a single NumPy fancy
+    index instead of once per syndrome.  All problems in a batch share the
+    same node count and virtual-boundary layout.
+
+    Attributes:
+        active: ``(B, w)`` integer array; row ``i`` holds the sorted active
+            detector indices of syndrome ``i``.
+        weights: ``(B, m, m)`` effective pair-weight tensor, where ``m`` is
+            ``w`` (even weight) or ``w + 1`` (odd weight, virtual boundary
+            appended as node ``m - 1``).
+        parities: ``(B, m, m)`` bool tensor of logical parities.
+        has_virtual: Whether the last node of every problem is the virtual
+            boundary.
+    """
+
+    active: np.ndarray
+    weights: np.ndarray
+    parities: np.ndarray
+    has_virtual: bool
+
+    def __len__(self) -> int:
+        return self.active.shape[0]
+
+    @property
+    def num_nodes(self) -> int:
+        """Node count of every matching instance in the batch."""
+        return self.weights.shape[1]
+
+    def active_list(self, i: int) -> list[int]:
+        """Active detector indices of problem ``i`` as a plain list."""
+        return [int(x) for x in self.active[i]]
+
+    def problem(self, i: int) -> "MatchingProblem":
+        """Materialise problem ``i`` as a scalar :class:`MatchingProblem`.
+
+        The returned problem's arrays are views into the batch tensors.
+        """
+        return MatchingProblem(
+            active=self.active_list(i),
+            weights=self.weights[i],
+            parities=self.parities[i],
+            has_virtual=self.has_virtual,
+        )
 
 
 @dataclass
@@ -85,6 +136,54 @@ class MatchingProblem:
         parities[:w, w] = diag_p
         parities[w, :w] = diag_p
         return cls(active=active, weights=weights, parities=parities, has_virtual=True)
+
+    @classmethod
+    def from_syndrome_batch(
+        cls, gwt: GlobalWeightTable, active: np.ndarray
+    ) -> MatchingProblemBatch:
+        """Build the matching problems for a bucket of same-weight syndromes.
+
+        Equivalent to calling :meth:`from_syndrome` on every row, but the
+        weight and parity submatrices of the whole bucket are gathered from
+        the GWT with one fancy index each.
+
+        Args:
+            gwt: The Global Weight Table of the code/noise configuration.
+            active: ``(B, w)`` integer array of active detector indices,
+                one sorted row per syndrome (every row the same Hamming
+                weight ``w``).
+
+        Returns:
+            The :class:`MatchingProblemBatch` covering all ``B`` syndromes.
+        """
+        active = np.asarray(active, dtype=np.intp)
+        if active.ndim != 2:
+            raise ValueError(
+                f"active must be a (B, w) index matrix, got shape {active.shape}"
+            )
+        num, w = active.shape
+        rows = active[:, :, None]
+        cols = active[:, None, :]
+        base_w = gwt.weights[rows, cols]
+        base_p = gwt.parities[rows, cols]
+        if w % 2 == 0:
+            return MatchingProblemBatch(
+                active=active, weights=base_w, parities=base_p, has_virtual=False
+            )
+        m = w + 1
+        weights = np.zeros((num, m, m), dtype=base_w.dtype)
+        parities = np.zeros((num, m, m), dtype=bool)
+        weights[:, :w, :w] = base_w
+        parities[:, :w, :w] = base_p
+        diag_w = gwt.weights[active, active]
+        diag_p = gwt.parities[active, active]
+        weights[:, :w, w] = diag_w
+        weights[:, w, :w] = diag_w
+        parities[:, :w, w] = diag_p
+        parities[:, w, :w] = diag_p
+        return MatchingProblemBatch(
+            active=active, weights=weights, parities=parities, has_virtual=True
+        )
 
     # ------------------------------------------------------------------
     # Queries

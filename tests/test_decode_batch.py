@@ -1,0 +1,188 @@
+"""Batch-vs-scalar decoding equivalence.
+
+The vectorized pipeline is only allowed to be *fast*: for every decoder,
+``decode_batch`` must reproduce per-row ``decode`` exactly, and the NumPy
+index-tensor search must be bit-identical to the retained scalar search
+for every Hamming weight Astrea accepts (0-10).
+"""
+
+import numpy as np
+import pytest
+
+from repro.decoders.astrea import (
+    AstreaDecoder,
+    HW6Decoder,
+    batched_search,
+    exhaustive_search,
+    matchings_tensor,
+    vectorized_search,
+)
+from repro.decoders.astrea_g import AstreaGDecoder
+from repro.decoders.mwpm import MWPMDecoder
+from repro.decoders.union_find import UnionFindDecoder
+from repro.matching.boundary import MatchingProblem
+
+
+def _random_syndromes(length: int, weights, per_weight: int, seed: int):
+    """Syndrome rows of controlled Hamming weights (as a bool matrix)."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for w in weights:
+        for _ in range(per_weight):
+            row = np.zeros(length, dtype=bool)
+            row[rng.choice(length, size=w, replace=False)] = True
+            rows.append(row)
+    return np.array(rows)
+
+
+def _assert_equivalent(decoder, syndromes, *, check_latency=True):
+    batch = decoder.decode_batch(syndromes)
+    assert len(batch) == len(syndromes)
+    for row, got in zip(syndromes, batch):
+        want = decoder.decode(row)
+        assert got.prediction == want.prediction
+        assert got.decoded == want.decoded
+        assert got.timed_out == want.timed_out
+        assert got.weight == want.weight
+        assert got.matching == want.matching
+        if check_latency:
+            assert got.cycles == want.cycles
+            assert got.latency_ns == want.latency_ns
+
+
+class TestVectorizedSearch:
+    def test_tensor_shapes_and_counts(self):
+        for m, count in ((0, 1), (2, 1), (4, 3), (6, 15), (8, 105), (10, 945)):
+            tensor = matchings_tensor(m)
+            assert tensor.shape == (count, m // 2, 2)
+
+    def test_tensor_rejects_odd_or_large(self):
+        with pytest.raises(ValueError):
+            matchings_tensor(3)
+        with pytest.raises(ValueError):
+            matchings_tensor(12)
+
+    @pytest.mark.parametrize("hw", range(11))
+    def test_matches_scalar_search_all_weights(self, setup_d5, hw):
+        """Bit-identical pairs, weight and access count for HW 0-10."""
+        rng = np.random.default_rng(100 + hw)
+        hw6 = HW6Decoder()
+        for gwt in (setup_d5.gwt, setup_d5.ideal_gwt):
+            for _ in range(25):
+                active = sorted(
+                    int(i)
+                    for i in rng.choice(gwt.length, size=hw, replace=False)
+                )
+                problem = MatchingProblem.from_syndrome(gwt, active)
+                scalar = exhaustive_search(problem.weights, hw6)
+                vectorized = vectorized_search(problem.weights)
+                assert vectorized == scalar
+
+    @pytest.mark.parametrize("hw", range(11))
+    def test_batched_matches_scalar_search(self, setup_d5, hw):
+        rng = np.random.default_rng(200 + hw)
+        hw6 = HW6Decoder()
+        gwt = setup_d5.ideal_gwt
+        active = np.sort(
+            np.array(
+                [rng.choice(gwt.length, size=hw, replace=False) for _ in range(20)]
+            ),
+            axis=1,
+        )
+        batch = MatchingProblem.from_syndrome_batch(gwt, active)
+        pair_tensor, weights, predictions = batched_search(
+            batch.weights, batch.parities
+        )
+        for i in range(len(batch)):
+            problem = batch.problem(i)
+            pairs, weight, _ = exhaustive_search(problem.weights, hw6)
+            assert [tuple(p) for p in pair_tensor[i]] == pairs
+            assert weights[i] == weight
+            assert bool(predictions[i]) == problem.prediction(pairs)
+
+    def test_decoder_predictions_bit_identical(self, setup_d5, sample_d5):
+        """Full-decoder check: vectorized Astrea == scalar Astrea."""
+        vectorized = AstreaDecoder(setup_d5.ideal_gwt)
+        scalar = AstreaDecoder(setup_d5.ideal_gwt, use_vectorized=False)
+        for row in sample_d5.detectors[:400]:
+            got = vectorized.decode(row)
+            want = scalar.decode(row)
+            assert got.prediction == want.prediction
+            assert got.weight == want.weight
+            assert got.matching == want.matching
+
+
+class TestDecodeBatchEquivalence:
+    def test_astrea(self, setup_d3, sample_d3):
+        decoder = AstreaDecoder(setup_d3.gwt)
+        _assert_equivalent(decoder, sample_d3.detectors[:500])
+
+    def test_astrea_random_weights(self, setup_d5):
+        """Synthetic syndromes cover every weight, incl. declined > 10."""
+        decoder = AstreaDecoder(setup_d5.ideal_gwt)
+        syndromes = _random_syndromes(
+            setup_d5.gwt.length, range(0, 13), per_weight=6, seed=1
+        )
+        _assert_equivalent(decoder, syndromes)
+
+    def test_astrea_g(self, setup_d5, sample_d5):
+        decoder = AstreaGDecoder(setup_d5.gwt)
+        _assert_equivalent(decoder, sample_d5.detectors[:300])
+
+    def test_astrea_g_greedy_fallback_rows(self, setup_d5):
+        """Weights beyond the exhaustive cutoff route through the pipeline."""
+        decoder = AstreaGDecoder(setup_d5.gwt, exhaustive_cutoff=6)
+        syndromes = _random_syndromes(
+            setup_d5.gwt.length, range(0, 12), per_weight=3, seed=2
+        )
+        _assert_equivalent(decoder, syndromes)
+
+    def test_mwpm(self, setup_d3, sample_d3):
+        decoder = MWPMDecoder(setup_d3.ideal_gwt, measure_time=False)
+        _assert_equivalent(decoder, sample_d3.detectors[:150], check_latency=False)
+
+    def test_union_find(self, setup_d3, sample_d3):
+        decoder = UnionFindDecoder(setup_d3.graph)
+        _assert_equivalent(decoder, sample_d3.detectors[:150])
+
+    def test_rejects_non_matrix(self, setup_d3):
+        decoder = AstreaDecoder(setup_d3.gwt)
+        with pytest.raises(ValueError):
+            decoder.decode_batch(np.zeros(setup_d3.gwt.length, dtype=bool))
+        with pytest.raises(ValueError):
+            AstreaGDecoder(setup_d3.gwt).decode_batch(
+                np.zeros(setup_d3.gwt.length, dtype=bool)
+            )
+        with pytest.raises(ValueError):
+            MWPMDecoder(setup_d3.gwt).decode_batch(
+                np.zeros(setup_d3.gwt.length, dtype=bool)
+            )
+
+
+class TestBatchedMatchingProblem:
+    @pytest.mark.parametrize("hw", [0, 1, 2, 3, 6, 7])
+    def test_matches_scalar_constructor(self, setup_d3, hw):
+        gwt = setup_d3.gwt
+        rng = np.random.default_rng(300 + hw)
+        active = np.sort(
+            np.array(
+                [rng.choice(gwt.length, size=hw, replace=False) for _ in range(8)]
+            ),
+            axis=1,
+        )
+        batch = MatchingProblem.from_syndrome_batch(gwt, active)
+        assert len(batch) == 8
+        for i in range(8):
+            scalar = MatchingProblem.from_syndrome(gwt, batch.active_list(i))
+            problem = batch.problem(i)
+            assert problem.active == scalar.active
+            assert problem.has_virtual == scalar.has_virtual
+            assert batch.num_nodes == scalar.num_nodes
+            np.testing.assert_array_equal(problem.weights, scalar.weights)
+            np.testing.assert_array_equal(problem.parities, scalar.parities)
+
+    def test_rejects_non_matrix(self, setup_d3):
+        with pytest.raises(ValueError):
+            MatchingProblem.from_syndrome_batch(
+                setup_d3.gwt, np.array([0, 1, 2])
+            )

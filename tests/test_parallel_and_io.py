@@ -42,10 +42,11 @@ class TestMergeResults:
 
 class TestParallelRunner:
     def test_matches_serial_error_counts(self, setup_d3):
-        """Chunked runs with per-chunk seeds match the same serial chunks."""
+        """Block-seeded runs match the same blocks sampled serially."""
         decoder = MWPMDecoder(setup_d3.ideal_gwt, measure_time=False)
         parallel = run_memory_experiment_parallel(
-            setup_d3.experiment, decoder, 4000, seed=31, workers=2
+            setup_d3.experiment, decoder, 4000, seed=31, workers=2,
+            block_shots=2000,
         )
         serial_parts = [
             run_memory_experiment(setup_d3.experiment, decoder, 2000, seed=31 + k)
@@ -78,6 +79,41 @@ class TestParallelRunner:
             run_memory_experiment_parallel(
                 setup_d3.experiment, decoder, 10, workers=0
             )
+
+
+class TestParallelDeterminism:
+    """The sample multiset depends only on (shots, seed, block_shots)."""
+
+    def test_same_seed_and_chunking_identical(self, setup_d3):
+        decoder = AstreaDecoder(setup_d3.gwt)
+        runs = [
+            run_memory_experiment_parallel(
+                setup_d3.experiment, decoder, 3000, seed=50, workers=2,
+                block_shots=1000,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_chunk_split_does_not_change_result(self, setup_d3):
+        """Different worker/chunk splits yield the identical merged result."""
+        decoder = AstreaDecoder(setup_d3.gwt)
+        configs = [
+            dict(workers=1, chunks_per_worker=1),
+            dict(workers=1, chunks_per_worker=3),
+            dict(workers=2, chunks_per_worker=2),
+        ]
+        runs = [
+            run_memory_experiment_parallel(
+                setup_d3.experiment, decoder, 3000, seed=51,
+                block_shots=1000, **config,
+            )
+            for config in configs
+        ]
+        for other in runs[1:]:
+            assert other.errors == runs[0].errors
+            assert other.declined == runs[0].declined
+            assert other == runs[0]
 
 
 class TestSweepIo:
@@ -129,11 +165,27 @@ class TestParallelChunking:
     def test_merge_nontrivial_latency_weighting(self):
         a = MemoryRunResult(
             decoder_name="x", shots=100, errors=0,
-            mean_latency_nontrivial_ns=40.0,
+            mean_latency_nontrivial_ns=40.0, nontrivial_shots=10,
         )
         b = MemoryRunResult(
             decoder_name="x", shots=100, errors=0,
-            mean_latency_nontrivial_ns=0.0,  # no non-trivial shots
+            mean_latency_nontrivial_ns=0.0, nontrivial_shots=0,
         )
         merged = merge_results([a, b])
         assert merged.mean_latency_nontrivial_ns == pytest.approx(40.0)
+        assert merged.nontrivial_shots == 10
+
+    def test_merge_nontrivial_weighted_by_nontrivial_shots(self):
+        """Chunks with few non-trivial shots must not dilute the mean."""
+        a = MemoryRunResult(
+            decoder_name="x", shots=100, errors=0,
+            mean_latency_nontrivial_ns=30.0, nontrivial_shots=30,
+        )
+        b = MemoryRunResult(
+            decoder_name="x", shots=300, errors=0,
+            mean_latency_nontrivial_ns=50.0, nontrivial_shots=10,
+        )
+        merged = merge_results([a, b])
+        # (30 * 30 + 50 * 10) / 40, not the shot-weighted 45.0.
+        assert merged.mean_latency_nontrivial_ns == pytest.approx(35.0)
+        assert merged.nontrivial_shots == 40
