@@ -1,0 +1,146 @@
+"""Extension bench: Pauli-frame sampling throughput (shots/sec) per backend.
+
+The paper's evaluation consumes billions of sampled syndromes; sampling
+throughput bounds everything downstream.  This bench measures end-to-end
+``PauliFrameSimulator.sample`` shots/sec -- circuit-to-detector-parities,
+including the record-to-detector parity transfer -- for the legacy boolean
+backend and the bit-packed ``uint64`` backend at d in {3, 5, 7}, p = 1e-3.
+
+Two gates (asserted only at full trial scale, where timing noise and
+binomial noise are negligible):
+
+* **Speedup**: the packed backend must be >= 5x the boolean backend at
+  d = 7 (the largest, most word-parallel workload).
+* **Golden LER**: ``run_memory_experiment`` on fixed seeds must reproduce
+  the documented golden logical-error counts within the golden estimate's
+  95% Wilson interval, pinning the sampling distribution (not just its
+  determinism) across refactors.
+
+Each run appends a JSON record to
+``benchmarks/results/ext_sampling_throughput_d<d>.json`` so future changes
+have a throughput trajectory to compare against.
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.decoders.mwpm import MWPMDecoder
+from repro.experiments.memory import run_memory_experiment
+from repro.experiments.setup import DecodingSetup
+from repro.sim.pauli_frame import PauliFrameSimulator
+
+from _util import RESULTS_DIR, emit, seed, trials
+
+P = 1e-3
+
+#: Packed-vs-boolean sampling speedup gate at d = 7 (only asserted at full
+#: trial scale, where per-call overheads are amortised away).
+SPEEDUP_GATE = 5.0
+
+#: Golden logical-error counts for ``run_memory_experiment`` with the MWPM
+#: decoder at (distance, P, 20_000 shots, seed 2023 + 80 + distance).
+#: Only checked at the default seed and full trial scale.
+GOLDEN_ERRORS = {3: 19, 5: 5}
+GOLDEN_SHOTS = 20_000
+
+
+def _shots_per_sec(sample, num_shots: int) -> float:
+    start = time.perf_counter()
+    sample()
+    elapsed = time.perf_counter() - start
+    return num_shots / elapsed if elapsed > 0 else float("inf")
+
+
+def _wilson_interval(errors: int, shots: int, z: float = 1.96):
+    """95% Wilson score interval for a binomial rate."""
+    if shots == 0:
+        return 0.0, 1.0
+    phat = errors / shots
+    denom = 1 + z**2 / shots
+    centre = (phat + z**2 / (2 * shots)) / denom
+    half = (
+        z
+        * np.sqrt(phat * (1 - phat) / shots + z**2 / (4 * shots**2))
+        / denom
+    )
+    return centre - half, centre + half
+
+
+@pytest.mark.parametrize("distance", [3, 5, 7])
+def test_ext_sampling_throughput(distance, benchmark):
+    setup = DecodingSetup.build(distance, P)
+    circuit = setup.experiment.circuit
+    shots = trials(50_000)
+    # The boolean reference path gets a smaller batch, normalised to
+    # shots/sec, so the bench stays laptop-scale at d = 7.
+    bool_shots = max(1, min(shots, trials(8_000)))
+
+    record = {
+        "bench": "ext_sampling_throughput",
+        "distance": distance,
+        "p": P,
+        "shots": shots,
+        "throughput_shots_per_sec": {},
+    }
+
+    def run():
+        throughput = record["throughput_shots_per_sec"]
+        packed = PauliFrameSimulator(circuit, seed=seed(90 + distance))
+        boolean = PauliFrameSimulator(
+            circuit, seed=seed(90 + distance), backend="boolean"
+        )
+        # Warm-up outside the timed region: first-touch allocations.
+        packed.sample(64)
+        boolean.sample(64)
+        throughput["packed"] = _shots_per_sec(
+            lambda: packed.sample(shots), shots
+        )
+        throughput["boolean"] = _shots_per_sec(
+            lambda: boolean.sample(bool_shots), bool_shots
+        )
+        return throughput
+
+    throughput = benchmark.pedantic(run, rounds=1, iterations=1)
+    record["packed_speedup"] = throughput["packed"] / throughput["boolean"]
+
+    lines = [
+        f"d={distance}, p={P}, shots={shots} (boolean subset {bool_shots})",
+        f"{'packed':8s}: {throughput['packed']:12.0f} shots/s",
+        f"{'boolean':8s}: {throughput['boolean']:12.0f} shots/s",
+        f"packed vs boolean speedup: {record['packed_speedup']:.1f}x",
+    ]
+
+    # Golden-LER distribution pin (cheap: the syndrome cache collapses the
+    # decode work to a few thousand unique syndromes at these distances).
+    golden = GOLDEN_ERRORS.get(distance)
+    at_reference_scale = shots >= 50_000 and seed() == 2023
+    if golden is not None and at_reference_scale:
+        result = run_memory_experiment(
+            setup.experiment,
+            MWPMDecoder(setup.gwt, measure_time=False),
+            GOLDEN_SHOTS,
+            seed=seed(80 + distance),
+        )
+        low, high = _wilson_interval(golden, GOLDEN_SHOTS)
+        record["golden_errors"] = golden
+        record["observed_errors"] = result.errors
+        lines.append(
+            f"golden LER check: {result.errors}/{GOLDEN_SHOTS} observed vs "
+            f"{golden}/{GOLDEN_SHOTS} golden "
+            f"(Wilson 95%: [{low:.2e}, {high:.2e}])"
+        )
+        assert low <= result.logical_error_rate <= high
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    json_path = RESULTS_DIR / f"ext_sampling_throughput_d{distance}.json"
+    json_path.write_text(json.dumps(record, indent=2) + "\n")
+    emit(f"ext_sampling_throughput_d{distance}", lines)
+
+    assert throughput["packed"] > 0
+    # The >= 5x acceptance gate -- only meaningful at full trial counts
+    # (tiny smoke batches are dominated by fixed per-call overheads).
+    if distance == 7 and shots >= 50_000:
+        assert record["packed_speedup"] >= SPEEDUP_GATE

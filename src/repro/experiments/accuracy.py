@@ -21,6 +21,7 @@ import numpy as np
 
 from ..circuits.memory import MemoryExperiment
 from ..decoders.base import Decoder
+from ..sim.packing import unique_rows
 from ..sim.pauli_frame import PauliFrameSimulator
 
 __all__ = ["PairedComparison", "compare_decoders"]
@@ -114,7 +115,7 @@ def compare_decoders(
     """
     sample = PauliFrameSimulator(experiment.circuit, seed=seed).sample(shots)
     observed = sample.observables[:, 0]
-    unique, inverse = np.unique(sample.detectors, axis=0, return_inverse=True)
+    unique, inverse, _ = unique_rows(sample.detectors)
     pred_a = np.array([decoder_a.decode(row).prediction for row in unique])
     pred_b = np.array([decoder_b.decode(row).prediction for row in unique])
     err_a = pred_a[inverse] != observed

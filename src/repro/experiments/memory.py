@@ -11,6 +11,11 @@ syndromes recur constantly.  The unique syndromes go through
 :meth:`~repro.decoders.base.Decoder.decode_batch`, so decoders with a
 vectorized batch path (Astrea, Astrea-G, MWPM) decode whole
 Hamming-weight buckets per NumPy kernel call.
+
+Deduplication sorts *packed syndrome keys* (``uint64`` words via
+:func:`repro.sim.packing.unique_rows`) rather than wide boolean rows, and
+both the cached and uncached paths share one vectorised tally
+(:func:`tally_decode_results`) -- also used by the parallel runner.
 """
 
 from __future__ import annotations
@@ -20,11 +25,17 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..circuits.memory import MemoryExperiment
-from ..decoders.base import Decoder
+from ..decoders.base import DecodeResult, Decoder
+from ..sim.packing import unique_rows
 from ..sim.pauli_frame import PauliFrameSimulator
 from .stats import wilson_interval
 
-__all__ = ["MemoryRunResult", "run_memory_experiment"]
+__all__ = [
+    "MemoryRunResult",
+    "DecodeTally",
+    "run_memory_experiment",
+    "tally_decode_results",
+]
 
 
 @dataclass
@@ -70,6 +81,68 @@ class MemoryRunResult:
         return wilson_interval(self.errors, max(self.shots, 1))
 
 
+@dataclass
+class DecodeTally:
+    """Vectorised shot-weighted tally of a batch of decode results.
+
+    Produced by :func:`tally_decode_results` from one
+    :class:`~repro.decoders.base.DecodeResult` per distinct syndrome plus
+    that syndrome's shot multiplicity and observed-flip count; consumed by
+    both the serial and the parallel memory-experiment runners.
+    """
+
+    errors: int
+    declined: int
+    timed_out: int
+    latency_sum: float
+    latency_max: float
+    nontrivial_latency_sum: float
+    nontrivial_shots: int
+
+
+def tally_decode_results(
+    syndromes: np.ndarray,
+    counts: np.ndarray,
+    flips: np.ndarray,
+    results: list[DecodeResult],
+) -> DecodeTally:
+    """Aggregate per-syndrome decode results into shot-weighted totals.
+
+    Args:
+        syndromes: ``(U, num_detectors)`` distinct (or per-shot) syndromes.
+        counts: ``(U,)`` shots that produced each syndrome.
+        flips: ``(U,)`` of those shots, how many had the logical
+            observable actually flipped.
+        results: One decode result per syndrome row.
+
+    Returns:
+        The :class:`DecodeTally`; ``errors`` counts a "flip" prediction
+        against the non-flipped shots and vice versa, exactly as a
+        per-shot loop would.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    flips = np.asarray(flips, dtype=np.int64)
+    if not len(results):
+        return DecodeTally(0, 0, 0, 0.0, 0.0, 0.0, 0)
+    predictions = np.array([r.prediction for r in results], dtype=bool)
+    decoded_mask = np.array([r.decoded for r in results], dtype=bool)
+    timeout_mask = np.array([r.timed_out for r in results], dtype=bool)
+    latencies = np.array([r.latency_ns for r in results], dtype=np.float64)
+    hamming = syndromes.sum(axis=1)
+    nontrivial_mask = hamming > 2
+    weighted = latencies * counts
+    nontrivial = int(counts[nontrivial_mask].sum())
+    return DecodeTally(
+        errors=int(np.where(predictions, counts - flips, flips).sum()),
+        declined=int(counts[~decoded_mask].sum()),
+        timed_out=int(counts[timeout_mask].sum()),
+        latency_sum=float(weighted.sum()),
+        latency_max=float(latencies.max()),
+        nontrivial_latency_sum=float(weighted[nontrivial_mask].sum()),
+        nontrivial_shots=nontrivial,
+    )
+
+
 def run_memory_experiment(
     experiment: MemoryExperiment,
     decoder: Decoder,
@@ -98,55 +171,40 @@ def run_memory_experiment(
     observed = sample.observables[:, 0] if sample.observables.size else np.zeros(
         shots, dtype=bool
     )
-    errors = 0
-    declined = 0
-    timed_out = 0
-    latency_sum = 0.0
-    latency_max = 0.0
-    nontrivial_latency_sum = 0.0
-    nontrivial = 0
     if cache_decodes:
-        unique, inverse = np.unique(detectors, axis=0, return_inverse=True)
+        # Decode once per distinct syndrome; dedup sorts packed uint64
+        # keys, not (shots, num_detectors) boolean rows.
+        unique, inverse, counts = unique_rows(detectors)
+        flips = np.bincount(
+            inverse, weights=observed.astype(np.float64), minlength=len(unique)
+        ).astype(np.int64)
         results = decoder.decode_batch(unique)
-        counts = np.bincount(inverse, minlength=len(unique))
-        predictions = np.array([r.prediction for r in results], dtype=bool)
-        errors = int(np.sum(predictions[inverse] != observed))
-        for row, count, result in zip(unique, counts, results):
-            count = int(count)
-            hw = int(row.sum())
-            if not result.decoded:
-                declined += count
-            if result.timed_out:
-                timed_out += count
-            latency_sum += result.latency_ns * count
-            latency_max = max(latency_max, result.latency_ns)
-            if hw > 2:
-                nontrivial_latency_sum += result.latency_ns * count
-                nontrivial += count
+        tally = tally_decode_results(unique, counts, flips, results)
         unique_count = len(unique)
     else:
-        for row, obs in zip(detectors, observed):
-            result = decoder.decode(row)
-            errors += int(result.prediction != obs)
-            declined += int(not result.decoded)
-            timed_out += int(result.timed_out)
-            latency_sum += result.latency_ns
-            latency_max = max(latency_max, result.latency_ns)
-            if int(row.sum()) > 2:
-                nontrivial_latency_sum += result.latency_ns
-                nontrivial += 1
+        # Uncached reference path: every shot decoded, still through the
+        # vectorised decode_batch and the shared tally (counts of one).
+        results = decoder.decode_batch(detectors)
+        tally = tally_decode_results(
+            detectors,
+            np.ones(shots, dtype=np.int64),
+            observed.astype(np.int64),
+            results,
+        )
         unique_count = shots
     return MemoryRunResult(
         decoder_name=decoder.name,
         shots=shots,
-        errors=errors,
-        declined=declined,
-        timed_out=timed_out,
-        mean_latency_ns=latency_sum / shots if shots else 0.0,
-        max_latency_ns=latency_max,
+        errors=tally.errors,
+        declined=tally.declined,
+        timed_out=tally.timed_out,
+        mean_latency_ns=tally.latency_sum / shots if shots else 0.0,
+        max_latency_ns=tally.latency_max,
         mean_latency_nontrivial_ns=(
-            nontrivial_latency_sum / nontrivial if nontrivial else 0.0
+            tally.nontrivial_latency_sum / tally.nontrivial_shots
+            if tally.nontrivial_shots
+            else 0.0
         ),
-        nontrivial_shots=nontrivial,
+        nontrivial_shots=tally.nontrivial_shots,
         unique_syndromes=unique_count,
     )

@@ -33,8 +33,9 @@ import numpy as np
 
 from ..circuits.memory import MemoryExperiment
 from ..decoders.base import DecodeResult, Decoder
+from ..sim.packing import unique_rows
 from ..sim.pauli_frame import PauliFrameSimulator
-from .memory import MemoryRunResult
+from .memory import MemoryRunResult, tally_decode_results
 
 __all__ = [
     "run_memory_experiment_parallel",
@@ -56,8 +57,9 @@ class SyndromeCensus:
 
     Attributes:
         syndromes: ``(U, num_detectors)`` bool array of distinct syndromes
-            in lexicographic order (the order :func:`numpy.unique` yields),
-            making the census canonical for a given sample multiset.
+            in packed-key lexicographic order (the deterministic order
+            :func:`repro.sim.packing.unique_rows` yields), making the
+            census canonical for a given sample multiset.
         counts: ``(U,)`` shots that produced each syndrome.
         flips: ``(U,)`` of those shots, how many had their logical
             observable actually flipped.
@@ -77,8 +79,7 @@ def _census_from_sample(
     detectors: np.ndarray, observed: np.ndarray
 ) -> SyndromeCensus:
     """Reduce a sampled (detectors, observable) batch to its census."""
-    unique, inverse = np.unique(detectors, axis=0, return_inverse=True)
-    counts = np.bincount(inverse, minlength=len(unique))
+    unique, inverse, counts = unique_rows(detectors)
     flips = np.bincount(
         inverse, weights=observed.astype(np.float64), minlength=len(unique)
     ).astype(np.int64)
@@ -101,7 +102,7 @@ def merge_censuses(parts: list[SyndromeCensus]) -> SyndromeCensus:
     stacked = np.concatenate([p.syndromes for p in parts], axis=0)
     counts = np.concatenate([p.counts for p in parts])
     flips = np.concatenate([p.flips for p in parts])
-    unique, inverse = np.unique(stacked, axis=0, return_inverse=True)
+    unique, inverse, _ = unique_rows(stacked)
     merged_counts = np.zeros(len(unique), dtype=np.int64)
     merged_flips = np.zeros(len(unique), dtype=np.int64)
     np.add.at(merged_counts, inverse, counts)
@@ -260,28 +261,20 @@ def run_memory_experiment_parallel(
             decoded = list(pool.map(_decode_chunk, decode_payloads))
     results: list[DecodeResult] = [r for part in decoded for r in part]
 
-    counts = census.counts
-    flips = census.flips
-    hamming = unique.sum(axis=1)
-    predictions = np.array([r.prediction for r in results], dtype=bool)
-    decoded_mask = np.array([r.decoded for r in results], dtype=bool)
-    timeout_mask = np.array([r.timed_out for r in results], dtype=bool)
-    latencies = np.array([r.latency_ns for r in results], dtype=np.float64)
-    errors = int(np.where(predictions, counts - flips, flips).sum())
-    nontrivial_mask = hamming > 2
-    nontrivial = int(counts[nontrivial_mask].sum())
-    nontrivial_latency = float((latencies * counts)[nontrivial_mask].sum())
+    tally = tally_decode_results(unique, census.counts, census.flips, results)
     return MemoryRunResult(
         decoder_name=decoder.name,
         shots=shots,
-        errors=errors,
-        declined=int(counts[~decoded_mask].sum()),
-        timed_out=int(counts[timeout_mask].sum()),
-        mean_latency_ns=float((latencies * counts).sum()) / shots,
-        max_latency_ns=float(latencies.max()) if len(latencies) else 0.0,
+        errors=tally.errors,
+        declined=tally.declined,
+        timed_out=tally.timed_out,
+        mean_latency_ns=tally.latency_sum / shots,
+        max_latency_ns=tally.latency_max,
         mean_latency_nontrivial_ns=(
-            nontrivial_latency / nontrivial if nontrivial else 0.0
+            tally.nontrivial_latency_sum / tally.nontrivial_shots
+            if tally.nontrivial_shots
+            else 0.0
         ),
-        nontrivial_shots=nontrivial,
+        nontrivial_shots=tally.nontrivial_shots,
         unique_syndromes=len(unique),
     )

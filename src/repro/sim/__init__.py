@@ -1,17 +1,29 @@
 """Simulators: Pauli-frame sampler, CHP tableau, detector error models."""
 
 from .dem import DetectorErrorModel, FaultMechanism, build_detector_error_model
-from .pauli_frame import PauliFrameSimulator, SampleResult
+from .frame_program import FrameOp, FrameProgram, compile_frame_program
+from .packing import pack_row_keys, pack_rows, unique_rows, unpack_rows
+from .parity import ParityTransfer
+from .pauli_frame import RNG_BLOCK_SHOTS, PauliFrameSimulator, SampleResult
 from .reference import ReferenceSampler
 from .tableau import TableauSimulator, run_tableau_shot
 
 __all__ = [
     "DetectorErrorModel",
     "FaultMechanism",
+    "FrameOp",
+    "FrameProgram",
+    "ParityTransfer",
     "PauliFrameSimulator",
+    "RNG_BLOCK_SHOTS",
     "ReferenceSampler",
     "SampleResult",
     "TableauSimulator",
     "build_detector_error_model",
+    "compile_frame_program",
+    "pack_row_keys",
+    "pack_rows",
     "run_tableau_shot",
+    "unique_rows",
+    "unpack_rows",
 ]

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..circuits.circuit import Circuit, Instruction
+from .parity import ParityTransfer
 
 __all__ = ["FaultMechanism", "DetectorErrorModel", "build_detector_error_model"]
 
@@ -215,8 +216,13 @@ def _propagate_faults(
         cursor = _apply_deterministic(inst, x, z, rec, cursor)
         for row, offset in injections.record_flips.get(index, ()):
             rec[row, cursor - len(inst.targets) + offset] ^= True
-    det = _parities(rec, circuit.detectors())
-    obs = _parities(rec, circuit.observables())
+    num_records = circuit.num_measurements
+    det = ParityTransfer.from_groups(circuit.detectors(), num_records).apply_bool(
+        rec
+    )
+    obs = ParityTransfer.from_groups(
+        circuit.observables(), num_records
+    ).apply_bool(rec)
     return det, obs
 
 
@@ -250,12 +256,3 @@ def _apply_deterministic(
             x[:, ts] = False
         return cursor + n
     return cursor
-
-
-def _parities(rec: np.ndarray, groups: list[tuple[int, ...]]) -> np.ndarray:
-    """XOR selected record columns into one column per group."""
-    out = np.zeros((rec.shape[0], len(groups)), dtype=bool)
-    for k, indices in enumerate(groups):
-        for idx in indices:
-            out[:, k] ^= rec[:, idx]
-    return out

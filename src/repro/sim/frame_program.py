@@ -1,0 +1,217 @@
+"""One-time compilation of circuits into flat frame programs.
+
+The Pauli-frame sampler used to re-interpret the :class:`Circuit` IR on
+every chunk: string dispatch on instruction names, ``list(inst.targets)``
+rebuilt per instruction per chunk, and a running measurement cursor.  The
+compiler here lowers a circuit **once** into a :class:`FrameProgram` -- a
+flat list of :class:`FrameOp` with precomputed NumPy index arrays, integer
+opcodes, statically resolved record offsets, and adjacent compatible
+operations fused -- which both the boolean and the bit-packed backends
+then replay with no per-chunk interpretation work.
+
+Annotations (``TICK`` / ``DETECTOR`` / ``OBSERVABLE_INCLUDE``) never touch
+the frame; they are dropped from the op stream and folded into the
+program's two :class:`~repro.sim.parity.ParityTransfer` operators, and
+zero-probability noise channels are eliminated outright.
+
+Fusion is deliberately conservative: two adjacent ops merge only when they
+have the same opcode, the same probability argument, and disjoint qubit
+sets (plus, for measurements, the same reset flag and contiguous record
+columns), which makes the fused op exactly equivalent to the sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from .parity import ParityTransfer
+
+__all__ = [
+    "OP_H",
+    "OP_CX",
+    "OP_R",
+    "OP_M",
+    "OP_X_ERROR",
+    "OP_Z_ERROR",
+    "OP_DEPOLARIZE1",
+    "OP_DEPOLARIZE2",
+    "FrameOp",
+    "FrameProgram",
+    "compile_frame_program",
+]
+
+OP_H = 0
+OP_CX = 1
+OP_R = 2
+OP_M = 3
+OP_X_ERROR = 4
+OP_Z_ERROR = 5
+OP_DEPOLARIZE1 = 6
+OP_DEPOLARIZE2 = 7
+
+#: Opcodes whose ``arg`` is a probability that must match for fusion.
+_ARG_KINDS = frozenset(
+    {OP_M, OP_X_ERROR, OP_Z_ERROR, OP_DEPOLARIZE1, OP_DEPOLARIZE2}
+)
+
+_KIND_BY_NAME = {
+    "H": OP_H,
+    "CX": OP_CX,
+    "R": OP_R,
+    "M": OP_M,
+    "MR": OP_M,
+    "X_ERROR": OP_X_ERROR,
+    "Z_ERROR": OP_Z_ERROR,
+    "DEPOLARIZE1": OP_DEPOLARIZE1,
+    "DEPOLARIZE2": OP_DEPOLARIZE2,
+}
+
+
+@dataclass
+class FrameOp:
+    """One lowered frame operation.
+
+    Attributes:
+        kind: Integer opcode (one of the ``OP_*`` constants).
+        targets: Qubit indices; for two-qubit ops, the *control* qubits.
+        partners: Target qubits of two-qubit ops (``CX`` / ``DEPOLARIZE2``),
+            aligned with ``targets``; None otherwise.
+        arg: Noise probability (noise ops) or record-flip probability
+            (``OP_M``); 0.0 otherwise.
+        rec_start: First measurement-record column written by ``OP_M``
+            (statically resolved at compile time); -1 otherwise.
+        reset: Whether an ``OP_M`` also resets (the ``MR`` variant).
+    """
+
+    kind: int
+    targets: np.ndarray
+    partners: np.ndarray | None = None
+    arg: float = 0.0
+    rec_start: int = -1
+    reset: bool = False
+
+    def qubit_set(self) -> set[int]:
+        """All qubits this op touches (controls and partners)."""
+        qubits = set(self.targets.tolist())
+        if self.partners is not None:
+            qubits.update(self.partners.tolist())
+        return qubits
+
+
+@dataclass
+class FrameProgram:
+    """A compiled circuit, ready for repeated block execution.
+
+    Attributes:
+        num_qubits: Frame width.
+        num_measurements: Record width.
+        ops: The lowered (and fused) op stream.
+        detector_transfer: Record-to-detector parity operator.
+        observable_transfer: Record-to-observable parity operator.
+        source_instructions: Instruction count of the source circuit
+            (annotation and no-op instructions included), for diagnostics.
+    """
+
+    num_qubits: int
+    num_measurements: int
+    ops: list[FrameOp] = field(default_factory=list)
+    detector_transfer: ParityTransfer | None = None
+    observable_transfer: ParityTransfer | None = None
+    source_instructions: int = 0
+
+    @property
+    def num_detectors(self) -> int:
+        """Number of detector parity groups."""
+        return self.detector_transfer.num_groups if self.detector_transfer else 0
+
+    @property
+    def num_observables(self) -> int:
+        """Number of logical-observable parity groups."""
+        return (
+            self.observable_transfer.num_groups if self.observable_transfer else 0
+        )
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+def _can_fuse(prev: FrameOp, op: FrameOp) -> bool:
+    """Whether ``op`` may be merged into ``prev`` without changing semantics."""
+    if prev.kind != op.kind:
+        return False
+    if op.kind in _ARG_KINDS and prev.arg != op.arg:
+        return False
+    if op.kind == OP_M:
+        if prev.reset != op.reset:
+            return False
+        if op.rec_start != prev.rec_start + len(prev.targets):
+            return False
+    # Disjoint qubit sets make simultaneous (vectorised) application
+    # exactly equivalent to sequential application.
+    return not (prev.qubit_set() & op.qubit_set())
+
+
+def _fuse_into(prev: FrameOp, op: FrameOp) -> None:
+    prev.targets = np.concatenate([prev.targets, op.targets])
+    if prev.partners is not None:
+        prev.partners = np.concatenate([prev.partners, op.partners])
+
+
+def compile_frame_program(circuit: Circuit, *, fuse: bool = True) -> FrameProgram:
+    """Lower a circuit to a :class:`FrameProgram`.
+
+    Args:
+        circuit: The circuit to compile.
+        fuse: Merge adjacent compatible ops (same opcode and argument,
+            disjoint qubits).  Disable to keep a 1:1 instruction/op
+            correspondence.
+
+    Returns:
+        The compiled program.
+    """
+    ops: list[FrameOp] = []
+    cursor = 0
+    for inst in circuit.instructions:
+        name = inst.name
+        if name in ("TICK", "DETECTOR", "OBSERVABLE_INCLUDE"):
+            continue
+        ts = np.asarray(inst.targets, dtype=np.int64)
+        kind = _KIND_BY_NAME[name]
+        if kind == OP_M:
+            op = FrameOp(
+                kind,
+                ts,
+                arg=inst.arg,
+                rec_start=cursor,
+                reset=(name == "MR"),
+            )
+            cursor += len(ts)
+        elif kind in (OP_CX, OP_DEPOLARIZE2):
+            op = FrameOp(
+                kind, ts[0::2].copy(), partners=ts[1::2].copy(), arg=inst.arg
+            )
+        else:
+            op = FrameOp(kind, ts, arg=inst.arg)
+        if kind != OP_M and kind in _ARG_KINDS and op.arg <= 0.0:
+            continue  # dead noise channel
+        if len(op.targets) == 0:
+            continue
+        if fuse and ops and _can_fuse(ops[-1], op):
+            _fuse_into(ops[-1], op)
+            continue
+        ops.append(op)
+    return FrameProgram(
+        num_qubits=circuit.num_qubits,
+        num_measurements=circuit.num_measurements,
+        ops=ops,
+        detector_transfer=ParityTransfer.from_groups(
+            circuit.detectors(), circuit.num_measurements
+        ),
+        observable_transfer=ParityTransfer.from_groups(
+            circuit.observables(), circuit.num_measurements
+        ),
+        source_instructions=len(circuit.instructions),
+    )

@@ -1,0 +1,243 @@
+"""Bit-packed execution of frame programs: 64 Monte-Carlo shots per word.
+
+This backend stores the X/Z Pauli frames and the measurement record as
+``uint64`` words -- bit ``b`` of word ``w`` is shot ``64 * w + b`` (the
+:mod:`repro.sim.packing` layout) -- so Clifford conjugation becomes a
+handful of word-wise XOR/swap/clear operations per op regardless of the
+shot count, the trick Stim-class samplers get their bulk throughput from.
+
+Noise channels toggle random frame bits.  Each channel is an independent
+Bernoulli(p) process over a ``(targets, lanes)`` bit grid, realised one of
+two ways (both exact):
+
+* **Sparse** (the common case at physical error rates): hit offsets are
+  generated directly by geometric-gap skipping -- consecutive hits of a
+  Bernoulli(p) scan are separated by Geometric(p) gaps -- and scattered
+  into the packed words with ``np.bitwise_xor.at``.  Work is O(hits), not
+  O(bits).
+* **Dense** (``p`` above :data:`DENSE_NOISE_THRESHOLD`): a boolean hit
+  matrix is drawn directly and packed with a shift/OR reduction.
+
+Both paths consume the block's own ``Generator``, so a block's output is a
+pure function of (program, lanes, seed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .frame_program import (
+    OP_CX,
+    OP_DEPOLARIZE1,
+    OP_DEPOLARIZE2,
+    OP_H,
+    OP_M,
+    OP_R,
+    OP_X_ERROR,
+    OP_Z_ERROR,
+    FrameProgram,
+)
+from .packing import WORD_BITS, num_words, pack_rows
+
+__all__ = ["run_block_packed", "bernoulli_positions", "DENSE_NOISE_THRESHOLD"]
+
+#: Above this probability the dense (draw-every-bit) path is used; below
+#: it, geometric-gap skipping generates only the hits.
+DENSE_NOISE_THRESHOLD = 0.05
+
+
+def bernoulli_positions(
+    rng: np.random.Generator, n: int, p: float
+) -> np.ndarray:
+    """Offsets of the hits of an n-bit Bernoulli(p) scan, in order.
+
+    Exact: position gaps between consecutive hits are Geometric(p), which
+    is how the scan is generated -- in vectorised batches -- without ever
+    materialising the non-hits.
+
+    Args:
+        rng: Source of randomness (consumed).
+        n: Number of bits scanned.
+        p: Per-bit hit probability.
+
+    Returns:
+        Sorted ``int64`` array of hit offsets in ``[0, n)``.
+    """
+    if n <= 0 or p <= 0.0:
+        return np.zeros(0, dtype=np.int64)
+    if p >= 1.0:
+        return np.arange(n, dtype=np.int64)
+    parts: list[np.ndarray] = []
+    last = -1
+    while True:
+        expected = (n - 1 - last) * p
+        batch = int(expected + 6.0 * np.sqrt(expected + 1.0) + 16.0)
+        gaps = rng.geometric(p, size=batch)
+        steps = np.cumsum(gaps) + last
+        beyond = steps >= n
+        if beyond.any():
+            parts.append(steps[: int(np.argmax(beyond))])
+            break
+        parts.append(steps)
+        last = int(steps[-1])
+    return np.concatenate(parts) if parts else np.zeros(0, dtype=np.int64)
+
+
+def _scatter_toggle(
+    words: np.ndarray, rows: np.ndarray, shots: np.ndarray
+) -> None:
+    """XOR single bits into packed rows: ``words[rows] ^= bit(shots)``."""
+    if len(rows) == 0:
+        return
+    word = shots >> 6
+    bit = np.uint64(1) << (shots & 63).astype(np.uint64)
+    np.bitwise_xor.at(words, (rows, word), bit)
+
+
+def _toggle_bernoulli(
+    words: np.ndarray,
+    rows: np.ndarray,
+    p: float,
+    lanes: int,
+    rng: np.random.Generator,
+) -> None:
+    """Flip each bit of ``words[rows, :lanes]`` independently with prob p."""
+    m = len(rows)
+    if m == 0 or p <= 0.0:
+        return
+    if p < DENSE_NOISE_THRESHOLD:
+        pos = bernoulli_positions(rng, m * lanes, p)
+        _scatter_toggle(words, rows[pos // lanes], pos % lanes)
+    else:
+        hits = rng.random((m, lanes)) < p
+        words[rows] ^= pack_rows(hits)
+
+
+def _apply_depolarize1(
+    x: np.ndarray,
+    z: np.ndarray,
+    rows: np.ndarray,
+    p: float,
+    lanes: int,
+    rng: np.random.Generator,
+) -> None:
+    m = len(rows)
+    if m == 0 or p <= 0.0:
+        return
+    if p < DENSE_NOISE_THRESHOLD:
+        pos = bernoulli_positions(rng, m * lanes, p)
+        if len(pos) == 0:
+            return
+        which = rng.integers(0, 3, size=len(pos))  # 0: X, 1: Y, 2: Z
+        hit_rows = rows[pos // lanes]
+        hit_shots = pos % lanes
+        flips_x = which != 2
+        flips_z = which != 0
+        _scatter_toggle(x, hit_rows[flips_x], hit_shots[flips_x])
+        _scatter_toggle(z, hit_rows[flips_z], hit_shots[flips_z])
+    else:
+        hits = rng.random((m, lanes)) < p
+        which = rng.integers(0, 3, size=(m, lanes))
+        x[rows] ^= pack_rows(hits & (which != 2))
+        z[rows] ^= pack_rows(hits & (which != 0))
+
+
+def _apply_depolarize2(
+    x: np.ndarray,
+    z: np.ndarray,
+    controls: np.ndarray,
+    targets: np.ndarray,
+    p: float,
+    lanes: int,
+    rng: np.random.Generator,
+) -> None:
+    m = len(controls)
+    if m == 0 or p <= 0.0:
+        return
+    if p < DENSE_NOISE_THRESHOLD:
+        pos = bernoulli_positions(rng, m * lanes, p)
+        if len(pos) == 0:
+            return
+        # Uniform over the 15 non-identity two-qubit Paulis, encoded as
+        # 4 bits (xc, zc, xt, zt) with value 0 excluded.
+        which = rng.integers(1, 16, size=len(pos))
+        pair = pos // lanes
+        shot = pos % lanes
+        for words, rows, bit in (
+            (x, controls, 3),
+            (z, controls, 2),
+            (x, targets, 1),
+            (z, targets, 0),
+        ):
+            mask = ((which >> bit) & 1).astype(bool)
+            _scatter_toggle(words, rows[pair[mask]], shot[mask])
+    else:
+        hits = rng.random((m, lanes)) < p
+        which = rng.integers(1, 16, size=(m, lanes))
+        for words, rows, bit in (
+            (x, controls, 3),
+            (z, controls, 2),
+            (x, targets, 1),
+            (z, targets, 0),
+        ):
+            words[rows] ^= pack_rows(hits & ((which >> bit) & 1).astype(bool))
+
+
+def run_block_packed(
+    program: FrameProgram, lanes: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Propagate one bit-packed block of Pauli frames.
+
+    Args:
+        program: The compiled frame program.
+        lanes: Number of shot lanes (rounded up to whole words; lanes past
+            the requested shot count are simulated and later sliced away --
+            frame operations never mix lanes, so padding is harmless).
+        rng: The block's dedicated PRNG.
+
+    Returns:
+        ``(num_measurements, num_words(lanes))`` packed record-flip matrix.
+    """
+    words = num_words(lanes)
+    padded_lanes = words * WORD_BITS
+    x = np.zeros((program.num_qubits, words), dtype=np.uint64)
+    z = np.zeros_like(x)
+    rec = np.zeros((program.num_measurements, words), dtype=np.uint64)
+    for op in program.ops:
+        kind = op.kind
+        if kind == OP_H:
+            q = op.targets
+            tmp = x[q].copy()
+            x[q] = z[q]
+            z[q] = tmp
+        elif kind == OP_CX:
+            c, t = op.targets, op.partners
+            x[t] ^= x[c]
+            z[c] ^= z[t]
+        elif kind == OP_R:
+            x[op.targets] = 0
+            z[op.targets] = 0
+        elif kind == OP_M:
+            ts = op.targets
+            start = op.rec_start
+            span = np.arange(start, start + len(ts))
+            rec[span] = x[ts]
+            if op.arg > 0.0:
+                _toggle_bernoulli(rec, span, op.arg, padded_lanes, rng)
+            # Measurement collapse: Z frame components become irrelevant.
+            z[ts] = 0
+            if op.reset:
+                x[ts] = 0
+        elif kind == OP_X_ERROR:
+            _toggle_bernoulli(x, op.targets, op.arg, padded_lanes, rng)
+        elif kind == OP_Z_ERROR:
+            _toggle_bernoulli(z, op.targets, op.arg, padded_lanes, rng)
+        elif kind == OP_DEPOLARIZE1:
+            _apply_depolarize1(x, z, op.targets, op.arg, padded_lanes, rng)
+        elif kind == OP_DEPOLARIZE2:
+            _apply_depolarize2(
+                x, z, op.targets, op.partners, op.arg, padded_lanes, rng
+            )
+        else:  # pragma: no cover - compiler emits only the kinds above
+            raise AssertionError(f"unhandled opcode: {kind}")
+    return rec

@@ -1,0 +1,101 @@
+"""Sparse record-to-parity transfer: detectors/observables from records.
+
+Detectors and logical observables are parities of measurement-record bits.
+Both the Pauli-frame sampler and the detector-error-model builder need to
+reduce a sampled record matrix to those parities; historically each carried
+its own double Python loop over ``(group, index)``.  This module provides
+the shared, vectorised replacement: a CSR-layout sparse operator applied as
+one gather + segmented-reduction per batch (boolean backend) or one
+XOR-scatter of whole ``uint64`` words (bit-packed backend).
+
+The boolean apply exploits that a ``uint8`` sum wraps modulo 256 -- an even
+modulus -- so overflow cannot corrupt a parity; no widening is needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ParityTransfer"]
+
+
+class ParityTransfer:
+    """A sparse GF(2) matrix mapping record columns to parity groups.
+
+    The operator is stored in CSR form (``indptr``/``indices`` over the
+    record axis) and applied to batches of measurement records:
+
+    * :meth:`apply_bool` -- ``(shots, num_records)`` bool rows in, one
+      parity column per group out.
+    * :meth:`apply_packed` -- ``(num_records, words)`` bit-packed ``uint64``
+      rows in (64 shots per word), packed parity rows out.
+
+    Args:
+        num_records: Width of the record matrices this operator accepts.
+        indptr: ``(num_groups + 1,)`` CSR row pointer.
+        indices: ``(nnz,)`` record indices, concatenated per group.
+    """
+
+    def __init__(
+        self, num_records: int, indptr: np.ndarray, indices: np.ndarray
+    ) -> None:
+        self.num_records = int(num_records)
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.num_groups = len(self.indptr) - 1
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.num_records
+        ):
+            raise ValueError("parity-transfer index out of record range")
+        sizes = np.diff(self.indptr)
+        if (sizes < 0).any():
+            raise ValueError("indptr must be non-decreasing")
+        # Empty groups (an observable with no includes) contribute no
+        # indices; reduceat segments are laid out over the non-empty ones.
+        self._nonempty = np.nonzero(sizes > 0)[0]
+        self._seg_starts = self.indptr[:-1][self._nonempty]
+        self._group_per_index = np.repeat(
+            np.arange(self.num_groups, dtype=np.int64), sizes
+        )
+
+    @classmethod
+    def from_groups(
+        cls, groups: list[tuple[int, ...]], num_records: int
+    ) -> "ParityTransfer":
+        """Build the operator from one index tuple per parity group."""
+        indptr = np.zeros(len(groups) + 1, dtype=np.int64)
+        for k, group in enumerate(groups):
+            indptr[k + 1] = indptr[k] + len(group)
+        flat = [idx for group in groups for idx in group]
+        indices = np.asarray(flat, dtype=np.int64)
+        return cls(num_records, indptr, indices)
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+
+    def apply_bool(self, rec: np.ndarray) -> np.ndarray:
+        """Reduce ``(shots, num_records)`` bool records to group parities.
+
+        Returns:
+            ``(shots, num_groups)`` bool parity matrix.
+        """
+        shots = rec.shape[0]
+        out = np.zeros((shots, self.num_groups), dtype=bool)
+        if self.indices.size and self._seg_starts.size:
+            gathered = rec[:, self.indices].astype(np.uint8)
+            sums = np.add.reduceat(gathered, self._seg_starts, axis=1)
+            out[:, self._nonempty] = (sums & 1).astype(bool)
+        return out
+
+    def apply_packed(self, rec_words: np.ndarray) -> np.ndarray:
+        """Reduce bit-packed ``(num_records, words)`` records to parities.
+
+        Returns:
+            ``(num_groups, words)`` packed ``uint64`` parity matrix.
+        """
+        words = rec_words.shape[1] if rec_words.ndim == 2 else 0
+        out = np.zeros((self.num_groups, words), dtype=np.uint64)
+        if self.indices.size:
+            np.bitwise_xor.at(out, self._group_per_index, rec_words[self.indices])
+        return out

@@ -2,22 +2,30 @@
 
 This is the workhorse simulator of the reproduction, standing in for the
 (heavily modified) Stim build the paper's artifact uses.  It exploits the
-standard *Pauli frame* trick: instead of simulating quantum states, it tracks
--- for each Monte-Carlo shot -- the Pauli operator by which the noisy run
-differs from a noiseless reference run.  Clifford gates conjugate the frame,
-noise channels XOR random Paulis into it, and a Z-basis measurement outcome
-is flipped relative to the reference exactly when the frame has an X
-component on the measured qubit.
+standard *Pauli frame* trick: instead of simulating quantum states, it
+tracks -- for each Monte-Carlo shot -- the Pauli operator by which the
+noisy run differs from a noiseless reference run.  Clifford gates
+conjugate the frame, noise channels XOR random Paulis into it, and a
+Z-basis measurement outcome is flipped relative to the reference exactly
+when the frame has an X component on the measured qubit.
 
 Because detectors are (by construction) deterministic parities of
 measurement outcomes in the noiseless circuit, the sampled detector values
-are simply parities of the *flips*, and the reference run never needs to be
-computed.  Correctness of this shortcut is cross-validated against the CHP
-tableau simulator in the test suite.
+are simply parities of the *flips*, and the reference run never needs to
+be computed.  Correctness of this shortcut is cross-validated against the
+CHP tableau simulator in the test suite.
 
-All shots are simulated simultaneously with NumPy boolean arrays, giving
-throughput of millions of measurement layers per second -- enough to run
-laptop-scale versions of the paper's Monte-Carlo memory experiments.
+The circuit is compiled once (:mod:`repro.sim.frame_program`) and executed
+by one of two backends:
+
+* ``"packed"`` (default): frames and records are bit-packed ``uint64``
+  words, 64 shots per word, with sparse packed noise generation
+  (:mod:`repro.sim.packed_backend`) -- the fast path.
+* ``"boolean"``: one NumPy bool per (shot, qubit) -- the legacy reference
+  path, retained for cross-validation.
+
+Both backends reduce record flips to detector/observable parities through
+the program's shared sparse parity-transfer operators.
 """
 
 from __future__ import annotations
@@ -26,9 +34,29 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..circuits.circuit import Circuit, Instruction
+from ..circuits.circuit import Circuit
+from .frame_program import (
+    OP_CX,
+    OP_DEPOLARIZE1,
+    OP_DEPOLARIZE2,
+    OP_H,
+    OP_M,
+    OP_R,
+    OP_X_ERROR,
+    OP_Z_ERROR,
+    FrameProgram,
+    compile_frame_program,
+)
+from .packed_backend import run_block_packed
+from .packing import unpack_rows
 
-__all__ = ["SampleResult", "PauliFrameSimulator"]
+__all__ = ["SampleResult", "PauliFrameSimulator", "RNG_BLOCK_SHOTS"]
+
+#: Shots per independently seeded RNG block.  The block layout -- not the
+#: chunk size -- determines every random draw, so sampled results are
+#: invariant to ``chunk_size``.  Matches the parallel runner's default
+#: sampling-block size.
+RNG_BLOCK_SHOTS = 4096
 
 
 @dataclass
@@ -59,19 +87,57 @@ class SampleResult:
 class PauliFrameSimulator:
     """Samples detector and observable flips of a noisy Clifford circuit.
 
+    The circuit is lowered once to a :class:`FrameProgram` at construction;
+    sampling replays the compiled ops, never the IR.
+
+    **RNG-stream contract.**  Shots are produced in fixed blocks of
+    :data:`RNG_BLOCK_SHOTS`; the ``k``-th block consumed over the
+    simulator's lifetime is driven by its own PRNG, spawned
+    deterministically from the constructor seed (``SeedSequence(seed)``
+    child ``k``).  Consequences:
+
+    * A given ``sample(shots)`` call's output is a pure function of
+      ``(circuit, seed, backend, shots)`` and how many blocks previous
+      calls on the same instance consumed -- it is **invariant to
+      ``chunk_size``** and to how the work is split internally.
+    * Partial trailing blocks are simulated at full block width and
+      sliced, so ``sample(n)`` returns a prefix of what ``sample(m)``,
+      ``m >= n``, would return from the same fresh instance whenever ``n``
+      is a multiple of the block size (and for the packed backend, always).
+    * The two backends draw different random streams and therefore produce
+      different (equally distributed) samples from the same seed; they
+      coincide bit-for-bit only on deterministic (p in {0, 1}) circuits.
+
     Args:
         circuit: The circuit to sample.  Two-qubit instructions must use
             disjoint targets (enforced by :class:`~repro.circuits.circuit.
             Instruction`), which permits fully vectorised application.
-        seed: Seed for the internal PRNG; None draws entropy from the OS.
+        seed: Seed for the internal PRNG; None draws entropy from the OS
+            (once, at construction -- sampling stays self-deterministic).
+        backend: ``"packed"`` (bit-packed ``uint64`` fast path, default)
+            or ``"boolean"`` (legacy NumPy bool reference path).
+        fuse: Fuse adjacent compatible ops at compile time.
     """
 
-    def __init__(self, circuit: Circuit, seed: int | None = None) -> None:
+    def __init__(
+        self,
+        circuit: Circuit,
+        seed: int | None = None,
+        *,
+        backend: str = "packed",
+        fuse: bool = True,
+    ) -> None:
+        if backend not in ("packed", "boolean"):
+            raise ValueError(f"unknown backend: {backend!r}")
         self.circuit = circuit
-        self._rng = np.random.default_rng(seed)
-        # Precompute static lookups so that sampling loops stay tight.
-        self._detector_records = circuit.detectors()
-        self._observable_records = circuit.observables()
+        self.backend = backend
+        self._program: FrameProgram = compile_frame_program(circuit, fuse=fuse)
+        self._seed_seq = np.random.SeedSequence(seed)
+
+    @property
+    def program(self) -> FrameProgram:
+        """The compiled frame program (compiled once, at construction)."""
+        return self._program
 
     # ------------------------------------------------------------------
     # Public API
@@ -88,7 +154,9 @@ class PauliFrameSimulator:
 
         Args:
             shots: Number of Monte-Carlo shots.
-            chunk_size: Shots simulated per NumPy batch; bounds peak memory.
+            chunk_size: Retained for API compatibility; results are
+                invariant to it (see the RNG-stream contract above).
+                Memory is bounded by the fixed RNG block size.
             keep_measurement_flips: Retain the raw record-flip matrix
                 (memory-hungry for large circuits).
 
@@ -97,126 +165,112 @@ class PauliFrameSimulator:
         """
         if shots < 0:
             raise ValueError("shots must be non-negative")
+        del chunk_size  # the fixed block layout governs both RNG and memory
+        program = self._program
         det_parts: list[np.ndarray] = []
         obs_parts: list[np.ndarray] = []
         rec_parts: list[np.ndarray] = []
         remaining = shots
         while remaining > 0:
-            batch = min(remaining, chunk_size)
-            rec = self._run_batch(batch)
-            det_parts.append(self._records_to_parities(rec, self._detector_records))
-            obs_parts.append(self._records_to_parities(rec, self._observable_records))
-            if keep_measurement_flips:
-                rec_parts.append(rec)
-            remaining -= batch
-        num_det = self.circuit.num_detectors
-        num_obs = self.circuit.num_observables
+            size = min(RNG_BLOCK_SHOTS, remaining)
+            rng = np.random.default_rng(self._seed_seq.spawn(1)[0])
+            if self.backend == "packed":
+                rec_words = run_block_packed(program, RNG_BLOCK_SHOTS, rng)
+                det_parts.append(
+                    unpack_rows(
+                        program.detector_transfer.apply_packed(rec_words),
+                        RNG_BLOCK_SHOTS,
+                    ).T[:size]
+                )
+                obs_parts.append(
+                    unpack_rows(
+                        program.observable_transfer.apply_packed(rec_words),
+                        RNG_BLOCK_SHOTS,
+                    ).T[:size]
+                )
+                if keep_measurement_flips:
+                    rec_parts.append(
+                        unpack_rows(rec_words, RNG_BLOCK_SHOTS).T[:size]
+                    )
+            else:
+                rec = _run_block_bool(program, RNG_BLOCK_SHOTS, rng)[:size]
+                det_parts.append(program.detector_transfer.apply_bool(rec))
+                obs_parts.append(program.observable_transfer.apply_bool(rec))
+                if keep_measurement_flips:
+                    rec_parts.append(rec)
+            remaining -= size
         detectors = (
             np.concatenate(det_parts)
             if det_parts
-            else np.zeros((0, num_det), dtype=bool)
+            else np.zeros((0, program.num_detectors), dtype=bool)
         )
         observables = (
             np.concatenate(obs_parts)
             if obs_parts
-            else np.zeros((0, num_obs), dtype=bool)
+            else np.zeros((0, program.num_observables), dtype=bool)
         )
         flips = np.concatenate(rec_parts) if rec_parts else None
         return SampleResult(detectors, observables, flips)
 
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
 
-    @staticmethod
-    def _records_to_parities(
-        rec: np.ndarray, index_groups: list[tuple[int, ...]]
-    ) -> np.ndarray:
-        """XOR selected record columns into one parity column per group."""
-        out = np.zeros((rec.shape[0], len(index_groups)), dtype=bool)
-        for k, indices in enumerate(index_groups):
-            for idx in indices:
-                out[:, k] ^= rec[:, idx]
-        return out
+# ----------------------------------------------------------------------
+# Boolean (legacy reference) backend
+# ----------------------------------------------------------------------
 
-    def _run_batch(self, batch: int) -> np.ndarray:
-        """Propagate Pauli frames for one batch; return record flips."""
-        num_qubits = self.circuit.num_qubits
-        x = np.zeros((batch, num_qubits), dtype=bool)
-        z = np.zeros((batch, num_qubits), dtype=bool)
-        rec = np.zeros((batch, self.circuit.num_measurements), dtype=bool)
-        cursor = 0  # next measurement-record column
-        rng = self._rng
-        for inst in self.circuit.instructions:
-            cursor = self._apply(inst, x, z, rec, cursor, rng)
-        return rec
 
-    def _apply(
-        self,
-        inst: Instruction,
-        x: np.ndarray,
-        z: np.ndarray,
-        rec: np.ndarray,
-        cursor: int,
-        rng: np.random.Generator,
-    ) -> int:
-        """Apply one instruction to the frame batch; return new cursor."""
-        name = inst.name
-        ts = list(inst.targets)
-        if name == "TICK" or name == "DETECTOR" or name == "OBSERVABLE_INCLUDE":
-            return cursor
-        if name == "H":
-            tmp = x[:, ts].copy()
-            x[:, ts] = z[:, ts]
-            z[:, ts] = tmp
-            return cursor
-        if name == "CX":
-            controls = ts[0::2]
-            targets = ts[1::2]
-            x[:, targets] ^= x[:, controls]
-            z[:, controls] ^= z[:, targets]
-            return cursor
-        if name == "R":
-            x[:, ts] = False
-            z[:, ts] = False
-            return cursor
-        if name == "M" or name == "MR":
+def _run_block_bool(
+    program: FrameProgram, lanes: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Propagate one boolean block; return the record-flip matrix."""
+    x = np.zeros((lanes, program.num_qubits), dtype=bool)
+    z = np.zeros_like(x)
+    rec = np.zeros((lanes, program.num_measurements), dtype=bool)
+    for op in program.ops:
+        kind = op.kind
+        if kind == OP_H:
+            q = op.targets
+            tmp = x[:, q].copy()
+            x[:, q] = z[:, q]
+            z[:, q] = tmp
+        elif kind == OP_CX:
+            c, t = op.targets, op.partners
+            x[:, t] ^= x[:, c]
+            z[:, c] ^= z[:, t]
+        elif kind == OP_R:
+            x[:, op.targets] = False
+            z[:, op.targets] = False
+        elif kind == OP_M:
+            ts = op.targets
             n = len(ts)
             outcome_flips = x[:, ts].copy()
-            if inst.arg > 0.0:
-                outcome_flips ^= rng.random((x.shape[0], n)) < inst.arg
-            rec[:, cursor : cursor + n] = outcome_flips
-            # Measurement collapses the state: a Z frame component on the
-            # measured qubit becomes irrelevant (the post-measurement state
-            # is a Z eigenstate).
+            if op.arg > 0.0:
+                outcome_flips ^= rng.random((lanes, n)) < op.arg
+            rec[:, op.rec_start : op.rec_start + n] = outcome_flips
+            # Measurement collapse: Z frame components become irrelevant.
             z[:, ts] = False
-            if name == "MR":
+            if op.reset:
                 x[:, ts] = False
-            return cursor + n
-        if name == "X_ERROR":
-            x[:, ts] ^= rng.random((x.shape[0], len(ts))) < inst.arg
-            return cursor
-        if name == "Z_ERROR":
-            z[:, ts] ^= rng.random((z.shape[0], len(ts))) < inst.arg
-            return cursor
-        if name == "DEPOLARIZE1":
-            shape = (x.shape[0], len(ts))
-            hit = rng.random(shape) < inst.arg
+        elif kind == OP_X_ERROR:
+            x[:, op.targets] ^= rng.random((lanes, len(op.targets))) < op.arg
+        elif kind == OP_Z_ERROR:
+            z[:, op.targets] ^= rng.random((lanes, len(op.targets))) < op.arg
+        elif kind == OP_DEPOLARIZE1:
+            shape = (lanes, len(op.targets))
+            hit = rng.random(shape) < op.arg
             which = rng.integers(0, 3, size=shape)  # 0: X, 1: Y, 2: Z
-            x[:, ts] ^= hit & (which != 2)
-            z[:, ts] ^= hit & (which != 0)
-            return cursor
-        if name == "DEPOLARIZE2":
-            controls = ts[0::2]
-            targets = ts[1::2]
-            shape = (x.shape[0], len(controls))
-            hit = rng.random(shape) < inst.arg
-            # Uniform over the 15 non-identity two-qubit Paulis, encoded as
-            # 4 bits (xc, zc, xt, zt) with value 0 excluded.
+            x[:, op.targets] ^= hit & (which != 2)
+            z[:, op.targets] ^= hit & (which != 0)
+        elif kind == OP_DEPOLARIZE2:
+            c, t = op.targets, op.partners
+            shape = (lanes, len(c))
+            hit = rng.random(shape) < op.arg
+            # Uniform over the 15 non-identity two-qubit Paulis, encoded
+            # as 4 bits (xc, zc, xt, zt) with value 0 excluded.
             which = rng.integers(1, 16, size=shape)
-            x[:, controls] ^= hit & ((which >> 3) & 1).astype(bool)
-            z[:, controls] ^= hit & ((which >> 2) & 1).astype(bool)
-            x[:, targets] ^= hit & ((which >> 1) & 1).astype(bool)
-            z[:, targets] ^= hit & (which & 1).astype(bool)
-            return cursor
-        raise AssertionError(f"unhandled instruction: {name}")
+            x[:, c] ^= hit & ((which >> 3) & 1).astype(bool)
+            z[:, c] ^= hit & ((which >> 2) & 1).astype(bool)
+            x[:, t] ^= hit & ((which >> 1) & 1).astype(bool)
+            z[:, t] ^= hit & (which & 1).astype(bool)
+        else:  # pragma: no cover - compiler emits only the kinds above
+            raise AssertionError(f"unhandled opcode: {kind}")
+    return rec

@@ -136,10 +136,12 @@ class TestAstreaGConfigurationExtremes:
         mwpm = MWPMDecoder(setup_d5.ideal_gwt, measure_time=False)
         misses = 0
         total = 0
-        for det in sample_d5.detectors[:400]:
+        for det in sample_d5.detectors:
             active = [int(i) for i in np.nonzero(det)[0]]
             if len(active) <= 6:
                 continue
+            if total >= 30:  # bound runtime; heavy syndromes are rare
+                break
             total += 1
             misses += int(
                 abs(

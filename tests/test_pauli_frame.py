@@ -7,40 +7,41 @@ from repro.circuits.circuit import Circuit
 from repro.sim.pauli_frame import PauliFrameSimulator
 
 
-def _sample_one(circuit, seed=0, shots=1):
-    return PauliFrameSimulator(circuit, seed=seed).sample(shots)
+def _sample_one(circuit, seed=0, shots=1, backend="packed"):
+    return PauliFrameSimulator(circuit, seed=seed, backend=backend).sample(shots)
 
 
+@pytest.mark.parametrize("backend", ["packed", "boolean"])
 class TestFramePropagation:
-    def test_x_error_flips_measurement(self):
+    def test_x_error_flips_measurement(self, backend):
         c = Circuit()
         c.add("R", [0])
         c.add("X_ERROR", [0], 1.0)
         c.add("M", [0])
         c.add("DETECTOR", [0])
-        res = _sample_one(c, shots=8)
+        res = _sample_one(c, shots=8, backend=backend)
         assert res.detectors.all()
 
-    def test_z_error_invisible_to_z_measurement(self):
+    def test_z_error_invisible_to_z_measurement(self, backend):
         c = Circuit()
         c.add("R", [0])
         c.add("Z_ERROR", [0], 1.0)
         c.add("M", [0])
         c.add("DETECTOR", [0])
-        res = _sample_one(c, shots=8)
+        res = _sample_one(c, shots=8, backend=backend)
         assert not res.detectors.any()
 
-    def test_h_converts_z_error_to_x(self):
+    def test_h_converts_z_error_to_x(self, backend):
         c = Circuit()
         c.add("R", [0])
         c.add("Z_ERROR", [0], 1.0)
         c.add("H", [0])
         c.add("M", [0])
         c.add("DETECTOR", [0])
-        res = _sample_one(c, shots=8)
+        res = _sample_one(c, shots=8, backend=backend)
         assert res.detectors.all()
 
-    def test_cx_propagates_x_from_control_to_target(self):
+    def test_cx_propagates_x_from_control_to_target(self, backend):
         c = Circuit()
         c.add("R", [0, 1])
         c.add("X_ERROR", [0], 1.0)
@@ -48,10 +49,10 @@ class TestFramePropagation:
         c.add("M", [0, 1])
         c.add("DETECTOR", [0])
         c.add("DETECTOR", [1])
-        res = _sample_one(c, shots=8)
+        res = _sample_one(c, shots=8, backend=backend)
         assert res.detectors.all()  # both qubits flipped
 
-    def test_cx_does_not_propagate_x_from_target(self):
+    def test_cx_does_not_propagate_x_from_target(self, backend):
         c = Circuit()
         c.add("R", [0, 1])
         c.add("X_ERROR", [1], 1.0)
@@ -59,21 +60,21 @@ class TestFramePropagation:
         c.add("M", [0, 1])
         c.add("DETECTOR", [0])
         c.add("DETECTOR", [1])
-        res = _sample_one(c, shots=8)
+        res = _sample_one(c, shots=8, backend=backend)
         assert not res.detectors[:, 0].any()
         assert res.detectors[:, 1].all()
 
-    def test_reset_clears_frame(self):
+    def test_reset_clears_frame(self, backend):
         c = Circuit()
         c.add("R", [0])
         c.add("X_ERROR", [0], 1.0)
         c.add("R", [0])
         c.add("M", [0])
         c.add("DETECTOR", [0])
-        res = _sample_one(c, shots=8)
+        res = _sample_one(c, shots=8, backend=backend)
         assert not res.detectors.any()
 
-    def test_mr_resets_after_measuring(self):
+    def test_mr_resets_after_measuring(self, backend):
         c = Circuit()
         c.add("R", [0])
         c.add("X_ERROR", [0], 1.0)
@@ -81,25 +82,25 @@ class TestFramePropagation:
         c.add("M", [0])
         c.add("DETECTOR", [0])  # first measurement sees the flip
         c.add("DETECTOR", [1])  # second does not: MR reset the qubit
-        res = _sample_one(c, shots=8)
+        res = _sample_one(c, shots=8, backend=backend)
         assert res.detectors[:, 0].all()
         assert not res.detectors[:, 1].any()
 
-    def test_measurement_flip_probability_one(self):
+    def test_measurement_flip_probability_one(self, backend):
         c = Circuit()
         c.add("R", [0])
         c.add("M", [0], 1.0)
         c.add("DETECTOR", [0])
-        res = _sample_one(c, shots=8)
+        res = _sample_one(c, shots=8, backend=backend)
         assert res.detectors.all()
 
-    def test_observable_tracks_flips(self):
+    def test_observable_tracks_flips(self, backend):
         c = Circuit()
         c.add("R", [0, 1])
         c.add("X_ERROR", [0], 1.0)
         c.add("M", [0, 1])
         c.add("OBSERVABLE_INCLUDE", [0, 1], 0)
-        res = _sample_one(c, shots=4)
+        res = _sample_one(c, shots=4, backend=backend)
         assert res.observables.all()
 
 
@@ -155,6 +156,20 @@ class TestSamplerMechanics:
         res = PauliFrameSimulator(c, seed=1).sample(1000, chunk_size=64)
         assert res.detectors.shape == (1000, 1)
         assert res.shots == 1000
+
+    def test_chunk_size_does_not_change_results(self):
+        c = Circuit()
+        c.add("R", [0])
+        c.add("X_ERROR", [0], 0.5)
+        c.add("M", [0])
+        c.add("DETECTOR", [0])
+        a = PauliFrameSimulator(c, seed=9).sample(1000, chunk_size=64)
+        b = PauliFrameSimulator(c, seed=9).sample(1000, chunk_size=999)
+        assert (a.detectors == b.detectors).all()
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError):
+            PauliFrameSimulator(Circuit(), backend="quantum")
 
     def test_zero_shots(self):
         c = Circuit()

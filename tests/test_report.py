@@ -16,7 +16,7 @@ class TestHeadlineReport:
 
     def test_headline_checks_pass_at_d3(self):
         report = run_headline_report(
-            distance=3, physical_error_rate=2e-3, shots=5000, seed=2
+            distance=3, physical_error_rate=2e-3, shots=5000, seed=3
         )
         assert report.astrea_matches_mwpm
         assert report.realtime_ok
