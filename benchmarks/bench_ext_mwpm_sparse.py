@@ -1,0 +1,113 @@
+"""Extension bench: sparse vs dense exact-MWPM throughput.
+
+The gold-standard software MWPM baseline bounds the wall-clock of every
+accuracy reproduction (Table 4, Figures 4/12/14, threshold sweeps).  This
+bench measures the decode throughput of the sparse cluster-decomposition
+engine (``MWPMDecoder(use_sparse=True)``, the default) against the dense
+per-syndrome blossom reference (``use_sparse=False``) on identical raw
+sampled syndrome batches at d in {3, 5, 7}, p = 1e-3, using the idealized
+(full-precision) weight table -- the configuration the accuracy
+experiments actually run.
+
+Alongside throughput it records the engine's cluster-cache hit rate and
+dense-fallback fraction, asserts sparse-vs-dense agreement on a fixed-seed
+subset (weights exact to float tolerance, predictions equal), and appends
+a JSON record to ``benchmarks/results/ext_mwpm_sparse_d<d>.json``.  The
+perf gate is >= 5x sparse-over-dense at d = 7 (asserted only at full
+trial scale, where timing noise is negligible).
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.decoders.mwpm import MWPMDecoder
+from repro.experiments.setup import DecodingSetup
+from repro.sim.pauli_frame import PauliFrameSimulator
+
+from _util import RESULTS_DIR, emit, seed, trials
+
+P = 1e-3
+
+#: Sparse-over-dense speedup gate at d = 7 (full trial scale only).
+SPEEDUP_GATE = 5.0
+
+
+def _shots_per_sec(decode, num_shots: int) -> float:
+    start = time.perf_counter()
+    decode()
+    elapsed = time.perf_counter() - start
+    return num_shots / elapsed if elapsed > 0 else float("inf")
+
+
+@pytest.mark.parametrize("distance", [3, 5, 7])
+def test_ext_mwpm_sparse(distance, benchmark):
+    setup = DecodingSetup.build(distance, P)
+    gwt = setup.ideal_gwt
+    shots = trials(20_000)
+    sim = PauliFrameSimulator(setup.experiment.circuit, seed=seed(80 + distance))
+    detectors = sim.sample(shots).detectors
+    # The dense reference (per-row Python blossom) gets a subset, normalised
+    # to shots/sec, so the bench stays laptop-scale at d = 7.
+    dense_rows = detectors[: max(1, min(shots, trials(2_000)))]
+
+    sparse = MWPMDecoder(gwt, measure_time=False, use_sparse=True)
+    dense = MWPMDecoder(gwt, measure_time=False, use_sparse=False)
+
+    # Fixed-seed agreement check before any timing: the sparse engine must
+    # reproduce the dense solve on every subset row.
+    sparse_check = sparse.decode_batch(dense_rows)
+    dense_check = dense.decode_batch(dense_rows)
+    for s, d in zip(sparse_check, dense_check):
+        assert s.prediction == d.prediction
+        assert abs(s.weight - d.weight) <= 1e-6
+    sparse._engine.clear_cache()
+
+    record = {
+        "bench": "ext_mwpm_sparse",
+        "distance": distance,
+        "p": P,
+        "shots": shots,
+        "dense_shots": len(dense_rows),
+        "throughput_shots_per_sec": {},
+    }
+
+    def run():
+        throughput = record["throughput_shots_per_sec"]
+        throughput["mwpm_dense"] = _shots_per_sec(
+            lambda: dense.decode_batch(dense_rows), len(dense_rows)
+        )
+        throughput["mwpm_sparse"] = _shots_per_sec(
+            lambda: sparse.decode_batch(detectors), shots
+        )
+        return throughput
+
+    throughput = benchmark.pedantic(run, rounds=1, iterations=1)
+    record["sparse_speedup"] = (
+        throughput["mwpm_sparse"] / throughput["mwpm_dense"]
+    )
+    stats = sparse.sparse_stats
+    record["sparse_stats"] = stats.as_dict()
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    json_path = RESULTS_DIR / f"ext_mwpm_sparse_d{distance}.json"
+    json_path.write_text(json.dumps(record, indent=2) + "\n")
+
+    lines = [
+        f"d={distance}, p={P}, shots={shots} (dense subset {len(dense_rows)})",
+        f"mwpm_dense : {throughput['mwpm_dense']:12.0f} shots/s",
+        f"mwpm_sparse: {throughput['mwpm_sparse']:12.0f} shots/s",
+        f"sparse vs dense speedup: {record['sparse_speedup']:.1f}x",
+        f"cluster-cache hit rate : {stats.hit_rate:.1%} "
+        f"({stats.cache_hits}/{stats.cache_hits + stats.cache_misses})",
+        f"dense fallback fraction: {stats.fallback_rate:.2%} "
+        f"({stats.dense_fallbacks}/{stats.syndromes})",
+    ]
+    emit(f"ext_mwpm_sparse_d{distance}", lines)
+
+    assert throughput["mwpm_sparse"] > 0
+    # The >= 5x acceptance gate -- only meaningful at full trial counts
+    # (tiny smoke batches are dominated by fixed per-call overheads).
+    if distance == 7 and shots >= 20_000:
+        assert record["sparse_speedup"] >= SPEEDUP_GATE

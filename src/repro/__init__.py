@@ -54,8 +54,9 @@ from .experiments.memory import MemoryRunResult, run_memory_experiment
 from .experiments.setup import DecodingSetup
 from .experiments.stats import wilson_interval
 from .experiments.sweep import SweepPoint, ler_vs_distance, ler_vs_physical_error
-from .graphs.decoding_graph import DecodingGraph, GraphEdge
+from .graphs.decoding_graph import DecodingGraph, GraphEdge, NeighborStructure
 from .graphs.weights import GlobalWeightTable
+from .matching.sparse import SparseMatchingEngine, SparseStats
 from .hw.bandwidth import BandwidthModel
 from .hw.compression import (
     CompressionReport,
@@ -102,6 +103,7 @@ __all__ = [
     "MemoryExperiment",
     "MemoryRunResult",
     "MWPMDecoder",
+    "NeighborStructure",
     "NoiseParams",
     "PairedComparison",
     "PauliFrameSimulator",
@@ -116,6 +118,8 @@ __all__ = [
     "SingleRoundDecoder",
     "SlidingWindowDecoder",
     "SparseIndexCompressor",
+    "SparseMatchingEngine",
+    "SparseStats",
     "Stabilizer",
     "StratifiedEstimate",
     "SweepPoint",

@@ -19,9 +19,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["DecodeResult", "Decoder", "BOUNDARY"]
+__all__ = ["DecodeResult", "Decoder", "BOUNDARY", "matching_to_detectors"]
 
 from ..graphs.decoding_graph import BOUNDARY
+from ..matching.boundary import matching_to_detectors
 
 
 @dataclass
@@ -73,33 +74,3 @@ class Decoder(ABC):
     def decode_batch(self, syndromes: np.ndarray) -> list[DecodeResult]:
         """Decode each row of a (shots, detectors) syndrome matrix."""
         return [self.decode(row) for row in syndromes]
-
-
-def matching_to_detectors(
-    pairs: list[tuple[int, int]],
-    active: list[int],
-    has_virtual: bool,
-) -> list[tuple[int, int]]:
-    """Translate local matching-problem pairs to detector-index pairs.
-
-    Args:
-        pairs: Pairs over the local node indices of a
-            :class:`~repro.matching.boundary.MatchingProblem`.
-        active: The problem's active detector indices.
-        has_virtual: Whether the last local node is the virtual boundary.
-
-    Returns:
-        Pairs of detector indices, using :data:`BOUNDARY` for the virtual
-        node.
-    """
-    virtual_index = len(active)
-    out: list[tuple[int, int]] = []
-    for a, b in pairs:
-        da = BOUNDARY if (has_virtual and a == virtual_index) else active[a]
-        db = BOUNDARY if (has_virtual and b == virtual_index) else active[b]
-        if da == BOUNDARY:
-            da, db = db, da
-        elif db != BOUNDARY and da > db:
-            da, db = db, da
-        out.append((da, db))
-    return sorted(out)

@@ -22,6 +22,8 @@ the real-time path.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..graphs.decoding_graph import BOUNDARY, DecodingGraph
 from ..graphs.weights import GlobalWeightTable
 from .base import DecodeResult, Decoder
@@ -62,11 +64,16 @@ class CliqueDecoder(Decoder):
             if key not in self._edge_parity:
                 self._edge_parity[key] = edge.flips_observable
 
-    def decode_active(self, active: list[int]) -> DecodeResult:
-        """Decode locally where unambiguous; fall back to MWPM otherwise."""
-        if not active:
-            self.last_was_local = True
-            return DecodeResult(prediction=False)
+    def _local_pairing(
+        self, active: list[int]
+    ) -> tuple[bool, list[tuple[int, int]], set[int]]:
+        """The pre-decoder pass: greedy unambiguous pairing.
+
+        Returns:
+            Tuple ``(prediction, matching, leftover)`` -- the parity and
+            pairs consumed locally, plus the defects the pre-decoder could
+            not explain (empty when the shot stayed on the real-time path).
+        """
         defects = set(active)
         prediction = False
         matching: list[tuple[int, int]] = []
@@ -94,6 +101,14 @@ class CliqueDecoder(Decoder):
                     matching.append((defect, BOUNDARY))
                     defects.discard(defect)
                     progress = True
+        return prediction, matching, defects
+
+    def decode_active(self, active: list[int]) -> DecodeResult:
+        """Decode locally where unambiguous; fall back to MWPM otherwise."""
+        if not active:
+            self.last_was_local = True
+            return DecodeResult(prediction=False)
+        prediction, matching, defects = self._local_pairing(active)
         if not defects:
             self.last_was_local = True
             return DecodeResult(
@@ -112,3 +127,61 @@ class CliqueDecoder(Decoder):
             latency_ns=fallback.latency_ns,  # measured software wall-clock
             timed_out=True,  # the fallback path misses the real-time budget
         )
+
+    def decode_batch(self, syndromes: np.ndarray) -> list[DecodeResult]:
+        """Decode a (shots, detectors) syndrome matrix in bulk.
+
+        The pre-decoder pass runs per row, but all hard-to-decode shots
+        hand their residual defects to one ``fallback.decode_batch`` call,
+        so the MWPM fallback gets its bucketed/batched construction instead
+        of row-at-a-time solves.  Results are identical to per-row
+        :meth:`decode`, including the ``last_was_local`` flag of the final
+        row.
+        """
+        syndromes = np.asarray(syndromes).astype(bool, copy=False)
+        if syndromes.ndim != 2:
+            raise ValueError("decode_batch expects a (shots, detectors) matrix")
+        num, n = syndromes.shape
+        rows, cols = np.nonzero(syndromes)
+        counts = np.bincount(rows, minlength=num)
+        splits = np.split(cols, np.cumsum(counts)[:-1])
+        results: list[DecodeResult | None] = [None] * num
+        local: list[tuple[int, bool, list[tuple[int, int]], set[int]]] = []
+        residual_rows: list[int] = []
+        for i, active in enumerate(splits):
+            if not active.size:
+                results[i] = DecodeResult(prediction=False)
+                self.last_was_local = True
+                continue
+            prediction, matching, defects = self._local_pairing(
+                [int(x) for x in active]
+            )
+            if not defects:
+                results[i] = DecodeResult(
+                    prediction=prediction,
+                    matching=sorted(matching),
+                    cycles=1,
+                    latency_ns=4.0,
+                )
+                self.last_was_local = True
+            else:
+                local.append((i, prediction, matching, defects))
+                residual_rows.append(i)
+        if local:
+            residual = np.zeros((len(local), n), dtype=bool)
+            for j, (_i, _p, _m, defects) in enumerate(local):
+                residual[j, sorted(defects)] = True
+            fallbacks = self.fallback.decode_batch(residual)
+            for (i, prediction, matching, _defects), fallback in zip(
+                local, fallbacks
+            ):
+                results[i] = DecodeResult(
+                    prediction=prediction ^ fallback.prediction,
+                    matching=sorted(matching + fallback.matching),
+                    weight=fallback.weight,
+                    latency_ns=fallback.latency_ns,
+                    timed_out=True,
+                )
+            if residual_rows and residual_rows[-1] == num - 1:
+                self.last_was_local = False
+        return results

@@ -18,6 +18,8 @@ This reproduction provides:
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..graphs.weights import GlobalWeightTable
 from .base import DecodeResult, Decoder
 from .mwpm import MWPMDecoder
@@ -96,3 +98,44 @@ class LilliputDecoder(Decoder):
         return DecodeResult(
             prediction=prediction, weight=weight, cycles=1, latency_ns=4.0
         )
+
+    def decode_batch(self, syndromes: np.ndarray) -> list[DecodeResult]:
+        """Decode a (shots, detectors) syndrome matrix in bulk.
+
+        Rows are packed into integer table keys with one vectorized
+        shift-and-sum, deduplicated with ``np.unique``, and only the
+        not-yet-programmed unique syndromes are sent to the MWPM teacher
+        (itself via ``decode_batch``).  Results are identical to per-row
+        :meth:`decode` -- every answer still models a single LUT access.
+        """
+        syndromes = np.asarray(syndromes).astype(bool, copy=False)
+        if syndromes.ndim != 2:
+            raise ValueError("decode_batch expects a (shots, detectors) matrix")
+        n = syndromes.shape[1]
+        if n > self.num_detectors:
+            extra = np.nonzero(syndromes[:, self.num_detectors :].any(axis=0))[0]
+            if extra.size:
+                raise ValueError(
+                    f"detector {self.num_detectors + int(extra[0])} outside "
+                    f"the {self.num_detectors}-bit table"
+                )
+            syndromes = syndromes[:, : self.num_detectors]
+            n = self.num_detectors
+        keys = syndromes @ (np.uint64(1) << np.arange(n, dtype=np.uint64))
+        unique_keys, first_rows, inverse = np.unique(
+            keys, return_index=True, return_inverse=True
+        )
+        missing = [
+            j for j, key in enumerate(unique_keys) if int(key) not in self._table
+        ]
+        if missing:
+            taught = self._teacher.decode_batch(syndromes[first_rows[missing]])
+            for j, result in zip(missing, taught):
+                self._table[int(unique_keys[j])] = (result.prediction, result.weight)
+        lut = [self._table[int(key)] for key in unique_keys]
+        return [
+            DecodeResult(
+                prediction=lut[j][0], weight=lut[j][1], cycles=1, latency_ns=4.0
+            )
+            for j in inverse
+        ]

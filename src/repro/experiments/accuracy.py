@@ -116,8 +116,8 @@ def compare_decoders(
     sample = PauliFrameSimulator(experiment.circuit, seed=seed).sample(shots)
     observed = sample.observables[:, 0]
     unique, inverse, _ = unique_rows(sample.detectors)
-    pred_a = np.array([decoder_a.decode(row).prediction for row in unique])
-    pred_b = np.array([decoder_b.decode(row).prediction for row in unique])
+    pred_a = np.array([r.prediction for r in decoder_a.decode_batch(unique)])
+    pred_b = np.array([r.prediction for r in decoder_b.decode_batch(unique)])
     err_a = pred_a[inverse] != observed
     err_b = pred_b[inverse] != observed
     return PairedComparison(

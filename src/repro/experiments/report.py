@@ -112,6 +112,14 @@ def run_headline_report(
             f"{name:>9} {run.logical_error_rate:>10.2e} {run.errors:>7} "
             f"{run.max_latency_ns:>7.0f}ns"
         )
+    for name, decoder in decoders.items():
+        stats = getattr(decoder, "sparse_stats", None)
+        if stats is not None and stats.syndromes:
+            lines.append(
+                f"[INFO] {name} sparse engine: cluster-cache hit rate "
+                f"{stats.hit_rate:.1%} ({stats.cache_hits}/{stats.cache_hits + stats.cache_misses}), "
+                f"dense fallbacks {stats.dense_fallbacks}/{stats.syndromes}"
+            )
     lines += [
         "",
         f"[{'PASS' if report.astrea_matches_mwpm else 'FAIL'}] "

@@ -31,10 +31,122 @@ from scipy.sparse.csgraph import dijkstra
 
 from ..sim.dem import DetectorErrorModel
 
-__all__ = ["GraphEdge", "DecodingGraph", "BOUNDARY"]
+__all__ = ["GraphEdge", "DecodingGraph", "NeighborStructure", "BOUNDARY"]
 
 #: Sentinel vertex index for the virtual boundary in :class:`GraphEdge`.
 BOUNDARY = -1
+
+
+@dataclass
+class NeighborStructure:
+    """Precomputed neighbor/radius structures of a pair-weight matrix.
+
+    Classifies every detector pair of a Global-Weight-Table-style matrix
+    (pair weights off-diagonal, boundary weights -- the *matching radii* --
+    on the diagonal) by how its pair weight ``W[a, b]`` compares against
+    the through-boundary route ``W[a, a] + W[b, b]``:
+
+    * **close** (``W[a, b] < W[a, a] + W[b, b]``): matching ``a`` with
+      ``b`` directly is strictly cheaper than sending both to the
+      boundary, so the pair can interact in a minimum-weight matching and
+      must share a cluster.  Pairs whose weights tie but whose recorded
+      path parity disagrees with the two boundary chains are also close
+      (separating them could flip a tied prediction).
+    * **separable** (``W[a, b] == W[a, a] + W[b, b]`` with consistent
+      parity): the cheapest joint explanation is two independent boundary
+      chains, so matchings on either side never need to look across.
+    * **unsafe** (``W[a, b] > W[a, a] + W[b, b]``): the matrix locally
+      violates the boundary-folding bound (an artifact of quantizing
+      weights after the shortest-path computation); no decomposition
+      proof applies and exact decoders must fall back to a dense solve.
+
+    On an unquantized table the bound holds by the triangle inequality and
+    *unsafe* pairs arise only from float round-off, hence the
+    ``tolerance`` knob (compare :attr:`GlobalWeightTable.lsb`).
+
+    Attributes:
+        radii: ``(n,)`` matching radius of each detector (its boundary
+            weight, the matrix diagonal).
+        close: ``(n, n)`` bool, the must-share-a-cluster adjacency
+            (diagonal False).
+        separable: ``(n, n)`` bool, provably independent pairs.
+        unsafe: ``(n, n)`` bool, pairs violating the folding bound.
+        neighbors: Per-detector arrays of close neighbors, sorted by
+            ascending pair weight (the k-nearest-neighbor lists; ``k``
+            capped by ``max_neighbors`` when given).
+    """
+
+    radii: np.ndarray
+    close: np.ndarray
+    separable: np.ndarray
+    unsafe: np.ndarray
+    neighbors: list[np.ndarray]
+
+    @classmethod
+    def from_weights(
+        cls,
+        weights: np.ndarray,
+        parities: np.ndarray,
+        *,
+        tolerance: float = 0.0,
+        max_neighbors: int | None = None,
+    ) -> "NeighborStructure":
+        """Classify every pair of a pair-weight matrix.
+
+        Args:
+            weights: ``(n, n)`` pair-weight matrix, boundary weights on
+                the diagonal (e.g. ``GlobalWeightTable.weights`` or
+                ``DecodingGraph.pair_weights``).
+            parities: ``(n, n)`` bool matrix of logical path parities
+                aligned with ``weights``.
+            tolerance: Absolute slack when testing ``W[a, b]`` against
+                ``W[a, a] + W[b, b]``; use 0 for quantized tables (whose
+                arithmetic is exact) and a tiny positive value for float
+                tables to absorb shortest-path round-off.
+            max_neighbors: Cap on the per-detector neighbor list length
+                (``None`` keeps every close neighbor).  Only truncates the
+                convenience lists; the ``close`` matrix is never capped.
+
+        Returns:
+            The populated :class:`NeighborStructure`.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        n = weights.shape[0]
+        radii = np.diag(weights).copy()
+        diff = weights - (radii[:, None] + radii[None, :])
+        diag_parity = np.diag(parities).copy()
+        consistent = parities == (diag_parity[:, None] ^ diag_parity[None, :])
+        tied = np.abs(diff) <= tolerance
+        close = (diff < -tolerance) | (tied & ~consistent)
+        separable = tied & consistent
+        unsafe = diff > tolerance
+        np.fill_diagonal(close, False)
+        np.fill_diagonal(separable, False)
+        np.fill_diagonal(unsafe, False)
+        neighbors: list[np.ndarray] = []
+        for i in range(n):
+            nbrs = np.nonzero(close[i])[0]
+            order = np.argsort(weights[i, nbrs], kind="stable")
+            nbrs = nbrs[order]
+            if max_neighbors is not None:
+                nbrs = nbrs[:max_neighbors]
+            neighbors.append(nbrs)
+        return cls(
+            radii=radii,
+            close=close,
+            separable=separable,
+            unsafe=unsafe,
+            neighbors=neighbors,
+        )
+
+    @property
+    def num_detectors(self) -> int:
+        """Number of detectors the structure covers."""
+        return self.radii.shape[0]
+
+    def degree(self, i: int) -> int:
+        """Number of close neighbors of detector ``i`` (kNN list length)."""
+        return len(self.neighbors[i])
 
 
 @dataclass(frozen=True)
@@ -142,6 +254,30 @@ class DecodingGraph:
     def neighbors(self, i: int) -> list[GraphEdge]:
         """Primitive edges incident on detector ``i``."""
         return self.adjacency.get(i, [])
+
+    def neighbor_structure(
+        self, *, tolerance: float = 1e-9, max_neighbors: int | None = None
+    ) -> NeighborStructure:
+        """Close/separable/unsafe classification of this graph's pairs.
+
+        Cached per ``(tolerance, max_neighbors)``; the default tolerance
+        absorbs the float round-off of the all-pairs Dijkstra (the exact
+        bound ``W[i, j] <= W[i, i] + W[j, j]`` holds mathematically because
+        the boundary participates in the shortest-path computation).
+        """
+        cache = getattr(self, "_neighbor_structures", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_neighbor_structures", cache)
+        key = (tolerance, max_neighbors)
+        if key not in cache:
+            cache[key] = NeighborStructure.from_weights(
+                self.pair_weights,
+                self.pair_parities,
+                tolerance=tolerance,
+                max_neighbors=max_neighbors,
+            )
+        return cache[key]
 
     def shortest_path(self, u: int, v: int) -> list[tuple[int, int]]:
         """Vertex pairs of the shortest path between two vertices.

@@ -1,7 +1,8 @@
-"""Matching algorithms: blossom, exhaustive/DP matchers, boundary folding."""
+"""Matching algorithms: blossom, exhaustive/DP matchers, boundary folding,
+the vectorized search kernels and the sparse exact-MWPM engine."""
 
 from .blossom import max_weight_matching, min_weight_perfect_matching
-from .boundary import MatchingProblem
+from .boundary import MatchingProblem, MatchingProblemBatch, matching_to_detectors
 from .brute_force import (
     count_perfect_matchings,
     count_perfect_matchings_in_graph,
@@ -9,14 +10,32 @@ from .brute_force import (
     min_weight_perfect_matching_brute,
     min_weight_perfect_matching_dp,
 )
+from .search import (
+    MAX_SEARCH_NODES,
+    all_perfect_matchings,
+    batched_search,
+    matchings_tensor,
+    vectorized_search,
+)
+from .sparse import SparseMatchingEngine, SparseStats, default_tolerance
 
 __all__ = [
+    "MAX_SEARCH_NODES",
     "MatchingProblem",
+    "MatchingProblemBatch",
+    "SparseMatchingEngine",
+    "SparseStats",
+    "all_perfect_matchings",
+    "batched_search",
     "count_perfect_matchings",
     "count_perfect_matchings_in_graph",
+    "default_tolerance",
     "iter_perfect_matchings",
+    "matching_to_detectors",
+    "matchings_tensor",
     "max_weight_matching",
     "min_weight_perfect_matching",
     "min_weight_perfect_matching_brute",
     "min_weight_perfect_matching_dp",
+    "vectorized_search",
 ]

@@ -24,9 +24,41 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..graphs.decoding_graph import BOUNDARY
 from ..graphs.weights import GlobalWeightTable
 
-__all__ = ["MatchingProblem", "MatchingProblemBatch"]
+__all__ = ["MatchingProblem", "MatchingProblemBatch", "matching_to_detectors"]
+
+
+def matching_to_detectors(
+    pairs: list[tuple[int, int]],
+    active: list[int],
+    has_virtual: bool,
+) -> list[tuple[int, int]]:
+    """Translate local matching-problem pairs to detector-index pairs.
+
+    Args:
+        pairs: Pairs over the local node indices of a
+            :class:`MatchingProblem`.
+        active: The problem's active detector indices.
+        has_virtual: Whether the last local node is the virtual boundary.
+
+    Returns:
+        Pairs of detector indices, using
+        :data:`~repro.graphs.decoding_graph.BOUNDARY` for the virtual
+        node (always listed second).
+    """
+    virtual_index = len(active)
+    out: list[tuple[int, int]] = []
+    for a, b in pairs:
+        da = BOUNDARY if (has_virtual and a == virtual_index) else active[a]
+        db = BOUNDARY if (has_virtual and b == virtual_index) else active[b]
+        if da == BOUNDARY:
+            da, db = db, da
+        elif db != BOUNDARY and da > db:
+            da, db = db, da
+        out.append((da, db))
+    return sorted(out)
 
 
 @dataclass

@@ -1,0 +1,227 @@
+"""Vectorized exhaustive-search matching kernels (Astrea's search, batched).
+
+A syndrome of Hamming weight ``w`` has only ``(w - 1)!!`` perfect matchings
+-- at most 945 for ``w = 10`` -- so exact MWPM over few nodes reduces to
+enumerating all of them (paper section 5).  This module holds the NumPy
+index-tensor kernels that evaluate every candidate matching with one
+fancy-indexed gather plus an ``argmin``:
+
+* :func:`matchings_tensor` enumerates all perfect matchings of ``m`` nodes
+  in the exact order Astrea's scalar hardware-model search explores them;
+* :func:`vectorized_search` solves one weight matrix;
+* :func:`batched_search` solves a whole ``(B, m, m)`` bucket at once.
+
+The kernels originated in :mod:`repro.decoders.astrea` (which re-exports
+them for backward compatibility) and were hoisted into the matching layer
+so that pure matching code -- notably the sparse exact-MWPM engine in
+:mod:`repro.matching.sparse` -- can evaluate small matching problems
+without depending on the decoder layer.
+
+Tie-breaking is *hierarchical*, mirroring the HW6Decoder-based scalar
+search (Figure 7): results are bit-identical to the scalar reference,
+pairs and weight alike.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = [
+    "MAX_SEARCH_NODES",
+    "all_perfect_matchings",
+    "matchings_tensor",
+    "vectorized_search",
+    "batched_search",
+    "hw6_accesses_for",
+]
+
+#: Largest node count the exhaustive index-tensor kernels support (945
+#: candidate matchings); larger problems belong to the blossom solver.
+MAX_SEARCH_NODES = 10
+
+
+@lru_cache(maxsize=None)
+def all_perfect_matchings(m: int) -> tuple[tuple[tuple[int, int], ...], ...]:
+    """All perfect matchings of ``m`` nodes (cached; recursive order)."""
+    if m == 0:
+        return ((),)
+    out = []
+    nodes = list(range(m))
+    first = nodes[0]
+    for idx in range(1, m):
+        partner = nodes[idx]
+        rest = nodes[1:idx] + nodes[idx + 1 :]
+        remap = {local: original for local, original in enumerate(rest)}
+        for sub in all_perfect_matchings(m - 2):
+            out.append(
+                ((first, partner),)
+                + tuple((remap[a], remap[b]) for a, b in sub)
+            )
+    return tuple(out)
+
+
+@lru_cache(maxsize=None)
+def matchings_tensor(m: int) -> np.ndarray:
+    """All perfect matchings of ``m`` nodes as one integer index tensor.
+
+    Returns a read-only ``(num_matchings, m / 2, 2)`` array enumerating the
+    ``(m - 1)!!`` perfect matchings in *exactly* the order the scalar search
+    explores them (:func:`all_perfect_matchings` shares its recursive
+    structure with the pre-match search of :mod:`repro.decoders.astrea`),
+    so that ``argmin`` over the vectorized totals breaks ties identically
+    to the scalar search's strict-improvement rule.
+
+    Args:
+        m: Even node count, 0 <= m <= 10.
+
+    Returns:
+        The index tensor; fancy-indexing a weight matrix with its two
+        trailing columns gathers every candidate matching's pair weights at
+        once.
+    """
+    if m % 2 or m > MAX_SEARCH_NODES:
+        raise ValueError(f"matchings_tensor supports even m <= 10, got {m}")
+    if m == 0:
+        tensor = np.zeros((1, 0, 2), dtype=np.intp)
+    else:
+        tensor = np.asarray(all_perfect_matchings(m), dtype=np.intp)
+    tensor.setflags(write=False)
+    return tensor
+
+
+def hw6_accesses_for(m: int) -> int:
+    """HW6Decoder accesses the exhaustive search performs for ``m`` nodes."""
+    if m == 0:
+        return 0
+    if m <= 6:
+        return 1
+    return 7 if m == 8 else 63
+
+
+def _ltr_sum(gathered: np.ndarray) -> np.ndarray:
+    """Sum the last axis left to right (the HW6Decoder's accumulation)."""
+    total = gathered[..., 0]
+    for k in range(1, gathered.shape[-1]):
+        total = total + gathered[..., k]
+    return total
+
+
+def _scalar_order_select(
+    gathered: np.ndarray, m: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pick each row's minimum matching exactly as the scalar search does.
+
+    The scalar search is *hierarchical*: the HW6Decoder first selects the
+    best completion of each pre-match block by comparing its partial sums,
+    and only then does each pre-match level compare ``head + sub`` block
+    totals (section 5.3 / Figure 7b).  Because every comparison operates
+    on *rounded* floating-point partials, a flat ``argmin`` over full
+    matching totals can break ties differently; this helper replicates the
+    per-level comparisons (and their left-to-right accumulation order) so
+    the selected matching -- not just its weight -- is bit-identical to
+    the scalar reference.
+
+    Args:
+        gathered: ``(B, K, num_pairs)`` per-pair weights of every candidate
+            matching, in :func:`matchings_tensor` order.
+        m: Node count (even, 2 <= m <= 10).
+
+    Returns:
+        Tuple ``(best_index, best_total)`` of ``(B,)`` arrays.
+    """
+    num = gathered.shape[0]
+    rows = np.arange(num)
+    if m <= 6:
+        totals = _ltr_sum(gathered)
+        best = totals.argmin(axis=-1)
+        return best, totals[rows, best]
+    if m == 8:
+        # 7 pre-match blocks x 15 HW6 completions.
+        blocks = gathered.reshape(num, 7, 15, 4)
+        subs = _ltr_sum(blocks[..., 1:])
+        sub_idx = subs.argmin(axis=-1)
+        sub_best = np.take_along_axis(subs, sub_idx[..., None], axis=-1)[..., 0]
+        totals = blocks[..., 0, 0] + sub_best
+        block_idx = totals.argmin(axis=-1)
+        best = block_idx * 15 + sub_idx[rows, block_idx]
+        return best, totals[rows, block_idx]
+    # m == 10: 9 x 7 pre-match blocks x 15 HW6 completions.
+    blocks = gathered.reshape(num, 9, 7, 15, 5)
+    subs = _ltr_sum(blocks[..., 2:])
+    sub_idx = subs.argmin(axis=-1)
+    sub_best = np.take_along_axis(subs, sub_idx[..., None], axis=-1)[..., 0]
+    inner = blocks[..., 0, 1] + sub_best
+    inner_idx = inner.argmin(axis=-1)
+    inner_best = np.take_along_axis(inner, inner_idx[..., None], axis=-1)[..., 0]
+    outer = blocks[..., 0, 0, 0] + inner_best
+    outer_idx = outer.argmin(axis=-1)
+    inner_sel = inner_idx[rows, outer_idx]
+    sub_sel = sub_idx[rows, outer_idx, inner_sel]
+    best = (outer_idx * 7 + inner_sel) * 15 + sub_sel
+    return best, outer[rows, outer_idx]
+
+
+def vectorized_search(
+    weights: np.ndarray,
+) -> tuple[list[tuple[int, int]], float, int]:
+    """Exact MWPM of one small weight matrix by exhaustive enumeration.
+
+    Evaluates all candidate matchings with a single fancy-indexed gather
+    plus an ``argmin`` instead of nested Python loops.  Returns bit-identical
+    pairs, weight and access count to the scalar HW6Decoder-based search.
+
+    Args:
+        weights: Effective pair-weight matrix of an even node count <= 10.
+
+    Returns:
+        Tuple ``(pairs, total_weight, hw6_accesses)``.
+    """
+    m = weights.shape[0]
+    if m == 0:
+        return [], 0.0, 0
+    if m % 2 or m > MAX_SEARCH_NODES:
+        raise ValueError(f"exhaustive search supports at most 10 nodes, got {m}")
+    tensor = matchings_tensor(m)
+    gathered = weights[None, tensor[:, :, 0], tensor[:, :, 1]]
+    best, total = _scalar_order_select(gathered, m)
+    pairs = [(int(a), int(b)) for a, b in tensor[int(best[0])]]
+    return pairs, float(total[0]), hw6_accesses_for(m)
+
+
+def batched_search(
+    weights: np.ndarray, parities: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Exhaustive MWPM search over a whole bucket of syndromes at once.
+
+    Args:
+        weights: ``(B, m, m)`` pair-weight tensor (even ``m`` <= 10), e.g.
+            from :meth:`MatchingProblem.from_syndrome_batch`.
+        parities: ``(B, m, m)`` bool tensor of logical parities.
+
+    Returns:
+        Tuple ``(pair_tensor, total_weights, predictions)`` where
+        ``pair_tensor`` is ``(B, m / 2, 2)`` (row ``i`` holds syndrome
+        ``i``'s minimum matching), ``total_weights`` is ``(B,)`` and
+        ``predictions`` is the ``(B,)`` bool logical-flip vector.
+    """
+    num, m, _ = weights.shape
+    if m == 0:
+        return (
+            np.zeros((num, 0, 2), dtype=np.intp),
+            np.zeros(num, dtype=np.float64),
+            np.zeros(num, dtype=bool),
+        )
+    if m % 2 or m > MAX_SEARCH_NODES:
+        raise ValueError(f"exhaustive search supports at most 10 nodes, got {m}")
+    tensor = matchings_tensor(m)
+    gathered = weights[:, tensor[:, :, 0], tensor[:, :, 1]]
+    best, totals = _scalar_order_select(gathered, m)
+    rows = np.arange(num)
+    pair_tensor = tensor[best]
+    sel_parities = parities[
+        rows[:, None], pair_tensor[:, :, 0], pair_tensor[:, :, 1]
+    ]
+    predictions = np.bitwise_xor.reduce(sel_parities, axis=1)
+    return pair_tensor, totals, predictions

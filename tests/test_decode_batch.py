@@ -18,6 +18,8 @@ from repro.decoders.astrea import (
     vectorized_search,
 )
 from repro.decoders.astrea_g import AstreaGDecoder
+from repro.decoders.clique import CliqueDecoder
+from repro.decoders.lilliput import LilliputDecoder
 from repro.decoders.mwpm import MWPMDecoder
 from repro.decoders.union_find import UnionFindDecoder
 from repro.matching.boundary import MatchingProblem
@@ -141,9 +143,65 @@ class TestDecodeBatchEquivalence:
         decoder = MWPMDecoder(setup_d3.ideal_gwt, measure_time=False)
         _assert_equivalent(decoder, sample_d3.detectors[:150], check_latency=False)
 
+    def test_mwpm_dense(self, setup_d3, sample_d3):
+        decoder = MWPMDecoder(
+            setup_d3.ideal_gwt, measure_time=False, use_sparse=False
+        )
+        _assert_equivalent(decoder, sample_d3.detectors[:150], check_latency=False)
+
     def test_union_find(self, setup_d3, sample_d3):
         decoder = UnionFindDecoder(setup_d3.graph)
         _assert_equivalent(decoder, sample_d3.detectors[:150])
+
+    def test_union_find_random_weights(self, setup_d3):
+        decoder = UnionFindDecoder(setup_d3.graph)
+        syndromes = _random_syndromes(
+            setup_d3.gwt.length, range(0, 7), per_weight=6, seed=3
+        )
+        _assert_equivalent(decoder, syndromes)
+
+    def test_clique(self, setup_d3, sample_d3):
+        decoder = CliqueDecoder(setup_d3.graph, setup_d3.gwt)
+        _assert_equivalent(decoder, sample_d3.detectors[:150], check_latency=False)
+
+    def test_clique_fallback_rows_and_flag(self, setup_d3):
+        """Rows needing the MWPM fallback batch through it together."""
+        decoder = CliqueDecoder(setup_d3.graph, setup_d3.gwt)
+        syndromes = _random_syndromes(
+            setup_d3.gwt.length, range(0, 8), per_weight=5, seed=4
+        )
+        _assert_equivalent(decoder, syndromes, check_latency=False)
+        batch = decoder.decode_batch(syndromes)
+        batch_flag = decoder.last_was_local
+        for row in syndromes:
+            decoder.decode(row)
+        assert decoder.last_was_local == batch_flag
+        assert any(r.timed_out for r in batch)
+
+    def test_lilliput(self, setup_d3, sample_d3):
+        decoder = LilliputDecoder(setup_d3.gwt, setup_d3.gwt.length)
+        _assert_equivalent(decoder, sample_d3.detectors[:200])
+
+    def test_lilliput_batch_programs_unique_rows_once(self, setup_d3):
+        decoder = LilliputDecoder(setup_d3.gwt, setup_d3.gwt.length)
+        syndromes = _random_syndromes(
+            setup_d3.gwt.length, [0, 1, 2, 3], per_weight=4, seed=5
+        )
+        doubled = np.concatenate([syndromes, syndromes])
+        results = decoder.decode_batch(doubled)
+        unique = len({row.tobytes() for row in doubled})
+        assert decoder.programmed_entries == unique
+        for a, b in zip(results[: len(syndromes)], results[len(syndromes) :]):
+            assert a.prediction == b.prediction
+            assert a.weight == b.weight
+
+    def test_lilliput_rejects_out_of_table_bits(self, setup_d3):
+        width = setup_d3.gwt.length
+        decoder = LilliputDecoder(setup_d3.gwt, width - 1)
+        bad = np.zeros((2, width), dtype=bool)
+        bad[1, width - 1] = True
+        with pytest.raises(ValueError):
+            decoder.decode_batch(bad)
 
     def test_rejects_non_matrix(self, setup_d3):
         decoder = AstreaDecoder(setup_d3.gwt)
