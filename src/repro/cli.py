@@ -9,6 +9,8 @@ module reproduces that workflow with named subcommands::
     python -m repro ler       --distance 5 --p 1e-3 --decoder astrea --shots 50000
     python -m repro sweep     --distance 7 --p-min 5e-4 --p-max 2e-3 --points 4
     python -m repro latency   --distance 7 --p 1e-3 --shots 20000
+    python -m repro campaign  --distance 5 --p 1e-3 --shots 200000 \
+                              --checkpoint-dir runs/d5 --resume
     python -m repro bandwidth --distance 9 --p 1.5e-3 --budget-min 500
     python -m repro stratified --distance 7 --p 1e-4 --trials 1000
 
@@ -183,6 +185,56 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             f"{args.distance} {p:.6e} {args.decoder} {args.shots} "
             f"{result.errors} {result.logical_error_rate:.6e}"
         )
+    _emit(args, human, machine)
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Supervised long campaign: checkpoint/resume, retries, timeouts."""
+    from .experiments.resilient import run_memory_experiment_resilient
+
+    if args.resume and not args.checkpoint_dir:
+        raise SystemExit("--resume requires --checkpoint-dir")
+    setup = DecodingSetup.build(args.distance, args.p)
+    decoder = make_decoder(
+        args.decoder, setup, weight_threshold=args.weight_threshold
+    )
+    outcome = run_memory_experiment_resilient(
+        setup.experiment,
+        decoder,
+        args.shots,
+        seed=args.seed,
+        workers=args.workers,
+        chunks_per_worker=args.chunks_per_worker,
+        block_shots=args.block_shots,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        max_retries=args.max_retries,
+        chunk_timeout=args.chunk_timeout,
+    )
+    result, recovery = outcome.result, outcome.recovery
+    low, high = result.confidence_interval
+    human = [
+        f"d={args.distance} p={args.p} decoder={args.decoder} "
+        f"shots={args.shots} workers={args.workers}",
+        f"logical error rate : {result.logical_error_rate:.3e} "
+        f"(95% CI [{low:.3e}, {high:.3e}])",
+        f"errors/declined    : {result.errors}/{result.declined}",
+        f"chunks             : {recovery.chunks_total} total, "
+        f"{recovery.chunks_resumed} resumed, "
+        f"{recovery.dropped_chunks} dropped",
+        f"recovery           : {recovery.crashes} crashes, "
+        f"{recovery.hangs} hangs, {recovery.worker_errors} errors, "
+        f"{recovery.retries} retries, "
+        f"{recovery.serial_fallbacks} serial fallbacks, "
+        f"{recovery.corrupted_checkpoints} corrupted checkpoints",
+    ]
+    machine = [
+        f"{args.distance} {args.p} {args.decoder} {result.shots} "
+        f"{result.errors} {result.logical_error_rate:.6e} "
+        f"{recovery.chunks_resumed} {recovery.retries} "
+        f"{recovery.dropped_chunks}"
+    ]
     _emit(args, human, machine)
     return 0
 
@@ -405,6 +457,48 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--p-min", type=float, default=5e-4)
     sweep.add_argument("--p-max", type=float, default=2e-3)
     sweep.add_argument("--points", type=int, default=4)
+    campaign = register(
+        "campaign",
+        cmd_campaign,
+        "supervised campaign with checkpoint/resume",
+        shots=50_000,
+    )
+    campaign.add_argument("--decoder", choices=DECODER_NAMES, default="astrea")
+    campaign.add_argument(
+        "--workers", type=int, default=2, help="worker processes"
+    )
+    campaign.add_argument(
+        "--chunks-per-worker",
+        type=int,
+        default=2,
+        help="chunks per worker (finer checkpoints, cheaper retries)",
+    )
+    campaign.add_argument(
+        "--block-shots",
+        type=int,
+        default=4096,
+        help="shots per sampling block (fixes the RNG contract)",
+    )
+    campaign.add_argument(
+        "--checkpoint-dir", help="directory for chunk checkpoints"
+    )
+    campaign.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip chunks already checkpointed by an identical campaign",
+    )
+    campaign.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        help="supervised retries per chunk before the serial fallback",
+    )
+    campaign.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        help="seconds before a running chunk is declared hung",
+    )
     register("latency", cmd_latency, "real-time latency profile (Figure 9)")
     bandwidth = register(
         "bandwidth", cmd_bandwidth, "decode-budget sweep (Table 7)", shots=5_000

@@ -38,7 +38,13 @@ from ..matching.search import (
     matchings_tensor,
     vectorized_search,
 )
-from .base import BOUNDARY, DecodeResult, Decoder, matching_to_detectors
+from .base import (
+    BOUNDARY,
+    DecodeResult,
+    Decoder,
+    matching_to_detectors,
+    validate_syndrome_batch,
+)
 
 __all__ = [
     "HW6Decoder",
@@ -208,6 +214,7 @@ class AstreaDecoder(Decoder):
                 "use AstreaGDecoder beyond that"
             )
         self.gwt = gwt
+        self.syndrome_length = int(gwt.weights.shape[0])
         self.timing = timing if timing is not None else FpgaTiming()
         self.max_hamming_weight = max_hamming_weight
         self.use_vectorized = use_vectorized
@@ -244,9 +251,7 @@ class AstreaDecoder(Decoder):
         Results are identical to per-row :meth:`decode`
         (``last_hw6_accesses`` is not updated by the batch path).
         """
-        syndromes = np.asarray(syndromes).astype(bool, copy=False)
-        if syndromes.ndim != 2:
-            raise ValueError("decode_batch expects a (shots, detectors) matrix")
+        syndromes = validate_syndrome_batch(syndromes, self.syndrome_length)
         results: list[DecodeResult | None] = [None] * syndromes.shape[0]
         hw = syndromes.sum(axis=1)
         for w in np.unique(hw):

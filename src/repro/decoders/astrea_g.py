@@ -46,7 +46,12 @@ from .astrea import (
     exhaustive_search,
     vectorized_search,
 )
-from .base import DecodeResult, Decoder, matching_to_detectors
+from .base import (
+    DecodeResult,
+    Decoder,
+    matching_to_detectors,
+    validate_syndrome_batch,
+)
 
 __all__ = ["AstreaGDecoder", "PipelineSnapshot", "weight_threshold_for"]
 
@@ -164,6 +169,7 @@ class AstreaGDecoder(Decoder):
         if exhaustive_cutoff < 2 or exhaustive_cutoff > 10:
             raise ValueError("exhaustive_cutoff must be in 2..10")
         self.gwt = gwt
+        self.syndrome_length = int(gwt.weights.shape[0])
         self.weight_threshold = weight_threshold
         self.fetch_width = fetch_width
         self.queue_capacity = queue_capacity
@@ -263,9 +269,7 @@ class AstreaGDecoder(Decoder):
         pipeline, whose search state is inherently sequential.  Results are
         identical to per-row :meth:`decode`.
         """
-        syndromes = np.asarray(syndromes).astype(bool, copy=False)
-        if syndromes.ndim != 2:
-            raise ValueError("decode_batch expects a (shots, detectors) matrix")
+        syndromes = validate_syndrome_batch(syndromes, self.syndrome_length)
         results: list[DecodeResult | None] = [None] * syndromes.shape[0]
         hw = syndromes.sum(axis=1)
         for w in np.unique(hw):

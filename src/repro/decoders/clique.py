@@ -26,7 +26,7 @@ import numpy as np
 
 from ..graphs.decoding_graph import BOUNDARY, DecodingGraph
 from ..graphs.weights import GlobalWeightTable
-from .base import DecodeResult, Decoder
+from .base import DecodeResult, Decoder, validate_syndrome_batch
 from .mwpm import MWPMDecoder
 
 __all__ = ["CliqueDecoder"]
@@ -44,6 +44,7 @@ class CliqueDecoder(Decoder):
 
     def __init__(self, graph: DecodingGraph, gwt: GlobalWeightTable) -> None:
         self.graph = graph
+        self.syndrome_length = int(graph.num_detectors)
         self.fallback = MWPMDecoder(gwt, measure_time=True)
         #: Whether the last decode stayed entirely in the pre-decoder.
         self.last_was_local = True
@@ -138,9 +139,7 @@ class CliqueDecoder(Decoder):
         :meth:`decode`, including the ``last_was_local`` flag of the final
         row.
         """
-        syndromes = np.asarray(syndromes).astype(bool, copy=False)
-        if syndromes.ndim != 2:
-            raise ValueError("decode_batch expects a (shots, detectors) matrix")
+        syndromes = validate_syndrome_batch(syndromes, self.syndrome_length)
         num, n = syndromes.shape
         rows, cols = np.nonzero(syndromes)
         counts = np.bincount(rows, minlength=num)

@@ -21,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graphs.weights import GlobalWeightTable
-from .base import DecodeResult, Decoder
+from .base import DecodeResult, Decoder, validate_syndrome_batch
 from .mwpm import MWPMDecoder
 
 __all__ = ["LilliputDecoder", "lut_size_bytes"]
@@ -108,9 +108,9 @@ class LilliputDecoder(Decoder):
         (itself via ``decode_batch``).  Results are identical to per-row
         :meth:`decode` -- every answer still models a single LUT access.
         """
-        syndromes = np.asarray(syndromes).astype(bool, copy=False)
-        if syndromes.ndim != 2:
-            raise ValueError("decode_batch expects a (shots, detectors) matrix")
+        # Width is checked separately: vectors longer than the table are
+        # tolerated when the extra bits are all zero (and trimmed).
+        syndromes = validate_syndrome_batch(syndromes, None)
         n = syndromes.shape[1]
         if n > self.num_detectors:
             extra = np.nonzero(syndromes[:, self.num_detectors :].any(axis=0))[0]

@@ -28,15 +28,23 @@ amortized into each row's latency so batched and per-row stats compare.
 
 from __future__ import annotations
 
+import math
 import time
+import warnings
 
 import numpy as np
 
 from ..graphs.weights import GlobalWeightTable
 from ..matching.blossom import min_weight_perfect_matching
 from ..matching.boundary import MatchingProblem
-from ..matching.sparse import SparseMatchingEngine, SparseStats
-from .base import DecodeResult, Decoder, matching_to_detectors
+from ..matching.sparse import SparseEngineError, SparseMatchingEngine, SparseStats
+from .base import (
+    DecodeResult,
+    Decoder,
+    DecoderFallbackWarning,
+    matching_to_detectors,
+    validate_syndrome_batch,
+)
 
 __all__ = ["MWPMDecoder"]
 
@@ -67,8 +75,12 @@ class MWPMDecoder(Decoder):
         sparse_cache_size: int = 65536,
     ):
         self.gwt = gwt
+        self.syndrome_length = int(gwt.weights.shape[0])
         self.measure_time = measure_time
         self.use_sparse = use_sparse
+        #: Sparse-engine anomalies recovered by re-decoding densely; the
+        #: supervised experiment layer surfaces this count.
+        self.fallback_events = 0
         self._engine = (
             SparseMatchingEngine(gwt, cache_size=sparse_cache_size)
             if use_sparse
@@ -80,14 +92,35 @@ class MWPMDecoder(Decoder):
         """Counters of the sparse engine (None on the dense path)."""
         return self._engine.stats if self._engine is not None else None
 
+    def _degrade(self, reason: str, detail: str) -> None:
+        """Record a sparse-engine anomaly and warn that we decode densely."""
+        self.fallback_events += 1
+        warnings.warn(
+            DecoderFallbackWarning(self.name, reason, detail), stacklevel=3
+        )
+
     def decode_active(self, active: list[int]) -> DecodeResult:
-        """Decode by solving the exact MWPM of the active syndrome bits."""
+        """Decode by solving the exact MWPM of the active syndrome bits.
+
+        Sparse-engine inconsistencies (:class:`SparseEngineError`, any
+        unexpected internal failure, or a non-finite matching weight)
+        degrade to the dense reference solve with a
+        :class:`DecoderFallbackWarning` instead of aborting.
+        """
         start = time.perf_counter() if self.measure_time else 0.0
         if self._engine is not None:
-            pairs, weight, prediction = self._engine.solve(active)
-            result = DecodeResult(
-                prediction=prediction, matching=pairs, weight=weight
-            )
+            try:
+                pairs, weight, prediction = self._engine.solve(active)
+                if not math.isfinite(weight):
+                    raise SparseEngineError(
+                        f"non-finite matching weight {weight!r}"
+                    )
+                result = DecodeResult(
+                    prediction=prediction, matching=pairs, weight=weight
+                )
+            except Exception as exc:
+                self._degrade(type(exc).__name__, str(exc))
+                result = self._decode_dense(active)
         else:
             result = self._decode_dense(active)
         if self.measure_time:
@@ -121,9 +154,7 @@ class MWPMDecoder(Decoder):
         row's ``latency_ns`` so latency stats stay comparable with the
         per-row path.
         """
-        syndromes = np.asarray(syndromes).astype(bool, copy=False)
-        if syndromes.ndim != 2:
-            raise ValueError("decode_batch expects a (shots, detectors) matrix")
+        syndromes = validate_syndrome_batch(syndromes, self.syndrome_length)
         if self._engine is not None:
             return self._decode_batch_sparse(syndromes)
         return self._decode_batch_dense(syndromes)
@@ -131,7 +162,16 @@ class MWPMDecoder(Decoder):
     def _decode_batch_sparse(self, syndromes: np.ndarray) -> list[DecodeResult]:
         num = syndromes.shape[0]
         start = time.perf_counter() if self.measure_time else 0.0
-        solved = self._engine.solve_batch(syndromes)
+        try:
+            solved = self._engine.solve_batch(syndromes)
+            bad = [w for _pairs, w, _pred in solved if not math.isfinite(w)]
+            if bad:
+                raise SparseEngineError(
+                    f"non-finite matching weight {bad[0]!r} in batch"
+                )
+        except Exception as exc:
+            self._degrade(type(exc).__name__, str(exc))
+            return self._decode_batch_dense(syndromes)
         # Bucketed solving shares nearly all of its work across rows, so
         # the honest per-row latency is the amortized batch wall-clock.
         shared_ns = (

@@ -29,7 +29,7 @@ from collections import deque
 import numpy as np
 
 from ..graphs.decoding_graph import BOUNDARY, DecodingGraph
-from .base import DecodeResult, Decoder
+from .base import DecodeResult, Decoder, validate_syndrome_batch
 
 __all__ = ["UnionFindDecoder"]
 
@@ -95,6 +95,7 @@ class UnionFindDecoder(Decoder):
         if growth_resolution < 0:
             raise ValueError("growth_resolution must be >= 0")
         self.graph = graph
+        self.syndrome_length = int(graph.num_detectors)
         self.growth_resolution = growth_resolution
         self._boundary = graph.num_detectors  # dense index of the boundary
         self._last_growth_rounds = 0
@@ -163,9 +164,7 @@ class UnionFindDecoder(Decoder):
         ``np.nonzero`` instead of one scan per row.  Results are identical
         to per-row :meth:`decode`.
         """
-        syndromes = np.asarray(syndromes).astype(bool, copy=False)
-        if syndromes.ndim != 2:
-            raise ValueError("decode_batch expects a (shots, detectors) matrix")
+        syndromes = validate_syndrome_batch(syndromes, self.syndrome_length)
         num = syndromes.shape[0]
         rows, cols = np.nonzero(syndromes)
         counts = np.bincount(rows, minlength=num)

@@ -3,20 +3,31 @@
 from .accuracy import PairedComparison, compare_decoders
 from .hamming import HammingCensus, hamming_weight_census
 from .importance import StratifiedEstimate, estimate_ler_stratified
-from .io import load_sweep, save_sweep
+from .io import CorruptResultError, load_sweep, save_sweep
 from .memory import MemoryRunResult, run_memory_experiment
-from .parallel import merge_results, run_memory_experiment_parallel
+from .parallel import merge_censuses, merge_results, run_memory_experiment_parallel
 from .report import HeadlineReport, run_headline_report
+from .resilient import (
+    CheckpointStore,
+    RecoveryStats,
+    ResilientRunResult,
+    make_resilient_runner,
+    run_memory_experiment_resilient,
+)
 from .setup import DecodingSetup
 from .stats import poisson_pmf, wilson_interval
 from .sweep import SweepPoint, ler_vs_distance, ler_vs_physical_error
 
 __all__ = [
+    "CheckpointStore",
+    "CorruptResultError",
     "DecodingSetup",
     "HammingCensus",
     "HeadlineReport",
     "MemoryRunResult",
     "PairedComparison",
+    "RecoveryStats",
+    "ResilientRunResult",
     "StratifiedEstimate",
     "SweepPoint",
     "compare_decoders",
@@ -25,11 +36,14 @@ __all__ = [
     "ler_vs_distance",
     "ler_vs_physical_error",
     "load_sweep",
+    "make_resilient_runner",
+    "merge_censuses",
     "merge_results",
     "poisson_pmf",
     "run_headline_report",
     "run_memory_experiment",
     "run_memory_experiment_parallel",
+    "run_memory_experiment_resilient",
     "save_sweep",
     "wilson_interval",
 ]

@@ -1,22 +1,45 @@
-"""Persisting sweep results (the artifact's output-file convention).
+"""Validated, atomic persistence of experiment results.
 
 The paper's artifact appends one line per experiment configuration to a
-text output file that its plotting script then consumes.  This module
-provides the same durability for sweeps as CSV: :func:`save_sweep` writes
-:class:`~repro.experiments.sweep.SweepPoint` lists with enough fields to
-re-plot any LER figure, and :func:`load_sweep` reads them back.
+text output file that its plotting script then consumes.  At the campaign
+scales PRs 1-3 unlocked (multi-hour sweeps, 10^8+ shots per point), a
+half-written or bit-rotted result file silently poisons every downstream
+plot, so this module hardens the output convention:
+
+* every file is written via temp-file + :func:`os.replace` (readers never
+  observe a partial write, even across a crash mid-``save``);
+* sweep files embed a schema version and a SHA-256 content checksum, and
+  :func:`load_sweep` raises a descriptive :class:`CorruptResultError` on
+  truncated or garbled input instead of a bare parse error;
+* the checkpoint layer (:mod:`repro.experiments.resilient`) shares the
+  same primitives via :func:`write_json_record` / :func:`read_json_record`.
+
+Legacy (pre-checksum) sweep CSVs still load.
 """
 
 from __future__ import annotations
 
 import csv
+import hashlib
+import io as _io
+import json
+import os
 from pathlib import Path
-from typing import Sequence
+from typing import Any, Sequence
 
 from .memory import MemoryRunResult
 from .sweep import SweepPoint
 
-__all__ = ["save_sweep", "load_sweep", "SWEEP_FIELDS"]
+__all__ = [
+    "CorruptResultError",
+    "save_sweep",
+    "load_sweep",
+    "atomic_write_text",
+    "write_json_record",
+    "read_json_record",
+    "SWEEP_FIELDS",
+    "SWEEP_SCHEMA_VERSION",
+]
 
 #: Column order of the CSV schema.
 SWEEP_FIELDS = (
@@ -32,38 +55,176 @@ SWEEP_FIELDS = (
     "max_latency_ns",
 )
 
+#: Version of the checksummed sweep-file format.
+SWEEP_SCHEMA_VERSION = 2
+
+#: Version of the generic checked-JSON record format.
+JSON_RECORD_SCHEMA_VERSION = 1
+
+_SWEEP_MAGIC = "#repro-sweep"
+
+
+class CorruptResultError(ValueError):
+    """A persisted result file failed validation.
+
+    Raised when a sweep CSV or checked-JSON record is truncated, garbled,
+    fails its embedded checksum, or carries an unexpected schema version.
+    Subclasses :class:`ValueError` so callers that predate the checked
+    formats keep working.
+    """
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    A reader concurrently opening ``path`` sees either the previous
+    complete contents or the new complete contents, never a prefix --
+    including when the writing process dies mid-write.
+
+    Args:
+        path: Destination file path.
+        text: Full file contents.
+    """
+    path = Path(path)
+    tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
+    try:
+        with tmp.open("w", encoding="utf-8", newline="") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+
+
+def write_json_record(
+    path: str | Path, payload: Any, *, kind: str
+) -> None:
+    """Persist a JSON payload atomically with schema + checksum framing.
+
+    The on-disk shape is ``{"kind", "schema", "checksum", "payload"}``
+    where ``checksum`` is the SHA-256 of the canonical (sorted-key,
+    compact) JSON encoding of ``payload``.
+
+    Args:
+        path: Destination file path.
+        payload: JSON-serialisable record body.
+        kind: Record type tag, validated on read (e.g. ``"chunk"``).
+    """
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    record = {
+        "kind": kind,
+        "schema": JSON_RECORD_SCHEMA_VERSION,
+        "checksum": _sha256(body),
+        "payload": payload,
+    }
+    atomic_write_text(path, json.dumps(record, sort_keys=True))
+
+
+def read_json_record(path: str | Path, *, kind: str) -> Any:
+    """Load and validate a record written by :func:`write_json_record`.
+
+    Args:
+        path: Source file path.
+        kind: Expected record type tag.
+
+    Returns:
+        The validated payload.
+
+    Raises:
+        FileNotFoundError: When ``path`` does not exist.
+        CorruptResultError: On truncated/garbled JSON, a wrong record
+            type, an unknown schema version, or a checksum mismatch.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+        record = json.loads(text)
+    except UnicodeDecodeError as exc:
+        raise CorruptResultError(
+            f"{path}: record is not valid UTF-8 ({exc})"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise CorruptResultError(
+            f"{path}: truncated or garbled JSON record ({exc})"
+        ) from exc
+    if not isinstance(record, dict) or "payload" not in record:
+        raise CorruptResultError(f"{path}: not a checked JSON record")
+    if record.get("kind") != kind:
+        raise CorruptResultError(
+            f"{path}: expected a {kind!r} record, found {record.get('kind')!r}"
+        )
+    if record.get("schema") != JSON_RECORD_SCHEMA_VERSION:
+        raise CorruptResultError(
+            f"{path}: unsupported schema version {record.get('schema')!r} "
+            f"(this build reads version {JSON_RECORD_SCHEMA_VERSION})"
+        )
+    body = json.dumps(record["payload"], sort_keys=True, separators=(",", ":"))
+    if _sha256(body) != record.get("checksum"):
+        raise CorruptResultError(
+            f"{path}: checksum mismatch -- the payload was altered after it "
+            "was written"
+        )
+    return record["payload"]
+
+
+def _render_sweep_body(points: Sequence[SweepPoint]) -> str:
+    """Render the CSV body (header + rows) of a sweep file."""
+    buffer = _io.StringIO()
+    # "\n" line endings keep the checksum stable across text-mode reads
+    # (universal-newline translation would otherwise alter the body).
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(SWEEP_FIELDS)
+    for point in points:
+        r = point.result
+        writer.writerow(
+            [
+                point.distance,
+                f"{point.physical_error_rate:.9e}",
+                r.decoder_name,
+                r.shots,
+                r.errors,
+                f"{r.logical_error_rate:.9e}",
+                r.declined,
+                r.timed_out,
+                f"{r.mean_latency_ns:.6f}",
+                f"{r.max_latency_ns:.6f}",
+            ]
+        )
+    return buffer.getvalue()
+
 
 def save_sweep(points: Sequence[SweepPoint], path: str | Path) -> None:
-    """Write sweep points to a CSV file (overwrites).
+    """Write sweep points to a checksummed CSV file (atomic overwrite).
+
+    The first line is a framing comment carrying the schema version and
+    the SHA-256 of the CSV body, so :func:`load_sweep` can detect
+    truncation and corruption; the write itself goes through
+    :func:`atomic_write_text` so a crash mid-save never leaves a partial
+    file behind.
 
     Args:
         points: The sweep points to persist.
         path: Destination file path.
     """
-    path = Path(path)
-    with path.open("w", newline="", encoding="utf-8") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(SWEEP_FIELDS)
-        for point in points:
-            r = point.result
-            writer.writerow(
-                [
-                    point.distance,
-                    f"{point.physical_error_rate:.9e}",
-                    r.decoder_name,
-                    r.shots,
-                    r.errors,
-                    f"{r.logical_error_rate:.9e}",
-                    r.declined,
-                    r.timed_out,
-                    f"{r.mean_latency_ns:.6f}",
-                    f"{r.max_latency_ns:.6f}",
-                ]
-            )
+    body = _render_sweep_body(points)
+    header = (
+        f"{_SWEEP_MAGIC} schema={SWEEP_SCHEMA_VERSION} "
+        f"checksum=sha256:{_sha256(body)}\n"
+    )
+    atomic_write_text(path, header + body)
 
 
 def load_sweep(path: str | Path) -> list[SweepPoint]:
     """Read sweep points previously written by :func:`save_sweep`.
+
+    Both the checksummed v2 format and legacy header-only CSVs load; a v2
+    file is verified against its embedded checksum first.
 
     Args:
         path: CSV file path.
@@ -73,16 +234,41 @@ def load_sweep(path: str | Path) -> list[SweepPoint]:
         data are re-derivable from the stored counts).
 
     Raises:
-        ValueError: When the header does not match the schema.
+        FileNotFoundError: When ``path`` does not exist.
+        CorruptResultError: When the header does not match the schema, the
+            checksum fails, or any row is truncated or garbled.
     """
     path = Path(path)
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        text = handle.read()
+    body = text
+    first, _, rest = text.partition("\n")
+    if first.startswith(_SWEEP_MAGIC):
+        fields = dict(
+            part.split("=", 1) for part in first.split()[1:] if "=" in part
+        )
+        schema = fields.get("schema")
+        if schema != str(SWEEP_SCHEMA_VERSION):
+            raise CorruptResultError(
+                f"{path}: unsupported sweep schema {schema!r} "
+                f"(this build reads version {SWEEP_SCHEMA_VERSION})"
+            )
+        declared = fields.get("checksum", "")
+        if declared != f"sha256:{_sha256(rest)}":
+            raise CorruptResultError(
+                f"{path}: checksum mismatch -- the file is truncated or was "
+                "modified after it was written"
+            )
+        body = rest
     points: list[SweepPoint] = []
-    with path.open(newline="", encoding="utf-8") as handle:
-        reader = csv.reader(handle)
-        header = next(reader, None)
-        if header != list(SWEEP_FIELDS):
-            raise ValueError(f"unexpected sweep CSV header: {header}")
-        for row in reader:
+    reader = csv.reader(_io.StringIO(body))
+    header = next(reader, None)
+    if header != list(SWEEP_FIELDS):
+        raise CorruptResultError(f"{path}: unexpected sweep CSV header: {header}")
+    for number, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        try:
             (
                 distance,
                 p,
@@ -111,4 +297,8 @@ def load_sweep(path: str | Path) -> list[SweepPoint]:
                     result=result,
                 )
             )
+        except (ValueError, TypeError) as exc:
+            raise CorruptResultError(
+                f"{path}: row {number} is truncated or garbled ({exc})"
+            ) from exc
     return points

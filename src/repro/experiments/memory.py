@@ -57,6 +57,10 @@ class MemoryRunResult:
             ``mean_latency_nontrivial_ns``, needed to merge chunked runs
             exactly).
         unique_syndromes: Distinct syndromes decoded (cache effectiveness).
+        dropped_chunks: Failed chunks excluded from a merged result (0 for
+            a single uninterrupted run); a non-zero value means ``shots``
+            covers less of the campaign than was requested and the caller
+            should surface the degradation.
     """
 
     decoder_name: str
@@ -69,6 +73,7 @@ class MemoryRunResult:
     mean_latency_nontrivial_ns: float = 0.0
     nontrivial_shots: int = 0
     unique_syndromes: int = 0
+    dropped_chunks: int = 0
 
     @property
     def logical_error_rate(self) -> float:

@@ -63,11 +63,14 @@ class SyndromeCensus:
         counts: ``(U,)`` shots that produced each syndrome.
         flips: ``(U,)`` of those shots, how many had their logical
             observable actually flipped.
+        dropped: Failed (``None``) parts excluded when this census was
+            merged; 0 for a directly sampled census.
     """
 
     syndromes: np.ndarray
     counts: np.ndarray
     flips: np.ndarray
+    dropped: int = 0
 
     @property
     def shots(self) -> int:
@@ -86,28 +89,57 @@ def _census_from_sample(
     return SyndromeCensus(syndromes=unique, counts=counts, flips=flips)
 
 
-def merge_censuses(parts: list[SyndromeCensus]) -> SyndromeCensus:
+def merge_censuses(parts: list[SyndromeCensus | None]) -> SyndromeCensus:
     """Merge censuses exactly: re-deduplicate syndromes, sum the counts.
 
+    Failed parts (``None`` entries, e.g. chunks a supervised run had to
+    drop) are tolerated: they are excluded from the merge and counted in
+    the returned census's ``dropped`` field rather than raising mid-merge.
+
     Args:
-        parts: Non-empty list of censuses over the same detector layout.
+        parts: List of censuses over the same detector layout; ``None``
+            entries mark failed parts.
 
     Returns:
-        The deduplicated union census.
+        The deduplicated union census over the surviving parts, with
+        ``dropped`` the number of excluded parts (plus any ``dropped``
+        already carried by the inputs).
+
+    Raises:
+        ValueError: When no valid part remains.
     """
-    if not parts:
-        raise ValueError("nothing to merge")
-    if len(parts) == 1:
-        return parts[0]
-    stacked = np.concatenate([p.syndromes for p in parts], axis=0)
-    counts = np.concatenate([p.counts for p in parts])
-    flips = np.concatenate([p.flips for p in parts])
+    valid = [p for p in parts if p is not None]
+    dropped = len(parts) - len(valid) + sum(p.dropped for p in valid)
+    if not valid:
+        raise ValueError(
+            f"nothing to merge: all {len(parts)} census parts failed"
+            if parts
+            else "nothing to merge"
+        )
+    if len(valid) == 1:
+        single = valid[0]
+        if dropped == single.dropped:
+            return single
+        return SyndromeCensus(
+            syndromes=single.syndromes,
+            counts=single.counts,
+            flips=single.flips,
+            dropped=dropped,
+        )
+    stacked = np.concatenate([p.syndromes for p in valid], axis=0)
+    counts = np.concatenate([p.counts for p in valid])
+    flips = np.concatenate([p.flips for p in valid])
     unique, inverse, _ = unique_rows(stacked)
     merged_counts = np.zeros(len(unique), dtype=np.int64)
     merged_flips = np.zeros(len(unique), dtype=np.int64)
     np.add.at(merged_counts, inverse, counts)
     np.add.at(merged_flips, inverse, flips)
-    return SyndromeCensus(syndromes=unique, counts=merged_counts, flips=merged_flips)
+    return SyndromeCensus(
+        syndromes=unique,
+        counts=merged_counts,
+        flips=merged_flips,
+        dropped=dropped,
+    )
 
 
 def _sample_census_chunk(payload) -> SyndromeCensus:
@@ -131,7 +163,7 @@ def _decode_chunk(payload) -> list[DecodeResult]:
     return decoder.decode_batch(syndromes)
 
 
-def merge_results(parts: list[MemoryRunResult]) -> MemoryRunResult:
+def merge_results(parts: list[MemoryRunResult | None]) -> MemoryRunResult:
     """Merge per-chunk results into one aggregate result.
 
     Counts (errors, declines, timeouts) sum exactly; latencies are
@@ -140,35 +172,57 @@ def merge_results(parts: list[MemoryRunResult]) -> MemoryRunResult:
     *upper bound* when the chunks may share syndromes -- use
     :func:`run_memory_experiment_parallel` for an exact deduplicated count.
 
+    Failed chunks (``None`` entries) are tolerated: they are excluded from
+    every aggregate and counted in the merged result's ``dropped_chunks``
+    field rather than raising mid-merge, so a mostly-successful campaign
+    still yields its surviving statistics.
+
     Args:
-        parts: Non-empty list of chunk results for the same decoder.
+        parts: List of chunk results for the same decoder; ``None``
+            entries mark failed chunks.
 
     Returns:
-        The merged :class:`MemoryRunResult`.
+        The merged :class:`MemoryRunResult` with ``dropped_chunks`` the
+        number of excluded chunks (plus any carried by the inputs).
+
+    Raises:
+        ValueError: When no valid chunk remains.
     """
-    if not parts:
-        raise ValueError("nothing to merge")
-    total_shots = sum(p.shots for p in parts)
+    valid = [p for p in parts if p is not None]
+    dropped = len(parts) - len(valid) + sum(p.dropped_chunks for p in valid)
+    if not valid:
+        raise ValueError(
+            f"nothing to merge: all {len(parts)} chunk results failed"
+            if parts
+            else "nothing to merge"
+        )
+    total_shots = sum(p.shots for p in valid)
     if total_shots == 0:
-        return MemoryRunResult(decoder_name=parts[0].decoder_name, shots=0, errors=0)
-    total_nontrivial = sum(p.nontrivial_shots for p in parts)
+        return MemoryRunResult(
+            decoder_name=valid[0].decoder_name,
+            shots=0,
+            errors=0,
+            dropped_chunks=dropped,
+        )
+    total_nontrivial = sum(p.nontrivial_shots for p in valid)
     nontrivial_weighted = sum(
-        p.mean_latency_nontrivial_ns * p.nontrivial_shots for p in parts
+        p.mean_latency_nontrivial_ns * p.nontrivial_shots for p in valid
     )
     return MemoryRunResult(
-        decoder_name=parts[0].decoder_name,
+        decoder_name=valid[0].decoder_name,
         shots=total_shots,
-        errors=sum(p.errors for p in parts),
-        declined=sum(p.declined for p in parts),
-        timed_out=sum(p.timed_out for p in parts),
-        mean_latency_ns=sum(p.mean_latency_ns * p.shots for p in parts)
+        errors=sum(p.errors for p in valid),
+        declined=sum(p.declined for p in valid),
+        timed_out=sum(p.timed_out for p in valid),
+        mean_latency_ns=sum(p.mean_latency_ns * p.shots for p in valid)
         / total_shots,
-        max_latency_ns=max(p.max_latency_ns for p in parts),
+        max_latency_ns=max(p.max_latency_ns for p in valid),
         mean_latency_nontrivial_ns=(
             nontrivial_weighted / total_nontrivial if total_nontrivial else 0.0
         ),
         nontrivial_shots=total_nontrivial,
-        unique_syndromes=sum(p.unique_syndromes for p in parts),
+        unique_syndromes=sum(p.unique_syndromes for p in valid),
+        dropped_chunks=dropped,
     )
 
 

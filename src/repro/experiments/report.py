@@ -112,7 +112,19 @@ def run_headline_report(
             f"{name:>9} {run.logical_error_rate:>10.2e} {run.errors:>7} "
             f"{run.max_latency_ns:>7.0f}ns"
         )
+    for name, run in report.runs.items():
+        if run.dropped_chunks:
+            lines.append(
+                f"[WARN] {name}: {run.dropped_chunks} chunk(s) dropped -- "
+                f"the reported rate covers only {run.shots} surviving shots"
+            )
     for name, decoder in decoders.items():
+        fallbacks = getattr(decoder, "fallback_events", 0)
+        if fallbacks:
+            lines.append(
+                f"[WARN] {name}: {fallbacks} decode(s) degraded to the "
+                "dense reference path"
+            )
         stats = getattr(decoder, "sparse_stats", None)
         if stats is not None and stats.syndromes:
             lines.append(

@@ -1,0 +1,926 @@
+"""Fault-tolerant supervised execution of Monte-Carlo campaigns.
+
+The paper's accuracy claims rest on very long Monte-Carlo campaigns --
+up to 10^8+ shots per (d, p) point -- and PRs 1-3 made multi-hour sweeps
+the norm.  :func:`repro.experiments.parallel.run_memory_experiment_parallel`
+distributes such a campaign over worker processes but dies with it: one
+crashed worker, one OOM kill, or one corrupted result file throws away
+everything.  This module wraps the same two-phase pipeline (sampling
+census, deduplicated decode) in a supervision layer that survives partial
+failure:
+
+* **Addressable chunks.**  Work units are contiguous ranges of the
+  block-seeded sampling blocks (``seed + k`` for block ``k``, the PR-2
+  RNG contract), so a retried or resumed chunk reproduces a bit-identical
+  census no matter when, where, or how often it runs.
+* **Checkpoint/resume.**  Completed sampling chunks persist to a
+  checkpoint directory via atomic write-rename with content checksums and
+  a campaign manifest; ``resume=True`` verifies and skips completed
+  chunks, and a corrupted or stale checkpoint is discarded (and counted)
+  rather than trusted.
+* **Supervised workers.**  Each chunk attempt runs in a disposable
+  process under a supervisor that detects crashes (exit code without a
+  result), reclaims hangs (per-chunk timeout), and retries with bounded
+  exponential backoff.  A chunk that exhausts its retries -- or a
+  campaign whose parallel failures keep repeating -- degrades to
+  in-process serial execution instead of aborting.
+* **Verified results.**  Every recovery path is exercised by the
+  deterministic fault-injection harness (:mod:`repro.testing.faults`):
+  under injected crashes, hangs and checkpoint corruption a campaign
+  completes with results bit-identical to a fault-free run.
+
+Decode-side failures are supervised the same way; in-decoder anomalies
+additionally degrade to the dense reference path inside
+:class:`~repro.decoders.mwpm.MWPMDecoder` (see
+:class:`~repro.decoders.base.DecoderFallbackWarning`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..circuits.memory import MemoryExperiment
+from ..decoders.base import DecodeResult, Decoder
+from .io import CorruptResultError, read_json_record, write_json_record
+from .memory import MemoryRunResult, tally_decode_results
+from .parallel import (
+    DEFAULT_BLOCK_SHOTS,
+    SyndromeCensus,
+    _decode_chunk,
+    _partition,
+    _sample_census_chunk,
+    merge_censuses,
+)
+
+__all__ = [
+    "CheckpointStore",
+    "RecoveryStats",
+    "ResilientRunResult",
+    "make_resilient_runner",
+    "run_memory_experiment_resilient",
+]
+
+#: Record-type tags of the checkpoint files.
+MANIFEST_KIND = "campaign-manifest"
+CHUNK_KIND = "census-chunk"
+
+#: Consecutive failed parallel attempts (crash/hang/error) after which the
+#: supervisor stops launching worker processes and runs every remaining
+#: chunk in-process.
+SERIAL_DEGRADATION_THRESHOLD = 8
+
+
+@dataclass
+class RecoveryStats:
+    """What the supervisor had to do to finish a campaign.
+
+    Attributes:
+        chunks_total: Sampling chunks in the campaign.
+        chunks_resumed: Chunks restored from verified checkpoints.
+        crashes: Worker processes that died without delivering a result.
+        hangs: Worker processes reclaimed by the per-chunk timeout.
+        worker_errors: Worker attempts that failed with a Python error.
+        retries: Chunk attempts re-queued after any of the above.
+        serial_fallbacks: Chunks that ran in-process after their parallel
+            attempts were exhausted (or after campaign-level degradation).
+        corrupted_checkpoints: Checkpoint files discarded as invalid.
+        dropped_chunks: Chunks lost even to the serial fallback (only
+            possible with ``allow_partial=True``).
+        decoder_fallbacks: Decoder-internal degradations to the reference
+            path observed in the supervisor's process.
+    """
+
+    chunks_total: int = 0
+    chunks_resumed: int = 0
+    crashes: int = 0
+    hangs: int = 0
+    worker_errors: int = 0
+    retries: int = 0
+    serial_fallbacks: int = 0
+    corrupted_checkpoints: int = 0
+    dropped_chunks: int = 0
+    decoder_fallbacks: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Counters as a JSON-ready dict."""
+        return {
+            "chunks_total": self.chunks_total,
+            "chunks_resumed": self.chunks_resumed,
+            "crashes": self.crashes,
+            "hangs": self.hangs,
+            "worker_errors": self.worker_errors,
+            "retries": self.retries,
+            "serial_fallbacks": self.serial_fallbacks,
+            "corrupted_checkpoints": self.corrupted_checkpoints,
+            "dropped_chunks": self.dropped_chunks,
+            "decoder_fallbacks": self.decoder_fallbacks,
+        }
+
+
+@dataclass
+class ResilientRunResult:
+    """Outcome of a supervised campaign.
+
+    Attributes:
+        result: The merged memory-experiment result; bit-identical to the
+            unsupervised runner's for the same ``(shots, seed,
+            block_shots)`` whenever no chunk was dropped.
+        recovery: What the supervisor did to get there.
+    """
+
+    result: MemoryRunResult
+    recovery: RecoveryStats
+
+
+# ----------------------------------------------------------------------
+# Census (de)serialisation
+# ----------------------------------------------------------------------
+
+
+def _census_to_payload(census: SyndromeCensus, num_detectors: int) -> dict:
+    """Encode a census as a JSON-ready payload (bit-packed hex rows)."""
+    if len(census.counts):
+        packed = np.packbits(
+            census.syndromes.astype(np.uint8, copy=False), axis=1
+        )
+        rows = [bytes(row).hex() for row in packed]
+    else:
+        rows = []
+    return {
+        "num_detectors": int(num_detectors),
+        "rows": rows,
+        "counts": [int(c) for c in census.counts],
+        "flips": [int(f) for f in census.flips],
+    }
+
+
+def _census_from_payload(payload: dict, path: Path) -> SyndromeCensus:
+    """Decode a checkpointed census payload, validating its shape."""
+    try:
+        num_detectors = int(payload["num_detectors"])
+        rows = payload["rows"]
+        counts = np.asarray(payload["counts"], dtype=np.int64)
+        flips = np.asarray(payload["flips"], dtype=np.int64)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CorruptResultError(
+            f"{path}: census payload is missing or malformed ({exc})"
+        ) from exc
+    if len(rows) != len(counts) or len(rows) != len(flips):
+        raise CorruptResultError(
+            f"{path}: census arrays disagree in length "
+            f"({len(rows)} rows, {len(counts)} counts, {len(flips)} flips)"
+        )
+    row_bytes = (num_detectors + 7) // 8
+    if len(rows) == 0:
+        syndromes = np.zeros((0, num_detectors), dtype=bool)
+    else:
+        try:
+            raw = bytearray()
+            for row in rows:
+                decoded = bytes.fromhex(row)
+                if len(decoded) != row_bytes:
+                    raise ValueError(
+                        f"packed row holds {len(decoded)} bytes, "
+                        f"expected {row_bytes}"
+                    )
+                raw += decoded
+        except ValueError as exc:
+            raise CorruptResultError(
+                f"{path}: packed census row is garbled ({exc})"
+            ) from exc
+        packed = np.frombuffer(bytes(raw), dtype=np.uint8).reshape(
+            len(rows), row_bytes
+        )
+        syndromes = np.unpackbits(packed, axis=1)[:, :num_detectors].astype(
+            bool
+        )
+    if (counts < 0).any() or (flips < 0).any() or (flips > counts).any():
+        raise CorruptResultError(
+            f"{path}: census counts are inconsistent (negative or "
+            "flips > counts)"
+        )
+    return SyndromeCensus(syndromes=syndromes, counts=counts, flips=flips)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint store
+# ----------------------------------------------------------------------
+
+
+class CheckpointStore:
+    """On-disk campaign checkpoints: one manifest plus one file per chunk.
+
+    All writes are atomic (temp file + rename) and checksummed via
+    :func:`repro.experiments.io.write_json_record`, so a crash mid-write
+    never leaves a half-written checkpoint that a resume could trust.
+
+    Args:
+        directory: Checkpoint directory (created on demand).
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+
+    @property
+    def manifest_path(self) -> Path:
+        """Path of the campaign manifest."""
+        return self.directory / "manifest.json"
+
+    def chunk_path(self, index: int) -> Path:
+        """Path of chunk ``index``'s checkpoint file."""
+        return self.directory / f"chunk-{index:05d}.json"
+
+    def prepare(self, params: dict, *, resume: bool) -> None:
+        """Create or validate the campaign manifest.
+
+        Args:
+            params: Campaign identity -- everything the census depends on
+                (shots, seed, block shots, chunk count, detector count).
+            resume: Whether an existing manifest may be continued.
+
+        Raises:
+            ValueError: When resuming against a manifest whose parameters
+                do not match (the checkpoints belong to a different
+                campaign).
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if resume and self.manifest_path.exists():
+            try:
+                existing = read_json_record(
+                    self.manifest_path, kind=MANIFEST_KIND
+                )
+            except CorruptResultError:
+                # A garbled manifest invalidates every checkpoint.
+                for path in self.directory.glob("chunk-*.json"):
+                    path.unlink()
+                write_json_record(
+                    self.manifest_path, params, kind=MANIFEST_KIND
+                )
+                return
+            if existing != params:
+                mismatched = sorted(
+                    key
+                    for key in set(existing) | set(params)
+                    if existing.get(key) != params.get(key)
+                )
+                raise ValueError(
+                    "checkpoint directory belongs to a different campaign: "
+                    f"{self.directory} disagrees on {mismatched}; pass a "
+                    "fresh --checkpoint-dir or rerun with the original "
+                    "parameters"
+                )
+            return
+        write_json_record(self.manifest_path, params, kind=MANIFEST_KIND)
+
+    def load_chunk(
+        self, index: int, expected_blocks: list[tuple[int, int]]
+    ) -> SyndromeCensus:
+        """Load and verify chunk ``index``'s checkpointed census.
+
+        Args:
+            index: Chunk index.
+            expected_blocks: The (seed, shots) sampling blocks the chunk
+                must cover under the current campaign parameters.
+
+        Returns:
+            The verified census.
+
+        Raises:
+            FileNotFoundError: When the chunk was never checkpointed.
+            CorruptResultError: When the file fails checksum or shape
+                validation, or records different sampling blocks.
+        """
+        path = self.chunk_path(index)
+        payload = read_json_record(path, kind=CHUNK_KIND)
+        if not isinstance(payload, dict):
+            raise CorruptResultError(f"{path}: chunk payload is not a dict")
+        recorded = [tuple(block) for block in payload.get("blocks", [])]
+        if recorded != [tuple(block) for block in expected_blocks]:
+            raise CorruptResultError(
+                f"{path}: checkpoint covers different sampling blocks than "
+                "the current campaign"
+            )
+        census = _census_from_payload(payload.get("census", {}), path)
+        expected_shots = sum(shots for _seed, shots in expected_blocks)
+        if census.shots != expected_shots:
+            raise CorruptResultError(
+                f"{path}: checkpoint summarises {census.shots} shots, "
+                f"expected {expected_shots}"
+            )
+        return census
+
+    def save_chunk(
+        self,
+        index: int,
+        blocks: list[tuple[int, int]],
+        census: SyndromeCensus,
+        num_detectors: int,
+    ) -> None:
+        """Atomically checkpoint a completed chunk census."""
+        payload = {
+            "chunk": int(index),
+            "blocks": [[int(s), int(n)] for s, n in blocks],
+            "census": _census_to_payload(census, num_detectors),
+        }
+        write_json_record(self.chunk_path(index), payload, kind=CHUNK_KIND)
+
+
+# ----------------------------------------------------------------------
+# Worker supervision
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Job:
+    """One supervised work unit and its retry state."""
+
+    index: int
+    payload: Any
+    attempt: int = 0
+    eligible_at: float = 0.0
+
+
+def _worker_shell(
+    result_queue,
+    phase: str,
+    index: int,
+    attempt: int,
+    worker_fn: Callable[[Any], Any],
+    payload: Any,
+    injector,
+) -> None:
+    """Worker-process entry: run one chunk attempt, report via the queue.
+
+    A successful attempt puts ``(index, "ok", result)`` and exits 0; a
+    Python failure puts ``(index, "error", repr)`` and exits 0.  A hard
+    crash (injected or real) exits non-zero with nothing on the queue --
+    that silence is exactly what the supervisor detects.
+    """
+    try:
+        if injector is not None:
+            injector.maybe_fault(phase, index, attempt, in_worker=True)
+        result = worker_fn(payload)
+        result_queue.put((index, "ok", result))
+    except BaseException as exc:  # noqa: BLE001 - forwarded to supervisor
+        result_queue.put((index, "error", repr(exc)))
+
+
+def _run_serial_attempts(
+    job: _Job,
+    worker_fn: Callable[[Any], Any],
+    *,
+    phase: str,
+    injector,
+    max_retries: int,
+    stats: RecoveryStats,
+) -> tuple[bool, Any]:
+    """Run a job in-process with retries; returns (succeeded, result)."""
+    while True:
+        try:
+            if injector is not None:
+                injector.maybe_fault(
+                    phase, job.index, job.attempt, in_worker=False
+                )
+            return True, worker_fn(job.payload)
+        except Exception:
+            stats.worker_errors += 1
+            job.attempt += 1
+            if job.attempt > max_retries:
+                return False, None
+            stats.retries += 1
+
+
+def _supervised_map(
+    worker_fn: Callable[[Any], Any],
+    payloads: Sequence[tuple[int, Any]],
+    *,
+    phase: str,
+    workers: int,
+    chunk_timeout: float | None,
+    max_retries: int,
+    retry_backoff: float,
+    injector,
+    stats: RecoveryStats,
+    allow_drop: bool,
+    on_success: Callable[[int, Any], None] | None = None,
+) -> dict[int, Any]:
+    """Run ``worker_fn`` over indexed payloads under supervision.
+
+    Args:
+        worker_fn: Pure function of one payload (module-level, picklable).
+        payloads: ``(index, payload)`` pairs; indices key the result dict.
+        phase: Phase name threaded to the fault injector and stats.
+        workers: Maximum concurrent worker processes (1 = in-process).
+        chunk_timeout: Seconds before a running attempt is declared hung
+            and its process reclaimed (None disables the timeout).
+        max_retries: Retries per chunk before the serial fallback.
+        retry_backoff: Base delay of the exponential backoff between
+            attempts of the same chunk (doubles per retry).
+        injector: Optional :class:`repro.testing.faults.FaultInjector`.
+        stats: Recovery counters, mutated in place.
+        allow_drop: When even the serial fallback fails: ``True`` records
+            the chunk as dropped (result ``None``), ``False`` raises.
+        on_success: Callback invoked in the supervisor process for each
+            completed chunk (e.g. to checkpoint it).
+
+    Returns:
+        Mapping of index to result (``None`` for dropped chunks).
+
+    Raises:
+        RuntimeError: When a chunk fails terminally and ``allow_drop`` is
+            False.
+    """
+    results: dict[int, Any] = {}
+
+    def finish(index: int, value: Any) -> None:
+        results[index] = value
+        if on_success is not None and value is not None:
+            on_success(index, value)
+
+    def serial_fallback(job: _Job) -> None:
+        stats.serial_fallbacks += 1
+        ok, value = _run_serial_attempts(
+            job,
+            worker_fn,
+            phase=phase,
+            injector=injector,
+            max_retries=max_retries,
+            stats=stats,
+        )
+        if ok:
+            finish(job.index, value)
+        elif allow_drop:
+            stats.dropped_chunks += 1
+            results[job.index] = None
+        else:
+            raise RuntimeError(
+                f"{phase} chunk {job.index} failed after {job.attempt} "
+                "attempts including the in-process serial fallback"
+            )
+
+    pending = [_Job(index, payload) for index, payload in payloads]
+
+    if workers <= 1:
+        # In-process mode: no subprocess to crash, but the retry loop
+        # still absorbs transient (injected or real) Python failures.
+        for job in pending:
+            ok, value = _run_serial_attempts(
+                job,
+                worker_fn,
+                phase=phase,
+                injector=injector,
+                max_retries=max_retries,
+                stats=stats,
+            )
+            if ok:
+                finish(job.index, value)
+            elif allow_drop:
+                stats.dropped_chunks += 1
+                results[job.index] = None
+            else:
+                raise RuntimeError(
+                    f"{phase} chunk {job.index} failed after "
+                    f"{job.attempt} in-process attempts"
+                )
+        return results
+
+    ctx = multiprocessing.get_context()
+    result_queue = ctx.Queue()
+    running: dict[int, tuple[Any, float, _Job]] = {}
+    # Results that arrived before their process was reaped.
+    arrived: dict[int, tuple[str, Any]] = {}
+    # Processes whose result was consumed, awaiting a (lazy) join so the
+    # exit wait never blocks the launch of the next chunk.
+    zombies: list[Any] = []
+    parallel_failures = 0
+    degraded = False
+
+    def requeue(job: _Job, now: float) -> None:
+        nonlocal parallel_failures
+        parallel_failures += 1
+        job.attempt += 1
+        if job.attempt > max_retries:
+            serial_fallback(job)
+            return
+        stats.retries += 1
+        job.eligible_at = now + retry_backoff * (2 ** (job.attempt - 1))
+        pending.append(job)
+
+    try:
+        while pending or running:
+            now = time.monotonic()
+            if not degraded and parallel_failures >= SERIAL_DEGRADATION_THRESHOLD:
+                # Repeated parallel failures: stop trusting subprocesses
+                # and drain everything still pending in-process.
+                degraded = True
+            if degraded and pending and not running:
+                for job in pending:
+                    serial_fallback(job)
+                pending = []
+                continue
+            while (
+                not degraded
+                and pending
+                and len(running) < workers
+            ):
+                launchable = [
+                    j for j in pending if j.eligible_at <= now
+                ]
+                if not launchable:
+                    break
+                job = launchable[0]
+                pending.remove(job)
+                deadline = (
+                    now + chunk_timeout
+                    if chunk_timeout is not None
+                    else float("inf")
+                )
+                process = ctx.Process(
+                    target=_worker_shell,
+                    args=(
+                        result_queue,
+                        phase,
+                        job.index,
+                        job.attempt,
+                        worker_fn,
+                        job.payload,
+                        injector,
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                running[job.index] = (process, deadline, job)
+            # Wait for the next event.  Results wake the blocking get the
+            # moment they land (the common case); the timeout bounds how
+            # late a crash (which produces no queue traffic) or an expired
+            # deadline is noticed.
+            if running:
+                try:
+                    index, status, value = result_queue.get(timeout=0.02)
+                    arrived[index] = (status, value)
+                except queue_module.Empty:
+                    pass
+                while True:
+                    try:
+                        index, status, value = result_queue.get_nowait()
+                    except queue_module.Empty:
+                        break
+                    arrived[index] = (status, value)
+            elif pending and not degraded:
+                # Nothing running: every pending job is in its backoff
+                # window.  Sleep until the earliest becomes eligible.
+                now = time.monotonic()
+                wake = min(j.eligible_at for j in pending)
+                if wake > now:
+                    time.sleep(min(wake - now, 0.05))
+            for index in list(running):
+                process, deadline, job = running[index]
+                now = time.monotonic()
+                if index in arrived:
+                    status, value = arrived.pop(index)
+                    zombies.append(process)
+                    del running[index]
+                    if status == "ok":
+                        finish(index, value)
+                    else:
+                        stats.worker_errors += 1
+                        requeue(job, now)
+                elif not process.is_alive():
+                    # Dead without a result.  Exit code 0 means the result
+                    # is still in flight through the queue's feeder
+                    # thread; give it a grace period before declaring a
+                    # crash (the retry would still be bit-identical, just
+                    # wasted work).
+                    if process.exitcode == 0 and now < deadline:
+                        grace = min(deadline, now + 0.5)
+                        running[index] = (process, grace, job)
+                        if now < grace:
+                            continue
+                    process.join()
+                    del running[index]
+                    stats.crashes += 1
+                    requeue(job, now)
+                elif now > deadline:
+                    stats.hangs += 1
+                    process.terminate()
+                    process.join(timeout=2.0)
+                    if process.is_alive():
+                        process.kill()
+                        process.join()
+                    del running[index]
+                    requeue(job, now)
+            zombies = [p for p in zombies if p.is_alive()]
+    finally:
+        for process, _deadline, _job in running.values():
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+                if process.is_alive():
+                    process.kill()
+                    process.join()
+        for process in zombies:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join()
+        result_queue.close()
+        result_queue.cancel_join_thread()
+    return results
+
+
+# ----------------------------------------------------------------------
+# The supervised campaign runner
+# ----------------------------------------------------------------------
+
+
+def run_memory_experiment_resilient(
+    experiment: MemoryExperiment,
+    decoder: Decoder,
+    shots: int,
+    *,
+    seed: int = 0,
+    workers: int = 2,
+    chunks_per_worker: int = 1,
+    block_shots: int = DEFAULT_BLOCK_SHOTS,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
+    max_retries: int = 3,
+    chunk_timeout: float | None = None,
+    retry_backoff: float = 0.05,
+    fault_injector=None,
+    allow_partial: bool = False,
+) -> ResilientRunResult:
+    """Run a memory experiment under supervision with checkpoint/resume.
+
+    The sampling and decoding pipeline is the parallel runner's -- the
+    same block-seeded blocks, chunk partition, census merge and
+    deduplicated decode -- so for a given ``(shots, seed, block_shots)``
+    the result is bit-identical to
+    :func:`~repro.experiments.parallel.run_memory_experiment_parallel`
+    (and independent of the worker/chunk split), no matter how many
+    crashes, hangs, retries, resumes or corrupted checkpoints happened on
+    the way.
+
+    Args:
+        experiment: The memory-experiment bundle (pickled to workers).
+        decoder: The decoder under test (pickled to workers).
+        shots: Total Monte-Carlo trials across all blocks.
+        seed: Base seed; sampling block ``k`` runs with ``seed + k``.
+        workers: Worker processes (1 supervises in-process: retries still
+            apply, crash/hang isolation does not).
+        chunks_per_worker: Chunks per worker (more chunks mean finer
+            checkpoints and cheaper retries).
+        block_shots: Shots per sampling block (fixes the sample multiset
+            independently of the worker/chunk split).
+        checkpoint_dir: Directory for the campaign manifest and per-chunk
+            checkpoints; None disables checkpointing.
+        resume: Skip chunks already checkpointed by a previous run with
+            identical campaign parameters (requires ``checkpoint_dir``).
+        max_retries: Supervised retries per chunk before degrading to the
+            in-process serial fallback.
+        chunk_timeout: Seconds before a running chunk attempt is declared
+            hung and its worker reclaimed (None disables).
+        retry_backoff: Base of the exponential backoff between retries of
+            the same chunk, in seconds.
+        fault_injector: Optional deterministic
+            :class:`~repro.testing.faults.FaultInjector` (used by tests,
+            the resilience bench and the CI smoke job).
+        allow_partial: Tolerate chunks that fail even the serial fallback
+            by dropping them (surfaced via ``dropped_chunks``) instead of
+            raising.
+
+    Returns:
+        The :class:`ResilientRunResult` bundling the merged
+        :class:`~repro.experiments.memory.MemoryRunResult` with the
+        supervisor's :class:`RecoveryStats`.
+
+    Raises:
+        ValueError: On invalid arguments, or on resuming against a
+            checkpoint directory of a different campaign.
+        RuntimeError: When a chunk fails terminally and ``allow_partial``
+            is False.
+    """
+    if shots < 0:
+        raise ValueError("shots must be non-negative")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if block_shots < 1:
+        raise ValueError("block_shots must be >= 1")
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires a checkpoint_dir")
+    stats = RecoveryStats()
+    if shots == 0:
+        return ResilientRunResult(
+            result=MemoryRunResult(decoder_name=decoder.name, shots=0, errors=0),
+            recovery=stats,
+        )
+
+    blocks = []
+    remaining = shots
+    k = 0
+    while remaining > 0:
+        size = min(block_shots, remaining)
+        blocks.append((seed + k, size))
+        remaining -= size
+        k += 1
+    num_chunks = max(1, workers * chunks_per_worker)
+    chunk_blocks = [
+        blocks[start:stop]
+        for start, stop in _partition(len(blocks), num_chunks)
+        if stop > start
+    ]
+    stats.chunks_total = len(chunk_blocks)
+    num_detectors = experiment.num_detectors
+
+    store: CheckpointStore | None = None
+    censuses: list[SyndromeCensus | None] = [None] * len(chunk_blocks)
+    if checkpoint_dir is not None:
+        store = CheckpointStore(checkpoint_dir)
+        params = {
+            "shots": int(shots),
+            "seed": int(seed),
+            "block_shots": int(block_shots),
+            "num_chunks": len(chunk_blocks),
+            "num_detectors": int(num_detectors),
+        }
+        store.prepare(params, resume=resume)
+        if resume:
+            for index, chunk in enumerate(chunk_blocks):
+                try:
+                    censuses[index] = store.load_chunk(index, chunk)
+                except FileNotFoundError:
+                    continue
+                except CorruptResultError:
+                    stats.corrupted_checkpoints += 1
+                    store.chunk_path(index).unlink(missing_ok=True)
+                    continue
+            stats.chunks_resumed = sum(
+                1 for census in censuses if census is not None
+            )
+
+    def checkpoint(index: int, census: SyndromeCensus) -> None:
+        if store is not None:
+            store.save_chunk(
+                index, chunk_blocks[index], census, num_detectors
+            )
+
+    sample_payloads = [
+        (index, (experiment, chunk))
+        for index, chunk in enumerate(chunk_blocks)
+        if censuses[index] is None
+    ]
+    if sample_payloads:
+        sampled = _supervised_map(
+            _sample_census_chunk,
+            sample_payloads,
+            phase="sample",
+            workers=workers,
+            chunk_timeout=chunk_timeout,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            injector=fault_injector,
+            stats=stats,
+            allow_drop=allow_partial,
+            on_success=checkpoint,
+        )
+        for index, census in sampled.items():
+            censuses[index] = census
+    census = merge_censuses(censuses)
+
+    unique = census.syndromes
+    decode_payloads = [
+        (index, (decoder, unique[start:stop]))
+        for index, (start, stop) in enumerate(_partition(len(unique), num_chunks))
+        if stop > start
+    ]
+    decoded = _supervised_map(
+        _decode_chunk,
+        decode_payloads,
+        phase="decode",
+        workers=workers,
+        chunk_timeout=chunk_timeout,
+        max_retries=max_retries,
+        retry_backoff=retry_backoff,
+        injector=fault_injector,
+        stats=stats,
+        allow_drop=False,
+    )
+    results: list[DecodeResult] = [
+        r
+        for index in sorted(decoded)
+        for r in decoded[index]
+    ]
+
+    effective_shots = census.shots
+    tally = tally_decode_results(unique, census.counts, census.flips, results)
+    stats.dropped_chunks = max(stats.dropped_chunks, census.dropped)
+    stats.decoder_fallbacks = int(getattr(decoder, "fallback_events", 0) or 0)
+    result = MemoryRunResult(
+        decoder_name=decoder.name,
+        shots=effective_shots,
+        errors=tally.errors,
+        declined=tally.declined,
+        timed_out=tally.timed_out,
+        mean_latency_ns=(
+            tally.latency_sum / effective_shots if effective_shots else 0.0
+        ),
+        max_latency_ns=tally.latency_max,
+        mean_latency_nontrivial_ns=(
+            tally.nontrivial_latency_sum / tally.nontrivial_shots
+            if tally.nontrivial_shots
+            else 0.0
+        ),
+        nontrivial_shots=tally.nontrivial_shots,
+        unique_syndromes=len(unique),
+        dropped_chunks=census.dropped,
+    )
+    return ResilientRunResult(result=result, recovery=stats)
+
+
+def make_resilient_runner(
+    checkpoint_root: str | Path | None = None,
+    *,
+    workers: int = 2,
+    chunks_per_worker: int = 1,
+    block_shots: int = DEFAULT_BLOCK_SHOTS,
+    resume: bool = False,
+    max_retries: int = 3,
+    chunk_timeout: float | None = None,
+    retry_backoff: float = 0.05,
+    fault_injector=None,
+    allow_partial: bool = False,
+    recovery_log: list[RecoveryStats] | None = None,
+) -> Callable[..., MemoryRunResult]:
+    """Adapt the supervised runner to the sweep drivers' ``runner`` seam.
+
+    The returned callable has :func:`run_memory_experiment`'s calling
+    convention (``runner(experiment, decoder, shots, seed=...)``), so it
+    drops into :func:`~repro.experiments.sweep.ler_vs_physical_error` and
+    :func:`~repro.experiments.sweep.ler_vs_distance` unchanged.  Each
+    sweep point checkpoints into its own subdirectory of
+    ``checkpoint_root`` keyed by its seed (sweeps give every point a
+    distinct seed), so a killed multi-point campaign resumes per point.
+
+    Args:
+        checkpoint_root: Root directory for per-point checkpoint
+            subdirectories (None disables checkpointing).
+        workers: Worker processes per point.
+        chunks_per_worker: Chunks per worker.
+        block_shots: Shots per sampling block.
+        resume: Skip chunks already checkpointed for a point.
+        max_retries: Supervised retries per chunk.
+        chunk_timeout: Per-chunk hang timeout in seconds (None disables).
+        retry_backoff: Base retry backoff in seconds.
+        fault_injector: Optional deterministic fault injector.
+        allow_partial: Drop terminally failed chunks instead of raising.
+        recovery_log: When given, each point's :class:`RecoveryStats` is
+            appended here (the sweep API only carries the result).
+
+    Returns:
+        The runner callable yielding plain
+        :class:`~repro.experiments.memory.MemoryRunResult` values.
+    """
+
+    def run(
+        experiment: MemoryExperiment,
+        decoder: Decoder,
+        shots: int,
+        *,
+        seed: int = 0,
+        **_ignored,
+    ) -> MemoryRunResult:
+        checkpoint_dir = (
+            Path(checkpoint_root) / f"seed-{seed:08d}"
+            if checkpoint_root is not None
+            else None
+        )
+        outcome = run_memory_experiment_resilient(
+            experiment,
+            decoder,
+            shots,
+            seed=seed,
+            workers=workers,
+            chunks_per_worker=chunks_per_worker,
+            block_shots=block_shots,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            max_retries=max_retries,
+            chunk_timeout=chunk_timeout,
+            retry_backoff=retry_backoff,
+            fault_injector=fault_injector,
+            allow_partial=allow_partial,
+        )
+        if recovery_log is not None:
+            recovery_log.append(outcome.recovery)
+        return outcome.result
+
+    return run

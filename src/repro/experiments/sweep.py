@@ -22,6 +22,13 @@ __all__ = ["SweepPoint", "ler_vs_physical_error", "ler_vs_distance"]
 #: ``lambda setup: AstreaDecoder(setup.gwt)``.
 DecoderFactory = Callable[[DecodingSetup], Decoder]
 
+#: A Monte-Carlo runner with the :func:`run_memory_experiment` calling
+#: convention: ``runner(experiment, decoder, shots, seed=...)``.  Sweeps
+#: accept one so long campaigns can swap in the supervised runner (see
+#: :func:`repro.experiments.resilient.make_resilient_runner`) without the
+#: sweep drivers knowing about checkpoints or retries.
+SweepRunner = Callable[..., MemoryRunResult]
+
 
 @dataclass(frozen=True)
 class SweepPoint:
@@ -51,6 +58,7 @@ def ler_vs_physical_error(
     *,
     seed: int = 0,
     basis: str = "z",
+    runner: SweepRunner | None = None,
 ) -> list[SweepPoint]:
     """Sweep the physical error rate at fixed distance (Figures 12/14).
 
@@ -61,17 +69,19 @@ def ler_vs_physical_error(
         shots: Monte-Carlo trials per point.
         seed: Base seed; each point offsets it deterministically.
         basis: Memory basis.
+        runner: Monte-Carlo runner to use per point (defaults to
+            :func:`run_memory_experiment`; pass a supervised runner for
+            checkpointed/resumable campaigns).
 
     Returns:
         One :class:`SweepPoint` per rate, in input order.
     """
+    run = runner if runner is not None else run_memory_experiment
     points = []
     for index, p in enumerate(physical_error_rates):
         setup = DecodingSetup.build(distance, p, basis=basis)
         decoder = decoder_factory(setup)
-        result = run_memory_experiment(
-            setup.experiment, decoder, shots, seed=seed + index
-        )
+        result = run(setup.experiment, decoder, shots, seed=seed + index)
         points.append(
             SweepPoint(distance=distance, physical_error_rate=p, result=result)
         )
@@ -86,6 +96,7 @@ def ler_vs_distance(
     *,
     seed: int = 0,
     basis: str = "z",
+    runner: SweepRunner | None = None,
 ) -> list[SweepPoint]:
     """Sweep the code distance at fixed physical error rate (Figure 4).
 
@@ -96,17 +107,19 @@ def ler_vs_distance(
         shots: Monte-Carlo trials per point.
         seed: Base seed; each point offsets it deterministically.
         basis: Memory basis.
+        runner: Monte-Carlo runner to use per point (defaults to
+            :func:`run_memory_experiment`; pass a supervised runner for
+            checkpointed/resumable campaigns).
 
     Returns:
         One :class:`SweepPoint` per distance, in input order.
     """
+    run = runner if runner is not None else run_memory_experiment
     points = []
     for index, distance in enumerate(distances):
         setup = DecodingSetup.build(distance, physical_error_rate, basis=basis)
         decoder = decoder_factory(setup)
-        result = run_memory_experiment(
-            setup.experiment, decoder, shots, seed=seed + index
-        )
+        result = run(setup.experiment, decoder, shots, seed=seed + index)
         points.append(
             SweepPoint(
                 distance=distance,

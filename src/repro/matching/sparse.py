@@ -58,7 +58,25 @@ from .blossom import min_weight_perfect_matching
 from .boundary import MatchingProblem, matching_to_detectors
 from .search import MAX_SEARCH_NODES, batched_search, vectorized_search
 
-__all__ = ["SparseMatchingEngine", "SparseStats", "default_tolerance"]
+__all__ = [
+    "SparseMatchingEngine",
+    "SparseEngineError",
+    "SparseStats",
+    "default_tolerance",
+]
+
+
+class SparseEngineError(RuntimeError):
+    """Internal inconsistency detected by the sparse matching engine.
+
+    Raised when the engine cannot guarantee an exact result -- e.g. the
+    weight table contains non-finite entries, a syndrome references a
+    detector outside the table, or a cluster solve produced a non-finite
+    weight.  :class:`repro.decoders.mwpm.MWPMDecoder` catches this and
+    degrades to its dense reference path with a
+    :class:`~repro.decoders.base.DecoderFallbackWarning` instead of
+    aborting the experiment.
+    """
 
 
 def default_tolerance(gwt: GlobalWeightTable) -> float:
@@ -160,6 +178,29 @@ class SparseMatchingEngine:
         # closed forms touch contiguous memory.
         self._radii = self.structure.radii
         self._diag_parities = np.diag(gwt.parities).copy()
+        self._num_detectors = int(gwt.weights.shape[0])
+        # Checked once; a poisoned table makes every decomposition claim
+        # (and the dense solve itself) meaningless, so solves must refuse.
+        self._weights_finite = bool(np.isfinite(gwt.weights).all())
+
+    def _check_solvable(self, dets: np.ndarray) -> None:
+        """Refuse syndromes the engine cannot decode exactly.
+
+        Raises:
+            SparseEngineError: When the weight table holds non-finite
+                entries or a detector index falls outside the table.
+        """
+        if not self._weights_finite:
+            raise SparseEngineError(
+                "weight table contains non-finite (NaN/inf) entries"
+            )
+        if dets.size and (
+            int(dets[-1]) >= self._num_detectors or int(dets[0]) < 0
+        ):
+            raise SparseEngineError(
+                f"detector index {int(dets[-1] if dets[-1] >= 0 else dets[0])} "
+                f"outside the {self._num_detectors}-detector weight table"
+            )
 
     # ------------------------------------------------------------------
     # Public API
@@ -182,6 +223,7 @@ class SparseMatchingEngine:
         if dets.size == 0:
             return [], 0.0, False
         dets = np.sort(dets)
+        self._check_solvable(dets)
         self.stats.syndromes += 1
         if dets.size == 1:
             self.stats.clusters += 1
@@ -210,6 +252,10 @@ class SparseMatchingEngine:
         syndromes = np.asarray(syndromes).astype(bool, copy=False)
         if syndromes.ndim != 2:
             raise ValueError("solve_batch expects a (shots, detectors) matrix")
+        if not self._weights_finite:
+            raise SparseEngineError(
+                "weight table contains non-finite (NaN/inf) entries"
+            )
         num = syndromes.shape[0]
         out: list[tuple[list[tuple[int, int]], float, bool] | None] = [None] * num
         hw = syndromes.sum(axis=1)

@@ -1,0 +1,17 @@
+"""Testing utilities: deterministic fault injection for resilience tests."""
+
+from .faults import (
+    CRASH_EXIT_CODE,
+    FaultInjector,
+    InjectedCrash,
+    InjectedWorkerError,
+    corrupt_file,
+)
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "FaultInjector",
+    "InjectedCrash",
+    "InjectedWorkerError",
+    "corrupt_file",
+]

@@ -1,0 +1,172 @@
+"""Deterministic fault injection for the supervised experiment layer.
+
+The resilience guarantees of :mod:`repro.experiments.resilient` -- retry
+after a worker crash, timeout of a hung worker, re-run of a corrupted
+checkpoint -- are only trustworthy if every recovery path is actually
+exercised.  This module provides the harness that does so, determin-
+istically:
+
+* :class:`FaultInjector` is a picklable plan of *which chunk attempts
+  fail and how* (hard crash, hang, Python exception).  The supervisor
+  threads it through to every worker, which consults it at chunk entry.
+  Faults are keyed by ``(phase, chunk_index)`` and armed for the first
+  ``n`` attempts, so a campaign with ``max_retries >= n`` always recovers
+  and the recovered result can be compared bit-for-bit against a
+  fault-free run.
+* :func:`corrupt_file` damages an on-disk checkpoint or result file in a
+  controlled way (truncation, byte garbling, or a stale checksum) to
+  exercise the validated-read paths.
+
+Nothing here is specific to tests -- the resilience benchmark
+(``bench_ext_resilience.py``) and the CI smoke job drive the same
+injector against full campaigns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Mapping
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "FaultInjector",
+    "InjectedCrash",
+    "InjectedWorkerError",
+    "corrupt_file",
+]
+
+#: Exit code of an injected hard worker crash (recognisable in logs).
+CRASH_EXIT_CODE = 87
+
+
+class InjectedCrash(RuntimeError):
+    """Stand-in for a hard worker crash when killing the process is unsafe.
+
+    Raised instead of ``os._exit`` when an armed crash fault fires in the
+    supervisor's own process (the in-process serial path), where taking
+    the whole interpreter down would defeat the supervision under test.
+    """
+
+
+class InjectedWorkerError(RuntimeError):
+    """An injected in-worker Python exception (the soft-failure fault)."""
+
+
+#: A fault plan maps (phase, chunk_index) -> number of attempts to fault.
+FaultPlan = Mapping[tuple[str, int], int]
+
+
+class FaultInjector:
+    """Deterministic per-attempt fault plan for supervised workers.
+
+    Each plan maps ``(phase, chunk_index)`` -- phase is ``"sample"`` or
+    ``"decode"`` -- to the number of initial attempts that fault; attempt
+    ``n`` (0-based) faults while ``n < count``, so a chunk armed with
+    ``count=2`` crashes twice and succeeds on its third attempt.
+
+    Args:
+        crashes: Plan of hard crashes (``os._exit`` in a worker process,
+            :class:`InjectedCrash` in-process).
+        hangs: Plan of hangs (the worker sleeps ``hang_seconds``; the
+            supervisor's chunk timeout must reclaim it).  In-process, a
+            hang degenerates to :class:`InjectedCrash` -- blocking the
+            supervisor itself would deadlock the run under test.
+        errors: Plan of soft failures (:class:`InjectedWorkerError`).
+        hang_seconds: Sleep duration of an injected hang; pick it well
+            above the supervisor's chunk timeout.
+    """
+
+    def __init__(
+        self,
+        *,
+        crashes: FaultPlan | None = None,
+        hangs: FaultPlan | None = None,
+        errors: FaultPlan | None = None,
+        hang_seconds: float = 30.0,
+    ) -> None:
+        self.crashes = dict(crashes or {})
+        self.hangs = dict(hangs or {})
+        self.errors = dict(errors or {})
+        self.hang_seconds = hang_seconds
+
+    def maybe_fault(
+        self, phase: str, chunk: int, attempt: int, *, in_worker: bool
+    ) -> None:
+        """Fire the armed fault for this chunk attempt, if any.
+
+        Args:
+            phase: Supervised phase name (``"sample"`` or ``"decode"``).
+            chunk: Chunk index within the phase.
+            attempt: 0-based attempt number for this chunk.
+            in_worker: True inside a disposable worker process (hard
+                crashes really ``os._exit``); False in the supervisor's
+                own process (hard faults raise instead).
+        """
+        key = (phase, chunk)
+        if attempt < self.crashes.get(key, 0):
+            if in_worker:
+                os._exit(CRASH_EXIT_CODE)
+            raise InjectedCrash(
+                f"injected crash: {phase} chunk {chunk} attempt {attempt}"
+            )
+        if attempt < self.hangs.get(key, 0):
+            if in_worker:
+                time.sleep(self.hang_seconds)
+                # A real hang never returns; exiting non-zero afterwards
+                # keeps the fault visible even without a chunk timeout.
+                os._exit(CRASH_EXIT_CODE)
+            raise InjectedCrash(
+                f"injected hang (in-process): {phase} chunk {chunk} "
+                f"attempt {attempt}"
+            )
+        if attempt < self.errors.get(key, 0):
+            raise InjectedWorkerError(
+                f"injected error: {phase} chunk {chunk} attempt {attempt}"
+            )
+
+
+def corrupt_file(
+    path: str | Path, mode: str = "truncate", *, seed: int = 0
+) -> None:
+    """Damage a file on disk to exercise validated-read recovery paths.
+
+    Args:
+        path: File to damage in place (deliberately *not* atomic).
+        mode: ``"truncate"`` keeps only the first half of the bytes;
+            ``"garble"`` XOR-flips a deterministic selection of bytes;
+            ``"stale-checksum"`` rewrites a checked JSON record's payload
+            without updating its checksum (valid JSON, wrong content).
+        seed: Determinises which bytes ``"garble"`` flips.
+
+    Raises:
+        ValueError: On an unknown mode or a ``"stale-checksum"`` target
+            that is not a checked JSON record.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    if mode == "truncate":
+        path.write_bytes(data[: len(data) // 2])
+        return
+    if mode == "garble":
+        mutated = bytearray(data)
+        if not mutated:
+            raise ValueError(f"cannot garble empty file {path}")
+        step = max(1, len(mutated) // 8)
+        for offset in range((seed % step), len(mutated), step):
+            mutated[offset] ^= 0xA5
+        path.write_bytes(bytes(mutated))
+        return
+    if mode == "stale-checksum":
+        record = json.loads(data.decode("utf-8"))
+        if not isinstance(record, dict) or "payload" not in record:
+            raise ValueError(f"{path} is not a checked JSON record")
+        record["payload"] = {"tampered": True, "seed": seed}
+        path.write_text(json.dumps(record), encoding="utf-8")
+        return
+    raise ValueError(
+        f"unknown corruption mode {mode!r}; "
+        "pick from 'truncate', 'garble', 'stale-checksum'"
+    )

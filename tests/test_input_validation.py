@@ -1,0 +1,226 @@
+"""Input validation of decode/decode_batch and validated result IO."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.decoders.astrea import AstreaDecoder
+from repro.decoders.astrea_g import AstreaGDecoder
+from repro.decoders.base import (
+    DecoderFallbackWarning,
+    validate_syndrome,
+    validate_syndrome_batch,
+)
+from repro.decoders.clique import CliqueDecoder
+from repro.decoders.mwpm import MWPMDecoder
+from repro.decoders.union_find import UnionFindDecoder
+from repro.experiments.io import (
+    CorruptResultError,
+    atomic_write_text,
+    load_sweep,
+    read_json_record,
+    save_sweep,
+    write_json_record,
+)
+from repro.experiments.sweep import ler_vs_physical_error
+from repro.testing.faults import corrupt_file
+
+
+def _decoders(setup):
+    return [
+        MWPMDecoder(setup.ideal_gwt, measure_time=False),
+        AstreaDecoder(setup.gwt),
+        AstreaGDecoder(setup.gwt, weight_threshold=7.0),
+        UnionFindDecoder(setup.graph),
+        CliqueDecoder(setup.graph, setup.ideal_gwt),
+    ]
+
+
+class TestValidateHelpers:
+    def test_accepts_bool_int_float_binary(self):
+        for dtype in (bool, np.uint8, np.int64, np.float64):
+            out = validate_syndrome(np.array([0, 1, 0, 1], dtype=dtype), 4)
+            assert out.dtype == bool
+            assert out.tolist() == [False, True, False, True]
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="expected 4"):
+            validate_syndrome([0, 1, 0], 4)
+
+    def test_rejects_wrong_dims(self):
+        with pytest.raises(ValueError, match="1-D"):
+            validate_syndrome(np.zeros((2, 3)), 3)
+
+    def test_rejects_nonbinary_value(self):
+        with pytest.raises(ValueError, match="binary"):
+            validate_syndrome([0, 2, 0], 3)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="binary"):
+            validate_syndrome([0.0, float("nan"), 0.0], 3)
+
+    def test_rejects_string_dtype(self):
+        with pytest.raises(ValueError, match="dtype"):
+            validate_syndrome(np.array(["a", "b"]), 2)
+
+    def test_batch_rejects_1d(self):
+        with pytest.raises(ValueError, match="matrix"):
+            validate_syndrome_batch(np.zeros(5), 5)
+
+    def test_batch_rejects_wrong_width(self):
+        with pytest.raises(ValueError, match="5"):
+            validate_syndrome_batch(np.zeros((2, 4)), 5)
+
+    def test_batch_rejects_nonbinary(self):
+        bad = np.zeros((2, 4))
+        bad[1, 2] = 7.0
+        with pytest.raises(ValueError, match="binary"):
+            validate_syndrome_batch(bad, 4)
+
+
+class TestDecoderValidation:
+    def test_decode_rejects_wrong_length(self, setup_d3):
+        for decoder in _decoders(setup_d3):
+            good = np.zeros(decoder.syndrome_length, dtype=bool)
+            decoder.decode(good)  # sanity: valid input decodes
+            with pytest.raises(ValueError, match="expected"):
+                decoder.decode(good[:-1])
+
+    def test_decode_rejects_nonbinary(self, setup_d3):
+        for decoder in _decoders(setup_d3):
+            bad = np.zeros(decoder.syndrome_length, dtype=np.int64)
+            bad[0] = 3
+            with pytest.raises(ValueError, match="binary"):
+                decoder.decode(bad)
+
+    def test_decode_batch_rejects_1d(self, setup_d3):
+        for decoder in _decoders(setup_d3):
+            with pytest.raises(ValueError, match="matrix"):
+                decoder.decode_batch(
+                    np.zeros(decoder.syndrome_length, dtype=bool)
+                )
+
+    def test_decode_batch_rejects_wrong_width(self, setup_d3):
+        for decoder in _decoders(setup_d3):
+            with pytest.raises(ValueError):
+                decoder.decode_batch(
+                    np.zeros((3, decoder.syndrome_length + 1), dtype=bool)
+                )
+
+    def test_decode_accepts_float_binary(self, setup_d3):
+        decoder = MWPMDecoder(setup_d3.ideal_gwt, measure_time=False)
+        syndrome = np.zeros(decoder.syndrome_length, dtype=np.float64)
+        result = decoder.decode(syndrome)
+        assert result.prediction is False or result.prediction == 0
+
+
+class TestMwpmFallback:
+    def test_engine_failure_degrades_to_dense_with_warning(self, setup_d3):
+        decoder = MWPMDecoder(setup_d3.ideal_gwt, measure_time=False)
+        reference = MWPMDecoder(
+            setup_d3.ideal_gwt, measure_time=False, use_sparse=False
+        )
+        syndrome = np.zeros(decoder.syndrome_length, dtype=bool)
+        syndrome[[0, 1]] = True
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected engine failure")
+
+        decoder._engine.solve = boom
+        decoder._engine.solve_batch = boom
+        with pytest.warns(DecoderFallbackWarning) as caught:
+            result = decoder.decode(syndrome)
+        assert result.prediction == reference.decode(syndrome).prediction
+        assert decoder.fallback_events >= 1
+        assert caught[0].message.decoder == decoder.name
+        assert "RuntimeError" in caught[0].message.reason
+
+        with pytest.warns(DecoderFallbackWarning):
+            batch = decoder.decode_batch(syndrome[None, :])
+        assert batch[0].prediction == reference.decode(syndrome).prediction
+
+    def test_no_warning_on_healthy_engine(self, setup_d3):
+        decoder = MWPMDecoder(setup_d3.ideal_gwt, measure_time=False)
+        syndrome = np.zeros(decoder.syndrome_length, dtype=bool)
+        syndrome[[0, 1]] = True
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DecoderFallbackWarning)
+            decoder.decode(syndrome)
+        assert decoder.fallback_events == 0
+
+
+class TestCheckedJsonRecords:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "rec.json"
+        payload = {"alpha": [1, 2, 3], "beta": "text"}
+        write_json_record(path, payload, kind="unit-test")
+        assert read_json_record(path, kind="unit-test") == payload
+
+    def test_missing_file_raises_filenotfound(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_json_record(tmp_path / "absent.json", kind="unit-test")
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "rec.json"
+        write_json_record(path, {"a": 1}, kind="kind-a")
+        with pytest.raises(CorruptResultError, match="kind-b"):
+            read_json_record(path, kind="kind-b")
+
+    @pytest.mark.parametrize("mode", ["truncate", "garble", "stale-checksum"])
+    def test_corruption_detected(self, tmp_path, mode):
+        path = tmp_path / "rec.json"
+        write_json_record(path, {"a": list(range(100))}, kind="unit-test")
+        corrupt_file(path, mode)
+        with pytest.raises(CorruptResultError):
+            read_json_record(path, kind="unit-test")
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "hello\n")
+        assert path.read_text() == "hello\n"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+
+class TestSweepFileIntegrity:
+    def _points(self):
+        from repro.decoders.mwpm import MWPMDecoder
+
+        return ler_vs_physical_error(
+            3,
+            [1e-3],
+            lambda setup: MWPMDecoder(setup.ideal_gwt, measure_time=False),
+            shots=500,
+            seed=3,
+        )
+
+    def test_save_is_checksummed_and_loads(self, tmp_path):
+        path = tmp_path / "sweep.csv"
+        save_sweep(self._points(), path)
+        first_line = path.read_text().splitlines()[0]
+        assert first_line.startswith("#repro-sweep schema=")
+        assert "checksum=sha256:" in first_line
+        assert len(load_sweep(path)) == 1
+
+    def test_tampered_body_rejected(self, tmp_path):
+        path = tmp_path / "sweep.csv"
+        save_sweep(self._points(), path)
+        lines = path.read_text().splitlines()
+        lines[-1] = lines[-1].replace(lines[-1].split(",")[4], "999999", 1)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CorruptResultError, match="checksum"):
+            load_sweep(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "sweep.csv"
+        save_sweep(self._points(), path)
+        corrupt_file(path, "truncate")
+        with pytest.raises(CorruptResultError):
+            load_sweep(path)
+
+    def test_legacy_header_still_loads(self, tmp_path):
+        path = tmp_path / "legacy.csv"
+        save_sweep(self._points(), path)
+        body = "\n".join(path.read_text().splitlines()[1:]) + "\n"
+        path.write_text(body)
+        assert len(load_sweep(path)) == 1
