@@ -37,6 +37,7 @@ additionally degrade to the dense reference path inside
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import queue as queue_module
 import time
@@ -63,6 +64,7 @@ __all__ = [
     "CheckpointStore",
     "RecoveryStats",
     "ResilientRunResult",
+    "experiment_fingerprint",
     "make_resilient_runner",
     "run_memory_experiment_resilient",
 ]
@@ -75,6 +77,45 @@ CHUNK_KIND = "census-chunk"
 #: supervisor stops launching worker processes and runs every remaining
 #: chunk in-process.
 SERIAL_DEGRADATION_THRESHOLD = 8
+
+
+def experiment_fingerprint(experiment: MemoryExperiment) -> str:
+    """Decoder-independent identity hash of a memory experiment.
+
+    The sampled census is a deterministic function of the noisy circuit
+    (plus the block seeds), so the fingerprint hashes the circuit
+    instruction stream together with the build parameters that produced
+    it -- distance, basis, rounds, the five noise rates and any per-qubit
+    noise scaling.  Two experiments agree on the fingerprint iff they
+    sample identically; checkpoints record it so a resume at a different
+    physical error rate, basis or noise model is rejected instead of
+    silently reusing censuses sampled under the wrong circuit.
+
+    Args:
+        experiment: The memory-experiment bundle.
+
+    Returns:
+        A SHA-256 hex digest.
+    """
+    noise = experiment.noise
+    hasher = hashlib.sha256()
+    hasher.update(
+        (
+            f"d={experiment.code.distance};basis={experiment.basis};"
+            f"rounds={experiment.rounds};"
+            f"noise={noise.data_depolarization!r},"
+            f"{noise.gate2_depolarization!r},"
+            f"{noise.gate1_depolarization!r},"
+            f"{noise.measurement_flip!r},{noise.reset_flip!r};"
+            f"scale={sorted(experiment.qubit_noise_scale.items())!r}\n"
+        ).encode("utf-8")
+    )
+    for inst in experiment.circuit.instructions:
+        hasher.update(
+            f"{inst.name}:{','.join(map(str, inst.targets))}:"
+            f"{inst.arg!r}\n".encode("utf-8")
+        )
+    return hasher.hexdigest()
 
 
 @dataclass
@@ -94,7 +135,9 @@ class RecoveryStats:
         dropped_chunks: Chunks lost even to the serial fallback (only
             possible with ``allow_partial=True``).
         decoder_fallbacks: Decoder-internal degradations to the reference
-            path observed in the supervisor's process.
+            path, summed over the per-chunk deltas the decode workers
+            report (worker decoder copies die with their process, so the
+            counter cannot be read off the supervisor's decoder).
     """
 
     chunks_total: int = 0
@@ -172,6 +215,17 @@ def _census_from_payload(payload: dict, path: Path) -> SyndromeCensus:
         raise CorruptResultError(
             f"{path}: census payload is missing or malformed ({exc})"
         ) from exc
+    if not isinstance(rows, list) or any(
+        not isinstance(row, str) for row in rows
+    ):
+        raise CorruptResultError(
+            f"{path}: census rows must be a list of hex strings"
+        )
+    if counts.ndim != 1 or flips.ndim != 1:
+        raise CorruptResultError(
+            f"{path}: census counts/flips must be flat arrays "
+            f"(got ndim {counts.ndim} and {flips.ndim})"
+        )
     if len(rows) != len(counts) or len(rows) != len(flips):
         raise CorruptResultError(
             f"{path}: census arrays disagree in length "
@@ -280,7 +334,11 @@ class CheckpointStore:
         write_json_record(self.manifest_path, params, kind=MANIFEST_KIND)
 
     def load_chunk(
-        self, index: int, expected_blocks: list[tuple[int, int]]
+        self,
+        index: int,
+        expected_blocks: list[tuple[int, int]],
+        *,
+        fingerprint: str | None = None,
     ) -> SyndromeCensus:
         """Load and verify chunk ``index``'s checkpointed census.
 
@@ -288,6 +346,8 @@ class CheckpointStore:
             index: Chunk index.
             expected_blocks: The (seed, shots) sampling blocks the chunk
                 must cover under the current campaign parameters.
+            fingerprint: When given, the :func:`experiment_fingerprint`
+                the checkpoint must have been sampled under.
 
         Returns:
             The verified census.
@@ -295,7 +355,8 @@ class CheckpointStore:
         Raises:
             FileNotFoundError: When the chunk was never checkpointed.
             CorruptResultError: When the file fails checksum or shape
-                validation, or records different sampling blocks.
+                validation, records different sampling blocks, or was
+                sampled under a different experiment fingerprint.
         """
         path = self.chunk_path(index)
         payload = read_json_record(path, kind=CHUNK_KIND)
@@ -306,6 +367,11 @@ class CheckpointStore:
             raise CorruptResultError(
                 f"{path}: checkpoint covers different sampling blocks than "
                 "the current campaign"
+            )
+        if fingerprint is not None and payload.get("experiment") != fingerprint:
+            raise CorruptResultError(
+                f"{path}: checkpoint was sampled under a different "
+                "experiment (circuit/noise fingerprint mismatch)"
             )
         census = _census_from_payload(payload.get("census", {}), path)
         expected_shots = sum(shots for _seed, shots in expected_blocks)
@@ -322,6 +388,8 @@ class CheckpointStore:
         blocks: list[tuple[int, int]],
         census: SyndromeCensus,
         num_detectors: int,
+        *,
+        fingerprint: str | None = None,
     ) -> None:
         """Atomically checkpoint a completed chunk census."""
         payload = {
@@ -329,7 +397,25 @@ class CheckpointStore:
             "blocks": [[int(s), int(n)] for s, n in blocks],
             "census": _census_to_payload(census, num_detectors),
         }
+        if fingerprint is not None:
+            payload["experiment"] = fingerprint
         write_json_record(self.chunk_path(index), payload, kind=CHUNK_KIND)
+
+
+def _decode_chunk_tracked(payload) -> tuple[list[DecodeResult], int]:
+    """Worker entry for the decode phase: results plus fallback delta.
+
+    Decoder-internal degradations accumulate on ``fallback_events`` of
+    the worker's pickled decoder copy, which dies with the process; each
+    chunk therefore reports its own before/after delta so the supervisor
+    can aggregate degradations across workers (and across chunks of the
+    shared in-process decoder when ``workers=1``).
+    """
+    decoder, _syndromes = payload
+    before = int(getattr(decoder, "fallback_events", 0) or 0)
+    results = _decode_chunk(payload)
+    after = int(getattr(decoder, "fallback_events", 0) or 0)
+    return results, after - before
 
 
 # ----------------------------------------------------------------------
@@ -743,20 +829,40 @@ def run_memory_experiment_resilient(
 
     store: CheckpointStore | None = None
     censuses: list[SyndromeCensus | None] = [None] * len(chunk_blocks)
+    fingerprint = experiment_fingerprint(experiment)
     if checkpoint_dir is not None:
         store = CheckpointStore(checkpoint_dir)
+        noise = experiment.noise
         params = {
+            # Sampling-schedule identity.
             "shots": int(shots),
             "seed": int(seed),
             "block_shots": int(block_shots),
             "num_chunks": len(chunk_blocks),
             "num_detectors": int(num_detectors),
+            # Experiment identity: the census also depends on what was
+            # sampled, not just how the shots were scheduled.  A resume at
+            # a different p/basis/rounds/noise model must be rejected, not
+            # silently reuse censuses sampled under the wrong circuit.
+            "distance": int(experiment.code.distance),
+            "basis": experiment.basis,
+            "rounds": int(experiment.rounds),
+            "noise": {
+                "data_depolarization": noise.data_depolarization,
+                "gate2_depolarization": noise.gate2_depolarization,
+                "gate1_depolarization": noise.gate1_depolarization,
+                "measurement_flip": noise.measurement_flip,
+                "reset_flip": noise.reset_flip,
+            },
+            "experiment": fingerprint,
         }
         store.prepare(params, resume=resume)
         if resume:
             for index, chunk in enumerate(chunk_blocks):
                 try:
-                    censuses[index] = store.load_chunk(index, chunk)
+                    censuses[index] = store.load_chunk(
+                        index, chunk, fingerprint=fingerprint
+                    )
                 except FileNotFoundError:
                     continue
                 except CorruptResultError:
@@ -770,7 +876,11 @@ def run_memory_experiment_resilient(
     def checkpoint(index: int, census: SyndromeCensus) -> None:
         if store is not None:
             store.save_chunk(
-                index, chunk_blocks[index], census, num_detectors
+                index,
+                chunk_blocks[index],
+                census,
+                num_detectors,
+                fingerprint=fingerprint,
             )
 
     sample_payloads = [
@@ -803,7 +913,7 @@ def run_memory_experiment_resilient(
         if stop > start
     ]
     decoded = _supervised_map(
-        _decode_chunk,
+        _decode_chunk_tracked,
         decode_payloads,
         phase="decode",
         workers=workers,
@@ -817,13 +927,15 @@ def run_memory_experiment_resilient(
     results: list[DecodeResult] = [
         r
         for index in sorted(decoded)
-        for r in decoded[index]
+        for r in decoded[index][0]
     ]
 
     effective_shots = census.shots
     tally = tally_decode_results(unique, census.counts, census.flips, results)
     stats.dropped_chunks = max(stats.dropped_chunks, census.dropped)
-    stats.decoder_fallbacks = int(getattr(decoder, "fallback_events", 0) or 0)
+    stats.decoder_fallbacks = sum(
+        delta for _chunk_results, delta in decoded.values()
+    )
     result = MemoryRunResult(
         decoder_name=decoder.name,
         shots=effective_shots,
@@ -867,8 +979,12 @@ def make_resilient_runner(
     drops into :func:`~repro.experiments.sweep.ler_vs_physical_error` and
     :func:`~repro.experiments.sweep.ler_vs_distance` unchanged.  Each
     sweep point checkpoints into its own subdirectory of
-    ``checkpoint_root`` keyed by its seed (sweeps give every point a
-    distinct seed), so a killed multi-point campaign resumes per point.
+    ``checkpoint_root`` keyed by the point's full identity -- distance,
+    basis and a prefix of the :func:`experiment_fingerprint` (which pins
+    the physical error rate, rounds and noise model) plus the seed -- so
+    two sweeps sharing a root and base seed (e.g. the same distance over
+    two different ``p`` lists) land in distinct directories, and a killed
+    multi-point campaign resumes per point.
 
     Args:
         checkpoint_root: Root directory for per-point checkpoint
@@ -898,11 +1014,15 @@ def make_resilient_runner(
         seed: int = 0,
         **_ignored,
     ) -> MemoryRunResult:
-        checkpoint_dir = (
-            Path(checkpoint_root) / f"seed-{seed:08d}"
-            if checkpoint_root is not None
-            else None
-        )
+        if checkpoint_root is not None:
+            point_key = (
+                f"d{experiment.code.distance}-{experiment.basis}-"
+                f"{experiment_fingerprint(experiment)[:12]}-"
+                f"seed-{seed:08d}"
+            )
+            checkpoint_dir = Path(checkpoint_root) / point_key
+        else:
+            checkpoint_dir = None
         outcome = run_memory_experiment_resilient(
             experiment,
             decoder,

@@ -197,8 +197,13 @@ class SparseMatchingEngine:
         if dets.size and (
             int(dets[-1]) >= self._num_detectors or int(dets[0]) < 0
         ):
+            offender = (
+                int(dets[-1])
+                if int(dets[-1]) >= self._num_detectors
+                else int(dets[0])
+            )
             raise SparseEngineError(
-                f"detector index {int(dets[-1] if dets[-1] >= 0 else dets[0])} "
+                f"detector index {offender} "
                 f"outside the {self._num_detectors}-detector weight table"
             )
 

@@ -16,6 +16,7 @@ import time
 
 import pytest
 
+from repro.decoders.base import DecodeResult, Decoder
 from repro.decoders.mwpm import MWPMDecoder
 from repro.experiments.io import CorruptResultError
 from repro.experiments.parallel import (
@@ -25,6 +26,7 @@ from repro.experiments.parallel import (
 )
 from repro.experiments.resilient import (
     CheckpointStore,
+    experiment_fingerprint,
     make_resilient_runner,
     run_memory_experiment_resilient,
 )
@@ -34,6 +36,24 @@ from repro.testing.faults import FaultInjector, InjectedWorkerError, corrupt_fil
 SHOTS = 3000
 SEED = 7
 BLOCK = 512
+
+
+class _CountingDecoder(Decoder):
+    """Picklable decoder that marks every decode as a fallback event.
+
+    Stands in for a sparse-engine degradation: ``fallback_events``
+    accumulates on whichever process copy runs ``decode_batch``, so a
+    parallel campaign only sees the counts its workers report back.
+    """
+
+    name = "counting"
+
+    def __init__(self) -> None:
+        self.fallback_events = 0
+
+    def decode_active(self, active):
+        self.fallback_events += 1
+        return DecodeResult(prediction=False)
 
 
 @pytest.fixture(scope="module")
@@ -218,6 +238,82 @@ class TestCheckpointResume:
                 resume=True,
             )
 
+    def test_resume_rejects_different_noise_rate(
+        self, setup_d3, decoder, tmp_path
+    ):
+        """Same (shots, seed, blocks) but different p is a different campaign."""
+        from repro.experiments.setup import DecodingSetup
+
+        run_memory_experiment_resilient(
+            setup_d3.experiment, decoder, 1024, seed=SEED,
+            block_shots=BLOCK, workers=1, checkpoint_dir=tmp_path,
+        )
+        other = DecodingSetup.build(3, 3e-3)
+        other_decoder = MWPMDecoder(other.ideal_gwt, measure_time=False)
+        with pytest.raises(ValueError, match="different campaign"):
+            run_memory_experiment_resilient(
+                other.experiment, other_decoder, 1024, seed=SEED,
+                block_shots=BLOCK, workers=1, checkpoint_dir=tmp_path,
+                resume=True,
+            )
+
+    def test_fingerprint_pins_experiment_identity(self, setup_d3):
+        from repro.experiments.setup import DecodingSetup
+
+        same = DecodingSetup.build(3, 1e-3)
+        other_p = DecodingSetup.build(3, 3e-3)
+        other_basis = DecodingSetup.build(3, 1e-3, basis="x")
+        reference = experiment_fingerprint(setup_d3.experiment)
+        assert experiment_fingerprint(same.experiment) == reference
+        assert experiment_fingerprint(other_p.experiment) != reference
+        assert experiment_fingerprint(other_basis.experiment) != reference
+
+    def test_checkpoint_rejects_wrong_fingerprint(self, tmp_path):
+        import numpy as np
+
+        census = SyndromeCensus(
+            syndromes=np.zeros((1, 4), dtype=bool),
+            counts=np.array([100], dtype=np.int64),
+            flips=np.array([0], dtype=np.int64),
+        )
+        store = CheckpointStore(tmp_path)
+        blocks = [(5, 100)]
+        store.save_chunk(0, blocks, census, 4, fingerprint="aaa")
+        loaded = store.load_chunk(0, blocks, fingerprint="aaa")
+        assert loaded.shots == 100
+        with pytest.raises(CorruptResultError, match="fingerprint"):
+            store.load_chunk(0, blocks, fingerprint="bbb")
+        # A legacy chunk without a recorded fingerprint is likewise stale
+        # when the campaign expects one.
+        store.save_chunk(1, blocks, census, 4)
+        with pytest.raises(CorruptResultError, match="fingerprint"):
+            store.load_chunk(1, blocks, fingerprint="aaa")
+
+    @pytest.mark.parametrize(
+        "census_payload",
+        [
+            {"num_detectors": 4, "rows": 7, "counts": [100], "flips": [0]},
+            {"num_detectors": 4, "rows": [3], "counts": [100], "flips": [0]},
+            {"num_detectors": 4, "rows": ["00"], "counts": 100, "flips": 0},
+        ],
+    )
+    def test_malformed_census_fields_are_corrupt_not_crash(
+        self, tmp_path, census_payload
+    ):
+        """Valid-JSON, valid-checksum garbage must raise CorruptResultError."""
+        from repro.experiments.io import write_json_record
+        from repro.experiments.resilient import CHUNK_KIND
+
+        payload = {
+            "chunk": 0,
+            "blocks": [[5, 100]],
+            "census": census_payload,
+        }
+        store = CheckpointStore(tmp_path)
+        write_json_record(store.chunk_path(0), payload, kind=CHUNK_KIND)
+        with pytest.raises(CorruptResultError):
+            store.load_chunk(0, [(5, 100)])
+
     def test_checkpoint_round_trip_preserves_census(self, tmp_path):
         import numpy as np
 
@@ -368,7 +464,62 @@ class TestSweepRunnerSeam:
         )
         assert points[0].result == reference
         assert len(log) == 1 and log[0].chunks_total >= 1
-        assert (tmp_path / "seed-00000011" / "manifest.json").exists()
+        # Point directories are keyed by the full point identity
+        # (distance, basis, experiment fingerprint, seed).
+        dirs = [p for p in tmp_path.iterdir() if p.is_dir()]
+        assert len(dirs) == 1
+        assert dirs[0].name.startswith("d3-z-")
+        assert dirs[0].name.endswith("seed-00000011")
+        assert (dirs[0] / "manifest.json").exists()
+
+    def test_runner_isolates_points_by_identity(self, tmp_path):
+        """Same root + same seed + different p must not share checkpoints."""
+        from repro.experiments.setup import DecodingSetup
+
+        results = {}
+        for p in (1e-3, 3e-3):
+            setup = DecodingSetup.build(3, p)
+            decoder = MWPMDecoder(setup.ideal_gwt, measure_time=False)
+            runner = make_resilient_runner(
+                tmp_path, workers=1, block_shots=BLOCK, resume=True
+            )
+            results[p] = runner(
+                setup.experiment, decoder, 1024, seed=SEED
+            )
+        dirs = sorted(p.name for p in tmp_path.iterdir() if p.is_dir())
+        assert len(dirs) == 2
+        # Each point resumed only its own checkpoints: re-running the
+        # first p reproduces its result bit-identically.
+        setup = DecodingSetup.build(3, 1e-3)
+        decoder = MWPMDecoder(setup.ideal_gwt, measure_time=False)
+        runner = make_resilient_runner(
+            tmp_path, workers=1, block_shots=BLOCK, resume=True
+        )
+        again = runner(setup.experiment, decoder, 1024, seed=SEED)
+        assert again == results[1e-3]
+
+
+class TestDecoderFallbackReporting:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_fallbacks_counted_across_worker_processes(
+        self, setup_d3, workers
+    ):
+        """Degradations in forked decode workers reach RecoveryStats.
+
+        The worker's decoder copy (and its ``fallback_events`` counter)
+        dies with the process; the supervisor must aggregate the deltas
+        the workers report, not read its own pristine decoder copy.
+        """
+        decoder = _CountingDecoder()
+        outcome = run_memory_experiment_resilient(
+            setup_d3.experiment, decoder, SHOTS, seed=SEED,
+            block_shots=BLOCK, workers=workers, chunks_per_worker=2,
+        )
+        assert outcome.result.unique_syndromes > 0
+        assert (
+            outcome.recovery.decoder_fallbacks
+            == outcome.result.unique_syndromes
+        )
 
 
 class TestFaultInjectorSemantics:

@@ -141,6 +141,18 @@ class TestSparseEngineMechanics:
         assert engine.solve([]) == ([], 0.0, False)
         assert engine.stats.syndromes == 0
 
+    def test_out_of_range_detector_index_messages(self, setup_d3):
+        from repro.matching.sparse import SparseEngineError
+
+        engine = SparseMatchingEngine(setup_d3.gwt)
+        n = engine.gwt.weights.shape[0]
+        with pytest.raises(SparseEngineError, match=f"index {n} "):
+            engine.solve([0, n])
+        # When the only violation is a negative index, the message must
+        # name the negative index, not the in-range largest one.
+        with pytest.raises(SparseEngineError, match="index -3 "):
+            engine.solve([-3, 0])
+
     def test_singleton_and_pair_closed_forms(self, setup_d3):
         gwt = setup_d3.gwt
         engine = SparseMatchingEngine(gwt)
