@@ -46,3 +46,16 @@ def fmt(value: float) -> str:
     if value == 0:
         return "0"
     return f"{value:.2e}"
+
+
+def build_decoder(name: str, setup, **options):
+    """Build a registry decoder for a benchmark.
+
+    Thin alias of :func:`repro.decoders.registry.make_decoder` so every
+    benchmark constructs decoders through the shared registry (one
+    dispatch path with the CLI, sweeps and examples) instead of keeping
+    its own constructor copies.
+    """
+    from repro.decoders.registry import make_decoder
+
+    return make_decoder(name, setup, **options)

@@ -10,12 +10,10 @@ MWPM optimum as F and E vary.
 
 import numpy as np
 
-from repro.decoders.astrea_g import AstreaGDecoder
-from repro.decoders.mwpm import MWPMDecoder
 from repro.experiments.setup import DecodingSetup
 from repro.sim.pauli_frame import PauliFrameSimulator
 
-from _util import emit, seed, trials
+from _util import build_decoder, emit, seed, trials
 
 DISTANCE = 7
 P = 2e-3
@@ -24,7 +22,7 @@ P = 2e-3
 def _workload(setup, shots):
     sim = PauliFrameSimulator(setup.experiment.circuit, seed=seed(71))
     sample = sim.sample(shots)
-    mwpm = MWPMDecoder(setup.gwt, measure_time=False)
+    mwpm = build_decoder("mwpm", setup, quantized=True)
     syndromes = []
     optima = []
     for det in sample.detectors:
@@ -37,8 +35,8 @@ def _workload(setup, shots):
 
 
 def _optimal_fraction(setup, syndromes, optima, **kwargs):
-    decoder = AstreaGDecoder(
-        setup.gwt, weight_threshold=7.0, exhaustive_cutoff=6, **kwargs
+    decoder = build_decoder(
+        "astrea-g", setup, weight_threshold=7.0, exhaustive_cutoff=6, **kwargs
     )
     hits = sum(
         int(decoder.decode_active(active).weight <= best + 1e-9)

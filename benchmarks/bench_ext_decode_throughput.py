@@ -19,14 +19,10 @@ import time
 
 import pytest
 
-from repro.decoders.astrea import AstreaDecoder
-from repro.decoders.astrea_g import AstreaGDecoder
-from repro.decoders.mwpm import MWPMDecoder
-from repro.decoders.union_find import UnionFindDecoder
 from repro.experiments.setup import DecodingSetup
 from repro.sim.pauli_frame import PauliFrameSimulator
 
-from _util import RESULTS_DIR, emit, seed, trials
+from _util import RESULTS_DIR, build_decoder, emit, seed, trials
 
 P = 1e-3
 
@@ -62,23 +58,23 @@ def test_ext_decode_throughput(distance, benchmark):
 
     def run():
         throughput = record["throughput_shots_per_sec"]
-        scalar = AstreaDecoder(setup.gwt, use_vectorized=False)
-        batch = AstreaDecoder(setup.gwt)
+        scalar = build_decoder("astrea", setup, use_vectorized=False)
+        batch = build_decoder("astrea", setup)
         throughput["astrea_scalar"] = _shots_per_sec(
             lambda: [scalar.decode(row) for row in slow_rows], len(slow_rows)
         )
         throughput["astrea_batch"] = _shots_per_sec(
             lambda: batch.decode_batch(detectors), shots
         )
-        astrea_g = AstreaGDecoder(setup.gwt)
+        astrea_g = build_decoder("astrea-g", setup)
         throughput["astrea_g_batch"] = _shots_per_sec(
             lambda: astrea_g.decode_batch(detectors), shots
         )
-        union_find = UnionFindDecoder(setup.graph)
+        union_find = build_decoder("union-find", setup)
         throughput["union_find_batch"] = _shots_per_sec(
             lambda: union_find.decode_batch(slow_rows), len(slow_rows)
         )
-        mwpm = MWPMDecoder(setup.gwt, measure_time=False)
+        mwpm = build_decoder("mwpm", setup, quantized=True)
         throughput["mwpm_batch"] = _shots_per_sec(
             lambda: mwpm.decode_batch(slow_rows), len(slow_rows)
         )

@@ -3,8 +3,8 @@
 The gold-standard software MWPM baseline bounds the wall-clock of every
 accuracy reproduction (Table 4, Figures 4/12/14, threshold sweeps).  This
 bench measures the decode throughput of the sparse cluster-decomposition
-engine (``MWPMDecoder(use_sparse=True)``, the default) against the dense
-per-syndrome blossom reference (``use_sparse=False``) on identical raw
+engine (registry option ``use_sparse=True``, the default) against the
+dense per-syndrome blossom reference (``use_sparse=False``) on identical raw
 sampled syndrome batches at d in {3, 5, 7}, p = 1e-3, using the idealized
 (full-precision) weight table -- the configuration the accuracy
 experiments actually run.
@@ -22,11 +22,10 @@ import time
 
 import pytest
 
-from repro.decoders.mwpm import MWPMDecoder
 from repro.experiments.setup import DecodingSetup
 from repro.sim.pauli_frame import PauliFrameSimulator
 
-from _util import RESULTS_DIR, emit, seed, trials
+from _util import RESULTS_DIR, build_decoder, emit, seed, trials
 
 P = 1e-3
 
@@ -44,7 +43,6 @@ def _shots_per_sec(decode, num_shots: int) -> float:
 @pytest.mark.parametrize("distance", [3, 5, 7])
 def test_ext_mwpm_sparse(distance, benchmark):
     setup = DecodingSetup.build(distance, P)
-    gwt = setup.ideal_gwt
     shots = trials(20_000)
     sim = PauliFrameSimulator(setup.experiment.circuit, seed=seed(80 + distance))
     detectors = sim.sample(shots).detectors
@@ -52,8 +50,8 @@ def test_ext_mwpm_sparse(distance, benchmark):
     # to shots/sec, so the bench stays laptop-scale at d = 7.
     dense_rows = detectors[: max(1, min(shots, trials(2_000)))]
 
-    sparse = MWPMDecoder(gwt, measure_time=False, use_sparse=True)
-    dense = MWPMDecoder(gwt, measure_time=False, use_sparse=False)
+    sparse = build_decoder("mwpm", setup, use_sparse=True)
+    dense = build_decoder("mwpm", setup, use_sparse=False)
 
     # Fixed-seed agreement check before any timing: the sparse engine must
     # reproduce the dense solve on every subset row.

@@ -9,12 +9,11 @@ error rate drifts up; the default LSB = 0.25 is indistinguishable from
 ideal.
 """
 
-from repro.decoders.mwpm import MWPMDecoder
 from repro.experiments.memory import run_memory_experiment
 from repro.experiments.setup import DecodingSetup
 from repro.graphs.weights import GlobalWeightTable
 
-from _util import emit, fmt, seed, trials
+from _util import build_decoder, emit, fmt, seed, trials
 
 DISTANCE = 5
 P = 2e-3
@@ -27,13 +26,13 @@ def test_ext_quantization_ablation(benchmark):
     results = {}
 
     def run():
-        ideal = MWPMDecoder(setup.ideal_gwt, measure_time=False)
+        ideal = build_decoder("mwpm", setup)
         results["ideal"] = run_memory_experiment(
             setup.experiment, ideal, shots, seed=seed(81)
         )
         for lsb in LSBS:
             gwt = GlobalWeightTable.from_graph(setup.graph, lsb=lsb)
-            decoder = MWPMDecoder(gwt, measure_time=False)
+            decoder = build_decoder("mwpm", setup, gwt=gwt)
             results[lsb] = run_memory_experiment(
                 setup.experiment, decoder, shots, seed=seed(81)
             )

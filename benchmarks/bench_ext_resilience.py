@@ -30,13 +30,12 @@ import json
 import os
 import time
 
-from repro.decoders.mwpm import MWPMDecoder
 from repro.experiments.parallel import run_memory_experiment_parallel
 from repro.experiments.resilient import run_memory_experiment_resilient
 from repro.experiments.setup import DecodingSetup
 from repro.testing.faults import FaultInjector
 
-from _util import RESULTS_DIR, emit, seed, trials
+from _util import RESULTS_DIR, build_decoder, emit, seed, trials
 
 DISTANCE = 5
 P = 1e-3
@@ -80,7 +79,7 @@ def test_ext_resilience(tmp_path):
     # cache grows as it decodes, and pickling a warmed cache to workers
     # would penalise whichever configuration runs later.
     def fresh_decoder():
-        return MWPMDecoder(setup.ideal_gwt, measure_time=False)
+        return build_decoder("mwpm", setup)
 
     # Untimed warm-up: fork-pool spawn, import and allocator effects land
     # here, not on whichever timed configuration happens to run first.

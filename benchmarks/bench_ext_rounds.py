@@ -14,12 +14,10 @@ Two measurements on one d = 5 workload:
 """
 
 from repro.analysis.per_round import logical_error_per_round
-from repro.decoders.mwpm import MWPMDecoder
-from repro.decoders.single_round import SingleRoundDecoder
 from repro.experiments.memory import run_memory_experiment
 from repro.experiments.setup import DecodingSetup
 
-from _util import emit, fmt, seed, trials
+from _util import build_decoder, emit, fmt, seed, trials
 
 DISTANCE = 5
 P = 1.5e-3
@@ -33,13 +31,13 @@ def test_ext_time_blind_decoder_gap(benchmark):
     def run():
         results["mwpm"] = run_memory_experiment(
             setup.experiment,
-            MWPMDecoder(setup.ideal_gwt, measure_time=False),
+            build_decoder("mwpm", setup),
             shots,
             seed=seed(60),
         )
         results["single-round"] = run_memory_experiment(
             setup.experiment,
-            SingleRoundDecoder(setup.ideal_gwt, setup.experiment),
+            build_decoder("single-round", setup),
             shots,
             seed=seed(60),
         )
@@ -64,7 +62,7 @@ def test_ext_per_round_rate_stabilises(benchmark):
     def run():
         for rounds in (1, 2, 5, 10):
             setup = DecodingSetup.build(DISTANCE, P, rounds=rounds)
-            decoder = MWPMDecoder(setup.ideal_gwt, measure_time=False)
+            decoder = build_decoder("mwpm", setup)
             result = run_memory_experiment(
                 setup.experiment, decoder, shots, seed=seed(61)
             )

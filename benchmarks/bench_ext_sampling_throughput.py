@@ -27,12 +27,11 @@ import time
 import numpy as np
 import pytest
 
-from repro.decoders.mwpm import MWPMDecoder
 from repro.experiments.memory import run_memory_experiment
 from repro.experiments.setup import DecodingSetup
 from repro.sim.pauli_frame import PauliFrameSimulator
 
-from _util import RESULTS_DIR, emit, seed, trials
+from _util import RESULTS_DIR, build_decoder, emit, seed, trials
 
 P = 1e-3
 
@@ -120,7 +119,7 @@ def test_ext_sampling_throughput(distance, benchmark):
     if golden is not None and at_reference_scale:
         result = run_memory_experiment(
             setup.experiment,
-            MWPMDecoder(setup.gwt, measure_time=False),
+            build_decoder("mwpm", setup, quantized=True),
             GOLDEN_SHOTS,
             seed=seed(80 + distance),
         )

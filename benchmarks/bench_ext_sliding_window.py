@@ -8,12 +8,10 @@ block MWPM -- the window covering all layers reproduces block decoding
 exactly, and accuracy converges to it as the window grows.
 """
 
-from repro.decoders.mwpm import MWPMDecoder
-from repro.decoders.windowed import SlidingWindowDecoder
 from repro.experiments.memory import run_memory_experiment
 from repro.experiments.setup import DecodingSetup
 
-from _util import emit, fmt, seed, trials
+from _util import build_decoder, emit, fmt, seed, trials
 
 DISTANCE = 5
 P = 2e-3
@@ -26,17 +24,13 @@ def test_ext_sliding_window(benchmark):
     results = {}
 
     def run():
-        block = MWPMDecoder(setup.ideal_gwt, measure_time=False)
+        block = build_decoder("mwpm", setup)
         results["block"] = run_memory_experiment(
             setup.experiment, block, shots, seed=seed(66)
         )
         for window, commit in GEOMETRIES:
-            decoder = SlidingWindowDecoder(
-                setup.ideal_gwt,
-                setup.graph,
-                setup.experiment,
-                window=window,
-                commit=commit,
+            decoder = build_decoder(
+                "sliding-window", setup, window=window, commit=commit
             )
             results[(window, commit)] = run_memory_experiment(
                 setup.experiment, decoder, shots, seed=seed(66)

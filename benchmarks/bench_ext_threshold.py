@@ -9,9 +9,8 @@ a strong end-to-end consistency check of the simulator + decoder chain.
 """
 
 from repro.analysis.threshold import estimate_crossing, log_spaced
-from repro.decoders.mwpm import MWPMDecoder
 
-from _util import emit, fmt, seed, trials
+from _util import build_decoder, emit, fmt, seed, trials
 
 
 def test_ext_threshold(benchmark):
@@ -22,7 +21,7 @@ def test_ext_threshold(benchmark):
         return estimate_crossing(
             3,
             5,
-            lambda setup: MWPMDecoder(setup.ideal_gwt, measure_time=False),
+            lambda setup: build_decoder("mwpm", setup),
             grid=grid,
             shots=shots,
             seed=seed(90),

@@ -7,12 +7,10 @@ where edge probabilities span an order of magnitude -- quantifying how
 much of AFS's remaining accuracy depends on weight awareness.
 """
 
-from repro.decoders.mwpm import MWPMDecoder
-from repro.decoders.union_find import UnionFindDecoder
 from repro.experiments.memory import run_memory_experiment
 from repro.experiments.setup import DecodingSetup
 
-from _util import emit, fmt, seed, trials
+from _util import build_decoder, emit, fmt, seed, trials
 
 DISTANCE = 5
 P = 2e-3
@@ -25,10 +23,14 @@ def test_ext_union_find_growth_ablation(benchmark):
 
     def run():
         decoders = {
-            "mwpm": MWPMDecoder(setup.ideal_gwt, measure_time=False),
-            "uf-weighted": UnionFindDecoder(setup.graph, growth_resolution=2.0),
-            "uf-fine": UnionFindDecoder(setup.graph, growth_resolution=8.0),
-            "uf-unweighted": UnionFindDecoder(setup.graph, growth_resolution=0.0),
+            "mwpm": build_decoder("mwpm", setup),
+            "uf-weighted": build_decoder(
+                "union-find", setup, growth_resolution=2.0
+            ),
+            "uf-fine": build_decoder("union-find", setup, growth_resolution=8.0),
+            "uf-unweighted": build_decoder(
+                "union-find", setup, growth_resolution=0.0
+            ),
         }
         for name, decoder in decoders.items():
             results[name] = run_memory_experiment(

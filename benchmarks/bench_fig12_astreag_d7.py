@@ -6,12 +6,10 @@ with ~1e4-1e5 trials) and check the headline property: Astrea-G tracks
 idealized MWPM closely at every point.
 """
 
-from repro.decoders.astrea_g import AstreaGDecoder
-from repro.decoders.mwpm import MWPMDecoder
 from repro.experiments.memory import run_memory_experiment
 from repro.experiments.setup import DecodingSetup
 
-from _util import emit, fmt, seed, trials
+from _util import build_decoder, emit, fmt, seed, trials
 
 DISTANCE = 7
 SWEEP = (6e-4, 1e-3, 1.5e-3, 2e-3)
@@ -24,8 +22,8 @@ def test_fig12_astrea_g_tracks_mwpm_d7(benchmark):
         for p in SWEEP:
             setup = DecodingSetup.build(DISTANCE, p)
             shots = trials(25_000 if p >= 1e-3 else 50_000)
-            mwpm = MWPMDecoder(setup.ideal_gwt, measure_time=False)
-            astrea_g = AstreaGDecoder(setup.gwt, weight_threshold=7.0)
+            mwpm = build_decoder("mwpm", setup)
+            astrea_g = build_decoder("astrea-g", setup, weight_threshold=7.0)
             r_m = run_memory_experiment(setup.experiment, mwpm, shots, seed=seed(12))
             r_g = run_memory_experiment(
                 setup.experiment, astrea_g, shots, seed=seed(12)

@@ -12,12 +12,10 @@ threshold loosens.  Two series are measured on a shared syndrome sample:
   trials.
 """
 
-from repro.decoders.astrea_g import AstreaGDecoder
-from repro.decoders.mwpm import MWPMDecoder
 from repro.experiments.memory import run_memory_experiment
 from repro.experiments.setup import DecodingSetup
 
-from _util import emit, fmt, seed, trials
+from _util import build_decoder, emit, fmt, seed, trials
 
 DISTANCE = 7
 P = 2e-3
@@ -30,14 +28,14 @@ def test_fig13_weight_threshold_sweep(benchmark):
     results = {}
 
     def run():
-        mwpm = MWPMDecoder(setup.ideal_gwt, measure_time=False)
+        mwpm = build_decoder("mwpm", setup)
         results["mwpm"] = run_memory_experiment(
             setup.experiment, mwpm, shots, seed=seed(13)
         )
         for wth in THRESHOLDS:
-            full = AstreaGDecoder(setup.gwt, weight_threshold=wth)
-            greedy = AstreaGDecoder(
-                setup.gwt, weight_threshold=wth, exhaustive_cutoff=6
+            full = build_decoder("astrea-g", setup, weight_threshold=wth)
+            greedy = build_decoder(
+                "astrea-g", setup, weight_threshold=wth, exhaustive_cutoff=6
             )
             results[("full", wth)] = run_memory_experiment(
                 setup.experiment, full, shots, seed=seed(13)

@@ -7,13 +7,11 @@ claim under test: Astrea-G stays within a small factor (paper: 2.7x) of
 idealized MWPM at d = 9, where syndromes reach Hamming weight 20+.
 """
 
-from repro.decoders.astrea_g import AstreaGDecoder
-from repro.decoders.mwpm import MWPMDecoder
 from repro.experiments.importance import estimate_ler_stratified
 from repro.experiments.memory import run_memory_experiment
 from repro.experiments.setup import DecodingSetup
 
-from _util import emit, fmt, seed, trials
+from _util import build_decoder, emit, fmt, seed, trials
 
 DISTANCE = 9
 
@@ -25,8 +23,8 @@ def test_fig14_direct_point(benchmark):
     out = {}
 
     def run():
-        mwpm = MWPMDecoder(setup.ideal_gwt, measure_time=False)
-        astrea_g = AstreaGDecoder(setup.gwt, weight_threshold=7.0)
+        mwpm = build_decoder("mwpm", setup)
+        astrea_g = build_decoder("astrea-g", setup, weight_threshold=7.0)
         out["m"] = run_memory_experiment(setup.experiment, mwpm, shots, seed=seed(14))
         out["g"] = run_memory_experiment(
             setup.experiment, astrea_g, shots, seed=seed(14)
@@ -50,8 +48,8 @@ def test_fig14_direct_point(benchmark):
 def test_fig14_stratified_point(benchmark):
     p = 3e-4
     setup = DecodingSetup.build(DISTANCE, p)
-    mwpm = MWPMDecoder(setup.ideal_gwt, measure_time=False)
-    astrea_g = AstreaGDecoder(setup.gwt, weight_threshold=9.0)
+    mwpm = build_decoder("mwpm", setup)
+    astrea_g = build_decoder("astrea-g", setup, weight_threshold=9.0)
     kwargs = dict(max_faults=10, trials_per_stratum=trials(800), seed=seed(15))
     e_m = benchmark.pedantic(
         lambda: estimate_ler_stratified(setup.dem, mwpm, **kwargs),

@@ -8,16 +8,11 @@ decoder in the repository on one shared d = 5 workload and verifies the
 quadrant placement.
 """
 
-from repro.decoders.astrea import AstreaDecoder
-from repro.decoders.astrea_g import AstreaGDecoder
-from repro.decoders.clique import CliqueDecoder
 from repro.decoders.lilliput import lut_size_bytes
-from repro.decoders.mwpm import MWPMDecoder
-from repro.decoders.union_find import UnionFindDecoder
 from repro.experiments.memory import run_memory_experiment
 from repro.experiments.setup import DecodingSetup
 
-from _util import emit, fmt, seed, trials
+from _util import build_decoder, emit, fmt, seed, trials
 
 DISTANCE = 5
 P = 2e-3
@@ -28,11 +23,11 @@ def test_fig1b_accuracy_latency_landscape(benchmark):
     setup = DecodingSetup.build(DISTANCE, P)
     shots = trials(30_000)
     decoders = {
-        "MWPM (software)": MWPMDecoder(setup.ideal_gwt, measure_time=True),
-        "Astrea": AstreaDecoder(setup.gwt),
-        "Astrea-G": AstreaGDecoder(setup.gwt, weight_threshold=7.0),
-        "Clique+MWPM": CliqueDecoder(setup.graph, setup.ideal_gwt),
-        "AFS (UF)": UnionFindDecoder(setup.graph),
+        "MWPM (software)": build_decoder("mwpm", setup, measure_time=True),
+        "Astrea": build_decoder("astrea", setup),
+        "Astrea-G": build_decoder("astrea-g", setup, weight_threshold=7.0),
+        "Clique+MWPM": build_decoder("clique", setup),
+        "AFS (UF)": build_decoder("union-find", setup),
     }
     results = {}
 

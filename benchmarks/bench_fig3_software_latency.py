@@ -9,11 +9,10 @@ magnitude above the deadline and heavy-tailed -- reproduces directly.
 
 import numpy as np
 
-from repro.decoders.mwpm import MWPMDecoder
 from repro.experiments.setup import DecodingSetup
 from repro.sim.pauli_frame import PauliFrameSimulator
 
-from _util import emit, fmt, seed, trials
+from _util import build_decoder, emit, fmt, seed, trials
 
 DISTANCE = 7
 P = 1e-3
@@ -24,7 +23,7 @@ def test_fig3_software_mwpm_latency(benchmark):
     setup = DecodingSetup.build(DISTANCE, P)
     sim = PauliFrameSimulator(setup.experiment.circuit, seed=seed(3))
     sample = sim.sample(trials(3000))
-    decoder = MWPMDecoder(setup.ideal_gwt, measure_time=True)
+    decoder = build_decoder("mwpm", setup, measure_time=True)
     nonzero = [det for det in sample.detectors if det.any()]
 
     def run():

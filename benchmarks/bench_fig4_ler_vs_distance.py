@@ -11,13 +11,10 @@ larger distances.
 
 import pytest
 
-from repro.decoders.clique import CliqueDecoder
-from repro.decoders.mwpm import MWPMDecoder
-from repro.decoders.union_find import UnionFindDecoder
 from repro.experiments.memory import run_memory_experiment
 from repro.experiments.setup import DecodingSetup
 
-from _util import emit, fmt, seed, trials
+from _util import build_decoder, emit, fmt, seed, trials
 
 P = 1.5e-3
 SHOTS = {3: 120_000, 5: 40_000, 7: 12_000}
@@ -31,9 +28,9 @@ def test_fig4_ler_vs_distance(benchmark):
             setup = DecodingSetup.build(d, P)
             shots = trials(base_shots)
             decoders = {
-                "MWPM": MWPMDecoder(setup.ideal_gwt, measure_time=False),
-                "AFS (UF)": UnionFindDecoder(setup.graph),
-                "Clique+MWPM": CliqueDecoder(setup.graph, setup.ideal_gwt),
+                "MWPM": build_decoder("mwpm", setup),
+                "AFS (UF)": build_decoder("union-find", setup),
+                "Clique+MWPM": build_decoder("clique", setup),
             }
             rows[d] = {
                 name: run_memory_experiment(

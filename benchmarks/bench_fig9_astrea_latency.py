@@ -7,11 +7,10 @@ trivial weights), mean over Hamming weight > 2 only, and the worst case
 
 import pytest
 
-from repro.decoders.astrea import AstreaDecoder
 from repro.experiments.memory import run_memory_experiment
 from repro.experiments.setup import DecodingSetup
 
-from _util import emit, seed, trials
+from _util import build_decoder, emit, seed, trials
 
 #: Paper Figure 9 worst-case latencies (ns).
 PAPER_MAX = {3: 32.0, 5: 80.0, 7: 456.0}
@@ -20,7 +19,7 @@ PAPER_MAX = {3: 32.0, 5: 80.0, 7: 456.0}
 @pytest.mark.parametrize("distance", [3, 5, 7])
 def test_fig9_astrea_latency(distance, benchmark):
     setup = DecodingSetup.build(distance, 1e-4)
-    decoder = AstreaDecoder(setup.gwt)
+    decoder = build_decoder("astrea", setup)
     shots = trials(120_000 if distance == 3 else 60_000)
 
     def run():

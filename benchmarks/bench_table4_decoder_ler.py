@@ -11,15 +11,10 @@ than 1e-4):
 
 import pytest
 
-from repro.decoders.astrea import AstreaDecoder
-from repro.decoders.clique import CliqueDecoder
-from repro.decoders.lilliput import LilliputDecoder
-from repro.decoders.mwpm import MWPMDecoder
-from repro.decoders.union_find import UnionFindDecoder
 from repro.experiments.memory import run_memory_experiment
 from repro.experiments.setup import DecodingSetup
 
-from _util import emit, fmt, seed, trials
+from _util import build_decoder, emit, fmt, seed, trials
 
 P = 1.5e-3
 
@@ -29,15 +24,13 @@ def test_table4_decoder_ler(distance, benchmark):
     setup = DecodingSetup.build(distance, P)
     shots = trials(100_000 if distance == 3 else 30_000)
     decoders = {
-        "MWPM": MWPMDecoder(setup.ideal_gwt, measure_time=False),
-        "Astrea": AstreaDecoder(setup.ideal_gwt),
-        "Clique": CliqueDecoder(setup.graph, setup.ideal_gwt),
-        "AFS": UnionFindDecoder(setup.graph),
+        "MWPM": build_decoder("mwpm", setup),
+        "Astrea": build_decoder("astrea", setup, quantized=False),
+        "Clique": build_decoder("clique", setup),
+        "AFS": build_decoder("union-find", setup),
     }
     if distance == 3:
-        decoders["LILLIPUT"] = LilliputDecoder(
-            setup.ideal_gwt, setup.experiment.num_detectors
-        )
+        decoders["LILLIPUT"] = build_decoder("lilliput", setup)
 
     def run():
         return {

@@ -7,14 +7,12 @@ shared sample and reports the LER relative to the unlimited-bandwidth
 row -- flat near 1.0x until transmission consumes about half the round.
 """
 
-from repro.decoders.astrea_g import AstreaGDecoder
-from repro.decoders.mwpm import MWPMDecoder
 from repro.experiments.memory import run_memory_experiment
 from repro.experiments.setup import DecodingSetup
 from repro.hw.bandwidth import BandwidthModel
 from repro.hw.latency import FpgaTiming
 
-from _util import emit, fmt, seed, trials
+from _util import build_decoder, emit, fmt, seed, trials
 
 DISTANCE = 9
 P = 1.5e-3
@@ -32,7 +30,9 @@ def test_table7_bandwidth(benchmark):
         for transmission_ns, _paper_rel in PAPER:
             budget = 1000.0 - transmission_ns
             timing = FpgaTiming(realtime_budget_ns=budget)
-            dec = AstreaGDecoder(setup.gwt, weight_threshold=7.0, timing=timing)
+            dec = build_decoder(
+                "astrea-g", setup, weight_threshold=7.0, timing=timing
+            )
             results[transmission_ns] = run_memory_experiment(
                 setup.experiment, dec, shots, seed=seed(7)
             )

@@ -13,12 +13,10 @@ import os
 
 import pytest
 
-from repro.decoders.astrea_g import AstreaGDecoder
-from repro.decoders.mwpm import MWPMDecoder
 from repro.experiments.importance import estimate_ler_stratified
 from repro.experiments.setup import DecodingSetup
 
-from _util import emit, fmt, seed, trials
+from _util import build_decoder, emit, fmt, seed, trials
 
 P = 1e-4
 #: Paper Table 9 at p = 1e-4.
@@ -27,8 +25,8 @@ PAPER = {7: (4.6e-10, 4.6e-10), 9: (1.2e-11, 1.2e-11), 11: (1.7e-13, 2.9e-12)}
 
 def _estimate(distance):
     setup = DecodingSetup.build(distance, P)
-    mwpm = MWPMDecoder(setup.ideal_gwt, measure_time=False)
-    astrea_g = AstreaGDecoder(setup.gwt, weight_threshold=11.0)
+    mwpm = build_decoder("mwpm", setup)
+    astrea_g = build_decoder("astrea-g", setup, weight_threshold=11.0)
     kwargs = dict(
         max_faults=8, trials_per_stratum=trials(600), seed=seed(distance)
     )

@@ -10,16 +10,7 @@ Run:  python examples/decoder_comparison.py
 
 import os
 
-from repro import (
-    AstreaDecoder,
-    AstreaGDecoder,
-    CliqueDecoder,
-    DecodingSetup,
-    LilliputDecoder,
-    MWPMDecoder,
-    UnionFindDecoder,
-    run_memory_experiment,
-)
+from repro import DecodingSetup, make_decoder, run_memory_experiment
 
 DISTANCE = 3
 P = 2e-3
@@ -29,12 +20,12 @@ SHOTS = int(os.environ.get("REPRO_EXAMPLE_SHOTS", "40000"))
 def main() -> None:
     setup = DecodingSetup.build(DISTANCE, P)
     decoders = {
-        "MWPM (software)": MWPMDecoder(setup.ideal_gwt),
-        "Astrea": AstreaDecoder(setup.gwt),
-        "Astrea-G": AstreaGDecoder(setup.gwt, weight_threshold=7.0),
-        "LILLIPUT": LilliputDecoder(setup.ideal_gwt, setup.experiment.num_detectors),
-        "Clique+MWPM": CliqueDecoder(setup.graph, setup.ideal_gwt),
-        "Union-Find (AFS)": UnionFindDecoder(setup.graph),
+        "MWPM (software)": make_decoder("mwpm", setup, measure_time=True),
+        "Astrea": make_decoder("astrea", setup),
+        "Astrea-G": make_decoder("astrea-g", setup, weight_threshold=7.0),
+        "LILLIPUT": make_decoder("lilliput", setup),
+        "Clique+MWPM": make_decoder("clique", setup),
+        "Union-Find (AFS)": make_decoder("union-find", setup),
     }
     print(f"d={DISTANCE}, p={P}, shots={SHOTS}\n")
     print(f"{'decoder':18s} {'LER':>10s} {'mean lat':>10s} {'max lat':>10s} {'real-time':>9s}")

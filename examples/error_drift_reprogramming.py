@@ -16,10 +16,11 @@ Run:  python examples/error_drift_reprogramming.py
 import os
 
 from repro import (
-    MWPMDecoder,
+    DecodingSetup,
     NoiseParams,
     build_detector_error_model,
     build_memory_circuit,
+    make_decoder,
     run_memory_experiment,
 )
 from repro.graphs.decoding_graph import DecodingGraph
@@ -51,8 +52,11 @@ def main() -> None:
     # The device runs the drifted noise; both decoders see its syndromes.
     drifted_experiment = build_memory_circuit(DISTANCE, DRIFTED)
 
-    stale = MWPMDecoder(gwt_for(CALIBRATED), measure_time=False)
-    reprogrammed = MWPMDecoder(gwt_for(DRIFTED), measure_time=False)
+    # The GWT is just memory: the registry's ``gwt=`` override swaps in
+    # whichever table the current calibration produced.
+    setup = DecodingSetup.build(DISTANCE, 1e-3)
+    stale = make_decoder("mwpm", setup, gwt=gwt_for(CALIBRATED))
+    reprogrammed = make_decoder("mwpm", setup, gwt=gwt_for(DRIFTED))
 
     r_stale = run_memory_experiment(drifted_experiment, stale, SHOTS, seed=17)
     r_fresh = run_memory_experiment(drifted_experiment, reprogrammed, SHOTS, seed=17)

@@ -17,10 +17,9 @@ import numpy as np
 
 from repro import (
     DecodingSetup,
-    MWPMDecoder,
     PauliFrameSimulator,
-    UnionFindDecoder,
     hamming_weight_census,
+    make_decoder,
     render_lattice,
     render_series,
     render_syndrome_layer,
@@ -91,11 +90,10 @@ def show_decoder_gap(setup) -> None:
     print("\n== decoder accuracy gap (Figure 4) ==")
     shots = int(os.environ.get("REPRO_EXAMPLE_SHOTS", "20000"))
     mwpm = run_memory_experiment(
-        setup.experiment, MWPMDecoder(setup.ideal_gwt, measure_time=False),
-        shots, seed=13,
+        setup.experiment, make_decoder("mwpm", setup), shots, seed=13,
     )
     uf = run_memory_experiment(
-        setup.experiment, UnionFindDecoder(setup.graph), shots, seed=13
+        setup.experiment, make_decoder("union-find", setup), shots, seed=13
     )
     print(
         render_series(

@@ -17,8 +17,7 @@ import os
 
 import numpy as np
 
-from repro import DecodingSetup, MWPMDecoder
-from repro.decoders.astrea_g import AstreaGDecoder
+from repro import DecodingSetup, make_decoder
 
 DISTANCE = 7
 P = 2e-3
@@ -36,13 +35,15 @@ def main() -> None:
     active = [int(i) for i in np.nonzero(sample.detectors[shot])[0]]
     print(f"d={DISTANCE}, p={P}: decoding a Hamming-weight-{len(active)} syndrome\n")
 
-    decoder = AstreaGDecoder(setup.gwt, weight_threshold=7.0, exhaustive_cutoff=6)
+    decoder = make_decoder(
+        "astrea-g", setup, weight_threshold=7.0, exhaustive_cutoff=6
+    )
     result, trace = decoder.decode_with_trace(active)
     if not trace:
         print("syndrome was light enough for the exact Astrea datapath; "
               "raise REPRO_EXAMPLE_SHOTS to catch a heavier one")
         return
-    optimum = MWPMDecoder(setup.gwt, measure_time=False).decode_active(active)
+    optimum = make_decoder("mwpm", setup, quantized=True).decode_active(active)
 
     print(f"{'pass':>4} {'queues':>8} {'completions':>11} {'register weight':>15}")
     for snap in trace:

@@ -13,9 +13,9 @@ import os
 import numpy as np
 
 from repro import (
-    AstreaDecoder,
     DecodingSetup,
     PauliFrameSimulator,
+    make_decoder,
     run_memory_experiment,
 )
 
@@ -37,7 +37,7 @@ def main() -> None:
     syndrome = sample.detectors[interesting]
     actual_flip = bool(sample.observables[interesting, 0])
 
-    decoder = AstreaDecoder(setup.gwt)
+    decoder = make_decoder("astrea", setup)
     result = decoder.decode(syndrome)
     print(f"\nsyndrome Hamming weight : {int(syndrome.sum())}")
     print(f"matched pairs           : {result.matching}")

@@ -19,13 +19,7 @@ from collections import defaultdict
 
 import numpy as np
 
-from repro import (
-    AstreaDecoder,
-    AstreaGDecoder,
-    DecodingSetup,
-    MWPMDecoder,
-    PauliFrameSimulator,
-)
+from repro import DecodingSetup, PauliFrameSimulator, make_decoder
 
 DISTANCE = 7
 P = 1e-3
@@ -38,9 +32,9 @@ def main() -> None:
     sample = sampler.sample(SHOTS)
     syndromes = [det for det in sample.detectors]
 
-    mwpm = MWPMDecoder(setup.ideal_gwt)
-    astrea = AstreaDecoder(setup.gwt)
-    astrea_g = AstreaGDecoder(setup.gwt, weight_threshold=7.0)
+    mwpm = make_decoder("mwpm", setup, measure_time=True)
+    astrea = make_decoder("astrea", setup)
+    astrea_g = make_decoder("astrea-g", setup, weight_threshold=7.0)
 
     print(f"d={DISTANCE}, p={P}, {SHOTS} syndromes\n")
     for name, decoder in (

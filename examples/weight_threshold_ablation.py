@@ -19,7 +19,7 @@ import os
 
 import numpy as np
 
-from repro import AstreaGDecoder, DecodingSetup, MWPMDecoder, PauliFrameSimulator
+from repro import DecodingSetup, PauliFrameSimulator, make_decoder
 
 DISTANCE = 7
 P = 2e-3
@@ -27,7 +27,7 @@ SHOTS = int(os.environ.get("REPRO_EXAMPLE_SHOTS", "4000"))
 
 
 def optimal_fraction(setup, syndromes, optima, **kwargs) -> float:
-    decoder = AstreaGDecoder(setup.gwt, exhaustive_cutoff=6, **kwargs)
+    decoder = make_decoder("astrea-g", setup, exhaustive_cutoff=6, **kwargs)
     hits = 0
     for active, best in zip(syndromes, optima):
         result = decoder.decode_active(active)
@@ -39,7 +39,7 @@ def main() -> None:
     setup = DecodingSetup.build(DISTANCE, P)
     sampler = PauliFrameSimulator(setup.experiment.circuit, seed=5)
     sample = sampler.sample(SHOTS)
-    mwpm = MWPMDecoder(setup.gwt, measure_time=False)
+    mwpm = make_decoder("mwpm", setup, quantized=True)
     syndromes = []
     optima = []
     for det in sample.detectors:

@@ -13,6 +13,8 @@ The package is organised bottom-up:
   matchers, boundary folding;
 * :mod:`repro.decoders` -- MWPM, **Astrea**, **Astrea-G**, Union-Find
   (AFS), Clique and LILLIPUT;
+* :mod:`repro.pipeline` -- staged lazy construction of the decoding
+  stack, a bounded stage cache and the content-addressed artifact store;
 * :mod:`repro.experiments` -- memory-experiment harness, Hamming census,
   stratified LER estimation;
 * :mod:`repro.analysis` / :mod:`repro.hw` -- analytical and hardware
@@ -20,10 +22,10 @@ The package is organised bottom-up:
 
 Quickstart::
 
-    from repro import DecodingSetup, AstreaDecoder, run_memory_experiment
+    from repro import DecodingSetup, make_decoder, run_memory_experiment
 
     setup = DecodingSetup.build(distance=5, physical_error_rate=1e-3)
-    decoder = AstreaDecoder(setup.gwt)
+    decoder = make_decoder("astrea", setup)
     result = run_memory_experiment(setup.experiment, decoder, shots=10_000)
     print(result.logical_error_rate)
 """
@@ -44,6 +46,13 @@ from .decoders.clique import CliqueDecoder
 from .decoders.correction import PhysicalCorrection, matching_to_correction
 from .decoders.lilliput import LilliputDecoder, lut_size_bytes
 from .decoders.mwpm import MWPMDecoder
+from .decoders.registry import (
+    DecoderSpec,
+    decoder_names,
+    get_decoder_spec,
+    make_decoder,
+    register_decoder,
+)
 from .decoders.single_round import SingleRoundDecoder
 from .decoders.union_find import UnionFindDecoder
 from .decoders.verify import VerificationReport, verify_decode_result
@@ -70,6 +79,14 @@ from .experiments.accuracy import PairedComparison, compare_decoders
 from .experiments.io import load_sweep, save_sweep
 from .experiments.parallel import run_memory_experiment_parallel
 from .experiments.report import HeadlineReport, run_headline_report
+from .pipeline import (
+    ArtifactStore,
+    DecoderHandle,
+    DecodingPipeline,
+    PipelineConfig,
+    StageCache,
+    experiment_fingerprint,
+)
 from .sim.dem import DetectorErrorModel, FaultMechanism, build_detector_error_model
 from .sim.pauli_frame import PauliFrameSimulator, SampleResult
 from .sim.reference import ReferenceSampler
@@ -78,6 +95,7 @@ from .sim.tableau import TableauSimulator, run_tableau_shot
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactStore",
     "AstreaDecoder",
     "AstreaGDecoder",
     "AstreaGStorageModel",
@@ -88,7 +106,10 @@ __all__ = [
     "CompressionReport",
     "DecodeResult",
     "Decoder",
+    "DecoderHandle",
+    "DecoderSpec",
     "DecodingGraph",
+    "DecodingPipeline",
     "DecodingSetup",
     "DetectorErrorModel",
     "FaultMechanism",
@@ -108,6 +129,7 @@ __all__ = [
     "PairedComparison",
     "PauliFrameSimulator",
     "PhysicalCorrection",
+    "PipelineConfig",
     "PipelineSnapshot",
     "ReferenceSampler",
     "RepetitionCode",
@@ -120,6 +142,7 @@ __all__ = [
     "SparseIndexCompressor",
     "SparseMatchingEngine",
     "SparseStats",
+    "StageCache",
     "Stabilizer",
     "StratifiedEstimate",
     "SweepPoint",
@@ -133,18 +156,23 @@ __all__ = [
     "build_repetition_memory_circuit",
     "compare_decoders",
     "compression_census",
+    "decoder_names",
     "estimate_crossing",
     "estimate_ler_stratified",
     "exhaustive_search",
+    "experiment_fingerprint",
     "fit_error_scaling",
     "from_stim",
+    "get_decoder_spec",
     "hamming_weight_census",
     "ler_vs_distance",
     "ler_vs_physical_error",
     "load_sweep",
     "log_spaced",
     "lut_size_bytes",
+    "make_decoder",
     "matching_to_correction",
+    "register_decoder",
     "render_lattice",
     "render_series",
     "render_syndrome_layer",

@@ -24,24 +24,19 @@ import argparse
 import sys
 from typing import Callable, Sequence
 
-from .decoders.astrea import AstreaDecoder
-from .decoders.astrea_g import AstreaGDecoder
+from .decoders import registry as decoder_registry
 from .decoders.base import Decoder
-from .decoders.clique import CliqueDecoder
-from .decoders.lilliput import LilliputDecoder
-from .decoders.mwpm import MWPMDecoder
-from .decoders.union_find import UnionFindDecoder
 from .experiments.hamming import hamming_weight_census
 from .experiments.importance import estimate_ler_stratified
 from .experiments.memory import run_memory_experiment
 from .experiments.setup import DecodingSetup
 from .hw.bandwidth import BandwidthModel
-from .hw.latency import FpgaTiming
 
 __all__ = ["main", "build_parser", "make_decoder", "DECODER_NAMES"]
 
-#: Decoder names accepted by ``--decoder``.
-DECODER_NAMES = ("mwpm", "astrea", "astrea-g", "union-find", "clique", "lilliput")
+#: Decoder names accepted by ``--decoder`` -- the registry decoders
+#: carrying the ``"cli"`` capability, in registration order.
+DECODER_NAMES = decoder_registry.decoder_names("cli")
 
 
 def make_decoder(
@@ -53,6 +48,10 @@ def make_decoder(
 ) -> Decoder:
     """Instantiate a decoder by CLI name against a built setup.
 
+    Thin wrapper over :func:`repro.decoders.registry.make_decoder` with
+    the CLI's uniform knobs; factories that do not declare a knob simply
+    do not receive it.
+
     Args:
         name: One of :data:`DECODER_NAMES`.
         setup: The decoding stack to attach to.
@@ -62,23 +61,9 @@ def make_decoder(
     Returns:
         A ready-to-use decoder.
     """
-    if name == "mwpm":
-        return MWPMDecoder(setup.ideal_gwt, measure_time=False)
-    if name == "astrea":
-        return AstreaDecoder(setup.gwt)
-    if name == "astrea-g":
-        return AstreaGDecoder(
-            setup.gwt,
-            weight_threshold=weight_threshold,
-            timing=FpgaTiming(realtime_budget_ns=budget_ns),
-        )
-    if name == "union-find":
-        return UnionFindDecoder(setup.graph)
-    if name == "clique":
-        return CliqueDecoder(setup.graph, setup.ideal_gwt)
-    if name == "lilliput":
-        return LilliputDecoder(setup.ideal_gwt, setup.experiment.num_detectors)
-    raise ValueError(f"unknown decoder {name!r}; pick from {DECODER_NAMES}")
+    return decoder_registry.make_decoder(
+        name, setup, weight_threshold=weight_threshold, budget_ns=budget_ns
+    )
 
 
 # ----------------------------------------------------------------------
@@ -97,6 +82,8 @@ def _emit(args: argparse.Namespace, human: list[str], machine: list[str]) -> Non
 
 def cmd_info(args: argparse.Namespace) -> int:
     """Code resources and storage footprint (paper Tables 1 and 6)."""
+    from .pipeline import default_artifact_store, stage_cache
+
     setup = DecodingSetup.build(args.distance, args.p)
     code = setup.experiment.code
     human = [
@@ -109,6 +96,23 @@ def cmd_info(args: argparse.Namespace) -> int:
         f"decoding-graph edges : {len(setup.graph.edges)}",
         f"GWT footprint        : {setup.gwt.storage_bytes()} bytes",
     ]
+    cache = stage_cache().stats
+    human.append(
+        f"stage cache          : {cache.hits} hits, {cache.misses} misses, "
+        f"{cache.evictions} evicted, {cache.size}/{cache.capacity} entries"
+    )
+    store = default_artifact_store()
+    if store is not None:
+        stats = store.stats
+        human.append(
+            f"artifact store       : {store.root} "
+            f"({stats.disk_hits} disk hits, {stats.disk_misses} misses, "
+            f"{stats.saves} saves, {stats.invalidated} invalidated)"
+        )
+    human.append(
+        "registered decoders  : "
+        + ", ".join(decoder_registry.decoder_names())
+    )
     machine = [
         f"{code.distance} {code.num_data_qubits} {code.num_parity_qubits} "
         f"{code.num_qubits} {code.syndrome_vector_length()} "
@@ -192,12 +196,22 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 def cmd_campaign(args: argparse.Namespace) -> int:
     """Supervised long campaign: checkpoint/resume, retries, timeouts."""
     from .experiments.resilient import run_memory_experiment_resilient
+    from .pipeline import DecoderHandle
 
     if args.resume and not args.checkpoint_dir:
         raise SystemExit("--resume requires --checkpoint-dir")
-    setup = DecodingSetup.build(args.distance, args.p)
-    decoder = make_decoder(
-        args.decoder, setup, weight_threshold=args.weight_threshold
+    setup = DecodingSetup.build(
+        args.distance, args.p, store_root=args.artifact_dir
+    )
+    if args.artifact_dir:
+        # Publish every persistable stage before workers launch so they
+        # warm-start from the store instead of recompiling per process.
+        setup.warm()
+    decoder = DecoderHandle.create(
+        setup.config,
+        args.decoder,
+        store_root=args.artifact_dir,
+        weight_threshold=args.weight_threshold,
     )
     outcome = run_memory_experiment_resilient(
         setup.experiment,
@@ -481,6 +495,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--checkpoint-dir", help="directory for chunk checkpoints"
+    )
+    campaign.add_argument(
+        "--artifact-dir",
+        help="artifact-store root workers warm-start the decoding stack "
+        "from (default: $REPRO_ARTIFACT_DIR when set)",
     )
     campaign.add_argument(
         "--resume",

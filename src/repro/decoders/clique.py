@@ -38,14 +38,22 @@ class CliqueDecoder(Decoder):
     Args:
         graph: Primitive decoding graph (defines locality).
         gwt: Global Weight Table for the MWPM fallback.
+        structure: Pre-built neighbor structure for ``gwt``, forwarded to
+            the MWPM fallback's sparse engine.
     """
 
     name = "Clique+MWPM"
 
-    def __init__(self, graph: DecodingGraph, gwt: GlobalWeightTable) -> None:
+    def __init__(
+        self,
+        graph: DecodingGraph,
+        gwt: GlobalWeightTable,
+        *,
+        structure=None,
+    ) -> None:
         self.graph = graph
         self.syndrome_length = int(graph.num_detectors)
-        self.fallback = MWPMDecoder(gwt, measure_time=True)
+        self.fallback = MWPMDecoder(gwt, measure_time=True, structure=structure)
         #: Whether the last decode stayed entirely in the pre-decoder.
         self.last_was_local = True
         # Neighbour map over primitive edges (boundary excluded).

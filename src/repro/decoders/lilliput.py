@@ -60,11 +60,15 @@ class LilliputDecoder(Decoder):
         num_detectors: Syndrome-vector length; the table has ``2^n`` logical
             entries.  Rejected when the table cannot fit in practice,
             reproducing LILLIPUT's scalability wall.
+        structure: Pre-built neighbor structure for ``gwt``, forwarded to
+            the MWPM teacher's sparse engine.
     """
 
     name = "LILLIPUT"
 
-    def __init__(self, gwt: GlobalWeightTable, num_detectors: int) -> None:
+    def __init__(
+        self, gwt: GlobalWeightTable, num_detectors: int, *, structure=None
+    ) -> None:
         if (1 << num_detectors) > MAX_PRACTICAL_ENTRIES:
             raise MemoryError(
                 f"a {num_detectors}-bit syndrome needs a 2^{num_detectors}-entry "
@@ -72,7 +76,7 @@ class LilliputDecoder(Decoder):
                 "(paper section 5.6)"
             )
         self.num_detectors = num_detectors
-        self._teacher = MWPMDecoder(gwt, measure_time=False)
+        self._teacher = MWPMDecoder(gwt, measure_time=False, structure=structure)
         # Lazily programmed table: syndrome key -> (prediction, weight).
         self._table: dict[int, tuple[bool, float]] = {}
 

@@ -62,6 +62,9 @@ class MWPMDecoder(Decoder):
             against.
         sparse_cache_size: LRU capacity of the sparse engine's cluster
             cache (ignored when ``use_sparse`` is False).
+        structure: Pre-built neighbor structure for ``gwt`` (e.g. from the
+            pipeline's artifact store), forwarded to the sparse engine so
+            construction skips its radius/separability scan.
     """
 
     name = "MWPM"
@@ -73,6 +76,7 @@ class MWPMDecoder(Decoder):
         measure_time: bool = True,
         use_sparse: bool = True,
         sparse_cache_size: int = 65536,
+        structure=None,
     ):
         self.gwt = gwt
         self.syndrome_length = int(gwt.weights.shape[0])
@@ -82,7 +86,9 @@ class MWPMDecoder(Decoder):
         #: supervised experiment layer surfaces this count.
         self.fallback_events = 0
         self._engine = (
-            SparseMatchingEngine(gwt, cache_size=sparse_cache_size)
+            SparseMatchingEngine(
+                gwt, cache_size=sparse_cache_size, structure=structure
+            )
             if use_sparse
             else None
         )

@@ -95,24 +95,39 @@ class PairedComparison:
 
 def compare_decoders(
     experiment: MemoryExperiment,
-    decoder_a: Decoder,
-    decoder_b: Decoder,
+    decoder_a: Decoder | str,
+    decoder_b: Decoder | str,
     shots: int,
     *,
     seed: int | None = None,
+    setup=None,
 ) -> PairedComparison:
     """Run a paired accuracy comparison on one shared sample.
 
     Args:
         experiment: Memory experiment supplying the workload.
-        decoder_a: First decoder.
-        decoder_b: Second decoder.
+        decoder_a: First decoder, or a registry decoder name.
+        decoder_b: Second decoder, or a registry decoder name.
         shots: Monte-Carlo trials (each decoded by both decoders).
         seed: Sampler seed.
+        setup: The :class:`~repro.experiments.setup.DecodingSetup` to
+            build named decoders against.  Required when a decoder is
+            given by name; must match ``experiment``.
 
     Returns:
         The :class:`PairedComparison`.
     """
+    if isinstance(decoder_a, str) or isinstance(decoder_b, str):
+        if setup is None:
+            raise ValueError(
+                "compare_decoders needs setup= to resolve decoder names"
+            )
+        from ..decoders.registry import make_decoder
+
+        if isinstance(decoder_a, str):
+            decoder_a = make_decoder(decoder_a, setup)
+        if isinstance(decoder_b, str):
+            decoder_b = make_decoder(decoder_b, setup)
     sample = PauliFrameSimulator(experiment.circuit, seed=seed).sample(shots)
     observed = sample.observables[:, 0]
     unique, inverse, _ = unique_rows(sample.detectors)

@@ -11,8 +11,10 @@ plot, so this module hardens the output convention:
 * sweep files embed a schema version and a SHA-256 content checksum, and
   :func:`load_sweep` raises a descriptive :class:`CorruptResultError` on
   truncated or garbled input instead of a bare parse error;
-* the checkpoint layer (:mod:`repro.experiments.resilient`) shares the
-  same primitives via :func:`write_json_record` / :func:`read_json_record`.
+* the checkpoint layer (:mod:`repro.experiments.resilient`) and the
+  pipeline artifact store (:mod:`repro.pipeline.artifacts`) share the
+  same primitives, which live in :mod:`repro.ioutil` and are re-exported
+  here for backwards compatibility.
 
 Legacy (pre-checksum) sweep CSVs still load.
 """
@@ -20,13 +22,19 @@ Legacy (pre-checksum) sweep CSVs still load.
 from __future__ import annotations
 
 import csv
-import hashlib
 import io as _io
-import json
-import os
 from pathlib import Path
-from typing import Any, Sequence
+from typing import Sequence
 
+from ..ioutil import (
+    JSON_RECORD_SCHEMA_VERSION,
+    CorruptResultError,
+    atomic_write_bytes,
+    atomic_write_text,
+    read_json_record,
+    sha256_text as _sha256,
+    write_json_record,
+)
 from .memory import MemoryRunResult
 from .sweep import SweepPoint
 
@@ -34,6 +42,7 @@ __all__ = [
     "CorruptResultError",
     "save_sweep",
     "load_sweep",
+    "atomic_write_bytes",
     "atomic_write_text",
     "write_json_record",
     "read_json_record",
@@ -58,119 +67,11 @@ SWEEP_FIELDS = (
 #: Version of the checksummed sweep-file format.
 SWEEP_SCHEMA_VERSION = 2
 
-#: Version of the generic checked-JSON record format.
-JSON_RECORD_SCHEMA_VERSION = 1
-
 _SWEEP_MAGIC = "#repro-sweep"
 
-
-class CorruptResultError(ValueError):
-    """A persisted result file failed validation.
-
-    Raised when a sweep CSV or checked-JSON record is truncated, garbled,
-    fails its embedded checksum, or carries an unexpected schema version.
-    Subclasses :class:`ValueError` so callers that predate the checked
-    formats keep working.
-    """
-
-
-def _sha256(text: str) -> str:
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
-
-
-def atomic_write_text(path: str | Path, text: str) -> None:
-    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
-
-    A reader concurrently opening ``path`` sees either the previous
-    complete contents or the new complete contents, never a prefix --
-    including when the writing process dies mid-write.
-
-    Args:
-        path: Destination file path.
-        text: Full file contents.
-    """
-    path = Path(path)
-    tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
-    try:
-        with tmp.open("w", encoding="utf-8", newline="") as handle:
-            handle.write(text)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
-    finally:
-        if tmp.exists():
-            tmp.unlink()
-
-
-def write_json_record(
-    path: str | Path, payload: Any, *, kind: str
-) -> None:
-    """Persist a JSON payload atomically with schema + checksum framing.
-
-    The on-disk shape is ``{"kind", "schema", "checksum", "payload"}``
-    where ``checksum`` is the SHA-256 of the canonical (sorted-key,
-    compact) JSON encoding of ``payload``.
-
-    Args:
-        path: Destination file path.
-        payload: JSON-serialisable record body.
-        kind: Record type tag, validated on read (e.g. ``"chunk"``).
-    """
-    body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    record = {
-        "kind": kind,
-        "schema": JSON_RECORD_SCHEMA_VERSION,
-        "checksum": _sha256(body),
-        "payload": payload,
-    }
-    atomic_write_text(path, json.dumps(record, sort_keys=True))
-
-
-def read_json_record(path: str | Path, *, kind: str) -> Any:
-    """Load and validate a record written by :func:`write_json_record`.
-
-    Args:
-        path: Source file path.
-        kind: Expected record type tag.
-
-    Returns:
-        The validated payload.
-
-    Raises:
-        FileNotFoundError: When ``path`` does not exist.
-        CorruptResultError: On truncated/garbled JSON, a wrong record
-            type, an unknown schema version, or a checksum mismatch.
-    """
-    path = Path(path)
-    try:
-        text = path.read_text(encoding="utf-8")
-        record = json.loads(text)
-    except UnicodeDecodeError as exc:
-        raise CorruptResultError(
-            f"{path}: record is not valid UTF-8 ({exc})"
-        ) from exc
-    except json.JSONDecodeError as exc:
-        raise CorruptResultError(
-            f"{path}: truncated or garbled JSON record ({exc})"
-        ) from exc
-    if not isinstance(record, dict) or "payload" not in record:
-        raise CorruptResultError(f"{path}: not a checked JSON record")
-    if record.get("kind") != kind:
-        raise CorruptResultError(
-            f"{path}: expected a {kind!r} record, found {record.get('kind')!r}"
-        )
-    if record.get("schema") != JSON_RECORD_SCHEMA_VERSION:
-        raise CorruptResultError(
-            f"{path}: unsupported schema version {record.get('schema')!r} "
-            f"(this build reads version {JSON_RECORD_SCHEMA_VERSION})"
-        )
-    body = json.dumps(record["payload"], sort_keys=True, separators=(",", ":"))
-    if _sha256(body) != record.get("checksum"):
-        raise CorruptResultError(
-            f"{path}: checksum mismatch -- the payload was altered after it "
-            "was written"
-        )
-    return record["payload"]
+# CorruptResultError, atomic_write_text/bytes and write/read_json_record
+# moved to repro.ioutil (shared with the pipeline artifact store); the
+# re-exports above keep this module's public surface unchanged.
 
 
 def _render_sweep_body(points: Sequence[SweepPoint]) -> str:

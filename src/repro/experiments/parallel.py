@@ -33,6 +33,8 @@ import numpy as np
 
 from ..circuits.memory import MemoryExperiment
 from ..decoders.base import DecodeResult, Decoder
+from ..pipeline.handle import DecoderHandle
+from ..sim.frame_program import compile_frame_program
 from ..sim.packing import unique_rows
 from ..sim.pauli_frame import PauliFrameSimulator
 from .memory import MemoryRunResult, tally_decode_results
@@ -145,9 +147,14 @@ def merge_censuses(parts: list[SyndromeCensus | None]) -> SyndromeCensus:
 def _sample_census_chunk(payload) -> SyndromeCensus:
     """Worker entry point for phase 1 (module-level so it pickles)."""
     experiment, blocks = payload
+    # One compile per chunk: every block replays the same circuit, so the
+    # simulators share a single frame program instead of re-lowering it.
+    program = compile_frame_program(experiment.circuit)
     parts = []
     for block_seed, block_shots in blocks:
-        sampler = PauliFrameSimulator(experiment.circuit, seed=block_seed)
+        sampler = PauliFrameSimulator(
+            experiment.circuit, seed=block_seed, program=program
+        )
         sample = sampler.sample(block_shots)
         if sample.observables.size:
             observed = sample.observables[:, 0]
@@ -158,8 +165,16 @@ def _sample_census_chunk(payload) -> SyndromeCensus:
 
 
 def _decode_chunk(payload) -> list[DecodeResult]:
-    """Worker entry point for phase 2 (module-level so it pickles)."""
+    """Worker entry point for phase 2 (module-level so it pickles).
+
+    A :class:`~repro.pipeline.handle.DecoderHandle` payload is
+    materialised here, in the worker -- warm-starting from the artifact
+    store when the handle carries a store root, and memoised so a worker
+    decoding many chunks builds its decoder exactly once.
+    """
     decoder, syndromes = payload
+    if isinstance(decoder, DecoderHandle):
+        decoder = decoder.resolve()
     return decoder.decode_batch(syndromes)
 
 
@@ -242,7 +257,7 @@ def _partition(items: int, groups: int) -> list[tuple[int, int]]:
 
 def run_memory_experiment_parallel(
     experiment: MemoryExperiment,
-    decoder: Decoder,
+    decoder: Decoder | DecoderHandle,
     shots: int,
     *,
     seed: int = 0,
@@ -261,7 +276,12 @@ def run_memory_experiment_parallel(
 
     Args:
         experiment: The memory-experiment bundle (pickled to workers).
-        decoder: The decoder under test (pickled to workers).
+        decoder: The decoder under test (pickled to workers), or a
+            :class:`~repro.pipeline.handle.DecoderHandle` recipe: workers
+            then build the decoder themselves, warm-starting from the
+            handle's artifact store, and each payload ships a few hundred
+            bytes instead of the full weight tables.  Results are
+            bit-identical either way.
         shots: Total Monte-Carlo trials across all blocks.
         seed: Base seed; sampling block ``k`` runs with ``seed + k``.
         workers: Worker processes.

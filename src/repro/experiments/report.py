@@ -18,10 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..decoders.astrea import AstreaDecoder
-from ..decoders.astrea_g import AstreaGDecoder
-from ..decoders.mwpm import MWPMDecoder
-from ..decoders.union_find import UnionFindDecoder
+from ..decoders.registry import make_decoder
 from .hamming import hamming_weight_census
 from .memory import MemoryRunResult, run_memory_experiment
 from .setup import DecodingSetup
@@ -85,10 +82,10 @@ def run_headline_report(
     """
     setup = DecodingSetup.build(distance, physical_error_rate)
     decoders = {
-        "MWPM": MWPMDecoder(setup.ideal_gwt, measure_time=False),
-        "Astrea": AstreaDecoder(setup.gwt),
-        "Astrea-G": AstreaGDecoder(setup.gwt, weight_threshold=7.0),
-        "AFS (UF)": UnionFindDecoder(setup.graph),
+        "MWPM": make_decoder("mwpm", setup),
+        "Astrea": make_decoder("astrea", setup),
+        "Astrea-G": make_decoder("astrea-g", setup, weight_threshold=7.0),
+        "AFS (UF)": make_decoder("union-find", setup),
     }
     report = HeadlineReport(
         distance=distance, physical_error_rate=physical_error_rate, shots=shots

@@ -37,7 +37,6 @@ additionally degrade to the dense reference path inside
 
 from __future__ import annotations
 
-import hashlib
 import multiprocessing
 import queue as queue_module
 import time
@@ -49,6 +48,8 @@ import numpy as np
 
 from ..circuits.memory import MemoryExperiment
 from ..decoders.base import DecodeResult, Decoder
+from ..pipeline.fingerprint import experiment_fingerprint
+from ..pipeline.handle import DecoderHandle
 from .io import CorruptResultError, read_json_record, write_json_record
 from .memory import MemoryRunResult, tally_decode_results
 from .parallel import (
@@ -79,43 +80,8 @@ CHUNK_KIND = "census-chunk"
 SERIAL_DEGRADATION_THRESHOLD = 8
 
 
-def experiment_fingerprint(experiment: MemoryExperiment) -> str:
-    """Decoder-independent identity hash of a memory experiment.
-
-    The sampled census is a deterministic function of the noisy circuit
-    (plus the block seeds), so the fingerprint hashes the circuit
-    instruction stream together with the build parameters that produced
-    it -- distance, basis, rounds, the five noise rates and any per-qubit
-    noise scaling.  Two experiments agree on the fingerprint iff they
-    sample identically; checkpoints record it so a resume at a different
-    physical error rate, basis or noise model is rejected instead of
-    silently reusing censuses sampled under the wrong circuit.
-
-    Args:
-        experiment: The memory-experiment bundle.
-
-    Returns:
-        A SHA-256 hex digest.
-    """
-    noise = experiment.noise
-    hasher = hashlib.sha256()
-    hasher.update(
-        (
-            f"d={experiment.code.distance};basis={experiment.basis};"
-            f"rounds={experiment.rounds};"
-            f"noise={noise.data_depolarization!r},"
-            f"{noise.gate2_depolarization!r},"
-            f"{noise.gate1_depolarization!r},"
-            f"{noise.measurement_flip!r},{noise.reset_flip!r};"
-            f"scale={sorted(experiment.qubit_noise_scale.items())!r}\n"
-        ).encode("utf-8")
-    )
-    for inst in experiment.circuit.instructions:
-        hasher.update(
-            f"{inst.name}:{','.join(map(str, inst.targets))}:"
-            f"{inst.arg!r}\n".encode("utf-8")
-        )
-    return hasher.hexdigest()
+# The fingerprint moved to the pipeline layer (it now also addresses the
+# content-addressed artifact store); re-exported here for compatibility.
 
 
 @dataclass
@@ -411,7 +377,12 @@ def _decode_chunk_tracked(payload) -> tuple[list[DecodeResult], int]:
     can aggregate degradations across workers (and across chunks of the
     shared in-process decoder when ``workers=1``).
     """
-    decoder, _syndromes = payload
+    decoder, syndromes = payload
+    if isinstance(decoder, DecoderHandle):
+        # Materialise once (memoised per process) so the fallback counter
+        # read below observes the same object that decodes.
+        decoder = decoder.resolve()
+        payload = (decoder, syndromes)
     before = int(getattr(decoder, "fallback_events", 0) or 0)
     results = _decode_chunk(payload)
     after = int(getattr(decoder, "fallback_events", 0) or 0)
@@ -728,7 +699,7 @@ def _supervised_map(
 
 def run_memory_experiment_resilient(
     experiment: MemoryExperiment,
-    decoder: Decoder,
+    decoder: Decoder | DecoderHandle,
     shots: int,
     *,
     seed: int = 0,
@@ -756,7 +727,11 @@ def run_memory_experiment_resilient(
 
     Args:
         experiment: The memory-experiment bundle (pickled to workers).
-        decoder: The decoder under test (pickled to workers).
+        decoder: The decoder under test (pickled to workers), or a
+            :class:`~repro.pipeline.handle.DecoderHandle` recipe that each
+            worker materialises itself -- warm-starting from the handle's
+            artifact store, with bit-identical results (retried chunks
+            included).
         shots: Total Monte-Carlo trials across all blocks.
         seed: Base seed; sampling block ``k`` runs with ``seed + k``.
         workers: Worker processes (1 supervises in-process: retries still

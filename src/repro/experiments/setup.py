@@ -2,47 +2,127 @@
 
 Building a decoder for a given ``(distance, p, rounds, basis)`` involves a
 chain of substrates -- memory circuit, detector error model, decoding
-graph, Global Weight Table -- that is expensive for large distances (the
-d = 9 graph takes several seconds).  :class:`DecodingSetup` bundles the
-chain behind a single constructor and memoises it process-wide so that
-tests, examples and benchmarks can freely request the same configuration.
+graph, Global Weight Tables, neighbor structures -- that is expensive for
+large distances (the d = 9 graph takes several seconds).
+:class:`DecodingSetup` is the friendly facade over the staged pipeline
+(:mod:`repro.pipeline`): each substrate is a lazy property that resolves
+through the pipeline's bounded in-memory cache and (when configured) the
+content-addressed on-disk artifact store, so tests, examples, benchmarks
+and worker processes freely request the same configuration and only the
+first ever request pays for a build.
+
+Persistence (:meth:`DecodingSetup.save` / :meth:`DecodingSetup.load`) is
+pickle-free: a saved setup is a zip bundle of per-stage artifacts in the
+same checksummed format the artifact store uses, plus a JSON manifest
+carrying the configuration and experiment fingerprint.  Loading validates
+every layer -- manifest, fingerprint (recomputed from a rebuilt circuit),
+per-stage checksums and format versions -- and rejects legacy pickle
+files and foreign data with a clear error instead of executing them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import io
+import json
+import zipfile
+from pathlib import Path
+from typing import TYPE_CHECKING
 
-from ..circuits.memory import MemoryExperiment, build_memory_circuit
-from ..circuits.noise import NoiseParams
-from ..graphs.decoding_graph import DecodingGraph
-from ..graphs.weights import DEFAULT_LSB, GlobalWeightTable
-from ..sim.dem import DetectorErrorModel, build_detector_error_model
+from ..graphs.weights import DEFAULT_LSB
+from ..ioutil import atomic_write_bytes
+from ..pipeline.artifacts import (
+    STAGE_FORMAT_VERSIONS,
+    ArtifactError,
+    StageCache,
+    artifact_store_for,
+    decode_artifact,
+    decode_stage,
+    encode_artifact,
+    encode_stage,
+)
+from ..pipeline.stages import STAGES, DecodingPipeline, PipelineConfig
+
+if TYPE_CHECKING:
+    from ..circuits.memory import MemoryExperiment
+    from ..graphs.decoding_graph import DecodingGraph, NeighborStructure
+    from ..graphs.weights import GlobalWeightTable
+    from ..sim.dem import DetectorErrorModel
+    from ..sim.frame_program import FrameProgram
 
 __all__ = ["DecodingSetup"]
 
+#: Facade identity cache: ``build``/``from_config`` with ``cache=True``
+#: return the same object for the same (config, store-root).
 _CACHE: dict[tuple, "DecodingSetup"] = {}
 
-#: On-disk format version of :meth:`DecodingSetup.save`.
-_FORMAT_VERSION = 1
+#: On-disk format version of :meth:`DecodingSetup.save` bundles.
+#: Version 1 was a pickle (no longer read); version 2 is the pickle-free
+#: zip-of-artifacts bundle.
+_BUNDLE_FORMAT = 2
+_BUNDLE_KIND = "repro-decoding-setup"
+_BUNDLE_MANIFEST = "bundle.json"
 
 
-@dataclass
+def _restore(config: PipelineConfig, store_root: str | None) -> "DecodingSetup":
+    """Unpickle target: re-resolve the facade in the receiving process."""
+    return DecodingSetup.from_config(config, store_root=store_root)
+
+
 class DecodingSetup:
-    """A fully built decoding stack for one code/noise configuration.
+    """A lazily built decoding stack for one code/noise configuration.
+
+    Substrates are properties resolved through a
+    :class:`~repro.pipeline.stages.DecodingPipeline`: nothing is built
+    until first accessed, repeated access returns the same object, and a
+    configured artifact store turns cross-process rebuilds into loads.
 
     Attributes:
-        experiment: The annotated memory-experiment circuit bundle.
-        dem: Detector error model extracted from the circuit.
-        graph: Decoding graph with all-pairs weights/parities.
-        gwt: Quantized Global Weight Table (8-bit, hardware-faithful).
-        ideal_gwt: Unquantized table (idealized MWPM configuration).
+        pipeline: The underlying stage resolver.
     """
 
-    experiment: MemoryExperiment
-    dem: DetectorErrorModel
-    graph: DecodingGraph
-    gwt: GlobalWeightTable
-    ideal_gwt: GlobalWeightTable
+    def __init__(self, pipeline: DecodingPipeline) -> None:
+        self.pipeline = pipeline
+        self._store_root = (
+            str(pipeline.store.root) if pipeline.store is not None else None
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_config(
+        cls,
+        config: PipelineConfig,
+        *,
+        store_root: str | Path | None = None,
+        cache: bool = True,
+    ) -> "DecodingSetup":
+        """Build (or fetch) the facade for a pipeline configuration.
+
+        Args:
+            config: The decoding-stack configuration.
+            store_root: Artifact-store root to warm-start from (None: the
+                ``REPRO_ARTIFACT_DIR``-configured default store, if any).
+            cache: Reuse the process-wide facade for this configuration.
+                ``False`` builds a fresh stack on a private stage cache.
+
+        Returns:
+            The :class:`DecodingSetup`.
+        """
+        key = (config, None if store_root is None else str(store_root))
+        if cache and key in _CACHE:
+            return _CACHE[key]
+        kwargs: dict = {}
+        if store_root is not None:
+            kwargs["store"] = artifact_store_for(store_root)
+        if not cache:
+            kwargs["memory_cache"] = StageCache()
+        pipeline = DecodingPipeline(config, **kwargs)
+        setup = cls(pipeline)
+        if cache:
+            _CACHE[key] = setup
+        return setup
 
     @classmethod
     def build(
@@ -54,6 +134,7 @@ class DecodingSetup:
         basis: str = "z",
         lsb: float = DEFAULT_LSB,
         cache: bool = True,
+        store_root: str | Path | None = None,
     ) -> "DecodingSetup":
         """Build (or fetch from cache) the stack for one configuration.
 
@@ -64,80 +145,224 @@ class DecodingSetup:
             basis: Memory basis, ``"z"`` or ``"x"``.
             lsb: Fixed-point step of the quantized GWT.
             cache: Reuse a previously built identical configuration.
+            store_root: Artifact-store root to warm-start from (None: the
+                ``REPRO_ARTIFACT_DIR``-configured default, if any).
 
         Returns:
             The assembled :class:`DecodingSetup`.
         """
-        key = (distance, physical_error_rate, rounds, basis, lsb)
-        if cache and key in _CACHE:
-            return _CACHE[key]
-        noise = NoiseParams.uniform(physical_error_rate)
-        experiment = build_memory_circuit(
-            distance, noise, rounds=rounds, basis=basis
+        config = PipelineConfig(
+            distance=distance,
+            physical_error_rate=physical_error_rate,
+            rounds=rounds,
+            basis=basis,
+            lsb=lsb,
         )
-        dem = build_detector_error_model(experiment.circuit)
-        graph = DecodingGraph.from_dem(dem)
-        setup = cls(
-            experiment=experiment,
-            dem=dem,
-            graph=graph,
-            gwt=GlobalWeightTable.from_graph(graph, lsb=lsb),
-            ideal_gwt=GlobalWeightTable.from_graph(graph, lsb=None),
-        )
-        if cache:
-            _CACHE[key] = setup
-        return setup
+        return cls.from_config(config, store_root=store_root, cache=cache)
+
+    def __reduce__(self):
+        # Pickle the recipe, not the arrays: the receiving process
+        # re-resolves through its own caches/store (cheap if warm).
+        return (_restore, (self.config, self._store_root))
+
+    # ------------------------------------------------------------------
+    # Lazy substrates
+    # ------------------------------------------------------------------
+
+    @property
+    def config(self) -> PipelineConfig:
+        """The configuration every substrate derives from."""
+        return self.pipeline.config
+
+    @property
+    def fingerprint(self) -> str:
+        """Experiment fingerprint addressing this stack's artifacts."""
+        return self.pipeline.fingerprint
+
+    @property
+    def experiment(self) -> "MemoryExperiment":
+        """The annotated memory-experiment circuit bundle."""
+        return self.pipeline.get("circuit")
+
+    @property
+    def frame_program(self) -> "FrameProgram":
+        """The circuit compiled for Pauli-frame sampling."""
+        return self.pipeline.get("frame_program")
+
+    @property
+    def dem(self) -> "DetectorErrorModel":
+        """Detector error model extracted from the circuit."""
+        return self.pipeline.get("dem")
+
+    @property
+    def graph(self) -> "DecodingGraph":
+        """Decoding graph with all-pairs weights/parities."""
+        return self.pipeline.get("graph")
+
+    @property
+    def gwt(self) -> "GlobalWeightTable":
+        """Quantized Global Weight Table (8-bit, hardware-faithful)."""
+        return self.pipeline.get("gwt")
+
+    @property
+    def ideal_gwt(self) -> "GlobalWeightTable":
+        """Unquantized table (idealized MWPM configuration)."""
+        return self.pipeline.get("ideal_gwt")
+
+    @property
+    def neighbor_structure(self) -> "NeighborStructure":
+        """Sparse-engine neighbor structure over the ideal table."""
+        return self.pipeline.get("neighbor_structure")
+
+    @property
+    def quantized_neighbor_structure(self) -> "NeighborStructure":
+        """Sparse-engine neighbor structure over the quantized table."""
+        return self.pipeline.get("quantized_neighbor_structure")
 
     @property
     def distance(self) -> int:
         """Code distance of this configuration."""
-        return self.experiment.code.distance
+        return self.config.distance
 
     @property
     def physical_error_rate(self) -> float:
         """Uniform circuit-level error rate ``p``."""
-        return self.experiment.noise.data_depolarization
+        return self.config.physical_error_rate
+
+    def warm(self) -> None:
+        """Materialise every persistable stage (publishes to the store)."""
+        self.pipeline.warm()
 
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
 
     def save(self, path) -> None:
-        """Persist the built stack to disk (pickle).
+        """Persist the built stack to disk as a pickle-free bundle.
 
         Large-distance stacks take seconds to minutes to build (the d = 9
         graph alone is ~6 s); saving them lets benchmark sessions, worker
-        pools and notebooks skip the rebuild.
+        pools and notebooks skip the rebuild.  The bundle is a zip of
+        per-stage artifacts (same checksummed format as the artifact
+        store) plus a JSON manifest; the write is atomic.
 
         Args:
             path: Destination file path.
         """
-        import pickle
-
-        with open(path, "wb") as handle:
-            pickle.dump({"format": _FORMAT_VERSION, "setup": self}, handle)
+        fingerprint = self.fingerprint
+        buffer = io.BytesIO()
+        stages: dict[str, int] = {}
+        with zipfile.ZipFile(buffer, "w", zipfile.ZIP_DEFLATED) as archive:
+            for name, spec in STAGES.items():
+                if not spec.persistable:
+                    continue
+                version = STAGE_FORMAT_VERSIONS[name]
+                arrays, meta = encode_stage(name, self.pipeline.get(name))
+                archive.writestr(
+                    f"{name}.artifact",
+                    encode_artifact(name, version, fingerprint, arrays, meta),
+                )
+                stages[name] = version
+            config = self.config
+            manifest = {
+                "kind": _BUNDLE_KIND,
+                "format": _BUNDLE_FORMAT,
+                "fingerprint": fingerprint,
+                "config": {
+                    "distance": config.distance,
+                    "physical_error_rate": config.physical_error_rate,
+                    "rounds": config.rounds,
+                    "basis": config.basis,
+                    "lsb": config.lsb,
+                },
+                "stages": stages,
+            }
+            archive.writestr(
+                _BUNDLE_MANIFEST, json.dumps(manifest, sort_keys=True)
+            )
+        atomic_write_bytes(Path(path), buffer.getvalue())
 
     @classmethod
     def load(cls, path) -> "DecodingSetup":
         """Load a stack previously written by :meth:`save`.
 
+        Every layer is validated: the manifest, the fingerprint (checked
+        against a circuit rebuilt from the manifest's configuration), and
+        each stage artifact's checksum and format version.  Nothing in
+        the file is ever executed -- legacy pickle saves are rejected,
+        not loaded.
+
         Args:
             path: Source file path.
 
         Returns:
-            The reconstructed :class:`DecodingSetup`.
+            The reconstructed :class:`DecodingSetup` (on a private stage
+            cache, independent of the process-wide facade cache).
 
         Raises:
             ValueError: When the file was written by an incompatible
-                version of this class.
+                version of this class or is not a setup bundle at all.
+            ArtifactError: When the bundle is self-consistent but a stage
+                artifact is corrupt or has a stale format version.
         """
-        import pickle
 
-        with open(path, "rb") as handle:
-            payload = pickle.load(handle)
-        if not isinstance(payload, dict) or payload.get("format") != _FORMAT_VERSION:
-            raise ValueError(f"{path} is not a compatible DecodingSetup file")
-        setup = payload["setup"]
-        if not isinstance(setup, cls):
-            raise ValueError(f"{path} does not contain a DecodingSetup")
-        return setup
+        def incompatible() -> ValueError:
+            return ValueError(f"{path} is not a compatible DecodingSetup file")
+
+        try:
+            archive = zipfile.ZipFile(path)
+        except (zipfile.BadZipFile, OSError):
+            raise incompatible() from None
+        with archive:
+            try:
+                manifest = json.loads(archive.read(_BUNDLE_MANIFEST))
+            except (KeyError, UnicodeDecodeError, json.JSONDecodeError):
+                raise incompatible() from None
+            if (
+                not isinstance(manifest, dict)
+                or manifest.get("kind") != _BUNDLE_KIND
+                or manifest.get("format") != _BUNDLE_FORMAT
+                or not isinstance(manifest.get("config"), dict)
+                or not isinstance(manifest.get("stages"), dict)
+            ):
+                raise incompatible()
+            raw = manifest["config"]
+            try:
+                config = PipelineConfig(
+                    distance=int(raw["distance"]),
+                    physical_error_rate=float(raw["physical_error_rate"]),
+                    rounds=None if raw["rounds"] is None else int(raw["rounds"]),
+                    basis=str(raw["basis"]),
+                    lsb=float(raw["lsb"]),
+                )
+            except (KeyError, TypeError, ValueError):
+                raise incompatible() from None
+            pipeline = DecodingPipeline(
+                config, memory_cache=StageCache(), store=None
+            )
+            fingerprint = pipeline.fingerprint
+            if manifest.get("fingerprint") != fingerprint:
+                raise ArtifactError(
+                    f"{path}: bundle fingerprint does not match its "
+                    "declared configuration -- the file is corrupt or "
+                    "was assembled from mismatched parts"
+                )
+            for name, spec in STAGES.items():
+                if not spec.persistable:
+                    continue
+                member = f"{name}.artifact"
+                try:
+                    data = archive.read(member)
+                except KeyError:
+                    raise incompatible() from None
+                arrays, meta = decode_artifact(
+                    data,
+                    stage=name,
+                    version=STAGE_FORMAT_VERSIONS[name],
+                    fingerprint=fingerprint,
+                    source=f"{path}!{member}",
+                )
+                pipeline.memory_cache.put(
+                    (config, name), decode_stage(name, arrays, meta)
+                )
+        return cls(pipeline)

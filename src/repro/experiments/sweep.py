@@ -18,9 +18,20 @@ from .setup import DecodingSetup
 
 __all__ = ["SweepPoint", "ler_vs_physical_error", "ler_vs_distance"]
 
-#: A factory building a decoder for a given setup, e.g.
-#: ``lambda setup: AstreaDecoder(setup.gwt)``.
-DecoderFactory = Callable[[DecodingSetup], Decoder]
+#: The decoder under test, as either a factory over the point's setup
+#: (``lambda setup: make_decoder("astrea", setup)``) or a registry name
+#: (``"astrea"``, resolved via :func:`repro.decoders.registry.make_decoder`).
+DecoderFactory = Callable[[DecodingSetup], Decoder] | str
+
+
+def _resolve_factory(decoder_factory: DecoderFactory) -> Callable[[DecodingSetup], Decoder]:
+    """Normalise a registry name into a factory callable."""
+    if isinstance(decoder_factory, str):
+        from ..decoders.registry import make_decoder
+
+        name = decoder_factory
+        return lambda setup: make_decoder(name, setup)
+    return decoder_factory
 
 #: A Monte-Carlo runner with the :func:`run_memory_experiment` calling
 #: convention: ``runner(experiment, decoder, shots, seed=...)``.  Sweeps
@@ -65,7 +76,8 @@ def ler_vs_physical_error(
     Args:
         distance: Code distance.
         physical_error_rates: The ``p`` values to evaluate.
-        decoder_factory: Builds the decoder under test for each setup.
+        decoder_factory: Builds the decoder under test for each setup;
+            a registry decoder name is accepted in place of a callable.
         shots: Monte-Carlo trials per point.
         seed: Base seed; each point offsets it deterministically.
         basis: Memory basis.
@@ -77,10 +89,11 @@ def ler_vs_physical_error(
         One :class:`SweepPoint` per rate, in input order.
     """
     run = runner if runner is not None else run_memory_experiment
+    factory = _resolve_factory(decoder_factory)
     points = []
     for index, p in enumerate(physical_error_rates):
         setup = DecodingSetup.build(distance, p, basis=basis)
-        decoder = decoder_factory(setup)
+        decoder = factory(setup)
         result = run(setup.experiment, decoder, shots, seed=seed + index)
         points.append(
             SweepPoint(distance=distance, physical_error_rate=p, result=result)
@@ -103,7 +116,8 @@ def ler_vs_distance(
     Args:
         distances: Odd code distances to evaluate.
         physical_error_rate: The shared ``p``.
-        decoder_factory: Builds the decoder under test for each setup.
+        decoder_factory: Builds the decoder under test for each setup;
+            a registry decoder name is accepted in place of a callable.
         shots: Monte-Carlo trials per point.
         seed: Base seed; each point offsets it deterministically.
         basis: Memory basis.
@@ -115,10 +129,11 @@ def ler_vs_distance(
         One :class:`SweepPoint` per distance, in input order.
     """
     run = runner if runner is not None else run_memory_experiment
+    factory = _resolve_factory(decoder_factory)
     points = []
     for index, distance in enumerate(distances):
         setup = DecodingSetup.build(distance, physical_error_rate, basis=basis)
-        decoder = decoder_factory(setup)
+        decoder = factory(setup)
         result = run(setup.experiment, decoder, shots, seed=seed + index)
         points.append(
             SweepPoint(

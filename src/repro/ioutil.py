@@ -1,0 +1,160 @@
+"""Dependency-free atomic/checksummed IO primitives.
+
+These primitives underpin every persisted artifact in the repository --
+sweep CSVs and campaign checkpoints (:mod:`repro.experiments.io`) as well
+as the content-addressed pipeline artifact store
+(:mod:`repro.pipeline.artifacts`).  They live at the package root, below
+both consumers, so the experiment and pipeline layers can share them
+without importing each other:
+
+* every file is written via temp-file + :func:`os.replace` (readers never
+  observe a partial write, even across a crash mid-save);
+* JSON records embed a record kind, a schema version and a SHA-256
+  content checksum, and fail loading with a descriptive
+  :class:`CorruptResultError` instead of a bare parse error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "CorruptResultError",
+    "JSON_RECORD_SCHEMA_VERSION",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "read_json_record",
+    "sha256_bytes",
+    "sha256_text",
+    "write_json_record",
+]
+
+#: Version of the generic checked-JSON record format.
+JSON_RECORD_SCHEMA_VERSION = 1
+
+
+class CorruptResultError(ValueError):
+    """A persisted file failed validation.
+
+    Raised when a sweep CSV, checked-JSON record or pipeline artifact is
+    truncated, garbled, fails its embedded checksum, or carries an
+    unexpected schema version.  Subclasses :class:`ValueError` so callers
+    that predate the checked formats keep working.
+    """
+
+
+def sha256_text(text: str) -> str:
+    """SHA-256 hex digest of a UTF-8 encoded string."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def sha256_bytes(data: bytes) -> str:
+    """SHA-256 hex digest of a byte string."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + ``os.replace``).
+
+    A reader concurrently opening ``path`` sees either the previous
+    complete contents or the new complete contents, never a prefix --
+    including when the writing process dies mid-write.
+
+    Args:
+        path: Destination file path.
+        data: Full file contents.
+    """
+    path = Path(path)
+    tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
+    try:
+        with tmp.open("wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    Args:
+        path: Destination file path.
+        text: Full file contents.
+    """
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def write_json_record(path: str | Path, payload: Any, *, kind: str) -> None:
+    """Persist a JSON payload atomically with schema + checksum framing.
+
+    The on-disk shape is ``{"kind", "schema", "checksum", "payload"}``
+    where ``checksum`` is the SHA-256 of the canonical (sorted-key,
+    compact) JSON encoding of ``payload``.
+
+    Args:
+        path: Destination file path.
+        payload: JSON-serialisable record body.
+        kind: Record type tag, validated on read (e.g. ``"chunk"``).
+    """
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    record = {
+        "kind": kind,
+        "schema": JSON_RECORD_SCHEMA_VERSION,
+        "checksum": sha256_text(body),
+        "payload": payload,
+    }
+    atomic_write_text(path, json.dumps(record, sort_keys=True))
+
+
+def read_json_record(path: str | Path, *, kind: str) -> Any:
+    """Load and validate a record written by :func:`write_json_record`.
+
+    Args:
+        path: Source file path.
+        kind: Expected record type tag.
+
+    Returns:
+        The validated payload.
+
+    Raises:
+        FileNotFoundError: When ``path`` does not exist.
+        CorruptResultError: On truncated/garbled JSON, a wrong record
+            type, an unknown schema version, or a checksum mismatch.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+        record = json.loads(text)
+    except UnicodeDecodeError as exc:
+        raise CorruptResultError(
+            f"{path}: record is not valid UTF-8 ({exc})"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise CorruptResultError(
+            f"{path}: truncated or garbled JSON record ({exc})"
+        ) from exc
+    if not isinstance(record, dict) or "payload" not in record:
+        raise CorruptResultError(f"{path}: not a checked JSON record")
+    if record.get("kind") != kind:
+        raise CorruptResultError(
+            f"{path}: expected a {kind!r} record, found {record.get('kind')!r}"
+        )
+    if record.get("schema") != JSON_RECORD_SCHEMA_VERSION:
+        raise CorruptResultError(
+            f"{path}: unsupported schema version {record.get('schema')!r} "
+            f"(this build reads version {JSON_RECORD_SCHEMA_VERSION})"
+        )
+    body = json.dumps(record["payload"], sort_keys=True, separators=(",", ":"))
+    if sha256_text(body) != record.get("checksum"):
+        raise CorruptResultError(
+            f"{path}: checksum mismatch -- the payload was altered after it "
+            "was written"
+        )
+    return record["payload"]

@@ -155,6 +155,9 @@ class SparseMatchingEngine:
             float tables).
         cache_size: Maximum number of memoized cluster solutions (LRU
             eviction; 0 disables caching).
+        structure: A pre-built :class:`NeighborStructure` for ``gwt`` at
+            ``tolerance`` (e.g. from the pipeline's artifact store).  The
+            caller guarantees it matches; None computes it here.
     """
 
     def __init__(
@@ -163,13 +166,24 @@ class SparseMatchingEngine:
         *,
         tolerance: float | None = None,
         cache_size: int = 65536,
+        structure: NeighborStructure | None = None,
     ) -> None:
         self.gwt = gwt
         self.tolerance = (
             default_tolerance(gwt) if tolerance is None else tolerance
         )
-        self.structure = NeighborStructure.from_weights(
-            gwt.weights, gwt.parities, tolerance=self.tolerance
+        if structure is not None and structure.radii.shape[0] != gwt.weights.shape[0]:
+            raise ValueError(
+                f"pre-built neighbor structure covers "
+                f"{structure.radii.shape[0]} detectors but the weight "
+                f"table has {gwt.weights.shape[0]}"
+            )
+        self.structure = (
+            structure
+            if structure is not None
+            else NeighborStructure.from_weights(
+                gwt.weights, gwt.parities, tolerance=self.tolerance
+            )
         )
         self.cache_size = cache_size
         self.stats = SparseStats()

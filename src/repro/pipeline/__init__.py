@@ -1,0 +1,53 @@
+"""Staged decoding-stack construction: lazy builds, caching, persistence.
+
+The pipeline layer separates *compile once* from *decode many*:
+
+* :mod:`repro.pipeline.stages` -- the stage graph (circuit, frame
+  program, DEM, decoding graph, weight tables, neighbor structures) with
+  declared dependencies and lazy resolution;
+* :mod:`repro.pipeline.artifacts` -- a bounded in-memory LRU plus a
+  content-addressed, checksummed on-disk artifact store keyed by
+  ``experiment_fingerprint() + stage + format version``;
+* :mod:`repro.pipeline.fingerprint` -- the shared experiment identity
+  hash;
+* :mod:`repro.pipeline.handle` -- picklable decoder recipes that let
+  worker processes warm-start from the store instead of recompiling.
+
+``DecodingSetup`` (:mod:`repro.experiments.setup`) remains the friendly
+facade over this layer.
+"""
+
+from .artifacts import (
+    ArtifactError,
+    ArtifactStore,
+    CacheStats,
+    STAGE_FORMAT_VERSIONS,
+    StageCache,
+    StoreStats,
+    artifact_store_for,
+    default_artifact_store,
+    set_stage_cache_capacity,
+    stage_cache,
+)
+from .fingerprint import experiment_fingerprint
+from .handle import DecoderHandle
+from .stages import STAGES, DecodingPipeline, PipelineConfig, StageSpec
+
+__all__ = [
+    "ArtifactError",
+    "ArtifactStore",
+    "CacheStats",
+    "DecoderHandle",
+    "DecodingPipeline",
+    "PipelineConfig",
+    "STAGES",
+    "STAGE_FORMAT_VERSIONS",
+    "StageCache",
+    "StageSpec",
+    "StoreStats",
+    "artifact_store_for",
+    "default_artifact_store",
+    "experiment_fingerprint",
+    "set_stage_cache_capacity",
+    "stage_cache",
+]

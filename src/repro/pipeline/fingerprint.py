@@ -1,0 +1,61 @@
+"""Decoder-independent identity hashing of memory experiments.
+
+Every stage of the decoding stack -- detector error model, decoding
+graph, weight tables, neighbor structure -- is a deterministic function
+of the noisy circuit, so one fingerprint addresses them all: the
+campaign checkpoints (:mod:`repro.experiments.resilient`) use it to
+reject resumes under a different circuit, and the artifact store
+(:mod:`repro.pipeline.artifacts`) uses it as the content address of
+every cached stage.
+
+This module is import-cycle-free on purpose (it depends only on
+:mod:`hashlib`), so both the experiment layer and the pipeline layer can
+share the implementation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["experiment_fingerprint"]
+
+
+def experiment_fingerprint(experiment) -> str:
+    """Decoder-independent identity hash of a memory experiment.
+
+    The sampled census is a deterministic function of the noisy circuit
+    (plus the block seeds), so the fingerprint hashes the circuit
+    instruction stream together with the build parameters that produced
+    it -- distance, basis, rounds, the five noise rates and any per-qubit
+    noise scaling.  Two experiments agree on the fingerprint iff they
+    sample identically; checkpoints record it so a resume at a different
+    physical error rate, basis or noise model is rejected instead of
+    silently reusing censuses sampled under the wrong circuit, and the
+    artifact store keys every derived stage by it.
+
+    Args:
+        experiment: The :class:`~repro.circuits.memory.MemoryExperiment`
+            bundle.
+
+    Returns:
+        A SHA-256 hex digest.
+    """
+    noise = experiment.noise
+    hasher = hashlib.sha256()
+    hasher.update(
+        (
+            f"d={experiment.code.distance};basis={experiment.basis};"
+            f"rounds={experiment.rounds};"
+            f"noise={noise.data_depolarization!r},"
+            f"{noise.gate2_depolarization!r},"
+            f"{noise.gate1_depolarization!r},"
+            f"{noise.measurement_flip!r},{noise.reset_flip!r};"
+            f"scale={sorted(experiment.qubit_noise_scale.items())!r}\n"
+        ).encode("utf-8")
+    )
+    for inst in experiment.circuit.instructions:
+        hasher.update(
+            f"{inst.name}:{','.join(map(str, inst.targets))}:"
+            f"{inst.arg!r}\n".encode("utf-8")
+        )
+    return hasher.hexdigest()

@@ -1,0 +1,88 @@
+"""Small picklable decoder handles for worker warm-starts.
+
+The parallel and resilient runners pickle their decoder into every
+decode-chunk payload.  A built decoder drags the whole stack with it --
+weight tables, neighbor structure, memoization caches -- so each payload
+used to ship (and each retry to re-transfer) megabytes of arrays.  A
+:class:`DecoderHandle` replaces the object with its *recipe*: the
+:class:`~repro.pipeline.stages.PipelineConfig`, a registry decoder name,
+the options, and optionally an artifact-store root.  Workers materialise
+the decoder on first use -- loading the pre-built stages from the store
+instead of recomputing the all-pairs Dijkstra -- and memoise it for the
+life of the process, so a worker decoding many chunks builds exactly
+once.
+
+Because the materialised decoder is a pure function of the handle (and
+the registry factories are deterministic), a run driven by a handle is
+bit-identical to one driven by the equivalent pre-built decoder object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .stages import PipelineConfig
+
+__all__ = ["DecoderHandle"]
+
+#: Per-process memo of materialised handles (workers keep their decoder
+#: across chunks instead of rebuilding per payload).
+_RESOLVED: dict[tuple, Any] = {}
+
+
+@dataclass(frozen=True)
+class DecoderHandle:
+    """A picklable recipe for building a registry decoder in a worker.
+
+    Attributes:
+        config: The decoding-stack configuration to build against.
+        decoder: Registry decoder name (see
+            :mod:`repro.decoders.registry`).
+        options: Sorted ``(name, value)`` option pairs for the factory.
+        store_root: Artifact-store root the worker warm-starts from
+            (None: the worker falls back to ``REPRO_ARTIFACT_DIR`` or a
+            cold build).
+    """
+
+    config: PipelineConfig
+    decoder: str
+    options: tuple[tuple[str, Any], ...] = field(default_factory=tuple)
+    store_root: str | None = None
+
+    @classmethod
+    def create(
+        cls,
+        config: PipelineConfig,
+        decoder: str,
+        *,
+        store_root: str | None = None,
+        **options: Any,
+    ) -> "DecoderHandle":
+        """Build a handle; option values must be picklable and hashable."""
+        return cls(
+            config=config,
+            decoder=decoder,
+            options=tuple(sorted(options.items())),
+            store_root=None if store_root is None else str(store_root),
+        )
+
+    def resolve(self):
+        """Materialise (or fetch the memoised) decoder for this handle."""
+        key = (self.config, self.decoder, self.options, self.store_root)
+        decoder = _RESOLVED.get(key)
+        if decoder is None:
+            from ..decoders.registry import make_decoder
+            from ..experiments.setup import DecodingSetup
+
+            setup = DecodingSetup.from_config(
+                self.config, store_root=self.store_root
+            )
+            decoder = make_decoder(self.decoder, setup, **dict(self.options))
+            _RESOLVED[key] = decoder
+        return decoder
+
+    @property
+    def name(self) -> str:
+        """The materialised decoder's display name."""
+        return self.resolve().name

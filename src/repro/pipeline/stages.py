@@ -1,0 +1,285 @@
+"""The staged decoding-stack pipeline: declared dependencies, lazy builds.
+
+The decoding stack is a chain of pure derivations from one configuration::
+
+    circuit ──> frame_program            (sampling)
+       │
+       └─> dem ─> graph ─┬─> gwt ──────> quantized_neighbor_structure
+                         └─> ideal_gwt ─> neighbor_structure
+
+:class:`DecodingPipeline` materialises exactly the stages a caller asks
+for (a latency bench touching only ``gwt`` never pays for the all-pairs
+Dijkstra twice; a sampler never builds the graph at all), resolving each
+stage through three layers in order:
+
+1. the bounded in-memory :class:`~repro.pipeline.artifacts.StageCache`
+   (shared process-wide by default),
+2. the on-disk :class:`~repro.pipeline.artifacts.ArtifactStore`, keyed by
+   ``experiment_fingerprint() + stage + format version`` (when a store is
+   configured), and
+3. a fresh build from the stage's declared dependencies -- which is then
+   published back to both layers.
+
+A corrupt or stale-version artifact is discarded and rebuilt, never
+trusted; the circuit and frame-program stages are rebuilt from the
+configuration instead of persisted (they are cheap and self-verifying via
+the fingerprint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..circuits.noise import NoiseParams
+from ..graphs.weights import DEFAULT_LSB
+from .artifacts import (
+    ArtifactError,
+    ArtifactStore,
+    STAGE_FORMAT_VERSIONS,
+    StageCache,
+    default_artifact_store,
+    stage_cache,
+)
+from .fingerprint import experiment_fingerprint
+
+__all__ = ["PipelineConfig", "StageSpec", "DecodingPipeline", "STAGES"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Everything that identifies one decoding-stack configuration.
+
+    Hashable (cache key) and picklable (worker warm-start handle).
+
+    Attributes:
+        distance: Odd code distance >= 3.
+        physical_error_rate: Uniform circuit-level error rate ``p``.
+        rounds: Syndrome rounds (None: ``distance``).
+        basis: Memory basis, ``"z"`` or ``"x"``.
+        lsb: Fixed-point step of the quantized GWT.
+    """
+
+    distance: int
+    physical_error_rate: float
+    rounds: int | None = None
+    basis: str = "z"
+    lsb: float = DEFAULT_LSB
+
+    def noise(self) -> NoiseParams:
+        """The uniform noise model of this configuration."""
+        return NoiseParams.uniform(self.physical_error_rate)
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One stage of the pipeline.
+
+    Attributes:
+        name: Stage name (artifact key and :meth:`DecodingPipeline.get`
+            handle).
+        dependencies: Stages built (or fetched) before this one.
+        build: Builds the stage object from the pipeline (which resolves
+            the dependencies).
+        persistable: Whether the stage round-trips through the artifact
+            store (has a codec in ``STAGE_CODECS``).
+    """
+
+    name: str
+    dependencies: tuple[str, ...]
+    build: Callable[["DecodingPipeline"], Any]
+    persistable: bool = True
+
+
+def _build_circuit(pipeline: "DecodingPipeline"):
+    from ..circuits.memory import build_memory_circuit
+
+    config = pipeline.config
+    return build_memory_circuit(
+        config.distance,
+        config.noise(),
+        rounds=config.rounds,
+        basis=config.basis,
+    )
+
+
+def _build_frame_program(pipeline: "DecodingPipeline"):
+    from ..sim.frame_program import compile_frame_program
+
+    return compile_frame_program(pipeline.get("circuit").circuit)
+
+
+def _build_dem(pipeline: "DecodingPipeline"):
+    from ..sim.dem import build_detector_error_model
+
+    return build_detector_error_model(pipeline.get("circuit").circuit)
+
+
+def _build_graph(pipeline: "DecodingPipeline"):
+    from ..graphs.decoding_graph import DecodingGraph
+
+    return DecodingGraph.from_dem(pipeline.get("dem"))
+
+
+def _build_gwt(pipeline: "DecodingPipeline"):
+    from ..graphs.weights import GlobalWeightTable
+
+    return GlobalWeightTable.from_graph(
+        pipeline.get("graph"), lsb=pipeline.config.lsb
+    )
+
+
+def _build_ideal_gwt(pipeline: "DecodingPipeline"):
+    from ..graphs.weights import GlobalWeightTable
+
+    return GlobalWeightTable.from_graph(pipeline.get("graph"), lsb=None)
+
+
+def _structure_from(gwt_stage: str) -> Callable[["DecodingPipeline"], Any]:
+    def build(pipeline: "DecodingPipeline"):
+        from ..graphs.decoding_graph import NeighborStructure
+        from ..matching.sparse import default_tolerance
+
+        gwt = pipeline.get(gwt_stage)
+        return NeighborStructure.from_weights(
+            gwt.weights, gwt.parities, tolerance=default_tolerance(gwt)
+        )
+
+    return build
+
+
+#: The pipeline's stage graph, in topological order.
+STAGES: dict[str, StageSpec] = {
+    spec.name: spec
+    for spec in (
+        StageSpec("circuit", (), _build_circuit, persistable=False),
+        StageSpec(
+            "frame_program", ("circuit",), _build_frame_program, persistable=False
+        ),
+        StageSpec("dem", ("circuit",), _build_dem),
+        StageSpec("graph", ("dem",), _build_graph),
+        StageSpec("gwt", ("graph",), _build_gwt),
+        StageSpec("ideal_gwt", ("graph",), _build_ideal_gwt),
+        StageSpec(
+            "neighbor_structure",
+            ("ideal_gwt",),
+            _structure_from("ideal_gwt"),
+        ),
+        StageSpec(
+            "quantized_neighbor_structure",
+            ("gwt",),
+            _structure_from("gwt"),
+        ),
+    )
+}
+
+
+#: Sentinel: "use the REPRO_ARTIFACT_DIR-configured default store".
+USE_DEFAULT_STORE = object()
+
+
+class DecodingPipeline:
+    """Lazy, cached resolver of the decoding-stack stage graph.
+
+    Args:
+        config: The configuration every stage derives from.
+        memory_cache: In-memory stage cache; defaults to the shared
+            process-global :func:`~repro.pipeline.artifacts.stage_cache`.
+            Pass a private :class:`StageCache` for isolation.
+        store: On-disk artifact store.  Defaults to the
+            ``REPRO_ARTIFACT_DIR``-configured store (absent when the
+            variable is unset); pass ``None`` explicitly for a
+            memory-only pipeline regardless of the environment.
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig,
+        *,
+        memory_cache: StageCache | None = None,
+        store: ArtifactStore | None = USE_DEFAULT_STORE,  # type: ignore[assignment]
+    ) -> None:
+        self.config = config
+        self.memory_cache = (
+            memory_cache if memory_cache is not None else stage_cache()
+        )
+        self.store = (
+            default_artifact_store() if store is USE_DEFAULT_STORE else store
+        )
+        self._fingerprint: str | None = None
+
+    @property
+    def fingerprint(self) -> str:
+        """The experiment fingerprint addressing this config's artifacts."""
+        if self._fingerprint is None:
+            self._fingerprint = experiment_fingerprint(self.get("circuit"))
+        return self._fingerprint
+
+    def _key(self, stage: str) -> tuple:
+        return (self.config, stage)
+
+    def is_built(self, stage: str) -> bool:
+        """Whether ``stage`` is already in the memory cache (no build)."""
+        return self._key(stage) in self.memory_cache
+
+    def built_stages(self) -> tuple[str, ...]:
+        """Stages currently materialised in the memory cache, in order."""
+        return tuple(name for name in STAGES if self.is_built(name))
+
+    def get(self, stage: str) -> Any:
+        """Resolve one stage: memory cache, then store, then build.
+
+        A freshly built persistable stage is published to the store (when
+        one is configured); a corrupt or stale stored artifact is
+        discarded and rebuilt rather than trusted.
+
+        Args:
+            stage: One of :data:`STAGES`.
+
+        Returns:
+            The stage object.
+        """
+        try:
+            spec = STAGES[stage]
+        except KeyError:
+            raise KeyError(
+                f"unknown pipeline stage {stage!r}; "
+                f"stages are {tuple(STAGES)}"
+            ) from None
+        key = self._key(stage)
+        missing = object()
+        value = self.memory_cache.get(key, missing)
+        if value is not missing:
+            return value
+        value = missing
+        if spec.persistable and self.store is not None:
+            fingerprint = self.fingerprint
+            try:
+                loaded = self.store.load(fingerprint, stage)
+            except ArtifactError:
+                self.store.discard(fingerprint, stage)
+                loaded = None
+            if loaded is not None:
+                value = loaded
+        if value is missing:
+            for dependency in spec.dependencies:
+                self.get(dependency)
+            value = spec.build(self)
+            if spec.persistable and self.store is not None:
+                self.store.save(self.fingerprint, stage, value)
+        self.memory_cache.put(key, value)
+        return value
+
+    def warm(self, stages: tuple[str, ...] | list[str] | None = None) -> None:
+        """Materialise the given stages (default: every persistable one)."""
+        names = (
+            tuple(stages)
+            if stages is not None
+            else tuple(s for s in STAGES if STAGES[s].persistable)
+        )
+        for name in names:
+            self.get(name)
+
+    def stage_version(self, stage: str) -> int:
+        """Current artifact format version of a persistable stage."""
+        return STAGE_FORMAT_VERSIONS[stage]

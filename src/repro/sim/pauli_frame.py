@@ -117,6 +117,10 @@ class PauliFrameSimulator:
         backend: ``"packed"`` (bit-packed ``uint64`` fast path, default)
             or ``"boolean"`` (legacy NumPy bool reference path).
         fuse: Fuse adjacent compatible ops at compile time.
+        program: A :class:`FrameProgram` already compiled from ``circuit``
+            (e.g. the pipeline's cached ``frame_program`` stage); skips
+            recompilation.  The caller guarantees it matches ``circuit``
+            and ``fuse``.
     """
 
     def __init__(
@@ -126,12 +130,17 @@ class PauliFrameSimulator:
         *,
         backend: str = "packed",
         fuse: bool = True,
+        program: FrameProgram | None = None,
     ) -> None:
         if backend not in ("packed", "boolean"):
             raise ValueError(f"unknown backend: {backend!r}")
         self.circuit = circuit
         self.backend = backend
-        self._program: FrameProgram = compile_frame_program(circuit, fuse=fuse)
+        self._program: FrameProgram = (
+            program
+            if program is not None
+            else compile_frame_program(circuit, fuse=fuse)
+        )
         self._seed_seq = np.random.SeedSequence(seed)
 
     @property

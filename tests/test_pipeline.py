@@ -1,0 +1,383 @@
+"""The staged pipeline, artifact store, decoder registry and handles.
+
+Covers the contracts the refactor introduced:
+
+* stages build lazily and exactly once per configuration;
+* every persistable stage round-trips through the artifact store
+  bit-identically;
+* foreign-fingerprint, stale-format-version and corrupted artifacts are
+  rejected (and the pipeline rebuilds instead of trusting them);
+* the bounded LRU stage cache enforces its capacity and counts
+  hits/misses/evictions;
+* the CLI's decoder choices are exactly the registry's "cli" names, and
+  third-party decoders can join the same dispatch;
+* picklable DecoderHandles drive the parallel and resilient runners to
+  bit-identical results while warm-starting from the store.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import (
+    DecodingSetup,
+    make_decoder,
+    run_memory_experiment,
+)
+from repro.decoders.mwpm import MWPMDecoder
+from repro.decoders.registry import (
+    decoder_names,
+    get_decoder_spec,
+    register_decoder,
+    unregister_decoder,
+)
+from repro.experiments.accuracy import compare_decoders
+from repro.experiments.parallel import run_memory_experiment_parallel
+from repro.experiments.resilient import run_memory_experiment_resilient
+from repro.experiments.sweep import ler_vs_physical_error
+from repro.pipeline import (
+    STAGE_FORMAT_VERSIONS,
+    STAGES,
+    ArtifactError,
+    ArtifactStore,
+    DecoderHandle,
+    DecodingPipeline,
+    PipelineConfig,
+    StageCache,
+)
+
+CONFIG = PipelineConfig(distance=3, physical_error_rate=1e-3)
+
+PERSISTABLE = tuple(n for n, s in STAGES.items() if s.persistable)
+
+
+def _private_pipeline(store=None) -> DecodingPipeline:
+    """A pipeline isolated from the process-global cache and env store."""
+    return DecodingPipeline(CONFIG, memory_cache=StageCache(), store=store)
+
+
+def _assert_stage_equal(name: str, a, b) -> None:
+    """Bit-identity check per stage type."""
+    if name == "dem":
+        assert a.num_detectors == b.num_detectors
+        assert a.num_observables == b.num_observables
+        assert a.mechanisms == b.mechanisms
+    elif name == "graph":
+        assert a.num_detectors == b.num_detectors
+        assert a.edges == b.edges
+        np.testing.assert_array_equal(a.pair_weights, b.pair_weights)
+        np.testing.assert_array_equal(a.pair_parities, b.pair_parities)
+        np.testing.assert_array_equal(a.predecessors, b.predecessors)
+        assert {k: [id(e) for e in v] for k, v in a.adjacency.items()}.keys() == {
+            k: None for k in b.adjacency
+        }.keys()
+        for node in a.adjacency:
+            assert a.adjacency[node] == b.adjacency[node]
+    elif name in ("gwt", "ideal_gwt"):
+        assert a.lsb == b.lsb
+        np.testing.assert_array_equal(a.weights, b.weights)
+        np.testing.assert_array_equal(a.parities, b.parities)
+    else:  # neighbor structures
+        np.testing.assert_array_equal(a.radii, b.radii)
+        np.testing.assert_array_equal(a.close, b.close)
+        np.testing.assert_array_equal(a.separable, b.separable)
+        np.testing.assert_array_equal(a.unsafe, b.unsafe)
+        assert len(a.neighbors) == len(b.neighbors)
+        for na, nb in zip(a.neighbors, b.neighbors):
+            np.testing.assert_array_equal(np.asarray(na), np.asarray(nb))
+
+
+# ----------------------------------------------------------------------
+# Staged builds
+# ----------------------------------------------------------------------
+
+
+def test_stages_build_lazily():
+    pipeline = _private_pipeline()
+    assert pipeline.built_stages() == ()
+    gwt = pipeline.get("gwt")
+    built = pipeline.built_stages()
+    assert "gwt" in built and "graph" in built and "dem" in built
+    assert "neighbor_structure" not in built
+    assert "ideal_gwt" not in built
+    assert pipeline.get("gwt") is gwt
+
+
+def test_unknown_stage_raises():
+    pipeline = _private_pipeline()
+    with pytest.raises(KeyError, match="unknown pipeline stage"):
+        pipeline.get("nope")
+
+
+def test_facade_properties_share_one_pipeline(tmp_path):
+    setup = DecodingSetup.from_config(CONFIG, cache=False)
+    assert setup.gwt is setup.pipeline.get("gwt")
+    assert setup.distance == 3
+    assert setup.physical_error_rate == 1e-3
+    # Pickling ships the recipe, not the arrays.
+    clone = pickle.loads(pickle.dumps(setup))
+    assert clone.config == setup.config
+    np.testing.assert_array_equal(clone.gwt.weights, setup.gwt.weights)
+
+
+# ----------------------------------------------------------------------
+# Artifact store
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("stage", PERSISTABLE)
+def test_stage_artifact_roundtrip_bit_identity(stage, tmp_path):
+    pipeline = _private_pipeline()
+    obj = pipeline.get(stage)
+    store = ArtifactStore(tmp_path / "store")
+    store.save(pipeline.fingerprint, stage, obj)
+    loaded = store.load(pipeline.fingerprint, stage)
+    _assert_stage_equal(stage, obj, loaded)
+    assert store.stats.saves == 1
+    assert store.stats.disk_hits == 1
+
+
+def test_store_warm_start_loads_instead_of_building(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    cold = DecodingPipeline(CONFIG, memory_cache=StageCache(), store=store)
+    cold.warm()
+    assert store.stats.saves == len(PERSISTABLE)
+
+    warm = DecodingPipeline(CONFIG, memory_cache=StageCache(), store=store)
+    warm.warm()
+    assert store.stats.disk_hits == len(PERSISTABLE)
+    _assert_stage_equal("gwt", cold.get("gwt"), warm.get("gwt"))
+    _assert_stage_equal("graph", cold.get("graph"), warm.get("graph"))
+
+
+def test_fingerprint_mismatch_rejected(tmp_path):
+    pipeline = _private_pipeline()
+    store = ArtifactStore(tmp_path / "store")
+    store.save(pipeline.fingerprint, "gwt", pipeline.get("gwt"))
+    # Re-home the artifact under a different fingerprint: the header
+    # still names the original experiment, so the load must refuse.
+    foreign = "f" * 64
+    data = store.path(pipeline.fingerprint, "gwt").read_bytes()
+    target = store.path(foreign, "gwt")
+    target.parent.mkdir(parents=True)
+    target.write_bytes(data)
+    with pytest.raises(ArtifactError, match="different experiment"):
+        store.load(foreign, "gwt")
+
+
+def test_format_version_bump_invalidates(tmp_path):
+    pipeline = _private_pipeline()
+    store = ArtifactStore(tmp_path / "store")
+    store.save(pipeline.fingerprint, "gwt", pipeline.get("gwt"), version=1)
+    with pytest.raises(ArtifactError, match="stale stage format version"):
+        store.load(pipeline.fingerprint, "gwt", version=2)
+
+
+def test_stale_version_artifact_is_discarded_and_rebuilt(tmp_path, monkeypatch):
+    store = ArtifactStore(tmp_path / "store")
+    first = DecodingPipeline(CONFIG, memory_cache=StageCache(), store=store)
+    first.warm()
+    # A format bump (as after a codec change) must invalidate the stored
+    # artifact: the next pipeline discards it and rebuilds.
+    monkeypatch.setitem(STAGE_FORMAT_VERSIONS, "gwt", 999)
+    second = DecodingPipeline(CONFIG, memory_cache=StageCache(), store=store)
+    gwt = second.get("gwt")
+    _assert_stage_equal("gwt", first.get("gwt"), gwt)
+    assert store.stats.invalidated >= 1
+
+
+def test_corrupted_blob_recovery(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    first = DecodingPipeline(CONFIG, memory_cache=StageCache(), store=store)
+    reference = first.get("gwt")
+    path = store.path(first.fingerprint, "gwt")
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) - 16])  # truncate the blob
+    with pytest.raises(ArtifactError):
+        store.load(first.fingerprint, "gwt")
+    # The pipeline, by contrast, recovers: discard, rebuild, re-publish.
+    second = DecodingPipeline(CONFIG, memory_cache=StageCache(), store=store)
+    _assert_stage_equal("gwt", reference, second.get("gwt"))
+    assert store.stats.invalidated >= 1
+    # The rebuilt artifact is valid again.
+    assert store.load(first.fingerprint, "gwt") is not None
+
+
+def test_garbage_artifact_file_rejected(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    pipeline = _private_pipeline()
+    path = store.path(pipeline.fingerprint, "gwt")
+    path.parent.mkdir(parents=True)
+    path.write_bytes(pickle.dumps({"weights": [1, 2, 3]}))
+    with pytest.raises(ArtifactError):
+        store.load(pipeline.fingerprint, "gwt")
+
+
+# ----------------------------------------------------------------------
+# Bounded stage cache
+# ----------------------------------------------------------------------
+
+
+def test_stage_cache_lru_bound_and_counters():
+    cache = StageCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refreshes a
+    cache.put("c", 3)  # evicts b (LRU)
+    assert cache.get("b") is None
+    assert cache.get("a") == 1
+    assert cache.get("c") == 3
+    stats = cache.stats
+    assert stats.size == 2
+    assert stats.capacity == 2
+    assert stats.evictions == 1
+    assert stats.hits == 3
+    assert stats.misses == 1
+
+
+def test_stage_cache_rejects_silly_capacity():
+    with pytest.raises(ValueError):
+        StageCache(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# Decoder registry
+# ----------------------------------------------------------------------
+
+
+def test_cli_choices_are_the_registry_cli_names():
+    from repro.cli import DECODER_NAMES
+
+    assert tuple(DECODER_NAMES) == decoder_names("cli")
+    # Non-CLI decoders exist but are deliberately not CLI choices.
+    assert "single-round" in decoder_names()
+    assert "single-round" not in decoder_names("cli")
+
+
+def test_registry_third_party_flow(setup_d3):
+    calls = []
+
+    def factory(setup, *, knob=1.0):
+        calls.append(knob)
+        return MWPMDecoder(setup.ideal_gwt, measure_time=False)
+
+    try:
+        spec = register_decoder(
+            "test-third-party",
+            factory,
+            capabilities=("software",),
+            description="test decoder",
+        )
+        assert "test-third-party" in decoder_names()
+        assert "test-third-party" in decoder_names("software")
+        assert get_decoder_spec("test-third-party") is spec
+        decoder = make_decoder("test-third-party", setup_d3, knob=2.0)
+        assert isinstance(decoder, MWPMDecoder)
+        assert calls == [2.0]
+        # Shared knobs the factory does not declare are dropped silently...
+        make_decoder("test-third-party", setup_d3, weight_threshold=5.0)
+        # ...anything else unknown raises.
+        with pytest.raises(TypeError, match="does not accept"):
+            make_decoder("test-third-party", setup_d3, bogus=1)
+        # Duplicate registrations are refused without replace=True.
+        with pytest.raises(ValueError, match="already registered"):
+            register_decoder("test-third-party", factory)
+        register_decoder(
+            "test-third-party", factory, capabilities=("software",), replace=True
+        )
+    finally:
+        unregister_decoder("test-third-party")
+    assert "test-third-party" not in decoder_names()
+    with pytest.raises(ValueError, match="unknown decoder"):
+        make_decoder("test-third-party", setup_d3)
+
+
+def test_sweep_accepts_registry_names():
+    by_name = ler_vs_physical_error(3, [2e-3], "mwpm", 1500, seed=5)
+    by_factory = ler_vs_physical_error(
+        3, [2e-3], lambda setup: make_decoder("mwpm", setup), 1500, seed=5
+    )
+    assert by_name[0].result == by_factory[0].result
+
+
+def test_compare_decoders_accepts_registry_names(setup_d3):
+    paired = compare_decoders(
+        setup_d3.experiment, "mwpm", "union-find", 1500, seed=9, setup=setup_d3
+    )
+    assert paired.shots == 1500
+    with pytest.raises(ValueError, match="setup="):
+        compare_decoders(setup_d3.experiment, "mwpm", "union-find", 10, seed=9)
+
+
+# ----------------------------------------------------------------------
+# Decoder handles and warm-started runners
+# ----------------------------------------------------------------------
+
+
+def test_decoder_handle_pickles_and_memoises():
+    handle = DecoderHandle.create(CONFIG, "mwpm")
+    clone = pickle.loads(pickle.dumps(handle))
+    assert clone == handle
+    decoder = handle.resolve()
+    assert isinstance(decoder, MWPMDecoder)
+    assert clone.resolve() is decoder  # per-process memo
+    assert handle.name == decoder.name
+
+
+def test_parallel_run_with_handle_is_bit_identical(tmp_path):
+    setup = DecodingSetup.from_config(
+        CONFIG, store_root=tmp_path / "store", cache=False
+    )
+    setup.warm()
+    handle = DecoderHandle.create(
+        CONFIG, "mwpm", store_root=str(tmp_path / "store")
+    )
+    kwargs = dict(seed=77, workers=2, chunks_per_worker=2, block_shots=256)
+    baseline = run_memory_experiment_parallel(
+        setup.experiment, make_decoder("mwpm", setup), 2048, **kwargs
+    )
+    warm = run_memory_experiment_parallel(
+        setup.experiment, handle, 2048, **kwargs
+    )
+    assert warm == baseline
+    # The artifacts the workers warm-start from are on disk (their disk-hit
+    # counters live in the worker processes, so check the store directly).
+    store = ArtifactStore(tmp_path / "store")
+    assert store.load(setup.pipeline.fingerprint, "gwt") is not None
+
+
+def test_resilient_run_with_handle_is_bit_identical(tmp_path):
+    setup = DecodingSetup.from_config(
+        CONFIG, store_root=tmp_path / "store", cache=False
+    )
+    setup.warm()
+    handle = DecoderHandle.create(
+        CONFIG, "mwpm", store_root=str(tmp_path / "store")
+    )
+    kwargs = dict(seed=78, workers=2, chunks_per_worker=2, block_shots=256)
+    baseline = run_memory_experiment_parallel(
+        setup.experiment, make_decoder("mwpm", setup), 2048, **kwargs
+    )
+    supervised = run_memory_experiment_resilient(
+        setup.experiment, handle, 2048,
+        checkpoint_dir=tmp_path / "ckpt", **kwargs,
+    )
+    assert supervised.result == baseline
+
+
+def test_single_process_runs_match_via_registry(setup_d3):
+    # The registry-built decoder is the same configuration the serial
+    # harness always used: identical results on identical seeds.
+    direct = run_memory_experiment(
+        setup_d3.experiment,
+        MWPMDecoder(setup_d3.ideal_gwt, measure_time=False),
+        2000,
+        seed=31,
+    )
+    via_registry = run_memory_experiment(
+        setup_d3.experiment, make_decoder("mwpm", setup_d3), 2000, seed=31
+    )
+    assert via_registry == direct
