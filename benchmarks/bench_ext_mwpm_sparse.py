@@ -9,12 +9,19 @@ sampled syndrome batches at d in {3, 5, 7}, p = 1e-3, using the idealized
 (full-precision) weight table -- the configuration the accuracy
 experiments actually run.
 
-Alongside throughput it records the engine's cluster-cache hit rate and
-dense-fallback fraction, asserts sparse-vs-dense agreement on a fixed-seed
-subset (weights exact to float tolerance, predictions equal), and appends
-a JSON record to ``benchmarks/results/ext_mwpm_sparse_d<d>.json``.  The
-perf gate is >= 5x sparse-over-dense at d = 7 (asserted only at full
-trial scale, where timing noise is negligible).
+Two sparse passes are timed: a *cold* pass (all cluster caches cleared,
+every distinct cluster solved from scratch -- the number comparable with
+the historical baseline records) and a *steady-state* pass over the same
+batch (warm caches, the regime of long accuracy campaigns where millions
+of shots stream through one decoder).  Alongside throughput it records
+the engine's cluster-cache hit rate and fallback breakdown (unsafe-pair /
+unsolvable / engine-error), asserts sparse-vs-dense agreement on a
+fixed-seed subset (weights exact to float tolerance, predictions equal),
+and writes a JSON record to
+``benchmarks/results/ext_mwpm_sparse_d<d>.json``.  The perf gate is
+>= 5x sparse-over-dense at d = 7 (asserted only at full trial scale,
+where timing noise is negligible); the pre-sparse-blossom engine
+recorded 2.3x on this gate.
 """
 
 import json
@@ -60,7 +67,13 @@ def test_ext_mwpm_sparse(distance, benchmark):
     for s, d in zip(sparse_check, dense_check):
         assert s.prediction == d.prediction
         assert abs(s.weight - d.weight) <= 1e-6
-    sparse._engine.clear_cache()
+
+    def clear_caches():
+        sparse._engine.clear_cache()
+        if sparse._graph_engine is not None:
+            sparse._graph_engine.clear_cache()
+
+    clear_caches()
 
     record = {
         "bench": "ext_mwpm_sparse",
@@ -76,7 +89,13 @@ def test_ext_mwpm_sparse(distance, benchmark):
         throughput["mwpm_dense"] = _shots_per_sec(
             lambda: dense.decode_batch(dense_rows), len(dense_rows)
         )
+        # Cold pass: every distinct cluster solved from scratch (the
+        # baseline-comparable number), then steady state on warm caches.
+        clear_caches()
         throughput["mwpm_sparse"] = _shots_per_sec(
+            lambda: sparse.decode_batch(detectors), shots
+        )
+        throughput["mwpm_sparse_steady"] = _shots_per_sec(
             lambda: sparse.decode_batch(detectors), shots
         )
         return throughput
@@ -85,22 +104,34 @@ def test_ext_mwpm_sparse(distance, benchmark):
     record["sparse_speedup"] = (
         throughput["mwpm_sparse"] / throughput["mwpm_dense"]
     )
+    record["sparse_speedup_steady"] = (
+        throughput["mwpm_sparse_steady"] / throughput["mwpm_dense"]
+    )
     stats = sparse.sparse_stats
     record["sparse_stats"] = stats.as_dict()
+    if sparse.graph_stats is not None:
+        record["graph_stats"] = sparse.graph_stats.as_dict()
 
     RESULTS_DIR.mkdir(exist_ok=True)
     json_path = RESULTS_DIR / f"ext_mwpm_sparse_d{distance}.json"
     json_path.write_text(json.dumps(record, indent=2) + "\n")
 
+    breakdown = ", ".join(
+        f"{reason}: {count}"
+        for reason, count in sorted(stats.fallback_events.items())
+        if count
+    ) or "none"
     lines = [
         f"d={distance}, p={P}, shots={shots} (dense subset {len(dense_rows)})",
-        f"mwpm_dense : {throughput['mwpm_dense']:12.0f} shots/s",
-        f"mwpm_sparse: {throughput['mwpm_sparse']:12.0f} shots/s",
-        f"sparse vs dense speedup: {record['sparse_speedup']:.1f}x",
+        f"mwpm_dense        : {throughput['mwpm_dense']:12.0f} shots/s",
+        f"mwpm_sparse (cold): {throughput['mwpm_sparse']:12.0f} shots/s",
+        f"mwpm_sparse steady: {throughput['mwpm_sparse_steady']:12.0f} shots/s",
+        f"sparse vs dense speedup: {record['sparse_speedup']:.1f}x cold, "
+        f"{record['sparse_speedup_steady']:.1f}x steady",
         f"cluster-cache hit rate : {stats.hit_rate:.1%} "
         f"({stats.cache_hits}/{stats.cache_hits + stats.cache_misses})",
-        f"dense fallback fraction: {stats.fallback_rate:.2%} "
-        f"({stats.dense_fallbacks}/{stats.syndromes})",
+        f"fallback fraction      : {stats.fallback_rate:.2%} "
+        f"({stats.total_fallbacks}/{stats.syndromes}; {breakdown})",
     ]
     emit(f"ext_mwpm_sparse_d{distance}", lines)
 

@@ -1,0 +1,194 @@
+"""Append-only benchmark trajectory ledger.
+
+``benchmarks/results/*.json`` records are snapshots: each bench run
+overwrites its own file, so the history of a metric across commits lives
+only in git archaeology.  This module maintains
+``benchmarks/results/BENCH_TRAJECTORY.json`` -- an append-only list of
+``(bench, commit, metric, value)`` observations -- so perf work has a
+first-class before/after trail and CI can flag regressions without
+checking out old revisions.
+
+Usage (also wired into CI)::
+
+    python benchmarks/trajectory.py record   # append current results @ HEAD
+    python benchmarks/trajectory.py check    # compare HEAD vs previous commit
+    python benchmarks/trajectory.py show     # print the ledger as a table
+
+``record`` is idempotent per ``(bench, commit)``: re-recording the same
+commit replaces that commit's entries for the bench instead of
+duplicating them.  ``check`` compares each higher-is-better metric at
+the newest recorded commit against the most recent older commit that
+recorded it and fails (exit 1) when the value fell below
+``REGRESSION_FACTOR`` of the previous observation.  The factor is
+deliberately loose (0.5): shared runners show +-20% timing noise, and
+the ledger's job is to catch step-function regressions, not jitter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+LEDGER_PATH = RESULTS_DIR / "BENCH_TRAJECTORY.json"
+
+#: ``check`` fails when value < REGRESSION_FACTOR * previous value.
+REGRESSION_FACTOR = 0.5
+
+#: Metrics harvested from each bench record, all higher-is-better.
+#: ``throughput_shots_per_sec`` sub-keys are harvested automatically as
+#: ``throughput.<name>``.
+_SCALAR_METRICS = ("sparse_speedup", "sparse_speedup_steady")
+
+
+def _git_head() -> str:
+    out = subprocess.run(
+        ["git", "rev-parse", "--short", "HEAD"],
+        cwd=Path(__file__).parent,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return out.stdout.strip()
+
+
+def harvest(record: dict) -> dict[str, float]:
+    """Extract the ledger-tracked scalar metrics from one bench record."""
+    metrics: dict[str, float] = {}
+    throughput = record.get("throughput_shots_per_sec")
+    if isinstance(throughput, dict):
+        for name, value in sorted(throughput.items()):
+            if isinstance(value, (int, float)):
+                metrics[f"throughput.{name}"] = float(value)
+    for name in _SCALAR_METRICS:
+        value = record.get(name)
+        if isinstance(value, (int, float)):
+            metrics[name] = float(value)
+    return metrics
+
+
+def collect() -> dict[str, dict[str, float]]:
+    """Harvest metrics from every ``results/*.json`` bench record."""
+    collected: dict[str, dict[str, float]] = {}
+    for path in sorted(RESULTS_DIR.glob("*.json")):
+        if path.name == LEDGER_PATH.name:
+            continue
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(record, dict) or "bench" not in record:
+            continue
+        metrics = harvest(record)
+        if metrics:
+            collected[path.stem] = metrics
+    return collected
+
+
+def load_ledger() -> list[dict]:
+    if not LEDGER_PATH.exists():
+        return []
+    entries = json.loads(LEDGER_PATH.read_text())
+    if not isinstance(entries, list):
+        raise SystemExit(f"{LEDGER_PATH}: expected a JSON list")
+    return entries
+
+
+def save_ledger(entries: list[dict]) -> None:
+    LEDGER_PATH.write_text(json.dumps(entries, indent=2) + "\n")
+
+
+def record(commit: str | None = None) -> int:
+    """Append the current ``results/*.json`` metrics at ``commit``."""
+    commit = commit or _git_head()
+    entries = load_ledger()
+    collected = collect()
+    if not collected:
+        print("trajectory: no bench records with tracked metrics found")
+        return 1
+    entries = [
+        e
+        for e in entries
+        if not (e.get("commit") == commit and e.get("bench") in collected)
+    ]
+    for bench, metrics in sorted(collected.items()):
+        entries.append({"bench": bench, "commit": commit, "metrics": metrics})
+    save_ledger(entries)
+    print(
+        f"trajectory: recorded {len(collected)} bench(es) at {commit} "
+        f"({len(entries)} entries total)"
+    )
+    return 0
+
+
+def check() -> int:
+    """Compare the newest commit's entries against their predecessors."""
+    entries = load_ledger()
+    if not entries:
+        print("trajectory: empty ledger, nothing to check")
+        return 0
+    # Entries are append-ordered; the newest commit is the last one seen.
+    newest = entries[-1]["commit"]
+    failures: list[str] = []
+    compared = 0
+    for entry in entries:
+        if entry["commit"] != newest:
+            continue
+        bench = entry["bench"]
+        previous = None
+        for old in entries:
+            if old["bench"] == bench and old["commit"] != newest:
+                previous = old  # keep the most recent older observation
+        if previous is None:
+            continue
+        for metric, value in entry["metrics"].items():
+            base = previous["metrics"].get(metric)
+            if base is None or base <= 0:
+                continue
+            compared += 1
+            ratio = value / base
+            line = (
+                f"{bench} {metric}: {value:.4g} vs {base:.4g} "
+                f"@ {previous['commit']} ({ratio:.2f}x)"
+            )
+            if ratio < REGRESSION_FACTOR:
+                failures.append(line)
+            else:
+                print(f"trajectory: ok    {line}")
+    for line in failures:
+        print(f"trajectory: REGRESSION {line}")
+    print(
+        f"trajectory: {compared} metric(s) compared at {newest}, "
+        f"{len(failures)} regression(s)"
+    )
+    return 1 if failures else 0
+
+
+def show() -> int:
+    entries = load_ledger()
+    for entry in entries:
+        for metric, value in entry["metrics"].items():
+            print(f"{entry['commit']}  {entry['bench']:32s} {metric:36s} {value:.6g}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+    rec = sub.add_parser("record", help="append current results at HEAD")
+    rec.add_argument("--commit", help="override the commit hash")
+    sub.add_parser("check", help="flag regressions vs the previous commit")
+    sub.add_parser("show", help="print the ledger")
+    args = parser.parse_args(argv)
+    if args.command == "record":
+        return record(args.commit)
+    if args.command == "check":
+        return check()
+    return show()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -95,6 +95,9 @@ def cmd_info(args: argparse.Namespace) -> int:
         f"DEM fault mechanisms : {len(setup.dem)}",
         f"decoding-graph edges : {len(setup.graph.edges)}",
         f"GWT footprint        : {setup.gwt.storage_bytes()} bytes",
+        "matching engines     : sparse table engine + graph-local "
+        "sparse-blossom (O(E), d >= 15 capable); fallbacks tracked by "
+        "reason: unsafe_pair / unsolvable / engine_error",
     ]
     cache = stage_cache().stats
     human.append(
@@ -154,6 +157,22 @@ def cmd_ler(args: argparse.Namespace) -> int:
         f"latency mean/max   : {result.mean_latency_ns:.1f}/"
         f"{result.max_latency_ns:.0f} ns",
     ]
+    fallbacks = int(getattr(decoder, "fallback_events", 0) or 0)
+    if fallbacks:
+        stats = getattr(decoder, "sparse_stats", None)
+        breakdown = (
+            " (" + ", ".join(
+                f"{reason}: {count}"
+                for reason, count in sorted(stats.fallback_events.items())
+                if count
+            ) + ")"
+            if stats is not None and any(stats.fallback_events.values())
+            else ""
+        )
+        human.append(
+            f"[WARN] fallbacks   : {fallbacks} decode(s) degraded to the "
+            f"dense reference path{breakdown}"
+        )
     machine = [
         f"{args.distance} {args.p} {args.decoder} {args.shots} "
         f"{result.errors} {result.logical_error_rate:.6e} "

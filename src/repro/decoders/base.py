@@ -139,7 +139,7 @@ def validate_syndrome_batch(
     return arr.astype(bool, copy=False)
 
 
-@dataclass
+@dataclass(slots=True)
 class DecodeResult:
     """Outcome of decoding one syndrome.
 

@@ -6,18 +6,25 @@ uses as its accuracy baseline (section 3.3) and as the subject of Figure 3
 exact-matching engine (:mod:`repro.matching.sparse`): syndromes decompose
 into independent defect clusters, small clusters are solved by closed
 forms or the vectorized exhaustive-search kernels, and cluster solutions
-are memoized.  The engine falls back to one full dense blossom solve
-(:mod:`repro.matching.blossom`) whenever its separation test cannot prove
-the decomposition exact, so accuracy is that of exact MWPM either way;
-``use_sparse=False`` selects the always-dense reference path.
+are memoized.  Syndromes the table engine cannot certify (unsafe pairs)
+and clusters too large for the search kernels route to the graph-local
+sparse-blossom engine (:mod:`repro.matching.sparse_blossom`) when one is
+attached; without one the engine raises and the decoder degrades to a
+dense reference solve (:mod:`repro.matching.blossom`) with a warning, so
+accuracy is that of exact MWPM either way.  ``use_sparse=False`` selects
+the always-dense reference path.
 
-Two configurations matter in the paper:
+Three constructions matter:
 
 * *idealized MWPM*: full-precision weights (``GlobalWeightTable`` built
   with ``lsb=None``), the accuracy yardstick of Tables 4/9 and Figures
-  12/14;
+  12/14; pass ``graph=`` alongside to arm the graph-local escape;
 * *quantized MWPM*: the same algorithm reading the 8-bit GWT, useful to
-  isolate quantization effects from search effects.
+  isolate quantization effects from search effects (no graph engine --
+  quantized tables do not agree with graph-local weights);
+* *graph-only MWPM* (``gwt=None, graph=...``): every syndrome runs the
+  sparse-blossom engine directly on decoding-graph adjacency, never
+  materializing the O(N^2) weight table -- the d >= 15 configuration.
 
 Latency is measured wall-clock (``latency_ns``), which the Figure 3 bench
 uses to reproduce the observation that software MWPM misses the 1 us
@@ -29,6 +36,7 @@ amortized into each row's latency so batched and per-row stats compare.
 from __future__ import annotations
 
 import math
+import operator
 import time
 import warnings
 
@@ -38,6 +46,7 @@ from ..graphs.weights import GlobalWeightTable
 from ..matching.blossom import min_weight_perfect_matching
 from ..matching.boundary import MatchingProblem
 from ..matching.sparse import SparseEngineError, SparseMatchingEngine, SparseStats
+from ..matching.sparse_blossom import SparseBlossomEngine
 from .base import (
     DecodeResult,
     Decoder,
@@ -53,15 +62,23 @@ class MWPMDecoder(Decoder):
     """Exact minimum-weight perfect-matching decoder.
 
     Args:
-        gwt: Global Weight Table for the target code/noise configuration.
+        gwt: Global Weight Table for the target code/noise configuration,
+            or None to decode purely on the decoding graph (``graph``
+            required; no dense reference path exists then).
+        graph: Optional :class:`~repro.graphs.decoding_graph.DecodingGraph`
+            arming the graph-local sparse-blossom engine.  With a table it
+            takes the table engine's escape routes (unsafe pairs,
+            oversized clusters) -- exact only when ``gwt`` is the graph's
+            *ideal* (unquantized) all-pairs table; without a table it is
+            the sole engine.
         measure_time: Record wall-clock decode time in ``latency_ns``
             (enabled by default; disable for slightly faster bulk decoding).
         use_sparse: Decode through the sparse cluster-decomposition engine
             (default).  ``False`` forces the dense blossom solve on every
             syndrome -- the reference the sparse engine is validated
-            against.
-        sparse_cache_size: LRU capacity of the sparse engine's cluster
-            cache (ignored when ``use_sparse`` is False).
+            against; requires a weight table.
+        sparse_cache_size: LRU capacity of the sparse engines' cluster
+            caches (ignored when ``use_sparse`` is False).
         structure: Pre-built neighbor structure for ``gwt`` (e.g. from the
             pipeline's artifact store), forwarded to the sparse engine so
             construction skips its radius/separability scan.
@@ -71,32 +88,68 @@ class MWPMDecoder(Decoder):
 
     def __init__(
         self,
-        gwt: GlobalWeightTable,
+        gwt: GlobalWeightTable | None = None,
         *,
+        graph=None,
         measure_time: bool = True,
         use_sparse: bool = True,
         sparse_cache_size: int = 65536,
         structure=None,
     ):
+        if gwt is None and graph is None:
+            raise ValueError(
+                "MWPMDecoder needs a weight table (gwt), a decoding graph "
+                "(graph=...), or both"
+            )
         self.gwt = gwt
-        self.syndrome_length = int(gwt.weights.shape[0])
         self.measure_time = measure_time
         self.use_sparse = use_sparse
-        #: Sparse-engine anomalies recovered by re-decoding densely; the
-        #: supervised experiment layer surfaces this count.
+        #: Sparse-engine anomalies recovered by re-decoding densely (or,
+        #: without a dense path, re-raised); the supervised experiment
+        #: layer surfaces this count.
         self.fallback_events = 0
-        self._engine = (
-            SparseMatchingEngine(
-                gwt, cache_size=sparse_cache_size, structure=structure
-            )
-            if use_sparse
+        self._graph_engine = (
+            SparseBlossomEngine(graph, cache_size=sparse_cache_size)
+            if graph is not None and use_sparse
             else None
         )
+        if gwt is not None:
+            self.syndrome_length = int(gwt.weights.shape[0])
+            self._engine = (
+                SparseMatchingEngine(
+                    gwt,
+                    cache_size=sparse_cache_size,
+                    structure=structure,
+                    graph_engine=self._graph_engine,
+                )
+                if use_sparse
+                else None
+            )
+        else:
+            if not use_sparse:
+                raise ValueError(
+                    "use_sparse=False (the dense reference path) requires "
+                    "a weight table; a graph-only MWPMDecoder has none"
+                )
+            self.syndrome_length = int(graph.num_detectors)
+            self._engine = self._graph_engine
 
     @property
     def sparse_stats(self) -> SparseStats | None:
-        """Counters of the sparse engine (None on the dense path)."""
+        """Counters of the active sparse engine (None on the dense path).
+
+        In graph-only mode these are the sparse-blossom engine's counters;
+        otherwise the table engine's (see :attr:`graph_stats` for the
+        attached graph engine's own counters).
+        """
         return self._engine.stats if self._engine is not None else None
+
+    @property
+    def graph_stats(self) -> SparseStats | None:
+        """Counters of the graph-local engine (None when not armed)."""
+        return (
+            self._graph_engine.stats if self._graph_engine is not None else None
+        )
 
     def _degrade(self, reason: str, detail: str) -> None:
         """Record a sparse-engine anomaly and warn that we decode densely."""
@@ -105,33 +158,56 @@ class MWPMDecoder(Decoder):
             DecoderFallbackWarning(self.name, reason, detail), stacklevel=3
         )
 
+    def _engine_error(self) -> None:
+        """Count an unexpected engine failure in the engine's breakdown."""
+        self._engine.stats.fallback_events["engine_error"] += 1
+
     def decode_active(self, active: list[int]) -> DecodeResult:
         """Decode by solving the exact MWPM of the active syndrome bits.
 
         Sparse-engine inconsistencies (:class:`SparseEngineError`, any
         unexpected internal failure, or a non-finite matching weight)
         degrade to the dense reference solve with a
-        :class:`DecoderFallbackWarning` instead of aborting.
+        :class:`DecoderFallbackWarning` instead of aborting.  A graph-only
+        decoder has no dense path: it records the event and re-raises.
         """
         start = time.perf_counter() if self.measure_time else 0.0
         if self._engine is not None:
             try:
                 pairs, weight, prediction = self._engine.solve(active)
-                if not math.isfinite(weight):
-                    raise SparseEngineError(
-                        f"non-finite matching weight {weight!r}"
-                    )
-                result = DecodeResult(
-                    prediction=prediction, matching=pairs, weight=weight
-                )
+            except SparseEngineError as exc:
+                # The engine classified this itself (unsafe_pair /
+                # unsolvable) before raising.
+                result = self._recover(exc, active)
             except Exception as exc:
-                self._degrade(type(exc).__name__, str(exc))
-                result = self._decode_dense(active)
+                self._engine_error()
+                result = self._recover(exc, active)
+            else:
+                if not math.isfinite(weight):
+                    self._engine_error()
+                    result = self._recover(
+                        SparseEngineError(
+                            f"non-finite matching weight {weight!r}"
+                        ),
+                        active,
+                    )
+                else:
+                    result = DecodeResult(
+                        prediction=prediction, matching=pairs, weight=weight
+                    )
         else:
             result = self._decode_dense(active)
         if self.measure_time:
             result.latency_ns = (time.perf_counter() - start) * 1e9
         return result
+
+    def _recover(self, exc: Exception, active: list[int]) -> DecodeResult:
+        """Degrade one failed sparse solve to the dense reference path."""
+        if self.gwt is None:
+            self.fallback_events += 1
+            raise exc
+        self._degrade(type(exc).__name__, str(exc))
+        return self._decode_dense(active)
 
     def _decode_dense(self, active: list[int]) -> DecodeResult:
         """One dense blossom solve (the reference path)."""
@@ -170,14 +246,24 @@ class MWPMDecoder(Decoder):
         start = time.perf_counter() if self.measure_time else 0.0
         try:
             solved = self._engine.solve_batch(syndromes)
-            bad = [w for _pairs, w, _pred in solved if not math.isfinite(w)]
-            if bad:
-                raise SparseEngineError(
-                    f"non-finite matching weight {bad[0]!r} in batch"
-                )
+        except SparseEngineError as exc:
+            return self._recover_batch(exc, syndromes)
         except Exception as exc:
-            self._degrade(type(exc).__name__, str(exc))
-            return self._decode_batch_dense(syndromes)
+            self._engine_error()
+            return self._recover_batch(exc, syndromes)
+        # A finite total certifies every summand is finite (inf/NaN would
+        # poison the sum), so the per-row scan runs only on the bad path.
+        if not math.isfinite(sum(map(operator.itemgetter(1), solved))):
+            bad = next(
+                w for _pairs, w, _pred in solved if not math.isfinite(w)
+            )
+            self._engine_error()
+            return self._recover_batch(
+                SparseEngineError(
+                    f"non-finite matching weight {bad!r} in batch"
+                ),
+                syndromes,
+            )
         # Bucketed solving shares nearly all of its work across rows, so
         # the honest per-row latency is the amortized batch wall-clock.
         shared_ns = (
@@ -186,14 +272,19 @@ class MWPMDecoder(Decoder):
             else 0.0
         )
         return [
-            DecodeResult(
-                prediction=prediction,
-                matching=pairs,
-                weight=weight,
-                latency_ns=shared_ns,
-            )
+            DecodeResult(prediction, pairs, weight, 0, shared_ns)
             for pairs, weight, prediction in solved
         ]
+
+    def _recover_batch(
+        self, exc: Exception, syndromes: np.ndarray
+    ) -> list[DecodeResult]:
+        """Degrade one failed sparse batch to the dense reference path."""
+        if self.gwt is None:
+            self.fallback_events += 1
+            raise exc
+        self._degrade(type(exc).__name__, str(exc))
+        return self._decode_batch_dense(syndromes)
 
     def _decode_batch_dense(self, syndromes: np.ndarray) -> list[DecodeResult]:
         results: list[DecodeResult | None] = [None] * syndromes.shape[0]

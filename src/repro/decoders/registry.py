@@ -222,10 +222,35 @@ def _make_mwpm(
 ):
     from .mwpm import MWPMDecoder
 
+    if not getattr(getattr(setup, "config", None), "dense_weights", True):
+        # No all-pairs tables exist for this config: decode purely on the
+        # decoding graph (the d >= 15 configuration).
+        if quantized or gwt is not None:
+            raise ValueError(
+                "quantized/explicit weight tables need dense weights; this "
+                "pipeline was configured with dense_weights=False (graph-"
+                "only MWPM)"
+            )
+        return MWPMDecoder(
+            None,
+            graph=setup.sparse_graph,
+            measure_time=measure_time,
+            use_sparse=use_sparse,
+            sparse_cache_size=sparse_cache_size,
+        )
     table = gwt if gwt is not None else (setup.gwt if quantized else setup.ideal_gwt)
     structure = _structure_for(setup, table) if use_sparse else None
+    # The graph-local engine is exact only against the ideal (unquantized)
+    # all-pairs table, whose entries it re-derives during growth; it takes
+    # the table engine's escape routes (unsafe pairs, oversized clusters).
+    graph = (
+        setup.graph
+        if use_sparse and table is getattr(setup, "ideal_gwt", None)
+        else None
+    )
     return MWPMDecoder(
         table,
+        graph=graph,
         measure_time=measure_time,
         use_sparse=use_sparse,
         sparse_cache_size=sparse_cache_size,

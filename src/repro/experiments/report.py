@@ -117,17 +117,24 @@ def run_headline_report(
             )
     for name, decoder in decoders.items():
         fallbacks = getattr(decoder, "fallback_events", 0)
+        stats = getattr(decoder, "sparse_stats", None)
         if fallbacks:
+            breakdown = ""
+            if stats is not None and any(stats.fallback_events.values()):
+                breakdown = " (" + ", ".join(
+                    f"{reason}: {count}"
+                    for reason, count in sorted(stats.fallback_events.items())
+                    if count
+                ) + ")"
             lines.append(
                 f"[WARN] {name}: {fallbacks} decode(s) degraded to the "
-                "dense reference path"
+                f"dense reference path{breakdown}"
             )
-        stats = getattr(decoder, "sparse_stats", None)
         if stats is not None and stats.syndromes:
             lines.append(
                 f"[INFO] {name} sparse engine: cluster-cache hit rate "
                 f"{stats.hit_rate:.1%} ({stats.cache_hits}/{stats.cache_hits + stats.cache_misses}), "
-                f"dense fallbacks {stats.dense_fallbacks}/{stats.syndromes}"
+                f"fallbacks {stats.total_fallbacks}/{stats.syndromes}"
             )
     lines += [
         "",

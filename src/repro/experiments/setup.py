@@ -40,7 +40,12 @@ from ..pipeline.artifacts import (
     encode_artifact,
     encode_stage,
 )
-from ..pipeline.stages import STAGES, DecodingPipeline, PipelineConfig
+from ..pipeline.stages import (
+    STAGES,
+    DecodingPipeline,
+    PipelineConfig,
+    stage_enabled,
+)
 
 if TYPE_CHECKING:
     from ..circuits.memory import MemoryExperiment
@@ -57,8 +62,10 @@ _CACHE: dict[tuple, "DecodingSetup"] = {}
 
 #: On-disk format version of :meth:`DecodingSetup.save` bundles.
 #: Version 1 was a pickle (no longer read); version 2 is the pickle-free
-#: zip-of-artifacts bundle.
-_BUNDLE_FORMAT = 2
+#: zip-of-artifacts bundle; version 3 records ``dense_weights`` in the
+#: manifest config and carries only the stages that configuration builds
+#: (the sparse_graph stage joined, the gwt stages became optional).
+_BUNDLE_FORMAT = 3
 _BUNDLE_KIND = "repro-decoding-setup"
 _BUNDLE_MANIFEST = "bundle.json"
 
@@ -133,6 +140,7 @@ class DecodingSetup:
         rounds: int | None = None,
         basis: str = "z",
         lsb: float = DEFAULT_LSB,
+        dense_weights: bool = True,
         cache: bool = True,
         store_root: str | Path | None = None,
     ) -> "DecodingSetup":
@@ -144,6 +152,9 @@ class DecodingSetup:
             rounds: Syndrome rounds (defaults to ``distance``).
             basis: Memory basis, ``"z"`` or ``"x"``.
             lsb: Fixed-point step of the quantized GWT.
+            dense_weights: ``False`` disables the all-pairs weight stages
+                (O(E) stack, graph-local MWPM only) -- required for
+                d >= 15, where the O(N^2) tables are infeasible.
             cache: Reuse a previously built identical configuration.
             store_root: Artifact-store root to warm-start from (None: the
                 ``REPRO_ARTIFACT_DIR``-configured default, if any).
@@ -157,6 +168,7 @@ class DecodingSetup:
             rounds=rounds,
             basis=basis,
             lsb=lsb,
+            dense_weights=dense_weights,
         )
         return cls.from_config(config, store_root=store_root, cache=cache)
 
@@ -193,6 +205,11 @@ class DecodingSetup:
     def dem(self) -> "DetectorErrorModel":
         """Detector error model extracted from the circuit."""
         return self.pipeline.get("dem")
+
+    @property
+    def sparse_graph(self) -> "DecodingGraph":
+        """Adjacency-only decoding graph (no all-pairs tables, O(E))."""
+        return self.pipeline.get("sparse_graph")
 
     @property
     def graph(self) -> "DecodingGraph":
@@ -254,7 +271,7 @@ class DecodingSetup:
         stages: dict[str, int] = {}
         with zipfile.ZipFile(buffer, "w", zipfile.ZIP_DEFLATED) as archive:
             for name, spec in STAGES.items():
-                if not spec.persistable:
+                if not spec.persistable or not stage_enabled(self.config, name):
                     continue
                 version = STAGE_FORMAT_VERSIONS[name]
                 arrays, meta = encode_stage(name, self.pipeline.get(name))
@@ -274,6 +291,7 @@ class DecodingSetup:
                     "rounds": config.rounds,
                     "basis": config.basis,
                     "lsb": config.lsb,
+                    "dense_weights": config.dense_weights,
                 },
                 "stages": stages,
             }
@@ -334,6 +352,7 @@ class DecodingSetup:
                     rounds=None if raw["rounds"] is None else int(raw["rounds"]),
                     basis=str(raw["basis"]),
                     lsb=float(raw["lsb"]),
+                    dense_weights=bool(raw["dense_weights"]),
                 )
             except (KeyError, TypeError, ValueError):
                 raise incompatible() from None
@@ -348,7 +367,7 @@ class DecodingSetup:
                     "was assembled from mismatched parts"
                 )
             for name, spec in STAGES.items():
-                if not spec.persistable:
+                if not spec.persistable or not stage_enabled(config, name):
                     continue
                 member = f"{name}.artifact"
                 try:

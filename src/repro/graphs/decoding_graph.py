@@ -200,7 +200,9 @@ class DecodingGraph:
     # ------------------------------------------------------------------
 
     @classmethod
-    def from_dem(cls, dem: DetectorErrorModel) -> "DecodingGraph":
+    def from_dem(
+        cls, dem: DetectorErrorModel, *, all_pairs: bool = True
+    ) -> "DecodingGraph":
         """Build the decoding graph of a detector error model.
 
         Mechanisms flipping more than two detectors are rejected: the
@@ -209,9 +211,16 @@ class DecodingGraph:
 
         Args:
             dem: The detector error model.
+            all_pairs: Precompute the ``(n, n)`` all-pairs shortest-path
+                weight/parity tables (the Global Weight Table substrate).
+                ``False`` skips them entirely -- O(E) construction and
+                memory instead of O(N^2) -- leaving a graph suitable for
+                adjacency-walking decoders and the sparse-blossom engine;
+                all-pairs queries then raise :class:`ValueError`.
 
         Returns:
-            The fully precomputed :class:`DecodingGraph`.
+            The :class:`DecodingGraph` (fully precomputed when
+            ``all_pairs`` is set).
         """
         non_graphlike = dem.non_graphlike_mechanisms()
         if non_graphlike:
@@ -221,7 +230,12 @@ class DecodingGraph:
             )
         edges = _merge_edges(dem)
         n = dem.num_detectors
-        weights, parities, predecessors = _all_pairs(edges, n)
+        if all_pairs:
+            weights, parities, predecessors = _all_pairs(edges, n)
+        else:
+            weights = np.zeros((0, 0), dtype=np.float64)
+            parities = np.zeros((0, 0), dtype=bool)
+            predecessors = np.zeros((0, 0), dtype=np.int32)
         graph = cls(
             num_detectors=n,
             edges=edges,
@@ -235,20 +249,37 @@ class DecodingGraph:
                 graph.adjacency.setdefault(edge.v, []).append(edge)
         return graph
 
+    @property
+    def has_all_pairs(self) -> bool:
+        """Whether the all-pairs weight/parity tables were materialised."""
+        return self.pair_weights.shape[0] == self.num_detectors
+
+    def _require_all_pairs(self, what: str) -> None:
+        if not self.has_all_pairs:
+            raise ValueError(
+                f"{what} needs the all-pairs tables, but this graph was "
+                "built with all_pairs=False (sparse/adjacency-only); "
+                "rebuild with DecodingGraph.from_dem(dem) or use the "
+                "sparse-blossom engine, which works on adjacency alone"
+            )
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
 
     def weight(self, i: int, j: int) -> float:
         """Shortest-path weight between detectors i and j (i == j: boundary)."""
+        self._require_all_pairs("weight()")
         return float(self.pair_weights[i, j])
 
     def parity(self, i: int, j: int) -> bool:
         """Logical parity of the shortest path between i and j."""
+        self._require_all_pairs("parity()")
         return bool(self.pair_parities[i, j])
 
     def boundary_weight(self, i: int) -> float:
         """Shortest-path weight from detector ``i`` to the boundary."""
+        self._require_all_pairs("boundary_weight()")
         return float(self.pair_weights[i, i])
 
     def neighbors(self, i: int) -> list[GraphEdge]:
@@ -265,6 +296,7 @@ class DecodingGraph:
         bound ``W[i, j] <= W[i, i] + W[j, j]`` holds mathematically because
         the boundary participates in the shortest-path computation).
         """
+        self._require_all_pairs("neighbor_structure()")
         cache = getattr(self, "_neighbor_structures", None)
         if cache is None:
             cache = {}
@@ -294,6 +326,7 @@ class DecodingGraph:
             is a separate chain from each to the boundary route through
             the boundary vertex.
         """
+        self._require_all_pairs("shortest_path()")
         boundary = self.num_detectors
         src = boundary if u == BOUNDARY else u
         dst = boundary if v == BOUNDARY else v
@@ -314,6 +347,92 @@ class DecodingGraph:
             )
             for a, b in zip(hops, hops[1:])
         ]
+
+    # ------------------------------------------------------------------
+    # Graph-local accessors (no all-pairs data required)
+    # ------------------------------------------------------------------
+
+    def csr_adjacency(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """CSR adjacency over the ``n + 1`` matching vertices.
+
+        The virtual boundary occupies dense index ``n``.  Parallel edges
+        between the same endpoints are collapsed to the cheaper one -- the
+        same canonicalization :func:`_all_pairs` applies -- so graph-local
+        shortest paths reproduce the all-pairs tables exactly.
+
+        Returns:
+            ``(indptr, indices, weights, parities)``: for vertex ``x`` the
+            incident half-edges are ``indices[indptr[x]:indptr[x + 1]]``
+            with matching edge weights and observable-flip parities.
+        """
+        cached = getattr(self, "_csr_adjacency", None)
+        if cached is not None:
+            return cached
+        n = self.num_detectors
+        boundary = n
+        best: dict[tuple[int, int], tuple[float, bool]] = {}
+        for e in self.edges:
+            u = e.u
+            v = boundary if e.v == BOUNDARY else e.v
+            key = (min(u, v), max(u, v))
+            current = best.get(key)
+            if current is None or e.weight < current[0]:
+                best[key] = (e.weight, e.flips_observable)
+        m = len(best)
+        src = np.empty(2 * m, dtype=np.int64)
+        dst = np.empty(2 * m, dtype=np.int64)
+        wts = np.empty(2 * m, dtype=np.float64)
+        par = np.empty(2 * m, dtype=bool)
+        for k, ((u, v), (w, flips)) in enumerate(sorted(best.items())):
+            src[2 * k], dst[2 * k] = u, v
+            src[2 * k + 1], dst[2 * k + 1] = v, u
+            wts[2 * k] = wts[2 * k + 1] = w
+            par[2 * k] = par[2 * k + 1] = flips
+        order = np.lexsort((dst, src))
+        src, dst, wts, par = src[order], dst[order], wts[order], par[order]
+        indptr = np.zeros(n + 2, dtype=np.int64)
+        np.cumsum(np.bincount(src, minlength=n + 1), out=indptr[1:])
+        cached = (indptr, dst, wts, par)
+        object.__setattr__(self, "_csr_adjacency", cached)
+        return cached
+
+    def boundary_distances(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-detector matching radii via one Dijkstra from the boundary.
+
+        Returns:
+            ``(radii, parities)``: ``radii[i]`` is the shortest-path weight
+            from detector ``i`` to the virtual boundary (``inf`` when no
+            boundary path exists) and ``parities[i]`` the logical parity
+            accumulated along that path.  Equals the diagonal of the ideal
+            all-pairs tables without ever materialising them.
+        """
+        cached = getattr(self, "_boundary_distances", None)
+        if cached is not None:
+            return cached
+        import heapq
+
+        indptr, indices, weights, parities = self.csr_adjacency()
+        n = self.num_detectors
+        dist = np.full(n + 1, np.inf, dtype=np.float64)
+        par = np.zeros(n + 1, dtype=bool)
+        done = np.zeros(n + 1, dtype=bool)
+        dist[n] = 0.0
+        heap: list[tuple[float, int, bool]] = [(0.0, n, False)]
+        while heap:
+            d, x, p = heapq.heappop(heap)
+            if done[x]:
+                continue
+            done[x] = True
+            par[x] = p
+            for k in range(indptr[x], indptr[x + 1]):
+                y = int(indices[k])
+                nd = d + weights[k]
+                if not done[y] and nd < dist[y]:
+                    dist[y] = nd
+                    heapq.heappush(heap, (nd, y, p ^ bool(parities[k])))
+        cached = (dist[:n].copy(), par[:n].copy())
+        object.__setattr__(self, "_boundary_distances", cached)
+        return cached
 
 
 def _merge_edges(dem: DetectorErrorModel) -> list[GraphEdge]:

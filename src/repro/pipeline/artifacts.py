@@ -70,9 +70,13 @@ ARTIFACT_LAYOUT_VERSION = 1
 #: keyed by this mapping, so a bump also invalidates cross-job caches.
 STAGE_FORMAT_VERSIONS: dict[str, int] = {
     "dem": 1,
+    "sparse_graph": 1,
     "graph": 1,
-    "gwt": 1,
-    "ideal_gwt": 1,
+    # v2: the gwt stages became optional (PipelineConfig.dense_weights);
+    # v1 blobs predate the gating and are rejected rather than silently
+    # resolved for configurations that no longer build them.
+    "gwt": 2,
+    "ideal_gwt": 2,
     "neighbor_structure": 1,
     "quantized_neighbor_structure": 1,
 }
@@ -305,6 +309,23 @@ def _decode_graph(arrays: dict, meta: dict) -> DecodingGraph:
     return graph
 
 
+def _encode_sparse_graph(graph: DecodingGraph) -> tuple[dict, dict]:
+    # Edges and detector count only: the sparse graph never carries the
+    # all-pairs tables, so its artifact stays O(E).
+    arrays, meta = _encode_graph(graph)
+    for name in ("pair_weights", "pair_parities", "predecessors"):
+        del arrays[name]
+    return arrays, meta
+
+
+def _decode_sparse_graph(arrays: dict, meta: dict) -> DecodingGraph:
+    arrays = dict(arrays)
+    arrays["pair_weights"] = np.zeros((0, 0), dtype=np.float64)
+    arrays["pair_parities"] = np.zeros((0, 0), dtype=bool)
+    arrays["predecessors"] = np.zeros((0, 0), dtype=np.int32)
+    return _decode_graph(arrays, meta)
+
+
 def _encode_gwt(gwt: GlobalWeightTable) -> tuple[dict, dict]:
     arrays = {"weights": gwt.weights, "parities": gwt.parities}
     return arrays, {"lsb": gwt.lsb}
@@ -357,6 +378,7 @@ def _decode_structure(arrays: dict, meta: dict) -> NeighborStructure:
 #: stage name -> (encode, decode) codec over (arrays, meta) pairs.
 STAGE_CODECS = {
     "dem": (_encode_dem, _decode_dem),
+    "sparse_graph": (_encode_sparse_graph, _decode_sparse_graph),
     "graph": (_encode_graph, _decode_graph),
     "gwt": (_encode_gwt, _decode_gwt),
     "ideal_gwt": (_encode_gwt, _decode_gwt),

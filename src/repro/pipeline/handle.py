@@ -68,7 +68,14 @@ class DecoderHandle:
         )
 
     def resolve(self):
-        """Materialise (or fetch the memoised) decoder for this handle."""
+        """Materialise (or fetch the memoised) decoder for this handle.
+
+        Raises:
+            ValueError: When the handle's decoder needs stages its
+                configuration disabled (a ``dense_weights=False`` config
+                with a table-driven decoder), with the handle named so
+                the misconfiguration is traceable across worker logs.
+        """
         key = (self.config, self.decoder, self.options, self.store_root)
         decoder = _RESOLVED.get(key)
         if decoder is None:
@@ -78,7 +85,15 @@ class DecoderHandle:
             setup = DecodingSetup.from_config(
                 self.config, store_root=self.store_root
             )
-            decoder = make_decoder(self.decoder, setup, **dict(self.options))
+            try:
+                decoder = make_decoder(self.decoder, setup, **dict(self.options))
+            except ValueError as exc:
+                if self.config.dense_weights or "dense_weights" not in str(exc):
+                    raise
+                raise ValueError(
+                    f"handle for decoder {self.decoder!r} cannot resolve "
+                    f"under its dense_weights=False configuration: {exc}"
+                ) from exc
             _RESOLVED[key] = decoder
         return decoder
 

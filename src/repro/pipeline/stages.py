@@ -4,8 +4,16 @@ The decoding stack is a chain of pure derivations from one configuration::
 
     circuit ──> frame_program            (sampling)
        │
-       └─> dem ─> graph ─┬─> gwt ──────> quantized_neighbor_structure
-                         └─> ideal_gwt ─> neighbor_structure
+       └─> dem ─┬─> graph ─┬─> gwt ──────> quantized_neighbor_structure
+                │          └─> ideal_gwt ─> neighbor_structure
+                └─> sparse_graph         (adjacency only, O(E))
+
+Configurations with ``dense_weights=False`` disable the all-pairs branch
+entirely (``graph``/``gwt``/``ideal_gwt`` and both neighbor structures):
+requesting a disabled stage raises instead of silently resolving a stale
+store artifact, and decoders route through ``sparse_graph`` -- the
+graph-local sparse-blossom path that never materialises O(N^2) weights,
+which is what makes d >= 15 construction feasible.
 
 :class:`DecodingPipeline` materialises exactly the stages a caller asks
 for (a latency bench touching only ``gwt`` never pays for the all-pairs
@@ -43,7 +51,14 @@ from .artifacts import (
 )
 from .fingerprint import experiment_fingerprint
 
-__all__ = ["PipelineConfig", "StageSpec", "DecodingPipeline", "STAGES"]
+__all__ = [
+    "DENSE_WEIGHT_STAGES",
+    "DecodingPipeline",
+    "PipelineConfig",
+    "STAGES",
+    "StageSpec",
+    "stage_enabled",
+]
 
 
 @dataclass(frozen=True)
@@ -58,6 +73,11 @@ class PipelineConfig:
         rounds: Syndrome rounds (None: ``distance``).
         basis: Memory basis, ``"z"`` or ``"x"``.
         lsb: Fixed-point step of the quantized GWT.
+        dense_weights: Whether the all-pairs branch (``graph``, ``gwt``,
+            ``ideal_gwt``, neighbor structures) is available.  ``False``
+            keeps the stack O(E): only ``sparse_graph`` exists and MWPM
+            decodes graph-locally -- required for d >= 15, where the
+            O(N^2) tables are infeasible.
     """
 
     distance: int
@@ -65,6 +85,7 @@ class PipelineConfig:
     rounds: int | None = None
     basis: str = "z"
     lsb: float = DEFAULT_LSB
+    dense_weights: bool = True
 
     def noise(self) -> NoiseParams:
         """The uniform noise model of this configuration."""
@@ -121,6 +142,12 @@ def _build_graph(pipeline: "DecodingPipeline"):
     return DecodingGraph.from_dem(pipeline.get("dem"))
 
 
+def _build_sparse_graph(pipeline: "DecodingPipeline"):
+    from ..graphs.decoding_graph import DecodingGraph
+
+    return DecodingGraph.from_dem(pipeline.get("dem"), all_pairs=False)
+
+
 def _build_gwt(pipeline: "DecodingPipeline"):
     from ..graphs.weights import GlobalWeightTable
 
@@ -157,6 +184,7 @@ STAGES: dict[str, StageSpec] = {
             "frame_program", ("circuit",), _build_frame_program, persistable=False
         ),
         StageSpec("dem", ("circuit",), _build_dem),
+        StageSpec("sparse_graph", ("dem",), _build_sparse_graph),
         StageSpec("graph", ("dem",), _build_graph),
         StageSpec("gwt", ("graph",), _build_gwt),
         StageSpec("ideal_gwt", ("graph",), _build_ideal_gwt),
@@ -172,6 +200,28 @@ STAGES: dict[str, StageSpec] = {
         ),
     )
 }
+
+
+#: Stages that exist only when the configuration builds dense (all-pairs)
+#: weights; disabled -- never built, never resolved from a store -- when
+#: ``PipelineConfig.dense_weights`` is False.
+DENSE_WEIGHT_STAGES = frozenset(
+    {
+        "graph",
+        "gwt",
+        "ideal_gwt",
+        "neighbor_structure",
+        "quantized_neighbor_structure",
+    }
+)
+
+
+def stage_enabled(config: PipelineConfig, stage: str) -> bool:
+    """Whether ``stage`` exists under ``config`` (dense-weights gating)."""
+    return (
+        getattr(config, "dense_weights", True)
+        or stage not in DENSE_WEIGHT_STAGES
+    )
 
 
 #: Sentinel: "use the REPRO_ARTIFACT_DIR-configured default store".
@@ -246,6 +296,16 @@ class DecodingPipeline:
                 f"unknown pipeline stage {stage!r}; "
                 f"stages are {tuple(STAGES)}"
             ) from None
+        # Disabled stages are rejected before the store is even consulted:
+        # a dense_weights=False config must never resolve a stale gwt blob
+        # that an earlier (dense) run of the same circuit persisted.
+        if not stage_enabled(self.config, stage):
+            raise ValueError(
+                f"stage {stage!r} is disabled: this pipeline was "
+                "configured with dense_weights=False (no all-pairs weight "
+                "tables); use the 'sparse_graph' stage and the graph-local "
+                "MWPM path, or rebuild with dense_weights=True"
+            )
         key = self._key(stage)
         missing = object()
         value = self.memory_cache.get(key, missing)
@@ -271,11 +331,16 @@ class DecodingPipeline:
         return value
 
     def warm(self, stages: tuple[str, ...] | list[str] | None = None) -> None:
-        """Materialise the given stages (default: every persistable one)."""
+        """Materialise the given stages (default: every enabled persistable
+        one; disabled dense-weight stages are skipped, not an error)."""
         names = (
             tuple(stages)
             if stages is not None
-            else tuple(s for s in STAGES if STAGES[s].persistable)
+            else tuple(
+                s
+                for s in STAGES
+                if STAGES[s].persistable and stage_enabled(self.config, s)
+            )
         )
         for name in names:
             self.get(name)

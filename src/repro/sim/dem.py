@@ -102,11 +102,13 @@ def build_detector_error_model(circuit: Circuit) -> DetectorErrorModel:
     """
     injections, probabilities = _enumerate_faults(circuit)
     num_faults = len(probabilities)
-    det_matrix, obs_matrix = _propagate_faults(circuit, injections, num_faults)
+    det_t, obs_t = _propagate_faults(circuit, injections, num_faults)
+    det_ids, det_bounds = _signature_stream(det_t, num_faults)
+    obs_ids, obs_bounds = _signature_stream(obs_t, num_faults)
     merged: dict[tuple[tuple[int, ...], tuple[int, ...]], float] = {}
     for row in range(num_faults):
-        detectors = tuple(int(i) for i in np.nonzero(det_matrix[row])[0])
-        observables = tuple(int(i) for i in np.nonzero(obs_matrix[row])[0])
+        detectors = tuple(det_ids[det_bounds[row] : det_bounds[row + 1]])
+        observables = tuple(obs_ids[obs_bounds[row] : obs_bounds[row + 1]])
         if not detectors and not observables:
             continue  # invisible fault; cannot affect decoding or logicals
         key = (detectors, observables)
@@ -202,28 +204,59 @@ def _enumerate_faults(circuit: Circuit) -> tuple[_Injections, list[float]]:
 def _propagate_faults(
     circuit: Circuit, injections: _Injections, num_faults: int
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Propagate every fault row; return (detector, observable) matrices."""
+    """Propagate every fault; return record-major signature matrices.
+
+    Frames are kept *qubit-major* -- ``x``/``z`` are ``(qubits, faults)``
+    and the record matrix ``(records, faults)`` -- so every gate acts on
+    whole contiguous rows instead of strided columns.  At large distance
+    this layout is what keeps extraction linear-time in practice: the
+    d = 15 circuit propagates a few hundred thousand fault columns, and
+    column-sliced updates spend their time striding the batch axis.
+
+    Returns:
+        ``(detectors, faults)`` and ``(observables, faults)`` bool
+        matrices.
+    """
     num_qubits = circuit.num_qubits
-    x = np.zeros((num_faults, num_qubits), dtype=bool)
-    z = np.zeros((num_faults, num_qubits), dtype=bool)
-    rec = np.zeros((num_faults, circuit.num_measurements), dtype=bool)
+    x = np.zeros((num_qubits, num_faults), dtype=bool)
+    z = np.zeros((num_qubits, num_faults), dtype=bool)
+    rec = np.zeros((circuit.num_measurements, num_faults), dtype=bool)
     cursor = 0
     for index, inst in enumerate(circuit.instructions):
         for row, pauli in injections.paulis.get(index, ()):
             for qubit, flip_x, flip_z in pauli:
-                x[row, qubit] ^= flip_x
-                z[row, qubit] ^= flip_z
+                x[qubit, row] ^= flip_x
+                z[qubit, row] ^= flip_z
         cursor = _apply_deterministic(inst, x, z, rec, cursor)
         for row, offset in injections.record_flips.get(index, ()):
-            rec[row, cursor - len(inst.targets) + offset] ^= True
+            rec[cursor - len(inst.targets) + offset, row] ^= True
     num_records = circuit.num_measurements
-    det = ParityTransfer.from_groups(circuit.detectors(), num_records).apply_bool(
-        rec
-    )
+    det = ParityTransfer.from_groups(
+        circuit.detectors(), num_records
+    ).apply_bool_t(rec)
     obs = ParityTransfer.from_groups(
         circuit.observables(), num_records
-    ).apply_bool(rec)
+    ).apply_bool_t(rec)
     return det, obs
+
+
+def _signature_stream(
+    matrix_t: np.ndarray, num_faults: int
+) -> tuple[list[int], list[int]]:
+    """Flatten a record-major signature matrix to per-fault index slices.
+
+    Args:
+        matrix_t: ``(groups, faults)`` bool matrix.
+        num_faults: Number of fault columns.
+
+    Returns:
+        ``(ids, bounds)``: fault ``row``'s sorted group indices are
+        ``ids[bounds[row]:bounds[row + 1]]``.
+    """
+    ids, faults = np.nonzero(matrix_t)
+    order = np.argsort(faults, kind="stable")
+    bounds = np.searchsorted(faults[order], np.arange(num_faults + 1))
+    return ids[order].tolist(), bounds.tolist()
 
 
 def _apply_deterministic(
@@ -233,26 +266,30 @@ def _apply_deterministic(
     rec: np.ndarray,
     cursor: int,
 ) -> int:
-    """Apply one instruction with all noise suppressed; return new cursor."""
+    """Apply one instruction with all noise suppressed; return new cursor.
+
+    ``x``/``z``/``rec`` are qubit-/record-major (batch on the last axis),
+    so each update below touches whole contiguous rows.
+    """
     name = inst.name
     ts = list(inst.targets)
     if name == "H":
-        tmp = x[:, ts].copy()
-        x[:, ts] = z[:, ts]
-        z[:, ts] = tmp
+        tmp = x[ts].copy()
+        x[ts] = z[ts]
+        z[ts] = tmp
     elif name == "CX":
         controls = ts[0::2]
         targets = ts[1::2]
-        x[:, targets] ^= x[:, controls]
-        z[:, controls] ^= z[:, targets]
+        x[targets] ^= x[controls]
+        z[controls] ^= z[targets]
     elif name == "R":
-        x[:, ts] = False
-        z[:, ts] = False
+        x[ts] = False
+        z[ts] = False
     elif name == "M" or name == "MR":
         n = len(ts)
-        rec[:, cursor : cursor + n] = x[:, ts]
-        z[:, ts] = False
+        rec[cursor : cursor + n] = x[ts]
+        z[ts] = False
         if name == "MR":
-            x[:, ts] = False
+            x[ts] = False
         return cursor + n
     return cursor

@@ -88,6 +88,28 @@ class ParityTransfer:
             out[:, self._nonempty] = (sums & 1).astype(bool)
         return out
 
+    def apply_bool_t(self, rec_t: np.ndarray) -> np.ndarray:
+        """Reduce record-major ``(num_records, shots)`` bools to parities.
+
+        The transposed twin of :meth:`apply_bool` for pipelines that keep
+        batches record-major (one contiguous row per record): each group
+        XORs whole rows, so no gather/reduceat over strided columns is
+        needed.  Groups are small (detectors are parities of a handful of
+        records), so the per-group Python loop is negligible next to the
+        row-sized XORs it issues.
+
+        Returns:
+            ``(num_groups, shots)`` bool parity matrix.
+        """
+        out = np.zeros((self.num_groups, rec_t.shape[1]), dtype=bool)
+        indices = self.indices.tolist()
+        indptr = self.indptr.tolist()
+        for group in range(self.num_groups):
+            row = out[group]
+            for k in range(indptr[group], indptr[group + 1]):
+                row ^= rec_t[indices[k]]
+        return out
+
     def apply_packed(self, rec_words: np.ndarray) -> np.ndarray:
         """Reduce bit-packed ``(num_records, words)`` records to parities.
 

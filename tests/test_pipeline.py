@@ -65,7 +65,7 @@ def _assert_stage_equal(name: str, a, b) -> None:
         assert a.num_detectors == b.num_detectors
         assert a.num_observables == b.num_observables
         assert a.mechanisms == b.mechanisms
-    elif name == "graph":
+    elif name in ("graph", "sparse_graph"):
         assert a.num_detectors == b.num_detectors
         assert a.edges == b.edges
         np.testing.assert_array_equal(a.pair_weights, b.pair_weights)

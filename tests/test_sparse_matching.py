@@ -8,8 +8,9 @@ Equivalence policy (mirrors ``test_astrea.py``):
 * on *quantized* tables equal-weight optima of different parity exist
   (already true of Astrea-vs-MWPM in the seed suite), so the matching
   weight must agree exactly while predictions may differ on degenerate
-  ties only -- the unsafe-pair *fallback* path, which reruns the dense
-  solver verbatim, must agree on everything including the pairs.
+  ties only -- the unsafe-pair path, where the engine refuses (no graph
+  engine attached) and the decoder degrades to rerun the dense solver
+  verbatim, must agree on everything including the pairs.
 """
 
 from __future__ import annotations
@@ -17,11 +18,16 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.decoders.base import DecoderFallbackWarning
 from repro.decoders.mwpm import MWPMDecoder
 from repro.experiments.setup import DecodingSetup
 from repro.graphs.decoding_graph import BOUNDARY, NeighborStructure
 from repro.graphs.weights import GlobalWeightTable
-from repro.matching.sparse import SparseMatchingEngine, default_tolerance
+from repro.matching.sparse import (
+    SparseEngineError,
+    SparseMatchingEngine,
+    default_tolerance,
+)
 
 GRID = [(3, 1e-3), (3, 5e-3), (3, 1e-2), (5, 1e-3), (5, 5e-3), (5, 1e-2), (7, 1e-3)]
 
@@ -73,10 +79,11 @@ class TestSparseEqualsDense:
             assert s.weight == d.weight, active
 
     def test_fallback_path_identical_to_dense(self, distance, p):
-        """Unsafe-pair syndromes rerun the dense solver verbatim."""
+        """Unsafe-pair syndromes raise; the decoder reruns dense verbatim."""
         setup = DecodingSetup.build(distance, p)
         gwt = setup.gwt
         engine = SparseMatchingEngine(gwt)
+        sparse = MWPMDecoder(gwt, measure_time=False, use_sparse=True)
         dense = MWPMDecoder(gwt, measure_time=False, use_sparse=False)
         unsafe_pairs = np.argwhere(engine.structure.unsafe)
         if unsafe_pairs.size == 0:
@@ -87,15 +94,22 @@ class TestSparseEqualsDense:
         for a, b in unsafe_pairs[:30]:
             extra = _random_active(rng, n, 6)
             active = sorted(set(extra) | {int(a), int(b)})
-            before = engine.stats.dense_fallbacks
-            pairs, weight, prediction = engine.solve(active)
-            assert engine.stats.dense_fallbacks == before + 1
+            before = engine.stats.fallback_events["unsafe_pair"]
+            with pytest.raises(SparseEngineError, match="unsafe pair"):
+                engine.solve(active)
+            assert engine.stats.fallback_events["unsafe_pair"] == before + 1
+            with pytest.warns(DecoderFallbackWarning):
+                s = sparse.decode_active(list(active))
             d = dense.decode_active(list(active))
-            assert pairs == d.matching, active
-            assert weight == d.weight, active
-            assert prediction == d.prediction, active
+            assert s.matching == d.matching, active
+            assert s.weight == d.weight, active
+            assert s.prediction == d.prediction, active
             checked += 1
         assert checked > 0
+        assert sparse.fallback_events == checked
+        assert (
+            sparse.sparse_stats.fallback_events["unsafe_pair"] == checked
+        )
 
 
 class TestNeighborStructure:
@@ -207,16 +221,39 @@ class TestSparseEngineMechanics:
         gwt = GlobalWeightTable(weights=weights, parities=parities, lsb=0.25)
         engine = SparseMatchingEngine(gwt)
         assert engine.structure.unsafe[0, 1]
-        pairs, weight, _ = engine.solve([0, 1])
-        assert engine.stats.dense_fallbacks == 1
-        # The fallback reproduces the dense solve exactly: an even syndrome
-        # has no virtual node, so the defects pair directly at W[0, 1]
-        # (the inconsistent through-boundary route is never offered --
-        # which is precisely why decomposing here would be unsound).
+        with pytest.raises(SparseEngineError, match="unsafe pair"):
+            engine.solve([0, 1])
+        assert engine.stats.fallback_events["unsafe_pair"] == 1
+
+        # With a graph engine attached the whole syndrome routes there:
+        # growth re-derives true weights, so no decomposition is needed.
+        sentinel = ([(0, 1)], 3.0, False)
+
+        class _StubGraphEngine:
+            calls = 0
+
+            def solve(self, dets):
+                _StubGraphEngine.calls += 1
+                return sentinel
+
+        routed = SparseMatchingEngine(gwt, graph_engine=_StubGraphEngine())
+        assert routed.solve([0, 1]) == sentinel
+        assert _StubGraphEngine.calls == 1
+        assert routed.stats.fallback_events["unsafe_pair"] == 1
+
+        # Without one, the decoder degrades and reproduces the dense solve
+        # exactly: an even syndrome has no virtual node, so the defects
+        # pair directly at W[0, 1] (the inconsistent through-boundary
+        # route is never offered -- which is precisely why decomposing
+        # here would be unsound).
+        sparse = MWPMDecoder(gwt, measure_time=False, use_sparse=True)
         dense = MWPMDecoder(gwt, measure_time=False, use_sparse=False)
+        with pytest.warns(DecoderFallbackWarning):
+            s = sparse.decode_active([0, 1])
         d = dense.decode_active([0, 1])
-        assert pairs == d.matching == [(0, 1)]
-        assert weight == d.weight == pytest.approx(3.0)
+        assert s.matching == d.matching == [(0, 1)]
+        assert s.weight == d.weight == pytest.approx(3.0)
+        assert sparse.fallback_events == 1
 
     def test_tolerance_defaults(self, setup_d3):
         assert default_tolerance(setup_d3.gwt) == 0.0
