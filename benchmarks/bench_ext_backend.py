@@ -1,0 +1,139 @@
+"""Extension bench: array-backend seam throughput and bit-identity.
+
+Activates every *importable* array backend (always numpy and the
+portable ``numpy_generic`` shim; CuPy / torch / array-api-strict when
+their libraries exist) and, per backend:
+
+* asserts the golden contract -- corrections and logical-error counts
+  of full Union-Find decode runs at d = 3/5/7 are bit-identical to the
+  plain numpy path, and
+* measures packed frame-sampling and ``decode_batch`` throughput, so
+  the trajectory ledger tracks what the seam costs (the generic path
+  trades the uint64 popcount kernels for portable two-level reductions)
+  and what an accelerator buys when present.
+"""
+
+import json
+import time
+
+import numpy as np
+
+from repro.backend import available_backends, from_device, use_backend
+from repro.decoders.union_find import UnionFindDecoder
+from repro.experiments.setup import DecodingSetup
+from repro.sim.pauli_frame import PauliFrameSimulator
+
+from _util import RESULTS_DIR, emit, seed, trials
+
+P = 2e-3
+#: Golden bit-identity distances; the largest also provides the timing
+#: workload.
+DISTANCES = (3, 5, 7)
+
+
+def test_ext_backend_matrix(benchmark):
+    backends = [
+        name
+        for name, importable in available_backends().items()
+        if importable and name != "numpy"
+    ]
+    shots = trials(4_000)
+    stacks = {}
+    for distance in DISTANCES:
+        setup = DecodingSetup.build(distance, P)
+        sim = PauliFrameSimulator(
+            setup.experiment.circuit, seed=seed(70 + distance)
+        )
+        sample = sim.sample(shots)
+        decoder = UnionFindDecoder(setup.graph)
+        golden = decoder.decode_batch(sample.detectors)
+        stacks[distance] = (setup, sample, golden)
+
+    record = {
+        "bench": "ext_backend",
+        "p": P,
+        "shots": shots,
+        "distances": list(DISTANCES),
+        "backends_verified": ["numpy"],
+    }
+    throughput = {}
+    lines = [f"p={P}, shots={shots}, distances={DISTANCES}"]
+
+    def run():
+        d_timing = DISTANCES[-1]
+        setup, sample, _golden = stacks[d_timing]
+        # numpy reference timings.
+        sampling_t = _best_of(
+            3,
+            lambda: PauliFrameSimulator(
+                setup.experiment.circuit, seed=seed(70 + d_timing)
+            ).sample(shots),
+        )
+        decode_t = _best_of(
+            3,
+            lambda: UnionFindDecoder(setup.graph).decode_batch(
+                sample.detectors
+            ),
+        )
+        throughput["sampling_numpy"] = shots / sampling_t
+        throughput["uf_batch_numpy"] = shots / decode_t
+        for name in backends:
+            with use_backend(name):
+                for distance in DISTANCES:
+                    b_setup, b_sample, golden = stacks[distance]
+                    got = UnionFindDecoder(b_setup.graph).decode_batch(
+                        b_sample.detectors
+                    )
+                    errors = 0
+                    golden_errors = 0
+                    actual = b_sample.observables[:, 0].astype(bool)
+                    for i, (g, r) in enumerate(zip(golden, got)):
+                        assert r.prediction == g.prediction
+                        assert r.matching == g.matching
+                        errors += r.prediction != actual[i]
+                        golden_errors += g.prediction != actual[i]
+                    assert errors == golden_errors
+                tag = name.replace("-", "_")
+                sampling_t = _best_of(
+                    3,
+                    lambda: PauliFrameSimulator(
+                        setup.experiment.circuit, seed=seed(70 + d_timing)
+                    ).sample(shots),
+                )
+                decode_t = _best_of(
+                    3,
+                    lambda: UnionFindDecoder(setup.graph).decode_batch(
+                        sample.detectors
+                    ),
+                )
+                throughput[f"sampling_{tag}"] = shots / sampling_t
+                throughput[f"uf_batch_{tag}"] = shots / decode_t
+            record["backends_verified"].append(name)
+        record["throughput_shots_per_sec"] = throughput
+        return throughput
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, value in sorted(throughput.items()):
+        lines.append(f"{name:>28} : {value:,.0f} shots/s")
+    lines.append(
+        "bit-identical backends   : " + ", ".join(record["backends_verified"])
+    )
+    emit("ext_backend", lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ext_backend.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+    # The portable shim must always be importable and verified.
+    assert "numpy_generic" in record["backends_verified"]
+
+
+def _best_of(n, fn):
+    best = float("inf")
+    for _ in range(n):
+        start = time.perf_counter()
+        result = fn()
+        # Force any device arrays home so timing includes materialisation.
+        if hasattr(result, "detectors"):
+            np.asarray(from_device(result.detectors))
+        best = min(best, time.perf_counter() - start)
+    return best

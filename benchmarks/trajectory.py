@@ -41,7 +41,12 @@ REGRESSION_FACTOR = 0.5
 #: Metrics harvested from each bench record, all higher-is-better.
 #: ``throughput_shots_per_sec`` sub-keys are harvested automatically as
 #: ``throughput.<name>``.
-_SCALAR_METRICS = ("sparse_speedup", "sparse_speedup_steady")
+_SCALAR_METRICS = (
+    "sparse_speedup",
+    "sparse_speedup_steady",
+    "uf_batch_speedup",
+    "uf_batch_speedup_weighted",
+)
 
 
 def _git_head() -> str:

@@ -31,6 +31,17 @@ Quickstart::
 """
 
 from .analysis.render import render_lattice, render_series, render_syndrome_layer
+from .backend import (
+    ArrayBackend,
+    available_backends,
+    backend_info,
+    from_device,
+    get_backend,
+    get_namespace,
+    set_backend,
+    to_device,
+    use_backend,
+)
 from .analysis.scaling import ScalingFit, fit_error_scaling, suppression_factors
 from .analysis.threshold import ThresholdEstimate, estimate_crossing, log_spaced
 from .circuits.circuit import Circuit, Instruction
@@ -95,6 +106,7 @@ from .sim.tableau import TableauSimulator, run_tableau_shot
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArrayBackend",
     "ArtifactStore",
     "AstreaDecoder",
     "AstreaGDecoder",
@@ -151,6 +163,8 @@ __all__ = [
     "UnionFindDecoder",
     "VerificationReport",
     "astrea_total_cycles",
+    "available_backends",
+    "backend_info",
     "build_detector_error_model",
     "build_memory_circuit",
     "build_repetition_memory_circuit",
@@ -162,8 +176,11 @@ __all__ = [
     "exhaustive_search",
     "experiment_fingerprint",
     "fit_error_scaling",
+    "from_device",
     "from_stim",
+    "get_backend",
     "get_decoder_spec",
+    "get_namespace",
     "hamming_weight_census",
     "ler_vs_distance",
     "ler_vs_physical_error",
@@ -181,8 +198,11 @@ __all__ = [
     "run_memory_experiment_parallel",
     "run_tableau_shot",
     "save_sweep",
+    "set_backend",
     "suppression_factors",
+    "to_device",
     "to_stim",
+    "use_backend",
     "verify_decode_result",
     "wilson_interval",
     "weight_threshold_for",

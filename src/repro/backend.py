@@ -1,0 +1,437 @@
+"""Array-backend seam: one namespace switch for every hot kernel.
+
+The bit-packed sampler and the batched matching/decoding kernels are pure
+array programs -- elementwise arithmetic, gathers, reductions, ``argmin``
+-- exactly the shape that ports to CuPy/torch/array-API backends with no
+algorithm change (Micro Blossom, arXiv:2502.14787, and the
+Tesseract-acceleration work, arXiv:2602.02985, accelerate the same fused
+decoding loops).  Historically every kernel hard-imported ``numpy`` at
+module top, so none of them could run anywhere else.  This module is the
+seam that removes that coupling:
+
+* :func:`get_namespace` / :func:`get_backend` return the active array
+  namespace; hot kernels resolve it **at call time** instead of binding
+  ``numpy`` at import.
+* :func:`set_backend` / :func:`use_backend` switch it -- ``"numpy"`` by
+  default, honouring the ``REPRO_ARRAY_BACKEND`` environment variable,
+  with CuPy / torch / ``array-api-strict`` available when importable.
+* :func:`to_device` / :func:`from_device` move arrays across the seam
+  explicitly, including the packed ``uint64`` word layout of
+  :mod:`repro.sim.packing` (64 shots per word; see the per-backend
+  caveats below).
+
+Backends come in two families, distinguished by
+:attr:`ArrayBackend.native_numpy`:
+
+* **native** (``numpy``): kernels take their existing fast path, which
+  may use NumPy-only machinery (``ufunc.at`` scatters, ``reduceat``,
+  multi-axis fancy indexing).  Results are bit-identical to the pre-seam
+  code by construction -- it *is* the pre-seam code.
+* **portable** (everything else): kernels route through a restricted op
+  set -- flat ``take`` gathers, ``cumulative_sum`` segment reductions,
+  ``argmin`` -- that the array-API standard guarantees.  The built-in
+  ``numpy_generic`` backend runs this portable path on NumPy arrays, so
+  the portable kernels are exercised (and pinned bit-identical to the
+  native path) even on machines with no alternate array library
+  installed; ``array-api-strict`` validates the same path against the
+  standard's strict subset, and CuPy/torch move it to an accelerator.
+
+Known ``uint64`` caveats: the packed sampler mutates ``uint64`` bit
+planes with scatter-XOR, for which no portable array-API primitive
+exists (torch in particular has no usable ``uint64`` arithmetic).  On
+portable backends those kernels therefore compute on the host and ship
+the finished record to the device via :func:`to_device` -- bit-identical
+by construction, with transfer cost instead of kernel cost.  The
+decode-side kernels (batched search, union-find growth) carry no such
+caveat: they are float/int programs and run natively on the portable op
+set.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import os
+import warnings
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+__all__ = [
+    "ArrayBackend",
+    "BackendInfo",
+    "ENV_BACKEND",
+    "ENV_DEVICE",
+    "available_backends",
+    "backend_info",
+    "from_device",
+    "get_backend",
+    "get_namespace",
+    "set_backend",
+    "to_device",
+    "use_backend",
+]
+
+#: Environment variable selecting the default backend at first use.
+ENV_BACKEND = "REPRO_ARRAY_BACKEND"
+#: Environment variable selecting the torch device (default ``"cpu"``).
+ENV_DEVICE = "REPRO_ARRAY_DEVICE"
+
+
+@dataclass(frozen=True)
+class ArrayBackend:
+    """One pluggable array namespace plus its host-transfer functions.
+
+    Attributes:
+        name: Registry name (``"numpy"``, ``"numpy_generic"``, ``"cupy"``,
+            ``"torch"``, ``"array-api-strict"``).
+        xp: The array namespace module (or adapter object).
+        device: Human-readable device string (``"cpu"``, ``"cuda:0"``).
+        native_numpy: Whether kernels may take their NumPy-only fast
+            paths (``ufunc.at``, ``reduceat``, fancy indexing); portable
+            backends get the restricted array-API path instead.
+        asarray: Host array -> backend array.
+        to_numpy: Backend array -> host ``np.ndarray``.
+    """
+
+    name: str
+    xp: Any
+    device: str
+    native_numpy: bool
+    asarray: Callable[[Any], Any]
+    to_numpy: Callable[[Any], np.ndarray]
+
+
+@dataclass(frozen=True)
+class BackendInfo:
+    """Snapshot of the seam's state, for ``cli info`` and diagnostics."""
+
+    name: str
+    device: str
+    native_numpy: bool
+    importable: dict[str, bool]
+
+
+class _NumpyGenericNamespace:
+    """NumPy delegating shim flagged *portable*.
+
+    Identical semantics to ``numpy`` (every attribute lookup delegates),
+    but registered with ``native_numpy=False`` so seam-aware kernels take
+    their portable array-API code path.  This is the always-available
+    stand-in for an alternate array library: the per-backend golden
+    bit-identity tests diff this backend against native NumPy, proving
+    the portable kernels correct without CuPy/torch installed.
+    """
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(np, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<numpy_generic (portable-path numpy shim)>"
+
+
+class _TorchNamespace:
+    """Minimal array-API-flavoured adapter over ``torch``.
+
+    Covers exactly the op set the portable kernels use (``asarray``,
+    ``zeros``, ``arange``, ``reshape``, flat ``take``, ``argmin``,
+    ``sum``, ``astype``), translating ``axis`` to ``dim`` where torch
+    differs.  Anything else raises ``AttributeError`` loudly rather than
+    silently diverging from NumPy semantics.
+    """
+
+    def __init__(self, torch: Any, device: str) -> None:
+        self._torch = torch
+        self._device = device
+        # Array-API dtype attributes the portable kernels reference.
+        self.bool = torch.bool
+        self.int32 = torch.int32
+        self.int64 = torch.int64
+        self.float32 = torch.float32
+        self.float64 = torch.float64
+
+    def _dtype(self, dtype: Any) -> Any:
+        torch = self._torch
+        mapping = {
+            np.float64: torch.float64,
+            np.float32: torch.float32,
+            np.int64: torch.int64,
+            np.int32: torch.int32,
+            np.bool_: torch.bool,
+            bool: torch.bool,
+        }
+        for np_dtype, torch_dtype in mapping.items():
+            if dtype == np_dtype:
+                return torch_dtype
+        return dtype  # already a torch dtype
+
+    def asarray(self, obj: Any, dtype: Any = None) -> Any:
+        torch = self._torch
+        if isinstance(obj, np.ndarray):
+            # torch has no uint64 arithmetic; keep packed words signed.
+            if obj.dtype == np.uint64:
+                obj = obj.view(np.int64)
+            obj = np.ascontiguousarray(obj)
+        kwargs = {"device": self._device}
+        if dtype is not None:
+            kwargs["dtype"] = self._dtype(dtype)
+        return torch.as_tensor(obj, **kwargs)
+
+    def zeros(self, shape: Any, dtype: Any = None) -> Any:
+        return self._torch.zeros(
+            shape, dtype=self._dtype(dtype), device=self._device
+        )
+
+    def arange(self, *args: Any, dtype: Any = None) -> Any:
+        kwargs = {"device": self._device}
+        if dtype is not None:
+            kwargs["dtype"] = self._dtype(dtype)
+        return self._torch.arange(*args, **kwargs)
+
+    def reshape(self, x: Any, shape: Any) -> Any:
+        return self._torch.reshape(x, shape)
+
+    def take(self, x: Any, indices: Any, axis: int | None = None) -> Any:
+        if axis is None:
+            return self._torch.take(x, indices)
+        return self._torch.index_select(x, axis, indices)
+
+    def argmin(self, x: Any, axis: int | None = None) -> Any:
+        return self._torch.argmin(x, dim=axis)
+
+    def sum(self, x: Any, axis: int | None = None) -> Any:
+        return self._torch.sum(x, dim=axis)
+
+    def cumulative_sum(self, x: Any, axis: int = 0) -> Any:
+        return self._torch.cumsum(x, dim=axis)
+
+    def astype(self, x: Any, dtype: Any) -> Any:
+        return x.to(self._dtype(dtype))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<torch namespace adapter on {self._device!r}>"
+
+
+# ----------------------------------------------------------------------
+# Backend construction
+# ----------------------------------------------------------------------
+
+
+def _generic_to_numpy(x: Any) -> np.ndarray:
+    """Host transfer for array-API objects without ``__array__``."""
+    if isinstance(x, np.ndarray):
+        return x
+    try:
+        return np.asarray(x)
+    except (TypeError, ValueError, RuntimeError):
+        return np.asarray(np.from_dlpack(x))
+
+
+def _build_numpy() -> ArrayBackend:
+    return ArrayBackend(
+        name="numpy",
+        xp=np,
+        device="cpu",
+        native_numpy=True,
+        asarray=np.asarray,
+        to_numpy=np.asarray,
+    )
+
+
+def _build_numpy_generic() -> ArrayBackend:
+    return ArrayBackend(
+        name="numpy_generic",
+        xp=_NumpyGenericNamespace(),
+        device="cpu",
+        native_numpy=False,
+        asarray=np.asarray,
+        to_numpy=np.asarray,
+    )
+
+
+def _build_array_api_strict() -> ArrayBackend:
+    xp = importlib.import_module("array_api_strict")
+    return ArrayBackend(
+        name="array-api-strict",
+        xp=xp,
+        device="cpu",
+        native_numpy=False,
+        asarray=xp.asarray,
+        to_numpy=_generic_to_numpy,
+    )
+
+
+def _build_cupy() -> ArrayBackend:
+    cupy = importlib.import_module("cupy")
+    try:
+        device = f"cuda:{cupy.cuda.runtime.getDevice()}"
+    except Exception:  # pragma: no cover - no GPU in CI
+        device = "cuda"
+    return ArrayBackend(
+        name="cupy",
+        xp=cupy,
+        device=device,
+        native_numpy=False,
+        asarray=cupy.asarray,
+        to_numpy=cupy.asnumpy,
+    )
+
+
+def _build_torch() -> ArrayBackend:
+    torch = importlib.import_module("torch")
+    device = os.environ.get(ENV_DEVICE, "cpu")
+    xp = _TorchNamespace(torch, device)
+    return ArrayBackend(
+        name="torch",
+        xp=xp,
+        device=device,
+        native_numpy=False,
+        asarray=xp.asarray,
+        to_numpy=lambda t: t.detach().cpu().numpy(),
+    )
+
+
+_BUILDERS: dict[str, Callable[[], ArrayBackend]] = {
+    "numpy": _build_numpy,
+    "numpy_generic": _build_numpy_generic,
+    "array-api-strict": _build_array_api_strict,
+    "cupy": _build_cupy,
+    "torch": _build_torch,
+}
+
+#: Module spec probed per backend name by :func:`available_backends`.
+_IMPORT_PROBE = {
+    "numpy": "numpy",
+    "numpy_generic": "numpy",
+    "array-api-strict": "array_api_strict",
+    "cupy": "cupy",
+    "torch": "torch",
+}
+
+_active: ArrayBackend | None = None
+
+
+def available_backends() -> dict[str, bool]:
+    """Map every registered backend name to whether it is importable."""
+    out: dict[str, bool] = {}
+    for name, module in _IMPORT_PROBE.items():
+        try:
+            out[name] = importlib.util.find_spec(module) is not None
+        except (ImportError, ValueError):  # pragma: no cover - exotic paths
+            out[name] = False
+    return out
+
+
+def _resolve_default() -> ArrayBackend:
+    """Honour ``REPRO_ARRAY_BACKEND``; fall back to numpy with a warning."""
+    requested = os.environ.get(ENV_BACKEND, "").strip()
+    if requested and requested != "numpy":
+        try:
+            return _build(requested)
+        except (KeyError, ImportError, ModuleNotFoundError) as exc:
+            warnings.warn(
+                f"{ENV_BACKEND}={requested!r} is not usable ({exc}); "
+                "falling back to the numpy backend",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+    return _build("numpy")
+
+
+def _build(name: str) -> ArrayBackend:
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown array backend {name!r}; "
+            f"registered: {sorted(_BUILDERS)}"
+        ) from None
+    return builder()
+
+
+def get_backend() -> ArrayBackend:
+    """The active :class:`ArrayBackend` (resolved lazily on first use)."""
+    global _active
+    if _active is None:
+        _active = _resolve_default()
+    return _active
+
+
+def get_namespace() -> Any:
+    """The active array namespace (``numpy`` by default)."""
+    return get_backend().xp
+
+
+def set_backend(backend: str | ArrayBackend | None) -> ArrayBackend:
+    """Activate an array backend.
+
+    Args:
+        backend: A registered name, a prebuilt :class:`ArrayBackend`, or
+            ``None`` to re-resolve the default (environment variable,
+            then numpy).
+
+    Returns:
+        The newly active backend.
+
+    Raises:
+        KeyError: Unknown backend name.
+        ImportError: The backend's library is not installed.
+    """
+    global _active
+    if backend is None:
+        _active = _resolve_default()
+    elif isinstance(backend, ArrayBackend):
+        _active = backend
+    else:
+        _active = _build(backend)
+    return _active
+
+
+@contextmanager
+def use_backend(backend: str | ArrayBackend) -> Iterator[ArrayBackend]:
+    """Context manager: activate ``backend``, restore the previous one."""
+    previous = get_backend()
+    active = set_backend(backend)
+    try:
+        yield active
+    finally:
+        set_backend(previous)
+
+
+def to_device(arr: Any, backend: ArrayBackend | None = None) -> Any:
+    """Move a host array onto the active (or given) backend's device."""
+    b = backend or get_backend()
+    return b.asarray(arr)
+
+
+def from_device(arr: Any, backend: ArrayBackend | None = None) -> Any:
+    """Bring an active-backend array back to a host ``np.ndarray``.
+
+    Host ``np.ndarray`` inputs pass through untouched; plain Python
+    sequences and scalars also fall through unchanged (callers normalise
+    them with ``np.asarray`` as before).  Packed ``uint64`` words that a
+    backend stored as ``int64`` (the torch caveat) are re-viewed as
+    ``uint64`` on the way back when they carry the packed layout marker.
+    """
+    if isinstance(arr, np.ndarray):
+        return arr
+    b = backend or get_backend()
+    if b.native_numpy:
+        return arr
+    try:
+        return b.to_numpy(arr)
+    except (TypeError, ValueError, RuntimeError):
+        return arr
+
+
+def backend_info() -> BackendInfo:
+    """Snapshot the seam state: active backend, device, importability."""
+    active = get_backend()
+    return BackendInfo(
+        name=active.name,
+        device=active.device,
+        native_numpy=active.native_numpy,
+        importable=available_backends(),
+    )

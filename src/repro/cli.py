@@ -116,6 +116,20 @@ def cmd_info(args: argparse.Namespace) -> int:
         "registered decoders  : "
         + ", ".join(decoder_registry.decoder_names())
     )
+    from .backend import backend_info
+
+    info = backend_info()
+    human.append(
+        f"array backend        : {info.name} (device: {info.device}, "
+        f"native numpy: {info.native_numpy})"
+    )
+    human.append(
+        "importable backends  : "
+        + ", ".join(
+            name if ok else f"{name} (not installed)"
+            for name, ok in sorted(info.importable.items())
+        )
+    )
     machine = [
         f"{code.distance} {code.num_data_qubits} {code.num_parity_qubits} "
         f"{code.num_qubits} {code.syndrome_vector_length()} "

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend import from_device
 from ..graphs.weights import GlobalWeightTable
 from ..hw.latency import FpgaTiming, astrea_total_cycles
 from ..matching.boundary import MatchingProblem
@@ -267,8 +268,9 @@ class AstreaDecoder(Decoder):
                 chunk = rows[start : start + KERNEL_CHUNK_ROWS]
                 active = np.nonzero(syndromes[chunk])[1].reshape(len(chunk), w)
                 batch = MatchingProblem.from_syndrome_batch(self.gwt, active)
-                pair_tensor, weights, predictions = batched_search(
-                    batch.weights, batch.parities
+                pair_tensor, weights, predictions = (
+                    from_device(r)
+                    for r in batched_search(batch.weights, batch.parities)
                 )
                 bucket = bucket_results(
                     batch,

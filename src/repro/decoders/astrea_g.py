@@ -35,6 +35,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..backend import from_device
 from ..graphs.weights import GlobalWeightTable
 from ..hw.latency import FpgaTiming, astrea_decode_cycles
 from ..matching.boundary import MatchingProblem
@@ -294,8 +295,9 @@ class AstreaGDecoder(Decoder):
                 chunk = rows[start : start + KERNEL_CHUNK_ROWS]
                 active = np.nonzero(syndromes[chunk])[1].reshape(len(chunk), w)
                 batch = MatchingProblem.from_syndrome_batch(self.gwt, active)
-                pair_tensor, weights, predictions = batched_search(
-                    batch.weights, batch.parities
+                pair_tensor, weights, predictions = (
+                    from_device(r)
+                    for r in batched_search(batch.weights, batch.parities)
                 )
                 bucket = bucket_results(
                     batch,

@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..backend import from_device
+
 __all__ = [
     "DecodeResult",
     "Decoder",
@@ -90,7 +92,9 @@ def validate_syndrome(
         ValueError: On a non-1-D input, a length mismatch, a non-numeric
             dtype, or any value other than 0/1 (including NaN).
     """
-    arr = np.asarray(syndrome)
+    # Accept device arrays from the active array backend; decoders are
+    # host-side consumers, so the seam crossing happens here, once.
+    arr = np.asarray(from_device(syndrome))
     if arr.ndim != 1:
         raise ValueError(
             f"decode expects a 1-D syndrome vector, got shape {arr.shape}"
@@ -122,7 +126,7 @@ def validate_syndrome_batch(
         ValueError: On a non-2-D input, a row-length mismatch, a
             non-numeric dtype, or any value other than 0/1 (including NaN).
     """
-    arr = np.asarray(syndromes)
+    arr = np.asarray(from_device(syndromes))
     if arr.ndim != 2:
         raise ValueError(
             "decode_batch expects a (shots, detectors) matrix, got shape "

@@ -72,6 +72,24 @@ class CliqueDecoder(Decoder):
             key = (min(edge.u, edge.v), max(edge.u, edge.v))
             if key not in self._edge_parity:
                 self._edge_parity[key] = edge.flips_observable
+        # Array mirrors for the batched pre-decoder: padded neighbor matrix
+        # (vertices x max-degree) with aligned edge parities, plus direct
+        # boundary-edge presence/parity vectors.
+        n = self.syndrome_length
+        max_deg = max((len(s) for s in self._neighbors.values()), default=0)
+        self._nb_pad = np.zeros((max(n, 1), max(max_deg, 1)), dtype=np.int64)
+        self._nb_mask = np.zeros_like(self._nb_pad, dtype=bool)
+        self._nb_par = np.zeros_like(self._nb_pad, dtype=bool)
+        for v, nbs in self._neighbors.items():
+            for j, u in enumerate(sorted(nbs)):
+                self._nb_pad[v, j] = u
+                self._nb_mask[v, j] = True
+                self._nb_par[v, j] = self._edge_parity[(min(u, v), max(u, v))]
+        self._has_bnd = np.zeros(max(n, 1), dtype=bool)
+        self._bnd_par = np.zeros(max(n, 1), dtype=bool)
+        for v, parity in self._boundary_parity.items():
+            self._has_bnd[v] = True
+            self._bnd_par[v] = parity
 
     def _local_pairing(
         self, active: list[int]
@@ -140,55 +158,107 @@ class CliqueDecoder(Decoder):
     def decode_batch(self, syndromes: np.ndarray) -> list[DecodeResult]:
         """Decode a (shots, detectors) syndrome matrix in bulk.
 
-        The pre-decoder pass runs per row, but all hard-to-decode shots
-        hand their residual defects to one ``fallback.decode_batch`` call,
-        so the MWPM fallback gets its bucketed/batched construction instead
-        of row-at-a-time solves.  Results are identical to per-row
-        :meth:`decode`, including the ``last_was_local`` flag of the final
-        row.
+        The pre-decoder pass is a *single* vectorized round over every
+        defect of every shot at once.  That is exact, not an
+        approximation: a mutual degree-1 pair has no other active
+        neighbors by definition, and a degree-0 boundary defect touches
+        nobody, so consuming them never unlocks further local pairings --
+        the scalar while-progress loop always terminates after one
+        productive pass.  All hard-to-decode shots then hand their
+        residual defects to one ``fallback.decode_batch`` call, so the
+        MWPM fallback gets its bucketed/batched construction instead of
+        row-at-a-time solves.  Results are identical to per-row
+        :meth:`decode`, including the ``last_was_local`` flag of the
+        final row.
         """
         syndromes = validate_syndrome_batch(syndromes, self.syndrome_length)
         num, n = syndromes.shape
         rows, cols = np.nonzero(syndromes)
         counts = np.bincount(rows, minlength=num)
-        splits = np.split(cols, np.cumsum(counts)[:-1])
-        results: list[DecodeResult | None] = [None] * num
-        local: list[tuple[int, bool, list[tuple[int, int]], set[int]]] = []
-        residual_rows: list[int] = []
-        for i, active in enumerate(splits):
-            if not active.size:
-                results[i] = DecodeResult(prediction=False)
-                self.last_was_local = True
-                continue
-            prediction, matching, defects = self._local_pairing(
-                [int(x) for x in active]
+        if rows.size == 0:
+            self.last_was_local = True
+            return [DecodeResult(prediction=False) for _ in range(num)]
+        # Active-neighbor degree of every defect via one padded gather.
+        nbs = self._nb_pad[cols]
+        act = self._nb_mask[cols] & syndromes[rows[:, None], nbs]
+        deg = act.sum(axis=1)
+        one = deg == 1
+        # The lone active neighbor of each degree-1 defect, and the parity
+        # of the primitive edge towards it.
+        j = np.argmax(act, axis=1)
+        lanes = np.arange(rows.size)
+        partner = nbs[lanes, j]
+        edge_par = self._nb_par[cols, j]
+        # A pair is consumed iff both endpoints have degree 1; adjacency is
+        # symmetric, so the partner's lone neighbor is then this defect.
+        # Locate the partner's lane by binary search over the (row, vertex)
+        # keys, which np.nonzero already emits sorted.
+        keys = rows * n + cols
+        pidx = np.searchsorted(keys, rows * n + partner)
+        pdeg = deg[np.minimum(pidx, keys.size - 1)]
+        paired = one & (pdeg == 1)
+        bmatch = (deg == 0) & self._has_bnd[cols]
+        resid = ~(paired | bmatch)
+        # Per-row prediction: each pair's parity counted once (at its lower
+        # endpoint) plus every boundary match's parity.
+        pair_once = paired & (cols < partner)
+        pred = np.zeros(num, dtype=bool)
+        np.logical_xor.at(pred, rows[pair_once], edge_par[pair_once])
+        np.logical_xor.at(pred, rows[bmatch], self._bnd_par[cols[bmatch]])
+        # Locally consumed matches, grouped per row in sorted tuple order.
+        m_rows = np.concatenate((rows[pair_once], rows[bmatch]))
+        m_lo = np.concatenate((cols[pair_once], cols[bmatch]))
+        m_hi = np.concatenate(
+            (
+                partner[pair_once],
+                np.full(int(bmatch.sum()), BOUNDARY, dtype=np.int64),
             )
-            if not defects:
-                results[i] = DecodeResult(
-                    prediction=prediction,
-                    matching=sorted(matching),
-                    cycles=1,
-                    latency_ns=4.0,
-                )
-                self.last_was_local = True
-            else:
-                local.append((i, prediction, matching, defects))
-                residual_rows.append(i)
-        if local:
-            residual = np.zeros((len(local), n), dtype=bool)
-            for j, (_i, _p, _m, defects) in enumerate(local):
-                residual[j, sorted(defects)] = True
+        )
+        order = np.lexsort((m_hi, m_lo, m_rows))
+        m_rows = m_rows[order]
+        pairs = list(zip(m_lo[order].tolist(), m_hi[order].tolist()))
+        moff = np.concatenate(
+            ([0], np.cumsum(np.bincount(m_rows, minlength=num)))
+        ).tolist()
+        # One batched fallback solve over the rows with leftovers.
+        row_resid = np.zeros(num, dtype=bool)
+        row_resid[rows[resid]] = True
+        ridx = np.flatnonzero(row_resid)
+        rmap = np.zeros(num, dtype=np.int64)
+        rmap[ridx] = np.arange(ridx.size)
+        fallbacks: list[DecodeResult] = []
+        if ridx.size:
+            residual = np.zeros((ridx.size, n), dtype=bool)
+            residual[rmap[rows[resid]], cols[resid]] = True
             fallbacks = self.fallback.decode_batch(residual)
-            for (i, prediction, matching, _defects), fallback in zip(
-                local, fallbacks
-            ):
-                results[i] = DecodeResult(
-                    prediction=prediction ^ fallback.prediction,
-                    matching=sorted(matching + fallback.matching),
-                    weight=fallback.weight,
-                    latency_ns=fallback.latency_ns,
-                    timed_out=True,
+        results: list[DecodeResult] = []
+        pred_list = pred.tolist()
+        resid_list = row_resid.tolist()
+        counts_list = counts.tolist()
+        for i in range(num):
+            if not counts_list[i]:
+                results.append(DecodeResult(prediction=False))
+            elif not resid_list[i]:
+                results.append(
+                    DecodeResult(
+                        prediction=pred_list[i],
+                        matching=pairs[moff[i] : moff[i + 1]],
+                        cycles=1,
+                        latency_ns=4.0,
+                    )
                 )
-            if residual_rows and residual_rows[-1] == num - 1:
-                self.last_was_local = False
+            else:
+                fallback = fallbacks[rmap[i]]
+                results.append(
+                    DecodeResult(
+                        prediction=pred_list[i] ^ fallback.prediction,
+                        matching=sorted(
+                            pairs[moff[i] : moff[i + 1]] + fallback.matching
+                        ),
+                        weight=fallback.weight,
+                        latency_ns=fallback.latency_ns,
+                        timed_out=True,
+                    )
+                )
+        self.last_was_local = not resid_list[num - 1]
         return results

@@ -61,6 +61,22 @@ def max_weight_matching(
         neighbend[i].append(2 * k + 1)
         neighbend[j].append(2 * k)
 
+    # Array mirrors of the edge list for the vectorized dual update.  Only
+    # taken for integer weights (exact arithmetic) whose dual variables
+    # provably stay inside int64 -- duals move by at most O(nvertex) deltas
+    # of at most O(maxweight * nvertex) each -- and for graphs big enough
+    # that the array bookkeeping beats four scalar scans.
+    _warr = np.asarray([w for (_i, _j, w) in edges])
+    use_arrays = (
+        _warr.dtype.kind in "iu"
+        and nvertex >= 16
+        and (int(np.abs(_warr).max()) + 1) * (nvertex * nvertex + 16) < 2**62
+    )
+    if use_arrays:
+        ei_arr = np.asarray([i for (i, _j, _w) in edges], dtype=np.int64)
+        ej_arr = np.asarray([j for (_i, j, _w) in edges], dtype=np.int64)
+        ew2_arr = _warr.astype(np.int64) * 2
+
     mate = [-1] * nvertex  # mate[v]: remote endpoint of v's matched edge
     label = [0] * (2 * nvertex)  # 0 free, 1 S-vertex, 2 T-vertex
     labelend = [-1] * (2 * nvertex)
@@ -360,58 +376,125 @@ def max_weight_matching(
             if augmented:
                 break
 
-            # Dual update.
+            # Dual update.  The array path computes each delta type's
+            # strict-first-occurrence minimum with one reduction, matching
+            # the scalar scans bit for bit (argmin returns the first
+            # minimal index; cross-type precedence stays a strict ``<``).
             deltatype = -1
             delta = deltaedge = deltablossom = None
-            if not maxcardinality:
-                deltatype = 1
-                delta = min(dualvar[:nvertex])
-            for v in range(nvertex):
-                if label[inblossom[v]] == 0 and bestedge[v] != -1:
-                    d = slack(bestedge[v])
+            if use_arrays:
+                dv = np.asarray(dualvar, dtype=np.int64)
+                lbl_a = np.asarray(label, dtype=np.int64)
+                inb_a = np.asarray(inblossom, dtype=np.int64)
+                be_a = np.asarray(bestedge, dtype=np.int64)
+                bpar_a = np.asarray(blossomparent, dtype=np.int64)
+                bbase_a = np.asarray(blossombase, dtype=np.int64)
+                if not maxcardinality:
+                    deltatype = 1
+                    delta = int(dv[:nvertex].min())
+                # Type 2: free vertices carrying a best edge.
+                cand = np.flatnonzero(
+                    (lbl_a[inb_a] == 0) & (be_a[:nvertex] != -1)
+                )
+                if cand.size:
+                    ks = be_a[cand]
+                    ds = dv[ei_arr[ks]] + dv[ej_arr[ks]] - ew2_arr[ks]
+                    a = int(np.argmin(ds))
+                    d = int(ds[a])
                     if deltatype == -1 or d < delta:  # type: ignore[operator]
                         delta = d
                         deltatype = 2
-                        deltaedge = bestedge[v]
-            for b in range(2 * nvertex):
-                if (
-                    blossomparent[b] == -1
-                    and label[b] == 1
-                    and bestedge[b] != -1
-                ):
-                    kslack = slack(bestedge[b])
-                    d = kslack // 2
+                        deltaedge = int(ks[a])
+                # Type 3: top-level S-blossoms carrying a best edge.
+                cand = np.flatnonzero(
+                    (bpar_a == -1) & (lbl_a == 1) & (be_a != -1)
+                )
+                if cand.size:
+                    ks = be_a[cand]
+                    ds = (dv[ei_arr[ks]] + dv[ej_arr[ks]] - ew2_arr[ks]) // 2
+                    a = int(np.argmin(ds))
+                    d = int(ds[a])
                     if deltatype == -1 or d < delta:  # type: ignore[operator]
                         delta = d
                         deltatype = 3
-                        deltaedge = bestedge[b]
-            for b in range(nvertex, 2 * nvertex):
-                if (
-                    blossombase[b] >= 0
-                    and blossomparent[b] == -1
-                    and label[b] == 2
-                    and (deltatype == -1 or dualvar[b] < delta)  # type: ignore[operator]
-                ):
-                    delta = dualvar[b]
-                    deltatype = 4
-                    deltablossom = b
-            if deltatype == -1:
-                # No further improvement possible (max-cardinality mode).
-                deltatype = 1
-                delta = max(0, min(dualvar[:nvertex]))
+                        deltaedge = int(ks[a])
+                # Type 4: top-level T-blossoms.
+                cand = np.flatnonzero(
+                    (bbase_a[nvertex:] >= 0)
+                    & (bpar_a[nvertex:] == -1)
+                    & (lbl_a[nvertex:] == 2)
+                )
+                if cand.size:
+                    ds = dv[nvertex + cand]
+                    a = int(np.argmin(ds))
+                    d = int(ds[a])
+                    if deltatype == -1 or d < delta:  # type: ignore[operator]
+                        delta = d
+                        deltatype = 4
+                        deltablossom = int(nvertex + cand[a])
+                if deltatype == -1:
+                    # No further improvement possible (max-cardinality mode).
+                    deltatype = 1
+                    delta = max(0, int(dv[:nvertex].min()))
+                # Vectorized dual adjustment, written back to the list
+                # state the primal machinery keeps mutating.
+                vlbl = lbl_a[inb_a]
+                dv[:nvertex] -= delta * (vlbl == 1)
+                dv[:nvertex] += delta * (vlbl == 2)
+                top = (bbase_a[nvertex:] >= 0) & (bpar_a[nvertex:] == -1)
+                dv[nvertex:] += delta * (top & (lbl_a[nvertex:] == 1))
+                dv[nvertex:] -= delta * (top & (lbl_a[nvertex:] == 2))
+                dualvar[:] = dv.tolist()
+            else:
+                if not maxcardinality:
+                    deltatype = 1
+                    delta = min(dualvar[:nvertex])
+                for v in range(nvertex):
+                    if label[inblossom[v]] == 0 and bestedge[v] != -1:
+                        d = slack(bestedge[v])
+                        if deltatype == -1 or d < delta:  # type: ignore[operator]
+                            delta = d
+                            deltatype = 2
+                            deltaedge = bestedge[v]
+                for b in range(2 * nvertex):
+                    if (
+                        blossomparent[b] == -1
+                        and label[b] == 1
+                        and bestedge[b] != -1
+                    ):
+                        kslack = slack(bestedge[b])
+                        d = kslack // 2
+                        if deltatype == -1 or d < delta:  # type: ignore[operator]
+                            delta = d
+                            deltatype = 3
+                            deltaedge = bestedge[b]
+                for b in range(nvertex, 2 * nvertex):
+                    if (
+                        blossombase[b] >= 0
+                        and blossomparent[b] == -1
+                        and label[b] == 2
+                        and (deltatype == -1 or dualvar[b] < delta)  # type: ignore[operator]
+                    ):
+                        delta = dualvar[b]
+                        deltatype = 4
+                        deltablossom = b
+                if deltatype == -1:
+                    # No further improvement possible (max-cardinality mode).
+                    deltatype = 1
+                    delta = max(0, min(dualvar[:nvertex]))
 
-            for v in range(nvertex):
-                lbl = label[inblossom[v]]
-                if lbl == 1:
-                    dualvar[v] -= delta  # type: ignore[operator]
-                elif lbl == 2:
-                    dualvar[v] += delta  # type: ignore[operator]
-            for b in range(nvertex, 2 * nvertex):
-                if blossombase[b] >= 0 and blossomparent[b] == -1:
-                    if label[b] == 1:
-                        dualvar[b] += delta  # type: ignore[operator]
-                    elif label[b] == 2:
-                        dualvar[b] -= delta  # type: ignore[operator]
+                for v in range(nvertex):
+                    lbl = label[inblossom[v]]
+                    if lbl == 1:
+                        dualvar[v] -= delta  # type: ignore[operator]
+                    elif lbl == 2:
+                        dualvar[v] += delta  # type: ignore[operator]
+                for b in range(nvertex, 2 * nvertex):
+                    if blossombase[b] >= 0 and blossomparent[b] == -1:
+                        if label[b] == 1:
+                            dualvar[b] += delta  # type: ignore[operator]
+                        elif label[b] == 2:
+                            dualvar[b] -= delta  # type: ignore[operator]
 
             if deltatype == 1:
                 break

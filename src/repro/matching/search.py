@@ -20,6 +20,16 @@ without depending on the decoder layer.
 Tie-breaking is *hierarchical*, mirroring the HW6Decoder-based scalar
 search (Figure 7): results are bit-identical to the scalar reference,
 pairs and weight alike.
+
+Both public kernels resolve the active array backend
+(:mod:`repro.backend`) at call time.  Native NumPy keeps the historical
+fancy-indexed fast path; portable backends run the same enumeration
+through a restricted array-API program (flat ``take`` gathers, per-level
+``argmin``), returning device arrays from :func:`batched_search`.  The
+left-to-right accumulation order and first-occurrence ``argmin``
+semantics are part of the array-API standard, so the hierarchical
+tie-breaking -- hence the selected matchings -- stays bit-identical
+across backends.
 """
 
 from __future__ import annotations
@@ -27,6 +37,8 @@ from __future__ import annotations
 from functools import lru_cache
 
 import numpy as np
+
+from ..backend import ArrayBackend, get_backend
 
 __all__ = [
     "MAX_SEARCH_NODES",
@@ -163,6 +175,110 @@ def _scalar_order_select(
     return best, outer[rows, outer_idx]
 
 
+# ----------------------------------------------------------------------
+# Portable (array-API) variants of the selection kernels
+# ----------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def _flat_matching_indices(m: int) -> np.ndarray:
+    """:func:`matchings_tensor` pairs as flat ``(K, P)`` row-major indices."""
+    tensor = matchings_tensor(m)
+    flat = (tensor[:, :, 0] * m + tensor[:, :, 1]).astype(np.int64)
+    flat.setflags(write=False)
+    return flat
+
+
+def _take_along_last(xp, x, idx):
+    """Portable ``take_along_axis(x, idx[..., None], -1)[..., 0]``.
+
+    ``x`` has shape ``(..., L)``; ``idx`` the matching leading shape.
+    Implemented with flat ``take`` so it works on namespaces that predate
+    ``take_along_axis`` in the array-API standard.
+    """
+    shape = x.shape
+    length = shape[-1]
+    n = 1
+    for s in shape[:-1]:
+        n *= s
+    flat_x = xp.reshape(x, (n * length,))
+    flat_i = xp.astype(xp.reshape(idx, (n,)), xp.int64) + xp.arange(
+        n, dtype=xp.int64
+    ) * length
+    return xp.reshape(xp.take(flat_x, flat_i), shape[:-1])
+
+
+def _gather_rows(xp, x, idx):
+    """Per-row gather: ``x`` is ``(B, L)``, ``idx`` is ``(B, P)`` -> ``(B, P)``."""
+    num, length = x.shape
+    cols = idx.shape[1]
+    flat_x = xp.reshape(x, (num * length,))
+    offsets = xp.reshape(xp.arange(num, dtype=xp.int64) * length, (num, 1))
+    flat_i = xp.reshape(xp.astype(idx, xp.int64) + offsets, (num * cols,))
+    return xp.reshape(xp.take(flat_x, flat_i), (num, cols))
+
+
+def _scalar_order_select_xp(xp, gathered, m: int):
+    """Array-API twin of :func:`_scalar_order_select`.
+
+    Same left-to-right partial sums, per-level ``argmin`` (first
+    occurrence -- mandated by the array-API spec, matching NumPy) and
+    strict-improvement composition, so the selected index and total are
+    bit-identical to the native kernel.
+    """
+    if m <= 6:
+        totals = _ltr_sum(gathered)
+        best = xp.argmin(totals, axis=-1)
+        return best, _take_along_last(xp, totals, best)
+    num = gathered.shape[0]
+    if m == 8:
+        blocks = xp.reshape(gathered, (num, 7, 15, 4))
+        subs = _ltr_sum(blocks[..., 1:])
+        sub_idx = xp.argmin(subs, axis=-1)
+        sub_best = _take_along_last(xp, subs, sub_idx)
+        totals = blocks[..., 0, 0] + sub_best
+        block_idx = xp.argmin(totals, axis=-1)
+        best = block_idx * 15 + xp.astype(
+            _take_along_last(xp, sub_idx, block_idx), block_idx.dtype
+        )
+        return best, _take_along_last(xp, totals, block_idx)
+    # m == 10: 9 x 7 pre-match blocks x 15 HW6 completions.
+    blocks = xp.reshape(gathered, (num, 9, 7, 15, 5))
+    subs = _ltr_sum(blocks[..., 2:])
+    sub_idx = xp.argmin(subs, axis=-1)
+    sub_best = _take_along_last(xp, subs, sub_idx)
+    inner = blocks[..., 0, 1] + sub_best
+    inner_idx = xp.argmin(inner, axis=-1)
+    inner_best = _take_along_last(xp, inner, inner_idx)
+    outer = blocks[..., 0, 0, 0] + inner_best
+    outer_idx = xp.argmin(outer, axis=-1)
+    inner_sel = xp.astype(
+        _take_along_last(xp, inner_idx, outer_idx), outer_idx.dtype
+    )
+    sub_flat = xp.reshape(sub_idx, (num, 63))
+    sub_sel = xp.astype(
+        _take_along_last(xp, sub_flat, outer_idx * 7 + inner_sel),
+        outer_idx.dtype,
+    )
+    best = (outer_idx * 7 + inner_sel) * 15 + sub_sel
+    return best, _take_along_last(xp, outer, outer_idx)
+
+
+def _gathered_candidates_xp(backend: ArrayBackend, weights: np.ndarray, m: int):
+    """Device ``(B, K, P)`` per-pair weights of every candidate matching."""
+    xp = backend.xp
+    num = weights.shape[0]
+    flat_idx = backend.asarray(_flat_matching_indices(m).ravel())
+    dev_w = backend.asarray(np.ascontiguousarray(weights, dtype=np.float64))
+    flat_w = xp.reshape(dev_w, (num, m * m))
+    tensor = matchings_tensor(m)
+    gathered = xp.reshape(
+        xp.take(flat_w, flat_idx, axis=1),
+        (num, tensor.shape[0], tensor.shape[1]),
+    )
+    return gathered
+
+
 def vectorized_search(
     weights: np.ndarray,
 ) -> tuple[list[tuple[int, int]], float, int]:
@@ -170,7 +286,8 @@ def vectorized_search(
 
     Evaluates all candidate matchings with a single fancy-indexed gather
     plus an ``argmin`` instead of nested Python loops.  Returns bit-identical
-    pairs, weight and access count to the scalar HW6Decoder-based search.
+    pairs, weight and access count to the scalar HW6Decoder-based search,
+    on every array backend.
 
     Args:
         weights: Effective pair-weight matrix of an even node count <= 10.
@@ -183,11 +300,20 @@ def vectorized_search(
         return [], 0.0, 0
     if m % 2 or m > MAX_SEARCH_NODES:
         raise ValueError(f"exhaustive search supports at most 10 nodes, got {m}")
+    backend = get_backend()
     tensor = matchings_tensor(m)
-    gathered = weights[None, tensor[:, :, 0], tensor[:, :, 1]]
-    best, total = _scalar_order_select(gathered, m)
-    pairs = [(int(a), int(b)) for a, b in tensor[int(best[0])]]
-    return pairs, float(total[0]), hw6_accesses_for(m)
+    if backend.native_numpy:
+        gathered = weights[None, tensor[:, :, 0], tensor[:, :, 1]]
+        best, total = _scalar_order_select(gathered, m)
+        best_index = int(best[0])
+        best_total = float(total[0])
+    else:
+        gathered = _gathered_candidates_xp(backend, weights[None], m)
+        best, total = _scalar_order_select_xp(backend.xp, gathered, m)
+        best_index = int(backend.to_numpy(best).reshape(-1)[0])
+        best_total = float(backend.to_numpy(total).reshape(-1)[0])
+    pairs = [(int(a), int(b)) for a, b in tensor[best_index]]
+    return pairs, best_total, hw6_accesses_for(m)
 
 
 def batched_search(
@@ -204,7 +330,9 @@ def batched_search(
         Tuple ``(pair_tensor, total_weights, predictions)`` where
         ``pair_tensor`` is ``(B, m / 2, 2)`` (row ``i`` holds syndrome
         ``i``'s minimum matching), ``total_weights`` is ``(B,)`` and
-        ``predictions`` is the ``(B,)`` bool logical-flip vector.
+        ``predictions`` is the ``(B,)`` bool logical-flip vector.  On a
+        non-native array backend all three live on the backend's device;
+        bring them home with :func:`repro.backend.from_device`.
     """
     num, m, _ = weights.shape
     if m == 0:
@@ -215,13 +343,29 @@ def batched_search(
         )
     if m % 2 or m > MAX_SEARCH_NODES:
         raise ValueError(f"exhaustive search supports at most 10 nodes, got {m}")
+    backend = get_backend()
     tensor = matchings_tensor(m)
-    gathered = weights[:, tensor[:, :, 0], tensor[:, :, 1]]
-    best, totals = _scalar_order_select(gathered, m)
-    rows = np.arange(num)
-    pair_tensor = tensor[best]
-    sel_parities = parities[
-        rows[:, None], pair_tensor[:, :, 0], pair_tensor[:, :, 1]
-    ]
-    predictions = np.bitwise_xor.reduce(sel_parities, axis=1)
+    if backend.native_numpy:
+        gathered = weights[:, tensor[:, :, 0], tensor[:, :, 1]]
+        best, totals = _scalar_order_select(gathered, m)
+        rows = np.arange(num)
+        pair_tensor = tensor[best]
+        sel_parities = parities[
+            rows[:, None], pair_tensor[:, :, 0], pair_tensor[:, :, 1]
+        ]
+        predictions = np.bitwise_xor.reduce(sel_parities, axis=1)
+        return pair_tensor, totals, predictions
+    xp = backend.xp
+    gathered = _gathered_candidates_xp(backend, weights, m)
+    best, totals = _scalar_order_select_xp(xp, gathered, m)
+    dev_tensor = backend.asarray(np.ascontiguousarray(tensor, dtype=np.int64))
+    pair_tensor = xp.take(dev_tensor, xp.astype(best, xp.int64), axis=0)
+    par_int = np.ascontiguousarray(parities).astype(np.int64)
+    flat_par = xp.reshape(backend.asarray(par_int), (num, m * m))
+    flat_pair_idx = (
+        xp.astype(pair_tensor[:, :, 0], xp.int64) * m
+        + xp.astype(pair_tensor[:, :, 1], xp.int64)
+    )
+    sel = _gather_rows(xp, flat_par, flat_pair_idx)
+    predictions = xp.astype(xp.sum(sel, axis=1) % 2, xp.bool)
     return pair_tensor, totals, predictions

@@ -63,6 +63,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..backend import from_device
 from ..graphs.decoding_graph import BOUNDARY, NeighborStructure
 from ..graphs.weights import GlobalWeightTable
 from .blossom import min_weight_perfect_matching
@@ -772,8 +773,9 @@ class SparseMatchingEngine:
                 continue
             active = np.stack([clusters[index] for index in indices])
             batch = MatchingProblem.from_syndrome_batch(self.gwt, active)
-            pair_tensor, weights, predictions = batched_search(
-                batch.weights, batch.parities
+            pair_tensor, weights, predictions = (
+                from_device(r)
+                for r in batched_search(batch.weights, batch.parities)
             )
             lookup = batch.active
             if batch.has_virtual:

@@ -62,6 +62,7 @@ import numpy as np
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import dijkstra
 
+from ..backend import from_device
 from ..graphs.decoding_graph import BOUNDARY, DecodingGraph
 from .blossom import min_weight_perfect_matching
 from .boundary import matching_to_detectors
@@ -318,9 +319,10 @@ class SparseBlossomEngine:
         Growth is inherently per-syndrome; the batch entry point exists
         for API parity with the table engine and extracts all active
         indices with one ``np.nonzero``.  Cluster memoization is what
-        makes bulk decoding fast here.
+        makes bulk decoding fast here.  Device arrays from the active
+        array backend are accepted (the seam crossing happens here).
         """
-        syndromes = np.asarray(syndromes).astype(bool, copy=False)
+        syndromes = np.asarray(from_device(syndromes)).astype(bool, copy=False)
         if syndromes.ndim != 2:
             raise ValueError("solve_batch expects a (shots, detectors) matrix")
         num = syndromes.shape[0]

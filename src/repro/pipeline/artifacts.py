@@ -70,8 +70,11 @@ ARTIFACT_LAYOUT_VERSION = 1
 #: keyed by this mapping, so a bump also invalidates cross-job caches.
 STAGE_FORMAT_VERSIONS: dict[str, int] = {
     "dem": 1,
-    "sparse_graph": 1,
-    "graph": 1,
+    # v2: graph blobs additionally persist the canonical CSR adjacency and
+    # the boundary-Dijkstra radii/parities, so decoders that only need
+    # graph-local structure skip both recomputations on a warm store.
+    "sparse_graph": 2,
+    "graph": 2,
     # v2: the gwt stages became optional (PipelineConfig.dense_weights);
     # v1 blobs predate the gating and are rejected rather than silently
     # resolved for configurations that no longer build them.
@@ -271,6 +274,20 @@ def _encode_graph(graph: DecodingGraph) -> tuple[dict, dict]:
         "pair_parities": graph.pair_parities,
         "predecessors": graph.predecessors,
     }
+    # Persist the graph-local derived structure (format v2): the collapsed
+    # CSR adjacency and the boundary-Dijkstra tables are deterministic
+    # functions of the edge list, so storing them trades a few O(E) arrays
+    # for skipping their construction entirely on load.
+    indptr, indices, weights, parities = graph.csr_adjacency()
+    radii, bparities = graph.boundary_distances()
+    arrays.update(
+        csr_indptr=indptr,
+        csr_indices=indices,
+        csr_weights=weights,
+        csr_parities=parities,
+        boundary_radii=radii,
+        boundary_parities=bparities,
+    )
     return arrays, {"num_detectors": int(graph.num_detectors)}
 
 
@@ -306,6 +323,22 @@ def _decode_graph(arrays: dict, meta: dict) -> DecodingGraph:
         graph.adjacency.setdefault(edge.u, []).append(edge)
         if edge.v != BOUNDARY:
             graph.adjacency.setdefault(edge.v, []).append(edge)
+    if "csr_indptr" in arrays:
+        object.__setattr__(
+            graph,
+            "_csr_adjacency",
+            (
+                arrays["csr_indptr"],
+                arrays["csr_indices"],
+                arrays["csr_weights"],
+                arrays["csr_parities"],
+            ),
+        )
+        object.__setattr__(
+            graph,
+            "_boundary_distances",
+            (arrays["boundary_radii"], arrays["boundary_parities"]),
+        )
     return graph
 
 

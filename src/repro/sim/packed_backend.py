@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend import get_backend, to_device
 from .frame_program import (
     OP_CX,
     OP_DEPOLARIZE1,
@@ -197,7 +198,15 @@ def run_block_packed(
 
     Returns:
         ``(num_measurements, num_words(lanes))`` packed record-flip matrix.
+        On the (default) NumPy backend this is a host ``uint64`` array;
+        on a non-native array backend the finished record is shipped to
+        the device with :func:`repro.backend.to_device` -- the ``uint64``
+        scatter-XOR kernels and the block-seeded PRNG contract are
+        host-only, so portable backends pay a transfer instead of a
+        kernel (bit-identical by construction; torch stores the words as
+        ``int64``, re-viewed losslessly on the way back).
     """
+    backend = get_backend()
     words = num_words(lanes)
     padded_lanes = words * WORD_BITS
     x = np.zeros((program.num_qubits, words), dtype=np.uint64)
@@ -240,4 +249,6 @@ def run_block_packed(
             )
         else:  # pragma: no cover - compiler emits only the kinds above
             raise AssertionError(f"unhandled opcode: {kind}")
-    return rec
+    if backend.native_numpy:
+        return rec
+    return to_device(rec, backend)

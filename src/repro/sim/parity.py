@@ -10,11 +10,22 @@ XOR-scatter of whole ``uint64`` words (bit-packed backend).
 
 The boolean apply exploits that a ``uint8`` sum wraps modulo 256 -- an even
 modulus -- so overflow cannot corrupt a parity; no widening is needed.
+
+Both apply methods resolve the active array backend (:mod:`repro.backend`)
+at call time.  On the native NumPy backend they take the historical fast
+paths (``reduceat`` / ``bitwise_xor.at``); on portable backends
+:meth:`ParityTransfer.apply_bool` runs a restricted array-API program
+(flat ``take`` gather + ``cumulative_sum`` segment differences) on the
+device, while :meth:`ParityTransfer.apply_packed` -- a ``uint64``
+scatter-XOR with no portable equivalent -- computes on the host and is
+documented as such.  Results are bit-identical across backends.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from ..backend import from_device, get_backend
 
 __all__ = ["ParityTransfer"]
 
@@ -77,16 +88,51 @@ class ParityTransfer:
     def apply_bool(self, rec: np.ndarray) -> np.ndarray:
         """Reduce ``(shots, num_records)`` bool records to group parities.
 
+        The array namespace is resolved at call time: native NumPy keeps
+        the gather + ``reduceat`` fast path; portable backends compute the
+        same parities from flat gathers and ``cumulative_sum`` segment
+        differences on the device.  The result is always returned as a
+        host array (downstream census accounting is host-side).
+
         Returns:
             ``(shots, num_groups)`` bool parity matrix.
         """
+        backend = get_backend()
+        rec = np.asarray(from_device(rec))
+        if backend.native_numpy:
+            shots = rec.shape[0]
+            out = np.zeros((shots, self.num_groups), dtype=bool)
+            if self.indices.size and self._seg_starts.size:
+                gathered = rec[:, self.indices].astype(np.uint8)
+                sums = np.add.reduceat(gathered, self._seg_starts, axis=1)
+                out[:, self._nonempty] = (sums & 1).astype(bool)
+            return out
+        return self._apply_bool_portable(backend, rec)
+
+    def _apply_bool_portable(self, backend, rec: np.ndarray) -> np.ndarray:
+        """Array-API parity reduction: gather + cumulative-sum segments.
+
+        Uses only portable operations -- ``take`` along an axis,
+        ``cumulative_sum`` with ``include_initial`` and basic indexing --
+        so the same program runs on CuPy/torch/array-api-strict.  Empty
+        groups fall out naturally: their segment start equals their end,
+        so the difference (hence the parity) is zero.
+        """
+        xp = backend.xp
         shots = rec.shape[0]
-        out = np.zeros((shots, self.num_groups), dtype=bool)
-        if self.indices.size and self._seg_starts.size:
-            gathered = rec[:, self.indices].astype(np.uint8)
-            sums = np.add.reduceat(gathered, self._seg_starts, axis=1)
-            out[:, self._nonempty] = (sums & 1).astype(bool)
-        return out
+        if not self.indices.size:
+            return np.zeros((shots, self.num_groups), dtype=bool)
+        dev = backend.asarray(rec)
+        idx = backend.asarray(self.indices)
+        gathered = xp.astype(xp.take(dev, idx, axis=1), xp.int32)
+        # (shots, nnz + 1) prefix sums; segment k's hit count is
+        # prefix[indptr[k + 1]] - prefix[indptr[k]].
+        prefix = xp.cumulative_sum(gathered, axis=1, include_initial=True)
+        starts = xp.take(prefix, backend.asarray(self.indptr[:-1]), axis=1)
+        ends = xp.take(prefix, backend.asarray(self.indptr[1:]), axis=1)
+        parity = (ends - starts) % 2
+        host = np.asarray(backend.to_numpy(parity))
+        return host.astype(bool)
 
     def apply_bool_t(self, rec_t: np.ndarray) -> np.ndarray:
         """Reduce record-major ``(num_records, shots)`` bools to parities.
@@ -113,9 +159,19 @@ class ParityTransfer:
     def apply_packed(self, rec_words: np.ndarray) -> np.ndarray:
         """Reduce bit-packed ``(num_records, words)`` records to parities.
 
+        Accepts host arrays or device arrays from the active backend
+        (``uint64`` words a backend stored as ``int64`` -- the torch
+        caveat -- are re-viewed losslessly).  The scatter-XOR itself has
+        no portable array-API primitive, so this kernel always computes
+        on the host; see :mod:`repro.backend` for the packed-layout
+        caveats.
+
         Returns:
             ``(num_groups, words)`` packed ``uint64`` parity matrix.
         """
+        rec_words = np.asarray(from_device(rec_words))
+        if rec_words.dtype == np.int64:
+            rec_words = rec_words.view(np.uint64)
         words = rec_words.shape[1] if rec_words.ndim == 2 else 0
         out = np.zeros((self.num_groups, words), dtype=np.uint64)
         if self.indices.size:

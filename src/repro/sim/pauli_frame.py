@@ -198,8 +198,13 @@ class PauliFrameSimulator:
                     ).T[:size]
                 )
                 if keep_measurement_flips:
+                    from ..backend import from_device
+
+                    raw = np.asarray(from_device(rec_words))
+                    if raw.dtype == np.int64:
+                        raw = raw.view(np.uint64)
                     rec_parts.append(
-                        unpack_rows(rec_words, RNG_BLOCK_SHOTS).T[:size]
+                        unpack_rows(raw, RNG_BLOCK_SHOTS).T[:size]
                     )
             else:
                 rec = _run_block_bool(program, RNG_BLOCK_SHOTS, rng)[:size]

@@ -1,0 +1,201 @@
+"""Golden bit-identity suite for the array-backend seam.
+
+Every backend the seam can activate must produce *bit-identical* results
+to the plain numpy path on the decoding stack's hot loops: packed frame
+sampling, the batched exhaustive matching search, Union-Find batch
+decoding, sparse-blossom batch solves, and whole logical-error runs.
+Backends whose libraries are not installed in the environment are
+skipped cleanly, so the suite degrades to numpy vs. the portable
+``numpy_generic`` shim on a minimal box.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    ENV_BACKEND,
+    available_backends,
+    backend_info,
+    from_device,
+    get_backend,
+    set_backend,
+    to_device,
+    use_backend,
+)
+from repro.decoders.union_find import UnionFindDecoder
+from repro.experiments.memory import run_memory_experiment
+from repro.matching.search import batched_search
+from repro.matching.sparse_blossom import SparseBlossomEngine
+
+_AVAILABLE = available_backends()
+
+#: numpy and the portable shim are always importable; accelerator and
+#: strict backends join the matrix only when their libraries exist.
+BACKENDS = ["numpy", "numpy_generic"] + [
+    pytest.param(
+        name,
+        marks=pytest.mark.skipif(
+            not _AVAILABLE.get(name, False),
+            reason=f"backend {name!r} not installed",
+        ),
+    )
+    for name in ("array-api-strict", "torch", "cupy")
+]
+
+
+@pytest.fixture(autouse=True)
+def _restore_default_backend():
+    """Never leak an activated backend into unrelated tests."""
+    yield
+    set_backend(None)
+
+
+# ----------------------------------------------------------------------
+# Seam plumbing
+# ----------------------------------------------------------------------
+
+
+def test_available_backends_covers_registry():
+    avail = available_backends()
+    assert avail["numpy"] is True
+    assert avail["numpy_generic"] is True
+    assert set(avail) >= {"array-api-strict", "torch", "cupy"}
+
+
+def test_set_and_use_backend_restore():
+    baseline = get_backend().name
+    with use_backend("numpy_generic") as active:
+        assert active.name == "numpy_generic"
+        assert get_backend().name == "numpy_generic"
+        assert backend_info().name == "numpy_generic"
+    assert get_backend().name == baseline
+
+
+def test_env_var_fallback_warns(monkeypatch):
+    monkeypatch.setenv(ENV_BACKEND, "no-such-backend")
+    with pytest.warns(RuntimeWarning, match="falling back"):
+        active = set_backend(None)
+    assert active.name == "numpy"
+
+
+def test_to_from_device_round_trip():
+    data = np.arange(17, dtype=np.uint64)
+    with use_backend("numpy_generic"):
+        dev = to_device(data)
+        back = from_device(dev)
+    np.testing.assert_array_equal(np.asarray(back, dtype=np.uint64), data)
+
+
+def test_backend_info_reports_importability():
+    info = backend_info()
+    assert info.name
+    assert info.device
+    assert info.importable == available_backends()
+
+
+# ----------------------------------------------------------------------
+# Golden bit-identity across backends
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_packed_sampling_bit_identity(backend, setup_d3):
+    from repro import PauliFrameSimulator
+
+    golden = PauliFrameSimulator(setup_d3.experiment.circuit, seed=99).sample(
+        1024
+    )
+    with use_backend(backend):
+        got = PauliFrameSimulator(
+            setup_d3.experiment.circuit, seed=99
+        ).sample(1024)
+    np.testing.assert_array_equal(
+        np.asarray(from_device(got.detectors), dtype=bool), golden.detectors
+    )
+    np.testing.assert_array_equal(
+        np.asarray(from_device(got.observables), dtype=bool),
+        golden.observables,
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("m", [2, 4, 6, 8, 10])
+def test_batched_search_bit_identity(backend, m):
+    rng = np.random.default_rng(7 * m)
+    num = 37
+    raw = rng.uniform(0.25, 8.0, size=(num, m, m))
+    weights = np.triu(raw, 1)
+    weights = weights + weights.transpose(0, 2, 1)
+    parities = np.zeros((num, m, m), dtype=bool)
+    upper = rng.random(size=(num, m, m)) < 0.5
+    parities |= np.triu(upper, 1)
+    parities |= parities.transpose(0, 2, 1)
+    g_pairs, g_totals, g_preds = batched_search(weights, parities)
+    with use_backend(backend):
+        pairs, totals, preds = batched_search(
+            to_device(weights), to_device(parities)
+        )
+        pairs = np.asarray(from_device(pairs))
+        totals = np.asarray(from_device(totals))
+        preds = np.asarray(from_device(preds), dtype=bool)
+    np.testing.assert_array_equal(pairs, g_pairs)
+    np.testing.assert_array_equal(totals, g_totals)
+    np.testing.assert_array_equal(preds, g_preds)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_union_find_decode_batch_bit_identity(backend, setup_d3, sample_d3):
+    decoder = UnionFindDecoder(setup_d3.graph)
+    golden = decoder.decode_batch(sample_d3.detectors[:1500])
+    with use_backend(backend):
+        fresh = UnionFindDecoder(setup_d3.graph)
+        got = fresh.decode_batch(to_device(sample_d3.detectors[:1500]))
+    assert len(got) == len(golden)
+    for a, b in zip(golden, got):
+        assert a.prediction == b.prediction
+        assert a.matching == b.matching
+        assert a.weight == b.weight
+        assert a.cycles == b.cycles
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_sparse_blossom_solve_batch_bit_identity(backend, setup_d3, sample_d3):
+    engine = SparseBlossomEngine(setup_d3.graph)
+    golden = engine.solve_batch(sample_d3.detectors[:600])
+    with use_backend(backend):
+        fresh = SparseBlossomEngine(setup_d3.graph)
+        got = fresh.solve_batch(to_device(sample_d3.detectors[:600]))
+    assert got == golden
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("decoder_name", ["union-find", "mwpm"])
+def test_memory_run_census_bit_identity(
+    backend, decoder_name, setup_d3, setup_d5
+):
+    """Whole logical-error runs agree across backends at d=3 and d=5."""
+    from repro import make_decoder
+
+    for setup, shots in ((setup_d3, 800), (setup_d5, 400)):
+        golden = run_memory_experiment(
+            setup.experiment,
+            make_decoder(decoder_name, setup),
+            shots,
+            seed=2024,
+        )
+        with use_backend(backend):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                got = run_memory_experiment(
+                    setup.experiment,
+                    make_decoder(decoder_name, setup),
+                    shots,
+                    seed=2024,
+                )
+        assert got.errors == golden.errors
+        assert got.shots == golden.shots
+        assert got.logical_error_rate == golden.logical_error_rate

@@ -140,6 +140,27 @@ def test_stage_artifact_roundtrip_bit_identity(stage, tmp_path):
     assert store.stats.disk_hits == 1
 
 
+@pytest.mark.parametrize("stage", ["graph", "sparse_graph"])
+def test_graph_artifact_persists_derived_structure(stage, tmp_path):
+    """v2 graph blobs carry CSR adjacency + boundary Dijkstra tables."""
+    pipeline = _private_pipeline()
+    graph = pipeline.get(stage)
+    expected_csr = graph.csr_adjacency()
+    expected_bnd = graph.boundary_distances()
+    store = ArtifactStore(tmp_path / "store")
+    store.save(pipeline.fingerprint, stage, graph)
+    loaded = store.load(pipeline.fingerprint, stage)
+    # The derived structure must be pre-attached (no rebuild on access) ...
+    assert getattr(loaded, "_csr_adjacency", None) is not None
+    assert getattr(loaded, "_boundary_distances", None) is not None
+    # ... and bit-identical to what the builder computes.
+    for got, want in zip(loaded.csr_adjacency(), expected_csr):
+        np.testing.assert_array_equal(got, want)
+    for got, want in zip(loaded.boundary_distances(), expected_bnd):
+        np.testing.assert_array_equal(got, want)
+    assert STAGE_FORMAT_VERSIONS[stage] >= 2
+
+
 def test_store_warm_start_loads_instead_of_building(tmp_path):
     store = ArtifactStore(tmp_path / "store")
     cold = DecodingPipeline(CONFIG, memory_cache=StageCache(), store=store)
