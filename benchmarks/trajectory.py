@@ -46,6 +46,9 @@ _SCALAR_METRICS = (
     "sparse_speedup_steady",
     "uf_batch_speedup",
     "uf_batch_speedup_weighted",
+    "service_rounds_per_sec",
+    "service_latency_ratio",
+    "service_degraded_accuracy",
 )
 
 

@@ -230,6 +230,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     """Supervised long campaign: checkpoint/resume, retries, timeouts."""
     from .experiments.resilient import run_memory_experiment_resilient
     from .pipeline import DecoderHandle
+    from .service import RetryPolicy
 
     if args.resume and not args.checkpoint_dir:
         raise SystemExit("--resume requires --checkpoint-dir")
@@ -256,8 +257,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         block_shots=args.block_shots,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
-        max_retries=args.max_retries,
-        chunk_timeout=args.chunk_timeout,
+        policy=RetryPolicy(
+            max_retries=args.max_retries, timeout=args.chunk_timeout
+        ),
     )
     result, recovery = outcome.result, outcome.recovery
     low, high = result.confidence_interval
@@ -284,6 +286,89 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     ]
     _emit(args, human, machine)
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Streaming decode service under deterministic generated load."""
+    import json
+
+    from .pipeline.stages import PipelineConfig
+    from .service import RetryPolicy
+    from .service.loadgen import run_load
+    from .service.server import ServiceConfig
+    from .testing.faults import SERVICE_SOLVE_PHASE, FaultInjector
+
+    injector = None
+    if args.inject_crash or args.inject_hang:
+        injector = FaultInjector(
+            crashes={
+                (SERVICE_SOLVE_PHASE, batch): 1 for batch in args.inject_crash
+            },
+            hangs={
+                (SERVICE_SOLVE_PHASE, batch): 1 for batch in args.inject_hang
+            },
+            hang_seconds=max(5.0, 4.0 * args.deadline),
+        )
+    config = PipelineConfig(distance=args.distance, physical_error_rate=args.p)
+    service = ServiceConfig(
+        window=args.window,
+        commit=args.commit,
+        workers=args.workers,
+        batch_window=args.batch_window,
+        policy=RetryPolicy(
+            max_retries=args.max_retries,
+            backoff=args.retry_backoff,
+            timeout=args.deadline,
+        ),
+        degrade_tier=(
+            None if args.degrade_tier == "none" else args.degrade_tier
+        ),
+        queue_limit=args.queue_limit,
+    )
+    report = run_load(
+        config,
+        service,
+        streams=args.streams,
+        episodes=args.episodes,
+        seed=args.seed,
+        injector=injector,
+        burst_streams=args.burst_streams,
+    )
+    recovery = report.service["service"]["recovery"]
+    human = [
+        f"d={args.distance} p={args.p} streams={args.streams} "
+        f"episodes/stream={args.episodes} workers={args.workers}",
+        f"rounds             : {report.rounds_fed} fed, "
+        f"{report.rounds_committed} committed",
+        f"throughput         : {report.rounds_per_second:.0f} rounds/s "
+        f"(wall {report.wall_seconds:.2f} s)",
+        f"solve latency      : p50 {report.solve_p50_ms:.2f} ms, "
+        f"p99 {report.solve_p99_ms:.2f} ms",
+        f"episodes           : {report.episodes_primary} primary "
+        f"({report.logical_errors_primary} logical errors, "
+        f"{report.reference_mismatches} reference mismatches), "
+        f"{report.episodes_degraded} degraded "
+        f"({report.logical_errors_degraded} logical errors)",
+        f"recovery           : {recovery['crashes']} crashes, "
+        f"{recovery['hangs']} hangs, {recovery['respawns']} respawns, "
+        f"{recovery['retries']} retries, "
+        f"{recovery['serial_fallbacks']} serial fallbacks",
+        f"load shedding      : "
+        f"{report.service['degradations']} degradations, "
+        f"{report.service['promotions']} promotions, "
+        f"{report.service['backpressure_events']} backpressure events",
+    ]
+    machine = [
+        f"{args.distance} {args.p} {args.streams} {args.episodes} "
+        f"{report.rounds_committed} {report.rounds_per_second:.1f} "
+        f"{report.solve_p99_ms:.3f} {recovery['respawns']} "
+        f"{report.service['degradations']} {report.reference_mismatches}"
+    ]
+    _emit(args, human, machine)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+    return 0 if report.reference_mismatches == 0 else 1
 
 
 def cmd_latency(args: argparse.Namespace) -> int:
@@ -550,6 +635,87 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="seconds before a running chunk is declared hung",
+    )
+    serve = register(
+        "serve",
+        cmd_serve,
+        "streaming decode service under generated load",
+    )
+    serve.add_argument(
+        "--streams", type=int, default=4, help="concurrent stream sessions"
+    )
+    serve.add_argument(
+        "--episodes", type=int, default=8, help="episodes fed per stream"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="warm worker processes"
+    )
+    serve.add_argument(
+        "--window", type=int, default=3, help="sliding-window span (layers)"
+    )
+    serve.add_argument(
+        "--commit", type=int, default=1, help="layers committed per step"
+    )
+    serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.002,
+        help="seconds to wait for cross-stream batching",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=5.0,
+        help="per-batch solve deadline in seconds",
+    )
+    serve.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        help="solve retries before the in-process serial fallback",
+    )
+    serve.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.02,
+        help="base seconds of the exponential retry backoff",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=32,
+        help="buffered uncommitted rounds per stream before backpressure",
+    )
+    serve.add_argument(
+        "--degrade-tier",
+        choices=(*decoder_registry.decoder_names("service-tier"), "none"),
+        default="union-find",
+        help="tier overloaded streams shed onto ('none' disables)",
+    )
+    serve.add_argument(
+        "--burst-streams",
+        type=int,
+        default=0,
+        help="streams driven with the tightest queue bound (overload)",
+    )
+    serve.add_argument(
+        "--inject-crash",
+        type=int,
+        action="append",
+        default=[],
+        metavar="BATCH",
+        help="hard-crash the worker solving this batch id (repeatable)",
+    )
+    serve.add_argument(
+        "--inject-hang",
+        type=int,
+        action="append",
+        default=[],
+        metavar="BATCH",
+        help="hang the worker solving this batch id (repeatable)",
+    )
+    serve.add_argument(
+        "--json", help="write the full load report as JSON here"
     )
     register("latency", cmd_latency, "real-time latency profile (Figure 9)")
     bandwidth = register(

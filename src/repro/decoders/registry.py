@@ -380,13 +380,13 @@ register_decoder(
 register_decoder(
     "union-find",
     _make_union_find,
-    capabilities=("cli", "baseline", "realtime"),
+    capabilities=("cli", "baseline", "realtime", "service-tier"),
     description="Union-Find (AFS-style) baseline on the primitive graph",
 )
 register_decoder(
     "clique",
     _make_clique,
-    capabilities=("cli", "baseline"),
+    capabilities=("cli", "baseline", "service-tier"),
     description="Clique local pre-decoder with software-MWPM fallback",
 )
 register_decoder(

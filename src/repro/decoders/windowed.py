@@ -11,7 +11,8 @@ committed correction chain was cut at the commit boundary.
 :class:`SlidingWindowDecoder` implements this on top of the repository's
 matching stack:
 
-1. each window's defects (real XOR residual) are decoded with exact MWPM;
+1. each window's defects (real XOR residual) are decoded with exact MWPM
+   (the vectorized exhaustive search for small windows, blossom beyond);
 2. the matching is expanded to primitive decoding-graph edges
    (:mod:`repro.decoders.correction`);
 3. edges touching the commit region are committed -- their logical
@@ -22,21 +23,39 @@ matching stack:
 With a window spanning the whole experiment this reduces *exactly* to
 block MWPM decoding (asserted in the tests); short windows trade accuracy
 for bounded decode latency per round, and the bench quantifies the trade.
+
+The window-step machinery is public -- :meth:`~SlidingWindowDecoder.window_plan`,
+:meth:`~SlidingWindowDecoder.window_edges`,
+:meth:`~SlidingWindowDecoder.window_edges_batch` and
+:meth:`~SlidingWindowDecoder.commit_edges` -- because the streaming decode
+service (:mod:`repro.service`) drives the same commit/residual bookkeeping
+incrementally, with the window solves shipped to a warm worker pool.
+:meth:`~SlidingWindowDecoder.decode_batch` runs many shots through the
+plan in lockstep so every window step becomes one cross-shot call into
+the batched matching kernels, bit-identical to the scalar path.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
+from ..backend import from_device
 from ..circuits.memory import MemoryExperiment
 from ..graphs.decoding_graph import BOUNDARY, DecodingGraph
 from ..graphs.weights import GlobalWeightTable
 from ..matching.blossom import min_weight_perfect_matching
 from ..matching.boundary import MatchingProblem
-from .base import DecodeResult, Decoder
+from ..matching.search import MAX_SEARCH_NODES, batched_search, vectorized_search
+from .base import DecodeResult, Decoder, validate_syndrome_batch
 from .correction import primitive_edge_parities
 
 __all__ = ["SlidingWindowDecoder"]
+
+#: Default capacity of the per-decoder window-solve memo (distinct active
+#: sets per experiment are heavily repeated across shots and streams).
+DEFAULT_EDGE_CACHE = 4096
 
 
 class SlidingWindowDecoder(Decoder):
@@ -46,9 +65,17 @@ class SlidingWindowDecoder(Decoder):
         gwt: Global Weight Table of the full experiment.
         graph: The decoding graph (for path expansion).
         experiment: The memory experiment (provides the layer structure).
-        window: Layers decoded together per step (>= 2).
+        window: Layers decoded together per step (>= 2); must not exceed
+            the experiment's layer count (a longer window could never
+            fill, so such a syndrome stream is rejected up front).
         commit: Layers committed (and slid past) per step; must be below
             ``window`` so later layers provide lookahead.
+        edge_cache: Capacity of the window-solve memo (0 disables it).
+
+    Raises:
+        ValueError: On invalid window/commit geometry, on an experiment
+            whose detector count disagrees with the graph, or on a window
+            longer than the experiment's detector-layer count.
     """
 
     name = "Sliding-window MWPM"
@@ -61,11 +88,14 @@ class SlidingWindowDecoder(Decoder):
         *,
         window: int = 6,
         commit: int = 2,
+        edge_cache: int = DEFAULT_EDGE_CACHE,
     ) -> None:
         if window < 2:
             raise ValueError("window must be >= 2")
         if not 1 <= commit < window:
             raise ValueError("commit must satisfy 1 <= commit < window")
+        if edge_cache < 0:
+            raise ValueError("edge_cache must be >= 0")
         self.gwt = gwt
         self.graph = graph
         self.window = window
@@ -75,8 +105,65 @@ class SlidingWindowDecoder(Decoder):
             raise ValueError("experiment and graph disagree on detector count")
         self._layer_of = np.array(layers, dtype=np.int64)
         self._num_layers = max(layers) + 1 if layers else 0
+        if self._num_layers and window > self._num_layers:
+            raise ValueError(
+                f"window={window} spans more detector layers than the "
+                f"experiment provides ({self._num_layers}); such a stream "
+                "can never fill one window -- shrink the window (or decode "
+                "the experiment as a single block)"
+            )
         self._edge_parity = primitive_edge_parities(graph)
         self._boundary = graph.num_detectors
+        self.syndrome_length = graph.num_detectors
+        self._plan = self._build_plan()
+        self._cache_capacity = edge_cache
+        self._edge_cache: OrderedDict[tuple[int, ...], tuple] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Window schedule
+    # ------------------------------------------------------------------
+
+    def _build_plan(self) -> tuple[tuple[int, int, int, bool], ...]:
+        if self._num_layers == 0:
+            return ()
+        plan: list[tuple[int, int, int, bool]] = []
+        start = 0
+        while True:
+            end = min(start + self.window, self._num_layers)
+            final = end >= self._num_layers
+            commit_end = self._num_layers if final else start + self.commit
+            plan.append((start, end, commit_end, final))
+            if final:
+                break
+            start += self.commit
+        return tuple(plan)
+
+    @property
+    def num_layers(self) -> int:
+        """Detector layers of the experiment this decoder was built for."""
+        return self._num_layers
+
+    def window_plan(self) -> tuple[tuple[int, int, int, bool], ...]:
+        """The fixed window schedule: ``(start, end, commit_end, final)``.
+
+        ``[start, end)`` is the decoded layer span of the step,
+        ``[.., commit_end)`` the span whose corrections commit, and
+        ``final`` marks the last step (which commits everything).  The
+        streaming service replays exactly this schedule per stream.
+        """
+        return self._plan
+
+    def layer_detectors(self, layer: int) -> np.ndarray:
+        """Detector indices of one layer, in increasing order.
+
+        The streaming service uses this to map a stream's per-round bit
+        vectors onto the experiment's global detector indexing.
+        """
+        if not 0 <= layer < self._num_layers:
+            raise ValueError(
+                f"layer {layer} out of range [0, {self._num_layers})"
+            )
+        return np.nonzero(self._layer_of == layer)[0]
 
     # ------------------------------------------------------------------
     # Decoding
@@ -90,31 +177,13 @@ class SlidingWindowDecoder(Decoder):
         defects[list(active)] = True
         prediction = False
         committed_edges: list[tuple[int, int]] = []
-        start = 0
-        windows = 0
-        while True:
-            end = min(start + self.window, self._num_layers)
-            final = end >= self._num_layers
-            commit_end = self._num_layers if final else start + self.commit
-            in_window = (
-                (self._layer_of >= start) & (self._layer_of < end) & defects
-            )
-            window_active = [int(i) for i in np.nonzero(in_window)[0]]
-            windows += 1
+        for start, end, commit_end, _final in self._plan:
+            window_active = self.window_active(defects, start, end)
             if window_active:
-                edges = self._window_edges(window_active)
-                for u, v in edges:
-                    if not self._edge_committed(u, v, commit_end):
-                        continue
-                    key = self._edge_key(u, v)
-                    prediction ^= self._edge_parity[key]
-                    committed_edges.append((u, v))
-                    for vertex in (u, v):
-                        if vertex != BOUNDARY:
-                            defects[vertex] = not defects[vertex]
-            if final:
-                break
-            start += self.commit
+                edges = self.window_edges(window_active)
+                flip, committed = self.commit_edges(edges, commit_end, defects)
+                prediction ^= flip
+                committed_edges.extend(committed)
         leftover = [int(i) for i in np.nonzero(defects)[0]]
         if leftover:
             raise AssertionError(
@@ -122,29 +191,185 @@ class SlidingWindowDecoder(Decoder):
             )
         return DecodeResult(
             prediction=prediction,
-            matching=sorted(
-                (min(u, v), max(u, v)) if v != BOUNDARY else (u, BOUNDARY)
-                for u, v in committed_edges
-            ),
+            matching=self._present_matching(committed_edges),
             weight=float(len(committed_edges)),
-            cycles=windows,
+            cycles=len(self._plan),
         )
+
+    def decode_batch(self, syndromes: np.ndarray) -> list[DecodeResult]:
+        """Run every shot through the window plan in lockstep.
+
+        At each window step the non-trivial shots' active sets are solved
+        together through :meth:`window_edges_batch` (one batched-kernel
+        call per Hamming-weight bucket) instead of shot-at-a-time; the
+        commit/residual bookkeeping is per shot and unchanged, so the
+        results are bit-identical to :meth:`decode_active` row by row.
+        """
+        validated = validate_syndrome_batch(syndromes, self.syndrome_length)
+        shots = validated.shape[0]
+        defects = validated.copy()
+        nontrivial = validated.any(axis=1)
+        predictions = np.zeros(shots, dtype=bool)
+        committed: list[list[tuple[int, int]]] = [[] for _ in range(shots)]
+        for start, end, commit_end, _final in self._plan:
+            span = (self._layer_of >= start) & (self._layer_of < end)
+            rows = [
+                int(i)
+                for i in np.nonzero(nontrivial & (defects & span).any(axis=1))[0]
+            ]
+            if not rows:
+                continue
+            actives = [
+                [int(j) for j in np.nonzero(defects[i] & span)[0]] for i in rows
+            ]
+            solved = self.window_edges_batch(actives)
+            for i, edges in zip(rows, solved):
+                flip, edges_committed = self.commit_edges(
+                    edges, commit_end, defects[i]
+                )
+                predictions[i] ^= flip
+                committed[i].extend(edges_committed)
+        results: list[DecodeResult] = []
+        for i in range(shots):
+            if not nontrivial[i]:
+                results.append(DecodeResult(prediction=False))
+                continue
+            leftover = [int(j) for j in np.nonzero(defects[i])[0]]
+            if leftover:
+                raise AssertionError(
+                    f"sliding window left unresolved defects: {leftover}"
+                )
+            results.append(
+                DecodeResult(
+                    prediction=bool(predictions[i]),
+                    matching=self._present_matching(committed[i]),
+                    weight=float(len(committed[i])),
+                    cycles=len(self._plan),
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # Window-step primitives (shared with the streaming service)
+    # ------------------------------------------------------------------
+
+    def window_active(
+        self, defects: np.ndarray, start: int, end: int
+    ) -> list[int]:
+        """Defect indices of ``defects`` within layer span ``[start, end)``."""
+        in_window = (self._layer_of >= start) & (self._layer_of < end) & defects
+        return [int(i) for i in np.nonzero(in_window)[0]]
+
+    def window_edges(self, window_active: list[int]) -> list[tuple[int, int]]:
+        """Exact MWPM of one window, expanded to primitive edges.
+
+        Small problems (after virtual-boundary folding, at most
+        :data:`~repro.matching.search.MAX_SEARCH_NODES` nodes) run the
+        vectorized exhaustive search -- bit-identical to the batched
+        kernel :meth:`window_edges_batch` routes through -- and larger
+        ones fall back to blossom.  Results are memoised per active set.
+        """
+        key = tuple(window_active)
+        cached = self._cache_get(key)
+        if cached is not None:
+            return list(cached)
+        problem = MatchingProblem.from_syndrome(self.gwt, window_active)
+        if problem.num_nodes <= MAX_SEARCH_NODES:
+            pairs, _total, _accesses = vectorized_search(problem.weights)
+        else:
+            pairs = min_weight_perfect_matching(problem.weights)
+        edges = self._expand_pairs(problem.active, problem.has_virtual, pairs)
+        self._cache_put(key, tuple(edges))
+        return edges
+
+    def window_edges_batch(
+        self, actives: list[list[int]]
+    ) -> list[list[tuple[int, int]]]:
+        """Solve many windows at once through the batched kernels.
+
+        The active sets are bucketed by Hamming weight (the batched
+        matching-problem constructor requires uniform weight), each
+        bucket small enough for the exhaustive search runs as a single
+        :func:`~repro.matching.search.batched_search` call, and oversized
+        buckets fall back to the scalar path.  Every row's edge list is
+        bit-identical to :meth:`window_edges` on that row.
+        """
+        out: list[list[tuple[int, int]] | None] = [None] * len(actives)
+        buckets: dict[int, list[int]] = {}
+        for i, window_active in enumerate(actives):
+            cached = self._cache_get(tuple(window_active))
+            if cached is not None:
+                out[i] = list(cached)
+            else:
+                buckets.setdefault(len(window_active), []).append(i)
+        for weight, rows in buckets.items():
+            m = weight + (weight % 2)
+            if weight == 0 or m > MAX_SEARCH_NODES or len(rows) == 1:
+                for i in rows:
+                    out[i] = self.window_edges(actives[i])
+                continue
+            batch = MatchingProblem.from_syndrome_batch(
+                self.gwt,
+                np.asarray([actives[i] for i in rows], dtype=np.intp),
+            )
+            pair_tensor, _totals, _preds = batched_search(
+                batch.weights, batch.parities
+            )
+            pair_tensor = np.asarray(from_device(pair_tensor))
+            for j, i in enumerate(rows):
+                pairs = [(int(a), int(b)) for a, b in pair_tensor[j]]
+                edges = self._expand_pairs(
+                    batch.active_list(j), batch.has_virtual, pairs
+                )
+                self._cache_put(tuple(actives[i]), tuple(edges))
+                out[i] = edges
+        return [edges if edges is not None else [] for edges in out]
+
+    def commit_edges(
+        self,
+        edges: list[tuple[int, int]],
+        commit_end: int,
+        defects: np.ndarray,
+    ) -> tuple[bool, list[tuple[int, int]]]:
+        """Commit the edges reaching into layers below ``commit_end``.
+
+        Mutates ``defects``: every committed edge toggles its real
+        endpoints, leaving the residual-defect state the next window
+        decodes against.
+
+        Returns:
+            ``(flip, committed)`` -- the parity contribution of the
+            committed edges and the edges themselves.
+        """
+        flip = False
+        committed: list[tuple[int, int]] = []
+        for u, v in edges:
+            if not self._edge_committed(u, v, commit_end):
+                continue
+            key = self._edge_key(u, v)
+            flip ^= self._edge_parity[key]
+            committed.append((u, v))
+            for vertex in (u, v):
+                if vertex != BOUNDARY:
+                    defects[vertex] = not defects[vertex]
+        return flip, committed
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
-    def _window_edges(
-        self, window_active: list[int]
+    def _expand_pairs(
+        self,
+        active: list[int],
+        has_virtual: bool,
+        pairs: list[tuple[int, int]],
     ) -> list[tuple[int, int]]:
-        """Exact MWPM of one window, expanded to primitive edges."""
-        problem = MatchingProblem.from_syndrome(self.gwt, window_active)
-        pairs = min_weight_perfect_matching(problem.weights)
+        """Expand local matching pairs to XOR-reduced primitive edges."""
         edges: dict[tuple[int, int], int] = {}
-        virtual = len(problem.active)
+        virtual = len(active)
         for a, b in pairs:
-            u = BOUNDARY if (problem.has_virtual and a == virtual) else problem.active[a]
-            v = BOUNDARY if (problem.has_virtual and b == virtual) else problem.active[b]
+            u = BOUNDARY if (has_virtual and a == virtual) else active[a]
+            v = BOUNDARY if (has_virtual and b == virtual) else active[b]
             for x, y in self.graph.shortest_path(u, v):
                 key = self._edge_key(x, y)
                 edges[key] = edges.get(key, 0) + 1
@@ -153,6 +378,36 @@ class SlidingWindowDecoder(Decoder):
             if count % 2:
                 out.append((x, BOUNDARY if y == self._boundary else y))
         return out
+
+    def _window_edges(
+        self, window_active: list[int]
+    ) -> list[tuple[int, int]]:
+        """Backwards-compatible alias of :meth:`window_edges`."""
+        return self.window_edges(window_active)
+
+    def _present_matching(
+        self, committed_edges: list[tuple[int, int]]
+    ) -> list[tuple[int, int]]:
+        return sorted(
+            (min(u, v), max(u, v)) if v != BOUNDARY else (u, BOUNDARY)
+            for u, v in committed_edges
+        )
+
+    def _cache_get(self, key: tuple[int, ...]) -> tuple | None:
+        if not self._cache_capacity:
+            return None
+        cached = self._edge_cache.get(key)
+        if cached is not None:
+            self._edge_cache.move_to_end(key)
+        return cached
+
+    def _cache_put(self, key: tuple[int, ...], edges: tuple) -> None:
+        if not self._cache_capacity:
+            return
+        self._edge_cache[key] = edges
+        self._edge_cache.move_to_end(key)
+        while len(self._edge_cache) > self._cache_capacity:
+            self._edge_cache.popitem(last=False)
 
     def _edge_key(self, u: int, v: int) -> tuple[int, int]:
         du = self._boundary if u == BOUNDARY else u

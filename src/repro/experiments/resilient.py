@@ -37,12 +37,9 @@ additionally degrade to the dense reference path inside
 
 from __future__ import annotations
 
-import multiprocessing
-import queue as queue_module
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Sequence
+from typing import Callable
 
 import numpy as np
 
@@ -50,6 +47,12 @@ from ..circuits.memory import MemoryExperiment
 from ..decoders.base import DecodeResult, Decoder
 from ..pipeline.fingerprint import experiment_fingerprint
 from ..pipeline.handle import DecoderHandle
+from ..service.supervisor import (
+    SERIAL_DEGRADATION_THRESHOLD,
+    RecoveryStats,
+    RetryPolicy,
+    supervised_map,
+)
 from .io import CorruptResultError, read_json_record, write_json_record
 from .memory import MemoryRunResult, tally_decode_results
 from .parallel import (
@@ -65,6 +68,8 @@ __all__ = [
     "CheckpointStore",
     "RecoveryStats",
     "ResilientRunResult",
+    "RetryPolicy",
+    "SERIAL_DEGRADATION_THRESHOLD",
     "experiment_fingerprint",
     "make_resilient_runner",
     "run_memory_experiment_resilient",
@@ -74,63 +79,12 @@ __all__ = [
 MANIFEST_KIND = "campaign-manifest"
 CHUNK_KIND = "census-chunk"
 
-#: Consecutive failed parallel attempts (crash/hang/error) after which the
-#: supervisor stops launching worker processes and runs every remaining
-#: chunk in-process.
-SERIAL_DEGRADATION_THRESHOLD = 8
-
 
 # The fingerprint moved to the pipeline layer (it now also addresses the
-# content-addressed artifact store); re-exported here for compatibility.
-
-
-@dataclass
-class RecoveryStats:
-    """What the supervisor had to do to finish a campaign.
-
-    Attributes:
-        chunks_total: Sampling chunks in the campaign.
-        chunks_resumed: Chunks restored from verified checkpoints.
-        crashes: Worker processes that died without delivering a result.
-        hangs: Worker processes reclaimed by the per-chunk timeout.
-        worker_errors: Worker attempts that failed with a Python error.
-        retries: Chunk attempts re-queued after any of the above.
-        serial_fallbacks: Chunks that ran in-process after their parallel
-            attempts were exhausted (or after campaign-level degradation).
-        corrupted_checkpoints: Checkpoint files discarded as invalid.
-        dropped_chunks: Chunks lost even to the serial fallback (only
-            possible with ``allow_partial=True``).
-        decoder_fallbacks: Decoder-internal degradations to the reference
-            path, summed over the per-chunk deltas the decode workers
-            report (worker decoder copies die with their process, so the
-            counter cannot be read off the supervisor's decoder).
-    """
-
-    chunks_total: int = 0
-    chunks_resumed: int = 0
-    crashes: int = 0
-    hangs: int = 0
-    worker_errors: int = 0
-    retries: int = 0
-    serial_fallbacks: int = 0
-    corrupted_checkpoints: int = 0
-    dropped_chunks: int = 0
-    decoder_fallbacks: int = 0
-
-    def as_dict(self) -> dict[str, int]:
-        """Counters as a JSON-ready dict."""
-        return {
-            "chunks_total": self.chunks_total,
-            "chunks_resumed": self.chunks_resumed,
-            "crashes": self.crashes,
-            "hangs": self.hangs,
-            "worker_errors": self.worker_errors,
-            "retries": self.retries,
-            "serial_fallbacks": self.serial_fallbacks,
-            "corrupted_checkpoints": self.corrupted_checkpoints,
-            "dropped_chunks": self.dropped_chunks,
-            "decoder_fallbacks": self.decoder_fallbacks,
-        }
+# content-addressed artifact store), and the supervision loop plus
+# RecoveryStats/RetryPolicy moved to :mod:`repro.service.supervisor`
+# (the streaming decode service shares them); all are re-exported here
+# for compatibility.
 
 
 @dataclass
@@ -390,306 +344,47 @@ def _decode_chunk_tracked(payload) -> tuple[list[DecodeResult], int]:
 
 
 # ----------------------------------------------------------------------
-# Worker supervision
+# Worker supervision (extracted to repro.service.supervisor)
 # ----------------------------------------------------------------------
 
 
-@dataclass
-class _Job:
-    """One supervised work unit and its retry state."""
-
-    index: int
-    payload: Any
-    attempt: int = 0
-    eligible_at: float = 0.0
-
-
-def _worker_shell(
-    result_queue,
-    phase: str,
-    index: int,
-    attempt: int,
-    worker_fn: Callable[[Any], Any],
-    payload: Any,
-    injector,
-) -> None:
-    """Worker-process entry: run one chunk attempt, report via the queue.
-
-    A successful attempt puts ``(index, "ok", result)`` and exits 0; a
-    Python failure puts ``(index, "error", repr)`` and exits 0.  A hard
-    crash (injected or real) exits non-zero with nothing on the queue --
-    that silence is exactly what the supervisor detects.
-    """
-    try:
-        if injector is not None:
-            injector.maybe_fault(phase, index, attempt, in_worker=True)
-        result = worker_fn(payload)
-        result_queue.put((index, "ok", result))
-    except BaseException as exc:  # noqa: BLE001 - forwarded to supervisor
-        result_queue.put((index, "error", repr(exc)))
-
-
-def _run_serial_attempts(
-    job: _Job,
-    worker_fn: Callable[[Any], Any],
-    *,
-    phase: str,
-    injector,
-    max_retries: int,
-    stats: RecoveryStats,
-) -> tuple[bool, Any]:
-    """Run a job in-process with retries; returns (succeeded, result)."""
-    while True:
-        try:
-            if injector is not None:
-                injector.maybe_fault(
-                    phase, job.index, job.attempt, in_worker=False
-                )
-            return True, worker_fn(job.payload)
-        except Exception:
-            stats.worker_errors += 1
-            job.attempt += 1
-            if job.attempt > max_retries:
-                return False, None
-            stats.retries += 1
-
-
 def _supervised_map(
-    worker_fn: Callable[[Any], Any],
-    payloads: Sequence[tuple[int, Any]],
+    worker_fn,
+    payloads,
     *,
-    phase: str,
-    workers: int,
-    chunk_timeout: float | None,
-    max_retries: int,
-    retry_backoff: float,
+    phase,
+    workers,
+    chunk_timeout,
+    max_retries,
+    retry_backoff,
     injector,
-    stats: RecoveryStats,
-    allow_drop: bool,
-    on_success: Callable[[int, Any], None] | None = None,
-) -> dict[int, Any]:
-    """Run ``worker_fn`` over indexed payloads under supervision.
+    stats,
+    allow_drop,
+    on_success=None,
+):
+    """Compatibility shim over :func:`repro.service.supervisor.supervised_map`.
 
-    Args:
-        worker_fn: Pure function of one payload (module-level, picklable).
-        payloads: ``(index, payload)`` pairs; indices key the result dict.
-        phase: Phase name threaded to the fault injector and stats.
-        workers: Maximum concurrent worker processes (1 = in-process).
-        chunk_timeout: Seconds before a running attempt is declared hung
-            and its process reclaimed (None disables the timeout).
-        max_retries: Retries per chunk before the serial fallback.
-        retry_backoff: Base delay of the exponential backoff between
-            attempts of the same chunk (doubles per retry).
-        injector: Optional :class:`repro.testing.faults.FaultInjector`.
-        stats: Recovery counters, mutated in place.
-        allow_drop: When even the serial fallback fails: ``True`` records
-            the chunk as dropped (result ``None``), ``False`` raises.
-        on_success: Callback invoked in the supervisor process for each
-            completed chunk (e.g. to checkpoint it).
-
-    Returns:
-        Mapping of index to result (``None`` for dropped chunks).
-
-    Raises:
-        RuntimeError: When a chunk fails terminally and ``allow_drop`` is
-            False.
+    The campaign runner's historical knobs (``max_retries``,
+    ``chunk_timeout``, ``retry_backoff``) map one-to-one onto a
+    :class:`~repro.service.supervisor.RetryPolicy`; behavior is pinned by
+    the existing resilience tests.
     """
-    results: dict[int, Any] = {}
-
-    def finish(index: int, value: Any) -> None:
-        results[index] = value
-        if on_success is not None and value is not None:
-            on_success(index, value)
-
-    def serial_fallback(job: _Job) -> None:
-        stats.serial_fallbacks += 1
-        ok, value = _run_serial_attempts(
-            job,
-            worker_fn,
-            phase=phase,
-            injector=injector,
-            max_retries=max_retries,
-            stats=stats,
-        )
-        if ok:
-            finish(job.index, value)
-        elif allow_drop:
-            stats.dropped_chunks += 1
-            results[job.index] = None
-        else:
-            raise RuntimeError(
-                f"{phase} chunk {job.index} failed after {job.attempt} "
-                "attempts including the in-process serial fallback"
-            )
-
-    pending = [_Job(index, payload) for index, payload in payloads]
-
-    if workers <= 1:
-        # In-process mode: no subprocess to crash, but the retry loop
-        # still absorbs transient (injected or real) Python failures.
-        for job in pending:
-            ok, value = _run_serial_attempts(
-                job,
-                worker_fn,
-                phase=phase,
-                injector=injector,
-                max_retries=max_retries,
-                stats=stats,
-            )
-            if ok:
-                finish(job.index, value)
-            elif allow_drop:
-                stats.dropped_chunks += 1
-                results[job.index] = None
-            else:
-                raise RuntimeError(
-                    f"{phase} chunk {job.index} failed after "
-                    f"{job.attempt} in-process attempts"
-                )
-        return results
-
-    ctx = multiprocessing.get_context()
-    result_queue = ctx.Queue()
-    running: dict[int, tuple[Any, float, _Job]] = {}
-    # Results that arrived before their process was reaped.
-    arrived: dict[int, tuple[str, Any]] = {}
-    # Processes whose result was consumed, awaiting a (lazy) join so the
-    # exit wait never blocks the launch of the next chunk.
-    zombies: list[Any] = []
-    parallel_failures = 0
-    degraded = False
-
-    def requeue(job: _Job, now: float) -> None:
-        nonlocal parallel_failures
-        parallel_failures += 1
-        job.attempt += 1
-        if job.attempt > max_retries:
-            serial_fallback(job)
-            return
-        stats.retries += 1
-        job.eligible_at = now + retry_backoff * (2 ** (job.attempt - 1))
-        pending.append(job)
-
-    try:
-        while pending or running:
-            now = time.monotonic()
-            if not degraded and parallel_failures >= SERIAL_DEGRADATION_THRESHOLD:
-                # Repeated parallel failures: stop trusting subprocesses
-                # and drain everything still pending in-process.
-                degraded = True
-            if degraded and pending and not running:
-                for job in pending:
-                    serial_fallback(job)
-                pending = []
-                continue
-            while (
-                not degraded
-                and pending
-                and len(running) < workers
-            ):
-                launchable = [
-                    j for j in pending if j.eligible_at <= now
-                ]
-                if not launchable:
-                    break
-                job = launchable[0]
-                pending.remove(job)
-                deadline = (
-                    now + chunk_timeout
-                    if chunk_timeout is not None
-                    else float("inf")
-                )
-                process = ctx.Process(
-                    target=_worker_shell,
-                    args=(
-                        result_queue,
-                        phase,
-                        job.index,
-                        job.attempt,
-                        worker_fn,
-                        job.payload,
-                        injector,
-                    ),
-                    daemon=True,
-                )
-                process.start()
-                running[job.index] = (process, deadline, job)
-            # Wait for the next event.  Results wake the blocking get the
-            # moment they land (the common case); the timeout bounds how
-            # late a crash (which produces no queue traffic) or an expired
-            # deadline is noticed.
-            if running:
-                try:
-                    index, status, value = result_queue.get(timeout=0.02)
-                    arrived[index] = (status, value)
-                except queue_module.Empty:
-                    pass
-                while True:
-                    try:
-                        index, status, value = result_queue.get_nowait()
-                    except queue_module.Empty:
-                        break
-                    arrived[index] = (status, value)
-            elif pending and not degraded:
-                # Nothing running: every pending job is in its backoff
-                # window.  Sleep until the earliest becomes eligible.
-                now = time.monotonic()
-                wake = min(j.eligible_at for j in pending)
-                if wake > now:
-                    time.sleep(min(wake - now, 0.05))
-            for index in list(running):
-                process, deadline, job = running[index]
-                now = time.monotonic()
-                if index in arrived:
-                    status, value = arrived.pop(index)
-                    zombies.append(process)
-                    del running[index]
-                    if status == "ok":
-                        finish(index, value)
-                    else:
-                        stats.worker_errors += 1
-                        requeue(job, now)
-                elif not process.is_alive():
-                    # Dead without a result.  Exit code 0 means the result
-                    # is still in flight through the queue's feeder
-                    # thread; give it a grace period before declaring a
-                    # crash (the retry would still be bit-identical, just
-                    # wasted work).
-                    if process.exitcode == 0 and now < deadline:
-                        grace = min(deadline, now + 0.5)
-                        running[index] = (process, grace, job)
-                        if now < grace:
-                            continue
-                    process.join()
-                    del running[index]
-                    stats.crashes += 1
-                    requeue(job, now)
-                elif now > deadline:
-                    stats.hangs += 1
-                    process.terminate()
-                    process.join(timeout=2.0)
-                    if process.is_alive():
-                        process.kill()
-                        process.join()
-                    del running[index]
-                    requeue(job, now)
-            zombies = [p for p in zombies if p.is_alive()]
-    finally:
-        for process, _deadline, _job in running.values():
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=2.0)
-                if process.is_alive():
-                    process.kill()
-                    process.join()
-        for process in zombies:
-            process.join(timeout=5.0)
-            if process.is_alive():
-                process.terminate()
-                process.join()
-        result_queue.close()
-        result_queue.cancel_join_thread()
-    return results
+    policy = RetryPolicy(
+        max_retries=max_retries,
+        backoff=retry_backoff,
+        timeout=chunk_timeout,
+    )
+    return supervised_map(
+        worker_fn,
+        payloads,
+        phase=phase,
+        workers=workers,
+        policy=policy,
+        injector=injector,
+        stats=stats,
+        allow_drop=allow_drop,
+        on_success=on_success,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -711,6 +406,7 @@ def run_memory_experiment_resilient(
     max_retries: int = 3,
     chunk_timeout: float | None = None,
     retry_backoff: float = 0.05,
+    policy: RetryPolicy | None = None,
     fault_injector=None,
     allow_partial: bool = False,
 ) -> ResilientRunResult:
@@ -750,6 +446,10 @@ def run_memory_experiment_resilient(
             hung and its worker reclaimed (None disables).
         retry_backoff: Base of the exponential backoff between retries of
             the same chunk, in seconds.
+        policy: A :class:`~repro.service.supervisor.RetryPolicy` bundling
+            the three knobs above (the same object the streaming decode
+            service is configured with); when given it takes precedence
+            over ``max_retries``/``chunk_timeout``/``retry_backoff``.
         fault_injector: Optional deterministic
             :class:`~repro.testing.faults.FaultInjector` (used by tests,
             the resilience bench and the CI smoke job).
@@ -778,6 +478,15 @@ def run_memory_experiment_resilient(
         raise ValueError("max_retries must be >= 0")
     if resume and checkpoint_dir is None:
         raise ValueError("resume=True requires a checkpoint_dir")
+    if policy is None:
+        policy = RetryPolicy(
+            max_retries=max_retries,
+            backoff=retry_backoff,
+            timeout=chunk_timeout,
+        )
+    max_retries = policy.max_retries
+    retry_backoff = policy.backoff
+    chunk_timeout = policy.timeout
     stats = RecoveryStats()
     if shots == 0:
         return ResilientRunResult(

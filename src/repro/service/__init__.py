@@ -1,0 +1,76 @@
+"""The always-on streaming decode service.
+
+Batch experiments (:mod:`repro.experiments`) run to completion or die; a
+decoder that keeps up with the hardware must instead run as a long-lived
+*service*: per-logical-qubit stream sessions with sliding-window
+semantics, cross-batched window solves on a warm worker pool, and the
+robustness machinery -- deadlines, retries, respawn, backpressure,
+degradation -- to survive real traffic.  See DESIGN.md ("Streaming
+decode service") for the architecture.
+
+Modules:
+
+* :mod:`repro.service.supervisor` -- the retry/backoff/hang-timeout
+  policy and the supervised execution primitives shared with the
+  resilient campaign runner.
+* :mod:`repro.service.stats` -- latency/throughput/queue-depth counters
+  at stream and service scope.
+* :mod:`repro.service.worker` -- the long-lived worker process: decoder
+  tiers materialised once from a
+  :class:`~repro.pipeline.handle.DecoderHandle`.
+* :mod:`repro.service.session` -- one stream session: bounded round
+  queue, window assembly, commit bookkeeping, degradation ladder.
+* :mod:`repro.service.server` -- the asyncio :class:`DecodeService`.
+* :mod:`repro.service.loadgen` -- the deterministic load generator the
+  CLI, CI smoke job and ``bench_ext_service.py`` drive.
+
+The supervisor and stats layers are dependency-free and imported
+eagerly (the campaign runner pulls them in); the server stack -- which
+depends on the decoder/pipeline layers -- resolves lazily to keep
+``import repro.experiments`` cycle-free.
+"""
+
+from .stats import LatencyRecorder, ServiceStats, StreamStats
+from .supervisor import (
+    RecoveryStats,
+    RetryPolicy,
+    SupervisedWorker,
+    supervised_map,
+)
+
+__all__ = [
+    "DecodeService",
+    "LatencyRecorder",
+    "LoadReport",
+    "RecoveryStats",
+    "RetryPolicy",
+    "ServiceConfig",
+    "ServiceStats",
+    "StreamBackpressure",
+    "StreamSession",
+    "StreamStats",
+    "SupervisedWorker",
+    "run_load",
+    "supervised_map",
+]
+
+_LAZY = {
+    "DecodeService": ("repro.service.server", "DecodeService"),
+    "ServiceConfig": ("repro.service.server", "ServiceConfig"),
+    "StreamBackpressure": ("repro.service.session", "StreamBackpressure"),
+    "StreamSession": ("repro.service.session", "StreamSession"),
+    "LoadReport": ("repro.service.loadgen", "LoadReport"),
+    "run_load": ("repro.service.loadgen", "run_load"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

@@ -1,0 +1,252 @@
+"""Deterministic load generator for the streaming decode service.
+
+:func:`run_load` stands up a :class:`~repro.service.server.DecodeService`,
+opens ``streams`` concurrent stream sessions, and feeds each a
+deterministic sequence of sampled episodes (one full memory experiment
+streamed round by round).  It is both the service's demo driver
+(``python -m repro serve``) and the measurement harness of the service
+bench and CI smoke job:
+
+* **Correctness.**  Every round is accounted: the report records rounds
+  fed vs rounds committed, and (optionally) replays every episode's full
+  syndrome through the in-process
+  :meth:`~repro.decoders.windowed.SlidingWindowDecoder.decode_batch`
+  reference -- episodes decoded entirely on the primary tier must match
+  bit-for-bit; degraded episodes are scored against the sampled
+  observables instead (their accuracy is the degradation ladder's price,
+  reported separately).
+* **Robustness.**  A :class:`~repro.testing.faults.FaultInjector` can be
+  threaded into the workers (crash/hang/poison chaos), and ``burst``
+  streams run with the tightest legal queue bound so a round burst
+  overloads them deterministically -- exercising backpressure and the
+  degradation ladder under load.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..experiments.setup import DecodingSetup
+from ..pipeline.stages import PipelineConfig
+from ..sim.pauli_frame import PauliFrameSimulator
+from .server import DecodeService, ServiceConfig
+
+__all__ = ["LoadReport", "run_load", "run_load_async"]
+
+
+@dataclass
+class LoadReport:
+    """What one load-generation run did and measured.
+
+    Attributes:
+        streams: Concurrent stream sessions driven.
+        episodes_per_stream: Episodes fed to each stream.
+        rounds_fed: Rounds submitted across all streams.
+        rounds_committed: Rounds the service committed (must equal
+            ``rounds_fed`` -- nothing lost, nothing dropped).
+        wall_seconds: End-to-end wall time of the feeding phase.
+        rounds_per_second: Aggregate committed-round throughput.
+        solve_p50_ms: Median window-solve latency (submit to resolution,
+            including batching, retries and fallbacks), milliseconds.
+        solve_p99_ms: 99th-percentile window-solve latency, milliseconds.
+        episodes_primary: Episodes decoded entirely on the primary tier.
+        episodes_degraded: Episodes with at least one degraded solve.
+        reference_mismatches: Primary-tier episodes whose prediction
+            differed from the in-process ``decode_batch`` reference
+            (always 0; a nonzero value is a service correctness bug).
+        logical_errors_primary: Primary-tier episodes whose prediction
+            missed the sampled observable flip.
+        logical_errors_degraded: Degraded episodes whose prediction
+            missed the sampled observable flip.
+        service: The service's :meth:`~repro.service.server.DecodeService.report`
+            snapshot (recovery counters, per-stream stats, queue events).
+    """
+
+    streams: int
+    episodes_per_stream: int
+    rounds_fed: int
+    rounds_committed: int
+    wall_seconds: float
+    rounds_per_second: float
+    solve_p50_ms: float
+    solve_p99_ms: float
+    episodes_primary: int
+    episodes_degraded: int
+    reference_mismatches: int
+    logical_errors_primary: int
+    logical_errors_degraded: int
+    service: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """The report as a JSON-ready dict."""
+        return {
+            "streams": self.streams,
+            "episodes_per_stream": self.episodes_per_stream,
+            "rounds_fed": self.rounds_fed,
+            "rounds_committed": self.rounds_committed,
+            "wall_seconds": self.wall_seconds,
+            "rounds_per_second": self.rounds_per_second,
+            "solve_p50_ms": self.solve_p50_ms,
+            "solve_p99_ms": self.solve_p99_ms,
+            "episodes_primary": self.episodes_primary,
+            "episodes_degraded": self.episodes_degraded,
+            "reference_mismatches": self.reference_mismatches,
+            "logical_errors_primary": self.logical_errors_primary,
+            "logical_errors_degraded": self.logical_errors_degraded,
+            "service": self.service,
+        }
+
+
+def _episode_layers(decoder, syndrome: np.ndarray) -> list[np.ndarray]:
+    """Split one shot's detector vector into per-round bit vectors."""
+    return [
+        syndrome[decoder.layer_detectors(t)]
+        for t in range(decoder.num_layers)
+    ]
+
+
+async def _feed_stream(
+    session, decoder, syndromes: np.ndarray
+) -> list[tuple[bool, bool]]:
+    """Feed every episode through a session; returns (prediction, degraded)."""
+    outcomes: list[tuple[bool, bool]] = []
+    for syndrome in syndromes:
+        degraded_before = session.stats.degraded_solves
+        for bits in _episode_layers(decoder, syndrome):
+            await session.submit_round(bits)
+        result = await session.finish_episode()
+        outcomes.append(
+            (
+                bool(result.prediction),
+                session.stats.degraded_solves > degraded_before,
+            )
+        )
+    return outcomes
+
+
+async def run_load_async(
+    config: PipelineConfig,
+    service: ServiceConfig | None = None,
+    *,
+    streams: int = 4,
+    episodes: int = 8,
+    seed: int = 2024,
+    injector=None,
+    burst_streams: int = 0,
+    compare_reference: bool = True,
+) -> LoadReport:
+    """Drive a decode service with deterministic sampled stream load.
+
+    Args:
+        config: Decoding-stack configuration (distance, error rate...).
+        service: Service tunables; None uses :class:`ServiceConfig`
+            defaults.
+        streams: Concurrent stream sessions.
+        episodes: Episodes (full memory experiments) per stream.
+        seed: Sampling seed; the full load sequence is a pure function of
+            ``(config, seed, streams, episodes)``.
+        injector: Optional :class:`~repro.testing.faults.FaultInjector`
+            threaded into every worker (chaos testing).
+        burst_streams: How many of the streams run with the tightest
+            legal queue bound (one window), so the feeding burst
+            overloads them and exercises backpressure plus the
+            degradation ladder.
+        compare_reference: Replay every episode through the in-process
+            ``decode_batch`` reference and count mismatches of
+            primary-tier episodes (bit-identity check).
+
+    Returns:
+        A :class:`LoadReport`.
+    """
+    if streams < 1:
+        raise ValueError("streams must be >= 1")
+    if episodes < 1:
+        raise ValueError("episodes must be >= 1")
+    if not 0 <= burst_streams <= streams:
+        raise ValueError("burst_streams must lie in [0, streams]")
+    svc = DecodeService(config, service, injector=injector)
+    async with svc:
+        decoder = svc.decoder
+        setup = DecodingSetup.from_config(
+            config, store_root=svc.service.store_root
+        )
+        sampled = PauliFrameSimulator(
+            setup.experiment.circuit, seed=seed
+        ).sample(streams * episodes)
+        per_stream = [
+            sampled.detectors[s * episodes : (s + 1) * episodes]
+            for s in range(streams)
+        ]
+        sessions = [
+            svc.open_stream(
+                f"stream-{s}",
+                queue_limit=(
+                    decoder.window if s < burst_streams else None
+                ),
+            )
+            for s in range(streams)
+        ]
+        start = time.monotonic()
+        outcomes = await asyncio.gather(
+            *(
+                _feed_stream(session, decoder, shots)
+                for session, shots in zip(sessions, per_stream)
+            )
+        )
+        wall = time.monotonic() - start
+        report = svc.report()
+
+    rounds_fed = streams * episodes * decoder.num_layers
+    episodes_primary = episodes_degraded = 0
+    reference_mismatches = 0
+    errors_primary = errors_degraded = 0
+    for s in range(streams):
+        reference = (
+            decoder.decode_batch(per_stream[s])
+            if compare_reference
+            else None
+        )
+        for e, (prediction, degraded) in enumerate(outcomes[s]):
+            observed = bool(sampled.observables[s * episodes + e, 0])
+            if degraded:
+                episodes_degraded += 1
+                errors_degraded += prediction != observed
+            else:
+                episodes_primary += 1
+                errors_primary += prediction != observed
+                if reference is not None:
+                    reference_mismatches += (
+                        prediction != bool(reference[e].prediction)
+                    )
+    stats = report["service"]
+    return LoadReport(
+        streams=streams,
+        episodes_per_stream=episodes,
+        rounds_fed=rounds_fed,
+        rounds_committed=stats["rounds_committed"],
+        wall_seconds=wall,
+        rounds_per_second=(
+            stats["rounds_committed"] / wall if wall > 0 else 0.0
+        ),
+        solve_p50_ms=stats["solve_latency"]["p50_s"] * 1e3,
+        solve_p99_ms=stats["solve_latency"]["p99_s"] * 1e3,
+        episodes_primary=episodes_primary,
+        episodes_degraded=episodes_degraded,
+        reference_mismatches=reference_mismatches,
+        logical_errors_primary=errors_primary,
+        logical_errors_degraded=errors_degraded,
+        service=report,
+    )
+
+
+def run_load(
+    config: PipelineConfig,
+    service: ServiceConfig | None = None,
+    **kwargs,
+) -> LoadReport:
+    """Synchronous wrapper of :func:`run_load_async` (own event loop)."""
+    return asyncio.run(run_load_async(config, service, **kwargs))

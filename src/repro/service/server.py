@@ -1,0 +1,489 @@
+"""The asyncio decode server: sessions, cross-batching, supervision.
+
+:class:`DecodeService` is the hub the streaming pieces plug into:
+
+* **Sessions.**  Each logical qubit is a long-lived
+  :class:`~repro.service.session.StreamSession` opened on the service;
+  sessions run sliding-window commit bookkeeping locally and await the
+  service for window solves.
+* **Cross-batching.**  Solve requests arriving within ``batch_window``
+  seconds on the same worker shard are folded into one
+  :class:`~repro.service.worker.SolveRequest`, so the warm workers hit
+  the batched matching kernels across streams instead of solving one
+  window at a time.
+* **Warm worker pool.**  Workers are long-lived processes bootstrapped
+  from picklable :class:`~repro.pipeline.handle.DecoderHandle` recipes;
+  the service resolves the same handles in-process first, so (on fork
+  platforms) workers inherit the warm pipeline caches copy-on-write.
+* **Supervision.**  Per-batch deadlines (:class:`RetryPolicy.timeout`),
+  bounded exponential-backoff retries, crash/hang detection with
+  automatic respawn and in-flight replay, and -- when a batch exhausts
+  its retries -- a serial in-process fallback on the same tier, so the
+  answer stays bit-identical and nothing is dropped.  Every event lands
+  in :class:`~repro.service.stats.ServiceStats`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import multiprocessing
+import queue as queue_module
+import time
+from dataclasses import dataclass, field
+
+from ..decoders.registry import get_decoder_spec
+from ..pipeline.handle import DecoderHandle
+from ..pipeline.stages import PipelineConfig
+from .session import StreamSession
+from .stats import ServiceStats
+from .supervisor import RetryPolicy, SupervisedWorker
+from .worker import PRIMARY_TIER, SolveRequest, build_tier_solvers, service_worker_main
+
+__all__ = ["DecodeService", "ServiceConfig"]
+
+#: Supervision poll period (crash/hang detection granularity), seconds.
+_SUPERVISION_POLL = 0.01
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one :class:`DecodeService`.
+
+    Attributes:
+        window: Sliding-window span (layers) of every stream.
+        commit: Layers committed per window step.
+        workers: Warm worker processes (streams are sharded over them).
+            0 runs *inline*: solves execute in the server process on the
+            same batched kernels with no IPC and no supervision -- the
+            "equivalent batch path" baseline, also handy for debugging.
+        batch_window: Seconds a shard dispatcher waits to cross-batch
+            concurrent solve requests (0 batches only what is already
+            queued).
+        max_batch: Cap on requests folded into one worker batch.
+        policy: Deadline/retry/backoff policy of every solve batch.
+        degrade_tier: Registry tier overloaded streams shed onto (must
+            carry the ``"service-tier"`` capability); None disables the
+            ladder.
+        queue_limit: Default per-stream bound on buffered uncommitted
+            layers.
+        store_root: Artifact-store root for worker warm-starts (None:
+            environment default).
+    """
+
+    window: int = 6
+    commit: int = 2
+    workers: int = 2
+    batch_window: float = 0.002
+    max_batch: int = 64
+    policy: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(max_retries=3, backoff=0.05, timeout=30.0)
+    )
+    degrade_tier: str | None = "union-find"
+    queue_limit: int = 32
+    store_root: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 solves inline)")
+        if self.batch_window < 0:
+            raise ValueError("batch_window must be >= 0")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.degrade_tier is not None:
+            spec = get_decoder_spec(self.degrade_tier)
+            if "service-tier" not in spec.capabilities:
+                raise ValueError(
+                    f"degrade tier {self.degrade_tier!r} lacks the "
+                    "'service-tier' capability; eligible tiers are "
+                    "registry decoders tagged 'service-tier'"
+                )
+
+
+@dataclass
+class _PendingSolve:
+    """One stream's window-solve request awaiting resolution."""
+
+    active: tuple[int, ...]
+    tier: str
+    future: asyncio.Future
+    submitted: float
+
+
+@dataclass
+class _Batch:
+    """One dispatched worker batch and its retry state."""
+
+    batch_id: int
+    shard: int
+    tier: str
+    requests: list[_PendingSolve]
+    attempt: int = 0
+    deadline: float = float("inf")
+
+
+_STOP = object()
+
+
+class DecodeService:
+    """Always-on streaming decode service over a warm worker pool.
+
+    Args:
+        config: Decoding-stack configuration all streams decode under.
+        service: Service tunables (:class:`ServiceConfig`).
+        injector: Optional deterministic
+            :class:`~repro.testing.faults.FaultInjector` threaded into
+            every worker (chaos testing; None in production).
+
+    Use as an async context manager, or call :meth:`start` /
+    :meth:`stop` explicitly::
+
+        service = DecodeService(config, ServiceConfig(workers=2))
+        async with service:
+            stream = service.open_stream("q0")
+            ...
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig,
+        service: ServiceConfig | None = None,
+        *,
+        injector=None,
+    ) -> None:
+        self.config = config
+        self.service = service if service is not None else ServiceConfig()
+        self.injector = injector
+        self.stats = ServiceStats()
+        self.decoder = None
+        self._handles: dict[str, DecoderHandle] = {}
+        self._serial_solvers = {}
+        self._workers: list[SupervisedWorker] = []
+        self._dispatch: list[asyncio.Queue] = []
+        self._sessions: dict[str, StreamSession] = {}
+        self._inflight: dict[int, _Batch] = {}
+        self._batch_ids = itertools.count()
+        self._tasks: list[asyncio.Task] = []
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Materialise decoders, spawn the pool, start the event loops."""
+        if self._running:
+            raise RuntimeError("service already started")
+        cfg = self.service
+        self._handles = {
+            PRIMARY_TIER: DecoderHandle.create(
+                self.config,
+                PRIMARY_TIER,
+                store_root=cfg.store_root,
+                window=cfg.window,
+                commit=cfg.commit,
+            )
+        }
+        if cfg.degrade_tier is not None:
+            self._handles[cfg.degrade_tier] = DecoderHandle.create(
+                self.config, cfg.degrade_tier, store_root=cfg.store_root
+            )
+        # Resolve in-process first: sessions and the serial fallback use
+        # these objects, and forked workers inherit the warm caches.
+        self._serial_solvers = build_tier_solvers(self._handles)
+        self.decoder = self._serial_solvers[PRIMARY_TIER].windowed
+        if cfg.workers == 0:
+            # Inline mode: one dispatch shard, solves run in-process on
+            # the serial tier solvers; no pool, no pump, no supervision.
+            self._dispatch = [asyncio.Queue()]
+            self._running = True
+            self.stats.mark_started()
+            self._tasks = [asyncio.ensure_future(self._dispatch_loop(0))]
+            return
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            ctx = multiprocessing.get_context()
+        self._ctx = ctx
+        bootstrap = (self._handles, self.injector)
+        self._workers = [
+            SupervisedWorker(service_worker_main, bootstrap, ctx)
+            for _ in range(cfg.workers)
+        ]
+        for worker in self._workers:
+            worker.spawn()
+        self._dispatch = [asyncio.Queue() for _ in range(cfg.workers)]
+        self._running = True
+        self.stats.mark_started()
+        self._tasks = [
+            asyncio.ensure_future(self._dispatch_loop(shard))
+            for shard in range(cfg.workers)
+        ]
+        self._tasks.extend(
+            asyncio.ensure_future(self._pump_results(shard))
+            for shard in range(cfg.workers)
+        )
+        self._tasks.append(asyncio.ensure_future(self._supervise()))
+
+    async def stop(self) -> None:
+        """Stop the loops and tear the worker pool down."""
+        if not self._running:
+            return
+        self._running = False
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+        for worker in self._workers:
+            worker.shutdown()
+        self._workers = []
+
+    async def __aenter__(self) -> "DecodeService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Streams
+    # ------------------------------------------------------------------
+
+    def open_stream(
+        self, stream_id: str, *, queue_limit: int | None = None
+    ) -> StreamSession:
+        """Open a long-lived stream session, sharded onto a worker.
+
+        Args:
+            stream_id: Unique stream name.
+            queue_limit: Override of the service-default bounded queue.
+
+        Raises:
+            RuntimeError: Before :meth:`start` or on a duplicate id.
+        """
+        if not self._running:
+            raise RuntimeError("start the service before opening streams")
+        if stream_id in self._sessions:
+            raise RuntimeError(f"stream {stream_id!r} is already open")
+        shard = len(self._sessions) % max(1, self.service.workers)
+        session = StreamSession(
+            stream_id,
+            self,
+            self.decoder,
+            shard=shard,
+            queue_limit=(
+                queue_limit if queue_limit is not None
+                else self.service.queue_limit
+            ),
+            degrade_tier=self.service.degrade_tier,
+        )
+        self._sessions[stream_id] = session
+        return session
+
+    def note_committed(self, layers: int) -> None:
+        """Account committed layers into the service throughput stats."""
+        self.stats.rounds_committed += layers
+
+    def report(self) -> dict:
+        """Service- plus per-stream counters as a JSON-ready dict."""
+        return {
+            "service": self.stats.as_dict(),
+            "streams": {
+                stream_id: session.stats.as_dict()
+                for stream_id, session in self._sessions.items()
+            },
+            "degradations": sum(
+                s.stats.degradations for s in self._sessions.values()
+            ),
+            "promotions": sum(
+                s.stats.promotions for s in self._sessions.values()
+            ),
+            "backpressure_events": sum(
+                s.stats.backpressure_events for s in self._sessions.values()
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Solve dispatch
+    # ------------------------------------------------------------------
+
+    async def solve(
+        self, session: StreamSession, tier: str, active: list[int]
+    ) -> list[tuple[int, int]]:
+        """Solve one window on the pool; resolves after retries/fallback."""
+        loop = asyncio.get_running_loop()
+        pending = _PendingSolve(
+            active=tuple(int(i) for i in active),
+            tier=tier,
+            future=loop.create_future(),
+            submitted=time.monotonic(),
+        )
+        await self._dispatch[session.shard].put(pending)
+        edges = await pending.future
+        self.stats.solve_latency.record(time.monotonic() - pending.submitted)
+        return edges
+
+    async def _dispatch_loop(self, shard: int) -> None:
+        cfg = self.service
+        queue = self._dispatch[shard]
+        while True:
+            first = await queue.get()
+            batch = [first]
+            if cfg.batch_window > 0 and queue.qsize() < cfg.max_batch - 1:
+                # One timer per batch: let the window elapse, then drain
+                # whatever arrived (cheaper than a wait_for per request).
+                await asyncio.sleep(cfg.batch_window)
+            while len(batch) < cfg.max_batch and not queue.empty():
+                batch.append(queue.get_nowait())
+            by_tier: dict[str, list[_PendingSolve]] = {}
+            for pending in batch:
+                by_tier.setdefault(pending.tier, []).append(pending)
+            for tier, requests in by_tier.items():
+                self.stats.batches += 1
+                self.stats.batched_requests += len(requests)
+                if not self._workers:
+                    edge_lists = self._serial_solvers[tier].solve_batch(
+                        [list(p.active) for p in requests]
+                    )
+                    for pending, edges in zip(requests, edge_lists):
+                        if not pending.future.done():
+                            pending.future.set_result(
+                                [(int(u), int(v)) for u, v in edges]
+                            )
+                    continue
+                record = _Batch(
+                    batch_id=next(self._batch_ids),
+                    shard=shard,
+                    tier=tier,
+                    requests=requests,
+                )
+                self._submit_batch(record)
+
+    def _submit_batch(self, record: _Batch) -> None:
+        worker = self._workers[record.shard]
+        record.deadline = self.service.policy.deadline(time.monotonic())
+        self._inflight[record.batch_id] = record
+        worker.inflight[record.batch_id] = record
+        worker.submit(
+            SolveRequest(
+                batch_id=record.batch_id,
+                attempt=record.attempt,
+                tier=record.tier,
+                actives=tuple(p.active for p in record.requests),
+            )
+        )
+
+    def _resolve(self, record: _Batch, edge_lists) -> None:
+        for pending, edges in zip(record.requests, edge_lists):
+            if not pending.future.done():
+                pending.future.set_result(
+                    [(int(u), int(v)) for u, v in edges]
+                )
+
+    def _retry(self, record: _Batch) -> None:
+        record.attempt += 1
+        policy = self.service.policy
+        if policy.exhausted(record.attempt):
+            # Terminal for the pool: solve in the server's own process on
+            # the same tier (bit-identical), so nothing is ever dropped.
+            self.stats.recovery.serial_fallbacks += 1
+            solver = self._serial_solvers[record.tier]
+            edge_lists = solver.solve_batch(
+                [list(p.active) for p in record.requests]
+            )
+            self._resolve(record, edge_lists)
+            return
+        self.stats.recovery.retries += 1
+        task = asyncio.ensure_future(
+            self._replay_later(record, policy.delay(record.attempt))
+        )
+        self._tasks.append(task)
+
+    async def _replay_later(self, record: _Batch, delay: float) -> None:
+        if delay > 0:
+            await asyncio.sleep(delay)
+        if self._running:
+            self._submit_batch(record)
+
+    # ------------------------------------------------------------------
+    # Results and supervision
+    # ------------------------------------------------------------------
+
+    def _result_get(self, shard: int):
+        """Block for one result, then drain extras: one executor
+        round-trip can carry a whole burst of completions.
+
+        Re-reads the worker's queue each round so a respawned incarnation
+        (which brings a fresh queue) is picked up within one timeout; a
+        queue torn down mid-``get`` surfaces as OSError/ValueError and is
+        retried the same way.
+        """
+        while True:
+            if not self._running or shard >= len(self._workers):
+                return _STOP
+            queue = self._workers[shard].result_queue
+            if queue is None:
+                time.sleep(0.01)
+                continue
+            try:
+                messages = [queue.get(timeout=0.1)]
+            except queue_module.Empty:
+                continue
+            except (OSError, ValueError):
+                time.sleep(0.01)
+                continue
+            while True:
+                try:
+                    messages.append(queue.get_nowait())
+                except (queue_module.Empty, OSError, ValueError):
+                    return messages
+
+    async def _pump_results(self, shard: int) -> None:
+        loop = asyncio.get_running_loop()
+        while self._running:
+            messages = await loop.run_in_executor(
+                None, self._result_get, shard
+            )
+            if messages is _STOP:
+                return
+            for batch_id, status, payload in messages:
+                record = self._inflight.pop(batch_id, None)
+                if record is None:
+                    continue  # late result of a batch already replayed
+                self._workers[record.shard].inflight.pop(batch_id, None)
+                if status == "ok":
+                    self._resolve(record, payload)
+                else:
+                    self.stats.recovery.worker_errors += 1
+                    self._retry(record)
+
+    def _reclaim_worker(self, shard: int, *, hang: bool) -> None:
+        """Respawn a dead/hung worker and replay its in-flight batches."""
+        worker = self._workers[shard]
+        stranded = list(worker.inflight.values())
+        for record in stranded:
+            self._inflight.pop(record.batch_id, None)
+        worker.inflight.clear()
+        worker.kill()
+        worker.spawn()
+        self.stats.recovery.respawns += 1
+        if hang:
+            self.stats.recovery.hangs += 1
+        else:
+            self.stats.recovery.crashes += 1
+        for record in stranded:
+            self._retry(record)
+
+    async def _supervise(self) -> None:
+        while self._running:
+            await asyncio.sleep(_SUPERVISION_POLL)
+            now = time.monotonic()
+            for shard, worker in enumerate(self._workers):
+                if not worker.is_alive():
+                    self._reclaim_worker(shard, hang=False)
+                    continue
+                if any(
+                    now > record.deadline
+                    for record in worker.inflight.values()
+                ):
+                    self._reclaim_worker(shard, hang=True)

@@ -1,0 +1,301 @@
+"""One logical qubit's long-lived stream session.
+
+A :class:`StreamSession` receives syndrome *rounds* (one detector layer
+per round), assembles them into the sliding-window schedule of the
+service's :class:`~repro.decoders.windowed.SlidingWindowDecoder`, ships
+each filled window's defects to the server's worker pool, and runs the
+commit/residual bookkeeping locally -- exactly the semantics of
+``SlidingWindowDecoder.decode_active``, stretched over time.
+
+Robustness seams owned by the session:
+
+* **Bounded round queue.**  At most ``queue_limit`` received-but-
+  uncommitted layers may be buffered; beyond that :meth:`submit_round`
+  counts a backpressure event and *waits* for the commit frontier to
+  advance (an explicit signal to the producer, never a silent drop).
+* **Degradation ladder.**  When backpressure hits and shedding is
+  enabled, the session drops to the configured cheaper decoder tier for
+  subsequent window solves, and promotes back to the primary tier once
+  the queue drains below half its limit.  Every transition is counted.
+
+Rounds are never lost or reordered: the window schedule is fixed, the
+session processes it strictly in order, and a full episode's committed
+corrections are asserted to resolve every defect.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from ..decoders.base import DecodeResult
+from .stats import StreamStats
+from .worker import PRIMARY_TIER
+
+__all__ = ["StreamBackpressure", "StreamSession"]
+
+
+class StreamBackpressure(RuntimeError):
+    """The stream's bounded round queue is full (non-blocking submit)."""
+
+
+class StreamSession:
+    """Sliding-window decoding of one syndrome stream.
+
+    Built by :meth:`repro.service.server.DecodeService.open_stream`; not
+    constructed directly.
+
+    Args:
+        stream_id: Caller-chosen stream name (stats key).
+        server: The owning :class:`~repro.service.server.DecodeService`.
+        decoder: The server's in-process sliding-window decoder (window
+            schedule and commit bookkeeping; solves go to the pool).
+        shard: Worker shard this stream's solves are dispatched to.
+        queue_limit: Maximum buffered uncommitted layers before
+            :meth:`submit_round` backpressures; must cover at least one
+            window or the stream could never fill one.
+        degrade_tier: Cheaper tier used while shedding load (None
+            disables the ladder).
+    """
+
+    def __init__(
+        self,
+        stream_id: str,
+        server,
+        decoder,
+        *,
+        shard: int,
+        queue_limit: int,
+        degrade_tier: str | None,
+    ) -> None:
+        if queue_limit < decoder.window:
+            raise ValueError(
+                f"queue_limit={queue_limit} cannot buffer one window of "
+                f"{decoder.window} layers; the stream would deadlock"
+            )
+        self.stream_id = stream_id
+        self.shard = shard
+        self.queue_limit = queue_limit
+        self.degrade_tier = degrade_tier
+        self.tier = PRIMARY_TIER
+        self.stats = StreamStats()
+        self._server = server
+        self._decoder = decoder
+        self._plan = decoder.window_plan()
+        self._num_layers = decoder.num_layers
+        self._layer_sizes = [
+            len(decoder.layer_detectors(t)) for t in range(self._num_layers)
+        ]
+        self._layer_index = [
+            decoder.layer_detectors(t) for t in range(self._num_layers)
+        ]
+        self._defects = np.zeros(decoder.syndrome_length, dtype=bool)
+        self._layers_in = 0
+        self._committed_through = 0
+        self._next_step = 0
+        self._prediction = False
+        self._committed: list[tuple[int, int]] = []
+        self._had_defect = False
+        self._task: asyncio.Task | None = None
+        self._step_event = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Producer API
+    # ------------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Received-but-uncommitted layers currently buffered."""
+        return self._layers_in - self._committed_through
+
+    async def submit_round(self, bits) -> None:
+        """Feed the next detector layer's bits into the stream.
+
+        Args:
+            bits: 0/1 vector over the next layer's detectors (in
+                :meth:`~repro.decoders.windowed.SlidingWindowDecoder.layer_detectors`
+                order).
+
+        Waits (counting a backpressure event and possibly degrading the
+        stream's tier) while the bounded round queue is over its limit.
+
+        Raises:
+            RuntimeError: When more rounds than one episode holds are
+                submitted without :meth:`finish_episode`.
+            ValueError: On a bit vector of the wrong length.
+        """
+        self._accept_round(bits)
+        self._kick()
+        if self.queue_depth > self.queue_limit:
+            self.stats.backpressure_events += 1
+            self._consider_degrade()
+            while self.queue_depth > self.queue_limit:
+                await self._wait_step()
+
+    def try_submit_round(self, bits) -> None:
+        """Non-blocking :meth:`submit_round`.
+
+        Raises:
+            StreamBackpressure: When the bounded round queue is full;
+                the round is *not* accepted (re-submit it after awaiting
+                capacity).
+        """
+        if self.queue_depth >= self.queue_limit:
+            self.stats.backpressure_events += 1
+            raise StreamBackpressure(
+                f"stream {self.stream_id!r}: {self.queue_depth} uncommitted "
+                f"layers buffered (limit {self.queue_limit})"
+            )
+        self._accept_round(bits)
+        self._kick()
+
+    async def finish_episode(self) -> DecodeResult:
+        """Drain the episode and return its committed decode result.
+
+        Must be called after exactly one episode's worth of rounds
+        (``decoder.num_layers``); resets the session for the next
+        episode.  The result is bit-identical to
+        ``SlidingWindowDecoder.decode_active`` on the episode's full
+        syndrome.
+
+        Raises:
+            RuntimeError: When called mid-episode.
+            AssertionError: When committed corrections left unresolved
+                defects (a decode-tier contract violation).
+        """
+        if self._layers_in != self._num_layers:
+            raise RuntimeError(
+                f"stream {self.stream_id!r}: episode has {self._layers_in} "
+                f"of {self._num_layers} rounds; submit the rest before "
+                "finish_episode()"
+            )
+        self._kick()
+        while self._next_step < len(self._plan):
+            await self._wait_step()
+        if self._task is not None and self._task.done():
+            # Surface processor failures (e.g. a commit assertion).
+            self._task.result()
+        leftover = [int(i) for i in np.nonzero(self._defects)[0]]
+        if leftover:
+            raise AssertionError(
+                f"stream {self.stream_id!r} left unresolved defects: "
+                f"{leftover}"
+            )
+        if not self._had_defect:
+            result = DecodeResult(prediction=False)
+        else:
+            result = DecodeResult(
+                prediction=self._prediction,
+                matching=self._decoder._present_matching(self._committed),
+                weight=float(len(self._committed)),
+                cycles=len(self._plan),
+            )
+        self.stats.episodes += 1
+        self._layers_in = 0
+        self._committed_through = 0
+        self._next_step = 0
+        self._prediction = False
+        self._committed = []
+        self._had_defect = False
+        return result
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _accept_round(self, bits) -> None:
+        if self._layers_in >= self._num_layers:
+            raise RuntimeError(
+                f"stream {self.stream_id!r}: episode already holds "
+                f"{self._num_layers} rounds; call finish_episode() first"
+            )
+        layer = self._layers_in
+        arr = np.asarray(bits).astype(bool).reshape(-1)
+        if arr.shape[0] != self._layer_sizes[layer]:
+            raise ValueError(
+                f"round {layer} of stream {self.stream_id!r} carries "
+                f"{arr.shape[0]} bits, expected {self._layer_sizes[layer]}"
+            )
+        if arr.any():
+            self._had_defect = True
+            self._defects[self._layer_index[layer][arr]] = True
+        self._layers_in += 1
+        self.stats.rounds_in += 1
+        self.stats.max_queue_depth = max(
+            self.stats.max_queue_depth, self.queue_depth
+        )
+
+    def _ready(self) -> bool:
+        if self._next_step >= len(self._plan):
+            return False
+        _start, end, _commit_end, _final = self._plan[self._next_step]
+        return self._layers_in >= end
+
+    def _kick(self) -> None:
+        if self._ready() and (self._task is None or self._task.done()):
+            if self._task is not None:
+                self._task.result()  # re-raise any stored failure
+            self._task = asyncio.ensure_future(self._process_ready())
+
+    async def _wait_step(self) -> None:
+        event = self._step_event
+        waiter = asyncio.ensure_future(event.wait())
+        done = self._task
+        if done is not None:
+            await asyncio.wait(
+                {waiter, done}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if not waiter.done():
+                waiter.cancel()
+                done.result()  # surface processor failure
+                raise RuntimeError(
+                    f"stream {self.stream_id!r}: processor exited without "
+                    "advancing the commit frontier"
+                )
+            await waiter
+        else:
+            await waiter
+
+    def _mark_step(self) -> None:
+        event = self._step_event
+        self._step_event = asyncio.Event()
+        event.set()
+
+    async def _process_ready(self) -> None:
+        while self._ready():
+            _start, end, commit_end, _final = self._plan[self._next_step]
+            window_active = self._decoder.window_active(
+                self._defects, _start, end
+            )
+            if window_active:
+                tier = self.tier
+                edges = await self._server.solve(self, tier, window_active)
+                self.stats.solves += 1
+                if tier != PRIMARY_TIER:
+                    self.stats.degraded_solves += 1
+            else:
+                edges = []
+            flip, committed = self._decoder.commit_edges(
+                edges, commit_end, self._defects
+            )
+            self._prediction ^= flip
+            self._committed.extend(committed)
+            self._server.note_committed(commit_end - self._committed_through)
+            self._committed_through = commit_end
+            self._next_step += 1
+            self._maybe_promote()
+            self._mark_step()
+
+    def _consider_degrade(self) -> None:
+        if self.degrade_tier is not None and self.tier == PRIMARY_TIER:
+            self.tier = self.degrade_tier
+            self.stats.degradations += 1
+
+    def _maybe_promote(self) -> None:
+        if (
+            self.tier != PRIMARY_TIER
+            and self.queue_depth <= self.queue_limit // 2
+        ):
+            self.tier = PRIMARY_TIER
+            self.stats.promotions += 1

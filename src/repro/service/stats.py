@@ -1,0 +1,173 @@
+"""Service- and stream-scope counters: latency, throughput, queue depth.
+
+The robustness story of :mod:`repro.service` is only auditable if every
+degradation, retry and respawn is *counted* where an operator can see
+it.  This module keeps the bookkeeping dependency-free (plain Python,
+JSON-ready dicts) so the server, the load generator, the CI smoke job
+and ``bench_ext_service.py`` all report through the same structures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from .supervisor import RecoveryStats
+
+__all__ = ["LatencyRecorder", "ServiceStats", "StreamStats"]
+
+
+class LatencyRecorder:
+    """Per-request latency samples with percentile queries.
+
+    Samples are kept raw (seconds); the workloads here are bounded (a
+    load-generator run, a bench trial), so exact percentiles beat a
+    sketch.  An optional cap discards the oldest samples beyond it to
+    bound memory on very long runs.
+
+    Args:
+        max_samples: Retain at most this many most-recent samples
+            (None keeps everything).
+    """
+
+    def __init__(self, max_samples: int | None = None) -> None:
+        if max_samples is not None and max_samples < 1:
+            raise ValueError("max_samples must be >= 1 (or None)")
+        self._max = max_samples
+        self._samples: list[float] = []
+        self.count = 0
+
+    def record(self, seconds: float) -> None:
+        """Add one latency sample."""
+        self.count += 1
+        self._samples.append(float(seconds))
+        if self._max is not None and len(self._samples) > self._max:
+            del self._samples[: len(self._samples) - self._max]
+
+    def percentile(self, q: float) -> float:
+        """Latency at quantile ``q`` in [0, 1] (0.0 when empty).
+
+        Nearest-rank on the sorted retained samples: ``q=0.5`` is the
+        median, ``q=0.99`` the p99.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    @property
+    def p50(self) -> float:
+        """Median latency in seconds."""
+        return self.percentile(0.50)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile latency in seconds."""
+        return self.percentile(0.99)
+
+    @property
+    def mean(self) -> float:
+        """Mean retained latency in seconds."""
+        return sum(self._samples) / len(self._samples) if self._samples else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Summary percentiles as a JSON-ready dict (seconds)."""
+        return {
+            "count": self.count,
+            "mean_s": self.mean,
+            "p50_s": self.p50,
+            "p99_s": self.p99,
+        }
+
+
+@dataclass
+class StreamStats:
+    """Counters of one stream session.
+
+    Attributes:
+        rounds_in: Syndrome rounds accepted into the stream.
+        episodes: Episodes (full shots) completed.
+        solves: Window solves issued on behalf of the stream.
+        degraded_solves: Window solves executed on a degraded tier.
+        backpressure_events: Times the bounded round queue filled and the
+            producer was made to wait.
+        degradations: Transitions onto a cheaper decoder tier.
+        promotions: Transitions back to the primary tier.
+        max_queue_depth: High-water mark of buffered, uncommitted rounds.
+    """
+
+    rounds_in: int = 0
+    episodes: int = 0
+    solves: int = 0
+    degraded_solves: int = 0
+    backpressure_events: int = 0
+    degradations: int = 0
+    promotions: int = 0
+    max_queue_depth: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Counters as a JSON-ready dict."""
+        return {
+            "rounds_in": self.rounds_in,
+            "episodes": self.episodes,
+            "solves": self.solves,
+            "degraded_solves": self.degraded_solves,
+            "backpressure_events": self.backpressure_events,
+            "degradations": self.degradations,
+            "promotions": self.promotions,
+            "max_queue_depth": self.max_queue_depth,
+        }
+
+
+@dataclass
+class ServiceStats:
+    """Service-scope counters plus the supervisor's recovery ledger.
+
+    Attributes:
+        recovery: Crash/hang/retry/respawn counters (shared
+            :class:`~repro.service.supervisor.RecoveryStats` shape).
+        solve_latency: Latency of individual window-solve requests,
+            submission to resolution (retries included).
+        batches: Cross-stream batches dispatched to workers.
+        batched_requests: Window-solve requests carried by those batches.
+        rounds_committed: Detector layers committed across all streams.
+        started_at: ``time.monotonic`` timestamp of service start (0.0
+            before start), for throughput computation.
+    """
+
+    recovery: RecoveryStats = field(default_factory=RecoveryStats)
+    solve_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    batches: int = 0
+    batched_requests: int = 0
+    rounds_committed: int = 0
+    started_at: float = 0.0
+
+    def mark_started(self) -> None:
+        """Record the service start time for throughput accounting."""
+        self.started_at = time.monotonic()
+
+    def rounds_per_second(self) -> float:
+        """Committed-round throughput since start (0.0 before start)."""
+        if not self.started_at:
+            return 0.0
+        elapsed = time.monotonic() - self.started_at
+        return self.rounds_committed / elapsed if elapsed > 0 else 0.0
+
+    def mean_batch_size(self) -> float:
+        """Average requests per dispatched batch (cross-batching yield)."""
+        return self.batched_requests / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> dict:
+        """Counters as a JSON-ready dict."""
+        return {
+            "recovery": self.recovery.as_dict(),
+            "solve_latency": self.solve_latency.as_dict(),
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "mean_batch_size": self.mean_batch_size(),
+            "rounds_committed": self.rounds_committed,
+            "rounds_per_second": self.rounds_per_second(),
+        }

@@ -1,0 +1,530 @@
+"""Supervised execution primitives shared by campaigns and the service.
+
+PR 4 grew a supervision loop inside :mod:`repro.experiments.resilient`
+that detects worker crashes (a dead process that delivered no result),
+reclaims hangs (per-attempt timeout), retries with bounded exponential
+backoff and degrades to in-process serial execution when parallelism
+keeps failing.  The streaming decode service needs exactly the same
+guarantees for its long-lived workers, so the loop lives here now --
+:mod:`repro.experiments.resilient` imports it unchanged -- together with
+the policy object (:class:`RetryPolicy`) both callers share and the
+:class:`SupervisedWorker` wrapper the service's warm pool is built from.
+
+Everything here is transport-agnostic: faults are injected through the
+deterministic :class:`~repro.testing.faults.FaultInjector` plans, and the
+recovery counters (:class:`RecoveryStats`) are the single ledger both the
+campaign runner and the service report.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+__all__ = [
+    "RecoveryStats",
+    "RetryPolicy",
+    "SERIAL_DEGRADATION_THRESHOLD",
+    "SupervisedWorker",
+    "supervised_map",
+]
+
+#: Consecutive failed parallel attempts (crash/hang/error) after which the
+#: supervisor stops launching worker processes and runs every remaining
+#: chunk in-process.
+SERIAL_DEGRADATION_THRESHOLD = 8
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a supervised work unit is retried, backed off, and timed out.
+
+    One policy object serves both supervised callers: the resilient
+    campaign runner (where a unit is a sampling/decode chunk and
+    ``timeout`` is the per-chunk hang timeout) and the decode service
+    (where a unit is a cross-batched window solve and ``timeout`` is the
+    per-request deadline).  The campaign CLI flags ``--max-retries`` /
+    ``--chunk-timeout`` map directly onto the fields.
+
+    Attributes:
+        max_retries: Supervised retries per unit before the caller's
+            terminal fallback (serial in-process execution).
+        backoff: Base delay of the exponential backoff between attempts
+            of the same unit, in seconds (doubles per retry).
+        timeout: Seconds before a running attempt is declared hung and
+            its process reclaimed (None disables the deadline).
+    """
+
+    max_retries: int = 3
+    backoff: float = 0.05
+    timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff < 0:
+            raise ValueError("backoff must be >= 0")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before attempt ``attempt`` (1-based retry count)."""
+        return self.backoff * (2 ** (attempt - 1))
+
+    def deadline(self, now: float) -> float:
+        """Absolute deadline of an attempt started at ``now``."""
+        return now + self.timeout if self.timeout is not None else float("inf")
+
+    def exhausted(self, attempt: int) -> bool:
+        """Whether ``attempt`` (0-based count of attempts made) is over."""
+        return attempt > self.max_retries
+
+
+@dataclass
+class RecoveryStats:
+    """What a supervisor had to do to finish its workload.
+
+    Shared ledger of the resilient campaign runner and the decode
+    service; either caller touches only the counters that apply to it.
+
+    Attributes:
+        chunks_total: Work units in the campaign (campaign runner only).
+        chunks_resumed: Units restored from verified checkpoints.
+        crashes: Worker processes that died without delivering a result.
+        hangs: Worker attempts reclaimed by the timeout/deadline.
+        worker_errors: Attempts that failed with a Python error.
+        retries: Attempts re-queued after any of the above.
+        serial_fallbacks: Units that ran in-process after their parallel
+            attempts were exhausted (or after campaign-level degradation).
+        respawns: Long-lived service workers restarted after a crash or
+            hang (the campaign runner uses disposable processes and never
+            respawns).
+        corrupted_checkpoints: Checkpoint files discarded as invalid.
+        dropped_chunks: Units lost even to the serial fallback (only
+            possible with ``allow_partial=True``).
+        decoder_fallbacks: Decoder-internal degradations to the reference
+            path, summed over the per-chunk deltas the decode workers
+            report (worker decoder copies die with their process, so the
+            counter cannot be read off the supervisor's decoder).
+    """
+
+    chunks_total: int = 0
+    chunks_resumed: int = 0
+    crashes: int = 0
+    hangs: int = 0
+    worker_errors: int = 0
+    retries: int = 0
+    serial_fallbacks: int = 0
+    respawns: int = 0
+    corrupted_checkpoints: int = 0
+    dropped_chunks: int = 0
+    decoder_fallbacks: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Counters as a JSON-ready dict."""
+        return {
+            "chunks_total": self.chunks_total,
+            "chunks_resumed": self.chunks_resumed,
+            "crashes": self.crashes,
+            "hangs": self.hangs,
+            "worker_errors": self.worker_errors,
+            "retries": self.retries,
+            "serial_fallbacks": self.serial_fallbacks,
+            "respawns": self.respawns,
+            "corrupted_checkpoints": self.corrupted_checkpoints,
+            "dropped_chunks": self.dropped_chunks,
+            "decoder_fallbacks": self.decoder_fallbacks,
+        }
+
+
+# ----------------------------------------------------------------------
+# One-shot supervised map (disposable worker per attempt)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Job:
+    """One supervised work unit and its retry state."""
+
+    index: int
+    payload: Any
+    attempt: int = 0
+    eligible_at: float = 0.0
+
+
+def _worker_shell(
+    result_queue,
+    phase: str,
+    index: int,
+    attempt: int,
+    worker_fn: Callable[[Any], Any],
+    payload: Any,
+    injector,
+) -> None:
+    """Worker-process entry: run one chunk attempt, report via the queue.
+
+    A successful attempt puts ``(index, "ok", result)`` and exits 0; a
+    Python failure puts ``(index, "error", repr)`` and exits 0.  A hard
+    crash (injected or real) exits non-zero with nothing on the queue --
+    that silence is exactly what the supervisor detects.
+    """
+    try:
+        if injector is not None:
+            injector.maybe_fault(phase, index, attempt, in_worker=True)
+        result = worker_fn(payload)
+        result_queue.put((index, "ok", result))
+    except BaseException as exc:  # noqa: BLE001 - forwarded to supervisor
+        result_queue.put((index, "error", repr(exc)))
+
+
+def _run_serial_attempts(
+    job: _Job,
+    worker_fn: Callable[[Any], Any],
+    *,
+    phase: str,
+    injector,
+    max_retries: int,
+    stats: RecoveryStats,
+) -> tuple[bool, Any]:
+    """Run a job in-process with retries; returns (succeeded, result)."""
+    while True:
+        try:
+            if injector is not None:
+                injector.maybe_fault(
+                    phase, job.index, job.attempt, in_worker=False
+                )
+            return True, worker_fn(job.payload)
+        except Exception:
+            stats.worker_errors += 1
+            job.attempt += 1
+            if job.attempt > max_retries:
+                return False, None
+            stats.retries += 1
+
+
+def supervised_map(
+    worker_fn: Callable[[Any], Any],
+    payloads: Sequence[tuple[int, Any]],
+    *,
+    phase: str,
+    workers: int,
+    policy: RetryPolicy,
+    injector=None,
+    stats: RecoveryStats,
+    allow_drop: bool,
+    on_success: Callable[[int, Any], None] | None = None,
+) -> dict[int, Any]:
+    """Run ``worker_fn`` over indexed payloads under supervision.
+
+    Args:
+        worker_fn: Pure function of one payload (module-level, picklable).
+        payloads: ``(index, payload)`` pairs; indices key the result dict.
+        phase: Phase name threaded to the fault injector and stats.
+        workers: Maximum concurrent worker processes (1 = in-process).
+        policy: Retry/backoff/timeout policy of every unit.
+        injector: Optional :class:`repro.testing.faults.FaultInjector`.
+        stats: Recovery counters, mutated in place.
+        allow_drop: When even the serial fallback fails: ``True`` records
+            the chunk as dropped (result ``None``), ``False`` raises.
+        on_success: Callback invoked in the supervisor process for each
+            completed chunk (e.g. to checkpoint it).
+
+    Returns:
+        Mapping of index to result (``None`` for dropped chunks).
+
+    Raises:
+        RuntimeError: When a chunk fails terminally and ``allow_drop`` is
+            False.
+    """
+    results: dict[int, Any] = {}
+    max_retries = policy.max_retries
+
+    def finish(index: int, value: Any) -> None:
+        results[index] = value
+        if on_success is not None and value is not None:
+            on_success(index, value)
+
+    def serial_fallback(job: _Job) -> None:
+        stats.serial_fallbacks += 1
+        ok, value = _run_serial_attempts(
+            job,
+            worker_fn,
+            phase=phase,
+            injector=injector,
+            max_retries=max_retries,
+            stats=stats,
+        )
+        if ok:
+            finish(job.index, value)
+        elif allow_drop:
+            stats.dropped_chunks += 1
+            results[job.index] = None
+        else:
+            raise RuntimeError(
+                f"{phase} chunk {job.index} failed after {job.attempt} "
+                "attempts including the in-process serial fallback"
+            )
+
+    pending = [_Job(index, payload) for index, payload in payloads]
+
+    if workers <= 1:
+        # In-process mode: no subprocess to crash, but the retry loop
+        # still absorbs transient (injected or real) Python failures.
+        for job in pending:
+            ok, value = _run_serial_attempts(
+                job,
+                worker_fn,
+                phase=phase,
+                injector=injector,
+                max_retries=max_retries,
+                stats=stats,
+            )
+            if ok:
+                finish(job.index, value)
+            elif allow_drop:
+                stats.dropped_chunks += 1
+                results[job.index] = None
+            else:
+                raise RuntimeError(
+                    f"{phase} chunk {job.index} failed after "
+                    f"{job.attempt} in-process attempts"
+                )
+        return results
+
+    ctx = multiprocessing.get_context()
+    result_queue = ctx.Queue()
+    running: dict[int, tuple[Any, float, _Job]] = {}
+    # Results that arrived before their process was reaped.
+    arrived: dict[int, tuple[str, Any]] = {}
+    # Processes whose result was consumed, awaiting a (lazy) join so the
+    # exit wait never blocks the launch of the next chunk.
+    zombies: list[Any] = []
+    parallel_failures = 0
+    degraded = False
+
+    def requeue(job: _Job, now: float) -> None:
+        nonlocal parallel_failures
+        parallel_failures += 1
+        job.attempt += 1
+        if policy.exhausted(job.attempt):
+            serial_fallback(job)
+            return
+        stats.retries += 1
+        job.eligible_at = now + policy.delay(job.attempt)
+        pending.append(job)
+
+    try:
+        while pending or running:
+            now = time.monotonic()
+            if not degraded and parallel_failures >= SERIAL_DEGRADATION_THRESHOLD:
+                # Repeated parallel failures: stop trusting subprocesses
+                # and drain everything still pending in-process.
+                degraded = True
+            if degraded and pending and not running:
+                for job in pending:
+                    serial_fallback(job)
+                pending = []
+                continue
+            while (
+                not degraded
+                and pending
+                and len(running) < workers
+            ):
+                launchable = [
+                    j for j in pending if j.eligible_at <= now
+                ]
+                if not launchable:
+                    break
+                job = launchable[0]
+                pending.remove(job)
+                deadline = policy.deadline(now)
+                process = ctx.Process(
+                    target=_worker_shell,
+                    args=(
+                        result_queue,
+                        phase,
+                        job.index,
+                        job.attempt,
+                        worker_fn,
+                        job.payload,
+                        injector,
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                running[job.index] = (process, deadline, job)
+            # Wait for the next event.  Results wake the blocking get the
+            # moment they land (the common case); the timeout bounds how
+            # late a crash (which produces no queue traffic) or an expired
+            # deadline is noticed.
+            if running:
+                try:
+                    index, status, value = result_queue.get(timeout=0.02)
+                    arrived[index] = (status, value)
+                except queue_module.Empty:
+                    pass
+                while True:
+                    try:
+                        index, status, value = result_queue.get_nowait()
+                    except queue_module.Empty:
+                        break
+                    arrived[index] = (status, value)
+            elif pending and not degraded:
+                # Nothing running: every pending job is in its backoff
+                # window.  Sleep until the earliest becomes eligible.
+                now = time.monotonic()
+                wake = min(j.eligible_at for j in pending)
+                if wake > now:
+                    time.sleep(min(wake - now, 0.05))
+            for index in list(running):
+                process, deadline, job = running[index]
+                now = time.monotonic()
+                if index in arrived:
+                    status, value = arrived.pop(index)
+                    zombies.append(process)
+                    del running[index]
+                    if status == "ok":
+                        finish(index, value)
+                    else:
+                        stats.worker_errors += 1
+                        requeue(job, now)
+                elif not process.is_alive():
+                    # Dead without a result.  Exit code 0 means the result
+                    # is still in flight through the queue's feeder
+                    # thread; give it a grace period before declaring a
+                    # crash (the retry would still be bit-identical, just
+                    # wasted work).
+                    if process.exitcode == 0 and now < deadline:
+                        grace = min(deadline, now + 0.5)
+                        running[index] = (process, grace, job)
+                        if now < grace:
+                            continue
+                    process.join()
+                    del running[index]
+                    stats.crashes += 1
+                    requeue(job, now)
+                elif now > deadline:
+                    stats.hangs += 1
+                    process.terminate()
+                    process.join(timeout=2.0)
+                    if process.is_alive():
+                        process.kill()
+                        process.join()
+                    del running[index]
+                    requeue(job, now)
+            zombies = [p for p in zombies if p.is_alive()]
+    finally:
+        for process, _deadline, _job in running.values():
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+                if process.is_alive():
+                    process.kill()
+                    process.join()
+        for process in zombies:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join()
+        result_queue.close()
+        result_queue.cancel_join_thread()
+    return results
+
+
+# ----------------------------------------------------------------------
+# Long-lived supervised workers (the service's warm pool)
+# ----------------------------------------------------------------------
+
+
+class SupervisedWorker:
+    """One long-lived worker process with replayable in-flight work.
+
+    The campaign supervisor above launches a disposable process per
+    attempt; the service instead keeps workers warm (decoder tiers are
+    materialised once per process from a
+    :class:`~repro.pipeline.handle.DecoderHandle`) and replays in-flight
+    batches onto a fresh process when one crashes or hangs.  This class
+    owns exactly the process-lifecycle part: spawn, liveness, kill,
+    respawn, and the ledger of batches currently on the worker.
+
+    Both queues are private to one incarnation and recreated on every
+    :meth:`spawn`.  A shared result queue would be a trap: terminating a
+    worker that still holds the queue's cross-process write lock (it may
+    not have been scheduled between flushing a result and releasing the
+    lock) would deadlock every other writer forever.  A per-incarnation
+    queue dies with its process, so a kill can never poison anyone else.
+
+    Args:
+        target: Worker main, called as ``target(request_queue,
+            result_queue, payload)`` in the child process.
+        payload: Picklable bootstrap payload (e.g. decoder handles).
+        ctx: Multiprocessing context (``fork`` keeps warm pipeline caches
+            copy-on-write where available).
+    """
+
+    def __init__(self, target, payload, ctx=None) -> None:
+        self._target = target
+        self._payload = payload
+        self._ctx = ctx if ctx is not None else multiprocessing.get_context()
+        self.request_queue = None
+        self.result_queue = None
+        self.process = None
+        #: batch_id -> opaque in-flight record, owned by the caller.
+        self.inflight: dict[int, Any] = {}
+
+    def spawn(self) -> None:
+        """Start (or restart) the worker with fresh queues.
+
+        Fresh queues per incarnation guarantee a respawned worker never
+        sees stale requests half-consumed by its dead predecessor and
+        never blocks on a lock its predecessor died holding; the caller
+        replays :attr:`inflight` explicitly instead.
+        """
+        self.request_queue = self._ctx.Queue()
+        self.result_queue = self._ctx.Queue()
+        self.process = self._ctx.Process(
+            target=self._target,
+            args=(self.request_queue, self.result_queue, self._payload),
+            daemon=True,
+        )
+        self.process.start()
+
+    def is_alive(self) -> bool:
+        """Whether the current incarnation is running."""
+        return self.process is not None and self.process.is_alive()
+
+    def submit(self, request: Any) -> None:
+        """Enqueue one request onto the current incarnation."""
+        self.request_queue.put(request)
+
+    def kill(self) -> None:
+        """Tear the current incarnation down (terminate, then kill)."""
+        if self.process is None:
+            return
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=2.0)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join()
+        else:
+            self.process.join(timeout=1.0)
+        for queue in (self.request_queue, self.result_queue):
+            if queue is not None:
+                queue.close()
+                queue.cancel_join_thread()
+
+    def shutdown(self, sentinel: Any = None) -> None:
+        """Ask the worker to exit cleanly, then reap it."""
+        if self.process is None:
+            return
+        if self.process.is_alive() and self.request_queue is not None:
+            try:
+                self.request_queue.put(sentinel)
+            except (ValueError, OSError):
+                pass
+            self.process.join(timeout=2.0)
+        self.kill()

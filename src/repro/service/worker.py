@@ -1,0 +1,166 @@
+"""The decode service's long-lived worker process.
+
+Each worker materialises its decoder tiers exactly once from picklable
+:class:`~repro.pipeline.handle.DecoderHandle` recipes (warm-starting from
+the artifact store when one is configured) and then loops on its request
+queue, turning cross-batched window-solve requests into primitive-edge
+lists.  The worker is deliberately stateless between batches: every
+request carries the full window active sets, so a crashed worker's
+in-flight batch can be replayed verbatim on a fresh process with a
+bit-identical result.
+
+Tiers
+-----
+
+``"sliding-window"`` (the primary tier) routes through
+:meth:`~repro.decoders.windowed.SlidingWindowDecoder.window_edges_batch`,
+i.e. the batched exhaustive-search kernels.  Degraded tiers are registry
+decoders carrying the ``"service-tier"`` capability (Union-Find, Clique):
+cheaper, approximate, used by the server's load-shedding ladder.  Either
+way a solve returns, per request, the primitive decoding-graph edges
+whose endpoint toggles resolve exactly that window's defects -- the
+commit/residual bookkeeping in the session layer is tier-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..decoders.base import BOUNDARY
+from ..pipeline.handle import DecoderHandle
+from ..testing.faults import SERVICE_SOLVE_PHASE
+
+__all__ = [
+    "PRIMARY_TIER",
+    "SolveRequest",
+    "TierSolver",
+    "service_worker_main",
+]
+
+#: Registry name of the service's primary (exact, sliding-window) tier.
+PRIMARY_TIER = "sliding-window"
+
+#: Degraded tiers whose ``DecodeResult.matching`` already consists of
+#: primitive decoding-graph edges (no shortest-path expansion needed).
+_PRIMITIVE_MATCHING_TIERS = frozenset({"union-find"})
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One batch of window solves shipped to a worker.
+
+    Attributes:
+        batch_id: Service-unique id; the reply echoes it, and replays of
+            the same batch keep it (with a bumped ``attempt``).
+        attempt: 0-based attempt count (threaded to the fault injector).
+        tier: Decoder tier to solve on (``PRIMARY_TIER`` or a
+            ``"service-tier"`` registry name).
+        actives: One sorted active-index list per window solve.
+    """
+
+    batch_id: int
+    attempt: int
+    tier: str
+    actives: tuple[tuple[int, ...], ...]
+
+
+class TierSolver:
+    """Solve window active sets on one decoder tier.
+
+    Args:
+        tier: Registry tier name.
+        windowed: The materialised
+            :class:`~repro.decoders.windowed.SlidingWindowDecoder`
+            (always needed: degraded tiers reuse its path expansion).
+        decoder: The degraded-tier decoder, or None for the primary tier.
+    """
+
+    def __init__(self, tier: str, windowed, decoder=None) -> None:
+        self.tier = tier
+        self.windowed = windowed
+        self.decoder = decoder
+
+    def solve_batch(
+        self, actives: list[list[int]]
+    ) -> list[list[tuple[int, int]]]:
+        """Primitive-edge lists for every active set, in order."""
+        if self.decoder is None:
+            return self.windowed.window_edges_batch(
+                [list(a) for a in actives]
+            )
+        out: list[list[tuple[int, int]]] = []
+        primitive = self.tier in _PRIMITIVE_MATCHING_TIERS
+        for active in actives:
+            result = self.decoder.decode_active(list(active))
+            pairs = [(int(u), int(v)) for u, v in result.matching]
+            if primitive:
+                out.append(pairs)
+            else:
+                # Matched defect pairs: expand along shortest paths into
+                # XOR-reduced primitive edges, exactly as the MWPM tier
+                # does, so commit bookkeeping stays tier-agnostic.
+                edges: dict[tuple[int, int], int] = {}
+                for u, v in pairs:
+                    for x, y in self.windowed.graph.shortest_path(u, v):
+                        key = self.windowed._edge_key(x, y)
+                        edges[key] = edges.get(key, 0) + 1
+                boundary = self.windowed._boundary
+                out.append(
+                    [
+                        (x, BOUNDARY if y == boundary else y)
+                        for (x, y), count in sorted(edges.items())
+                        if count % 2
+                    ]
+                )
+        return out
+
+
+def build_tier_solvers(
+    handles: dict[str, DecoderHandle]
+) -> dict[str, TierSolver]:
+    """Materialise every tier's solver from its handle (primary first)."""
+    windowed = handles[PRIMARY_TIER].resolve()
+    solvers = {PRIMARY_TIER: TierSolver(PRIMARY_TIER, windowed)}
+    for tier, handle in handles.items():
+        if tier == PRIMARY_TIER:
+            continue
+        solvers[tier] = TierSolver(tier, windowed, handle.resolve())
+    return solvers
+
+
+def service_worker_main(request_queue, result_queue, bootstrap) -> None:
+    """Worker-process entry: materialise tiers, then serve solve batches.
+
+    Args:
+        request_queue: Inbound :class:`SolveRequest` stream; ``None`` is
+            the clean-shutdown sentinel.
+        result_queue: Outbound ``(batch_id, status, payload)`` triples --
+            ``("ok", edge lists)`` or ``("error", repr)``.  A hard crash
+            (injected or real) reports nothing; the server detects the
+            dead process and replays the batch.
+        bootstrap: ``(handles, injector)`` -- per-tier
+            :class:`~repro.pipeline.handle.DecoderHandle` recipes plus an
+            optional :class:`~repro.testing.faults.FaultInjector`.
+    """
+    handles, injector = bootstrap
+    solvers = build_tier_solvers(handles)
+    while True:
+        request = request_queue.get()
+        if request is None:
+            return
+        try:
+            if injector is not None:
+                injector.maybe_fault(
+                    SERVICE_SOLVE_PHASE,
+                    request.batch_id,
+                    request.attempt,
+                    in_worker=True,
+                )
+                injector.maybe_poison(
+                    [list(a) for a in request.actives], in_worker=True
+                )
+            solver = solvers[request.tier]
+            edges = solver.solve_batch([list(a) for a in request.actives])
+            result_queue.put((request.batch_id, "ok", edges))
+        except BaseException as exc:  # noqa: BLE001 - forwarded to server
+            result_queue.put((request.batch_id, "error", repr(exc)))

@@ -35,11 +35,27 @@ __all__ = [
     "FaultInjector",
     "InjectedCrash",
     "InjectedWorkerError",
+    "SERVICE_SOLVE_PHASE",
     "corrupt_file",
+    "syndrome_signature",
 ]
 
 #: Exit code of an injected hard worker crash (recognisable in logs).
 CRASH_EXIT_CODE = 87
+
+#: Supervised-phase name of the decode service's window-solve batches
+#: (alongside the campaign runner's ``"sample"`` and ``"decode"``).
+SERVICE_SOLVE_PHASE = "service-solve"
+
+
+def syndrome_signature(active: list[int]) -> str:
+    """Content signature of one window's active defect set.
+
+    Poison-syndrome plans key on this signature rather than on batch or
+    chunk indices, so a poisoned syndrome fires no matter which stream
+    it arrives on or how the service happened to cross-batch it.
+    """
+    return ",".join(str(int(i)) for i in active)
 
 
 class InjectedCrash(RuntimeError):
@@ -75,6 +91,12 @@ class FaultInjector:
             hang degenerates to :class:`InjectedCrash` -- blocking the
             supervisor itself would deadlock the run under test.
         errors: Plan of soft failures (:class:`InjectedWorkerError`).
+        poison: Syndrome signatures (see :func:`syndrome_signature`)
+            that hard-crash any worker whose batch carries them -- on
+            *every* attempt, modelling a reproducibly decoder-killing
+            input.  Inert in the supervisor's own process, so the serial
+            fallback isolates the poison instead of taking the service
+            down with it.
         hang_seconds: Sleep duration of an injected hang; pick it well
             above the supervisor's chunk timeout.
     """
@@ -85,11 +107,13 @@ class FaultInjector:
         crashes: FaultPlan | None = None,
         hangs: FaultPlan | None = None,
         errors: FaultPlan | None = None,
+        poison: "set[str] | frozenset[str] | list[str] | None" = None,
         hang_seconds: float = 30.0,
     ) -> None:
         self.crashes = dict(crashes or {})
         self.hangs = dict(hangs or {})
         self.errors = dict(errors or {})
+        self.poison = frozenset(poison or ())
         self.hang_seconds = hang_seconds
 
     def maybe_fault(
@@ -126,6 +150,23 @@ class FaultInjector:
             raise InjectedWorkerError(
                 f"injected error: {phase} chunk {chunk} attempt {attempt}"
             )
+
+    def maybe_poison(
+        self, actives: "list[list[int]]", *, in_worker: bool
+    ) -> None:
+        """Hard-crash the worker when a poisoned syndrome is in the batch.
+
+        Unlike :meth:`maybe_fault`, poison is attempt-independent: a
+        retried or replayed batch carrying the same syndrome crashes the
+        respawned worker again, which is what forces the supervisor's
+        serial fallback to isolate it.  In-process (``in_worker=False``)
+        the check is a no-op -- the serial path *is* the isolation.
+        """
+        if not self.poison or not in_worker:
+            return
+        for active in actives:
+            if syndrome_signature(active) in self.poison:
+                os._exit(CRASH_EXIT_CODE)
 
 
 def corrupt_file(

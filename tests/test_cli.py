@@ -166,3 +166,32 @@ class TestArtifactCompatibility:
     def test_usage_error(self):
         with pytest.raises(SystemExit):
             main(["artifact", "out.txt"])
+
+
+class TestServe:
+    def test_serve_smoke_with_injected_crash(self, tmp_path, capsys):
+        report_path = tmp_path / "serve.json"
+        assert (
+            main(
+                [
+                    "serve", "-d", "3", "--p", "1e-2",
+                    "--streams", "2", "--episodes", "2", "--seed", "9",
+                    "--workers", "1", "--inject-crash", "0",
+                    "--json", str(report_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "rounds" in out and "committed" in out
+        assert "recovery" in out
+        import json
+
+        report = json.load(report_path.open())
+        assert report["rounds_committed"] == report["rounds_fed"]
+        assert report["reference_mismatches"] == 0
+        assert report["service"]["service"]["recovery"]["respawns"] >= 1
+
+    def test_degrade_tier_choices_validated(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--degrade-tier", "mwpm"])

@@ -532,3 +532,47 @@ class TestFaultInjectorSemantics:
         injector.maybe_fault("sample", 0, 2, in_worker=False)
         injector.maybe_fault("decode", 0, 0, in_worker=False)
         injector.maybe_fault("sample", 1, 0, in_worker=False)
+
+
+class TestRetryPolicySeam:
+    """The campaign knobs and the shared RetryPolicy are one mechanism."""
+
+    def test_policy_object_equivalent_to_knobs(self, setup_d3, decoder, baseline):
+        from repro.service import RetryPolicy
+
+        injector = FaultInjector(errors={("decode", 0): 2})
+        via_knobs = _run(
+            setup_d3,
+            decoder,
+            workers=2,
+            max_retries=3,
+            retry_backoff=0.01,
+            fault_injector=injector,
+        )
+        via_policy = _run(
+            setup_d3,
+            decoder,
+            workers=2,
+            policy=RetryPolicy(max_retries=3, backoff=0.01),
+            fault_injector=FaultInjector(errors={("decode", 0): 2}),
+        )
+        assert via_policy.result == baseline
+        assert via_knobs.result == baseline
+        assert via_policy.recovery.worker_errors == via_knobs.recovery.worker_errors
+        assert via_policy.recovery.retries == via_knobs.recovery.retries
+
+    def test_policy_overrides_legacy_knobs(self, setup_d3, decoder, baseline):
+        from repro.service import RetryPolicy
+
+        # max_retries=0 would make the injected double-error terminal in
+        # parallel mode; the policy's max_retries=3 must win.
+        outcome = _run(
+            setup_d3,
+            decoder,
+            workers=2,
+            max_retries=0,
+            policy=RetryPolicy(max_retries=3, backoff=0.01),
+            fault_injector=FaultInjector(errors={("decode", 0): 2}),
+        )
+        assert outcome.result == baseline
+        assert outcome.recovery.retries >= 1

@@ -1,0 +1,411 @@
+"""Tests of the streaming decode service (repro.service).
+
+Covers the supervision primitives (RetryPolicy, SupervisedWorker), the
+stats structures, stream-session semantics (bit-identity, backpressure,
+degradation ladder) and the deterministic service-phase chaos harness:
+worker crash mid-batch, hang past the deadline, and poison syndromes,
+each recovering with corrections bit-identical to an unfaulted run.
+"""
+
+import asyncio
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.experiments.setup import DecodingSetup
+from repro.pipeline.stages import PipelineConfig
+from repro.service import (
+    LatencyRecorder,
+    RetryPolicy,
+    ServiceStats,
+    StreamBackpressure,
+    SupervisedWorker,
+)
+from repro.service.loadgen import run_load
+from repro.service.server import DecodeService, ServiceConfig
+from repro.sim.pauli_frame import PauliFrameSimulator
+from repro.testing.faults import (
+    SERVICE_SOLVE_PHASE,
+    FaultInjector,
+    syndrome_signature,
+)
+
+#: d=3 at a noise rate where most shots carry defects (the service's
+#: solve path is actually exercised).
+CONFIG = PipelineConfig(distance=3, physical_error_rate=1e-2)
+
+
+def _service_config(**overrides) -> ServiceConfig:
+    """A d=3-sized service config (4 detector layers -> window of 3)."""
+    base = dict(
+        window=3,
+        commit=1,
+        workers=1,
+        batch_window=0.002,
+        policy=RetryPolicy(max_retries=3, backoff=0.02, timeout=10.0),
+    )
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy
+# ----------------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0.0)
+
+    def test_backoff_doubles_per_retry(self):
+        policy = RetryPolicy(backoff=0.1)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+
+    def test_deadline(self):
+        assert RetryPolicy(timeout=2.0).deadline(10.0) == pytest.approx(12.0)
+        assert RetryPolicy(timeout=None).deadline(10.0) == float("inf")
+
+    def test_exhausted(self):
+        policy = RetryPolicy(max_retries=2)
+        assert not policy.exhausted(2)
+        assert policy.exhausted(3)
+
+
+# ----------------------------------------------------------------------
+# Stats primitives
+# ----------------------------------------------------------------------
+
+
+class TestLatencyRecorder:
+    def test_percentiles(self):
+        rec = LatencyRecorder()
+        for v in (0.03, 0.01, 0.02, 0.04, 0.05):
+            rec.record(v)
+        assert rec.p50 == pytest.approx(0.03)
+        assert rec.p99 == pytest.approx(0.05)
+        assert rec.percentile(0.0) == pytest.approx(0.01)
+
+    def test_empty_is_zero(self):
+        assert LatencyRecorder().p99 == 0.0
+
+    def test_max_samples_caps_retention(self):
+        rec = LatencyRecorder(max_samples=3)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            rec.record(v)
+        assert rec.count == 4
+        assert rec.percentile(0.0) == pytest.approx(2.0)
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().percentile(1.5)
+
+
+class TestServiceStats:
+    def test_mean_batch_size(self):
+        stats = ServiceStats()
+        assert stats.mean_batch_size() == 0.0
+        stats.batches = 4
+        stats.batched_requests = 10
+        assert stats.mean_batch_size() == pytest.approx(2.5)
+
+
+# ----------------------------------------------------------------------
+# SupervisedWorker
+# ----------------------------------------------------------------------
+
+
+def _echo_worker(request_queue, result_queue, payload):
+    while True:
+        request = request_queue.get()
+        if request is None:
+            return
+        result_queue.put((request, "ok", payload))
+
+
+class TestSupervisedWorker:
+    def test_spawn_submit_respawn(self):
+        ctx = multiprocessing.get_context()
+        worker = SupervisedWorker(_echo_worker, "tag", ctx)
+        try:
+            worker.spawn()
+            assert worker.is_alive()
+            worker.submit(7)
+            assert worker.result_queue.get(timeout=10.0) == (7, "ok", "tag")
+            first = worker.process
+            first_result_queue = worker.result_queue
+            worker.kill()
+            assert not worker.is_alive()
+            # Respawn gets a fresh process AND fresh queues: a dead
+            # incarnation may have been terminated holding its result
+            # queue's write lock, so reusing it could deadlock forever.
+            worker.spawn()
+            assert worker.is_alive()
+            assert worker.process is not first
+            assert worker.result_queue is not first_result_queue
+            worker.submit(8)
+            assert worker.result_queue.get(timeout=10.0) == (8, "ok", "tag")
+        finally:
+            worker.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Service configuration
+# ----------------------------------------------------------------------
+
+
+class TestServiceConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _service_config(workers=-1)
+        with pytest.raises(ValueError):
+            _service_config(batch_window=-1.0)
+        with pytest.raises(ValueError):
+            _service_config(max_batch=0)
+
+    def test_degrade_tier_needs_capability(self):
+        with pytest.raises(ValueError, match="service-tier"):
+            _service_config(degrade_tier="mwpm")
+
+    def test_none_disables_ladder(self):
+        assert _service_config(degrade_tier=None).degrade_tier is None
+
+
+# ----------------------------------------------------------------------
+# End-to-end bit-identity and accounting
+# ----------------------------------------------------------------------
+
+
+class TestServiceBitIdentity:
+    def test_matches_decode_batch_reference(self):
+        report = run_load(
+            CONFIG,
+            _service_config(degrade_tier=None),
+            streams=3,
+            episodes=4,
+            seed=501,
+        )
+        assert report.rounds_committed == report.rounds_fed
+        assert report.episodes_degraded == 0
+        assert report.reference_mismatches == 0
+        assert report.episodes_primary == 12
+
+    def test_inline_mode_matches_reference(self):
+        # workers=0 solves in-process: no pool, no IPC, no supervision --
+        # the "equivalent batch path" baseline the bench gates against.
+        report = run_load(
+            CONFIG,
+            _service_config(workers=0, degrade_tier=None),
+            streams=3,
+            episodes=4,
+            seed=501,
+        )
+        assert report.rounds_committed == report.rounds_fed
+        assert report.reference_mismatches == 0
+        assert report.service["service"]["recovery"]["respawns"] == 0
+
+    def test_cross_batching_accounted(self):
+        report = run_load(
+            CONFIG,
+            _service_config(degrade_tier=None, batch_window=0.02),
+            streams=4,
+            episodes=4,
+            seed=502,
+        )
+        stats = report.service["service"]
+        solves = sum(
+            s["solves"] for s in report.service["streams"].values()
+        )
+        assert stats["batched_requests"] == solves
+        assert stats["batches"] <= stats["batched_requests"]
+
+
+# ----------------------------------------------------------------------
+# Chaos: service-phase fault injections (crash / hang / poison)
+# ----------------------------------------------------------------------
+
+
+class TestServiceChaos:
+    def test_worker_crash_mid_batch_replayed_bit_identical(self):
+        injector = FaultInjector(
+            crashes={
+                (SERVICE_SOLVE_PHASE, 0): 1,
+                (SERVICE_SOLVE_PHASE, 2): 1,
+            }
+        )
+        report = run_load(
+            CONFIG,
+            _service_config(degrade_tier=None),
+            streams=3,
+            episodes=4,
+            seed=501,
+            injector=injector,
+        )
+        recovery = report.service["service"]["recovery"]
+        assert recovery["crashes"] >= 1
+        assert recovery["respawns"] >= 1
+        assert report.rounds_committed == report.rounds_fed
+        assert report.reference_mismatches == 0
+
+    def test_worker_hang_past_deadline_replayed_bit_identical(self):
+        injector = FaultInjector(
+            hangs={(SERVICE_SOLVE_PHASE, 1): 1}, hang_seconds=30.0
+        )
+        report = run_load(
+            CONFIG,
+            _service_config(
+                degrade_tier=None,
+                policy=RetryPolicy(
+                    max_retries=3, backoff=0.02, timeout=0.5
+                ),
+            ),
+            streams=3,
+            episodes=4,
+            seed=501,
+            injector=injector,
+        )
+        recovery = report.service["service"]["recovery"]
+        assert recovery["hangs"] >= 1
+        assert recovery["respawns"] >= 1
+        assert report.rounds_committed == report.rounds_fed
+        assert report.reference_mismatches == 0
+
+    def test_poison_syndrome_isolated_by_serial_fallback(self):
+        setup = DecodingSetup.from_config(CONFIG)
+        sampled = PauliFrameSimulator(
+            setup.experiment.circuit, seed=501
+        ).sample(12)
+        layer_of = np.array(
+            [t for (_x, _y, t) in setup.experiment.detector_coords]
+        )
+        signature = None
+        for shot in sampled.detectors:
+            active = [int(i) for i in np.nonzero(shot & (layer_of < 3))[0]]
+            if active:
+                signature = syndrome_signature(active)
+                break
+        assert signature is not None, "sample produced no first-window defects"
+        injector = FaultInjector(poison={signature})
+        report = run_load(
+            CONFIG,
+            _service_config(
+                degrade_tier=None,
+                policy=RetryPolicy(
+                    max_retries=1, backoff=0.02, timeout=10.0
+                ),
+            ),
+            streams=3,
+            episodes=4,
+            seed=501,
+            injector=injector,
+        )
+        recovery = report.service["service"]["recovery"]
+        assert recovery["serial_fallbacks"] >= 1
+        assert recovery["respawns"] >= 1
+        assert report.rounds_committed == report.rounds_fed
+        assert report.reference_mismatches == 0
+
+
+# ----------------------------------------------------------------------
+# Backpressure and the degradation ladder
+# ----------------------------------------------------------------------
+
+
+class TestBackpressureAndDegradation:
+    def test_burst_stream_sheds_and_recovers(self):
+        report = run_load(
+            CONFIG,
+            _service_config(degrade_tier="union-find"),
+            streams=3,
+            episodes=6,
+            seed=501,
+            burst_streams=1,
+        )
+        burst = report.service["streams"]["stream-0"]
+        assert burst["backpressure_events"] >= 1
+        assert burst["degradations"] >= 1
+        assert burst["promotions"] >= 1
+        assert burst["degraded_solves"] >= 1
+        # Degraded solves still resolve every defect and commit every
+        # round -- degradation sheds accuracy, never data.
+        assert report.rounds_committed == report.rounds_fed
+        # Non-burst streams stay on the primary tier and bit-match.
+        assert report.reference_mismatches == 0
+
+    def test_try_submit_raises_when_full(self):
+        async def scenario():
+            async with DecodeService(CONFIG, _service_config()) as svc:
+                session = svc.open_stream("s", queue_limit=3)
+                sampled = PauliFrameSimulator(
+                    DecodingSetup.from_config(CONFIG).experiment.circuit,
+                    seed=77,
+                ).sample(1)
+                layers = [
+                    sampled.detectors[0][svc.decoder.layer_detectors(t)]
+                    for t in range(svc.decoder.num_layers)
+                ]
+                # Synchronous submits starve the processor task, so the
+                # queue cannot drain between rounds.
+                session.try_submit_round(layers[0])
+                session.try_submit_round(layers[1])
+                session.try_submit_round(layers[2])
+                with pytest.raises(StreamBackpressure):
+                    session.try_submit_round(layers[3])
+                events = session.stats.backpressure_events
+                # Await the missing round and drain the episode cleanly.
+                await session.submit_round(layers[3])
+                await session.finish_episode()
+                return events, session.stats.episodes
+
+        events, episodes = asyncio.run(scenario())
+        assert events >= 1
+        assert episodes == 1
+
+    def test_queue_limit_must_cover_a_window(self):
+        async def scenario():
+            async with DecodeService(CONFIG, _service_config()) as svc:
+                with pytest.raises(ValueError, match="queue_limit"):
+                    svc.open_stream("s", queue_limit=2)
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Session validation
+# ----------------------------------------------------------------------
+
+
+class TestSessionValidation:
+    def test_round_shape_and_episode_length(self):
+        async def scenario():
+            async with DecodeService(CONFIG, _service_config()) as svc:
+                session = svc.open_stream("s")
+                with pytest.raises(ValueError, match="bits"):
+                    await session.submit_round([0, 1])
+                with pytest.raises(RuntimeError, match="submit the rest"):
+                    await session.finish_episode()
+                width = len(svc.decoder.layer_detectors(0))
+                for _ in range(svc.decoder.num_layers):
+                    await session.submit_round([0] * width)
+                with pytest.raises(RuntimeError, match="finish_episode"):
+                    await session.submit_round([0] * width)
+                result = await session.finish_episode()
+                assert result.prediction is False
+
+        asyncio.run(scenario())
+
+    def test_duplicate_stream_rejected(self):
+        async def scenario():
+            async with DecodeService(CONFIG, _service_config()) as svc:
+                svc.open_stream("s")
+                with pytest.raises(RuntimeError, match="already open"):
+                    svc.open_stream("s")
+
+        asyncio.run(scenario())

@@ -80,3 +80,52 @@ class TestStreaming:
         r_tiny = run_memory_experiment(setup_d5.experiment, tiny, shots, seed=82)
         r_sized = run_memory_experiment(setup_d5.experiment, sized, shots, seed=82)
         assert r_tiny.errors >= r_sized.errors
+
+
+class TestValidation:
+    def test_window_longer_than_experiment_rejected(self, setup_d5):
+        layers = setup_d5.experiment.rounds + 1
+        with pytest.raises(ValueError, match="spans more detector layers"):
+            _make(setup_d5, window=layers + 1, commit=1)
+
+    def test_wrong_length_syndrome_batch_rejected(self, setup_d5):
+        windowed = _make(setup_d5, window=3, commit=1)
+        bad = np.zeros((2, windowed.syndrome_length + 1), dtype=bool)
+        with pytest.raises(ValueError):
+            windowed.decode_batch(bad)
+
+
+class TestBatchedLockstep:
+    def test_decode_batch_bit_identical_to_scalar(self, setup_d5, sample_d5):
+        windowed = _make(setup_d5, window=3, commit=1)
+        shots = sample_d5.detectors[:300]
+        batched = windowed.decode_batch(shots)
+        for det, result in zip(shots, batched):
+            active = [int(i) for i in np.nonzero(det)[0]]
+            scalar = windowed.decode_active(active)
+            assert result.prediction == scalar.prediction
+            assert result.matching == scalar.matching
+            assert result.weight == scalar.weight
+
+    def test_edge_cache_is_transparent(self, setup_d5, sample_d5):
+        cached = _make(setup_d5, window=3, commit=1)
+        uncached = SlidingWindowDecoder(
+            setup_d5.ideal_gwt,
+            setup_d5.graph,
+            setup_d5.experiment,
+            window=3,
+            commit=1,
+            edge_cache=0,
+        )
+        shots = sample_d5.detectors[:150]
+        for a, b in zip(cached.decode_batch(shots), uncached.decode_batch(shots)):
+            assert a.prediction == b.prediction
+            assert a.matching == b.matching
+        assert len(cached._edge_cache) > 0
+        assert len(uncached._edge_cache) == 0
+
+    def test_trivial_shots_short_circuit(self, setup_d5):
+        windowed = _make(setup_d5, window=3, commit=1)
+        empty = np.zeros((3, windowed.syndrome_length), dtype=bool)
+        for result in windowed.decode_batch(empty):
+            assert result.prediction is False
