@@ -48,14 +48,22 @@ def fmt(value: float) -> str:
     return f"{value:.2e}"
 
 
-def build_decoder(name: str, setup, **options):
+def build_decoder(name: str, setup, options=None, **kwargs):
     """Build a registry decoder for a benchmark.
 
     Thin alias of :func:`repro.decoders.registry.make_decoder` so every
     benchmark constructs decoders through the shared registry (one
     dispatch path with the CLI, sweeps and examples) instead of keeping
     its own constructor copies.
+
+    Args:
+        name: Registered decoder name.
+        setup: The decoding stack to attach to.
+        options: Registry option dict, passed through verbatim (the shape
+            sweep configs and routing tables carry); keyword arguments
+            override colliding keys.
     """
     from repro.decoders.registry import make_decoder
 
-    return make_decoder(name, setup, **options)
+    merged = {**(options or {}), **kwargs}
+    return make_decoder(name, setup, **merged)

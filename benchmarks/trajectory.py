@@ -49,6 +49,8 @@ _SCALAR_METRICS = (
     "service_rounds_per_sec",
     "service_latency_ratio",
     "service_degraded_accuracy",
+    "cascade_speedup",
+    "cascade_local_fraction",
 )
 
 

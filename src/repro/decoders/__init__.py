@@ -3,6 +3,23 @@
 from .astrea import AstreaDecoder, HW6Decoder, exhaustive_search
 from .astrea_g import AstreaGDecoder, PipelineSnapshot, weight_threshold_for
 from .base import BOUNDARY, DecodeResult, Decoder
+from .cascade import (
+    Cascade,
+    CascadeDecoder,
+    CascadeStats,
+    CascadeTier,
+    ClosedFormTier,
+    DecoderTier,
+    EscalationPolicy,
+    PredecodeTier,
+    RoutingTable,
+    TierLadder,
+    TierOutcome,
+    TierStats,
+    TrivialTier,
+    cascade_tune,
+    load_or_tune_routing_table,
+)
 from .clique import CliqueDecoder
 from .correction import (
     PhysicalCorrection,
@@ -20,19 +37,34 @@ __all__ = [
     "AstreaDecoder",
     "AstreaGDecoder",
     "BOUNDARY",
+    "Cascade",
+    "CascadeDecoder",
+    "CascadeStats",
+    "CascadeTier",
     "CliqueDecoder",
+    "ClosedFormTier",
     "DecodeResult",
     "Decoder",
+    "DecoderTier",
+    "EscalationPolicy",
     "HW6Decoder",
     "LilliputDecoder",
     "MWPMDecoder",
     "PhysicalCorrection",
     "PipelineSnapshot",
+    "PredecodeTier",
+    "RoutingTable",
     "SingleRoundDecoder",
     "SlidingWindowDecoder",
+    "TierLadder",
+    "TierOutcome",
+    "TierStats",
+    "TrivialTier",
     "UnionFindDecoder",
     "VerificationReport",
+    "cascade_tune",
     "exhaustive_search",
+    "load_or_tune_routing_table",
     "lut_size_bytes",
     "matching_to_correction",
     "primitive_edge_parities",

@@ -18,15 +18,22 @@ those two are paired -- or no adjacent defects but a direct boundary edge
 syndrome was decoded entirely by the pre-decoder; otherwise the remaining
 defects are re-decoded with MWPM and the shot is flagged as having missed
 the real-time path.
+
+This is exactly a two-tier :class:`~repro.decoders.cascade.Cascade`
+(:class:`~repro.decoders.cascade.PredecodeTier` over a terminal MWPM
+tier), and since PR 10 it is built as one: routing, partial-result
+merging and per-tier telemetry live in the cascade subsystem rather
+than in a private fallback loop here.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..graphs.decoding_graph import BOUNDARY, DecodingGraph
+from ..graphs.decoding_graph import DecodingGraph
 from ..graphs.weights import GlobalWeightTable
 from .base import DecodeResult, Decoder, validate_syndrome_batch
+from .cascade import Cascade, DecoderTier, PredecodeTier
 from .mwpm import MWPMDecoder
 
 __all__ = ["CliqueDecoder"]
@@ -56,209 +63,34 @@ class CliqueDecoder(Decoder):
         self.fallback = MWPMDecoder(gwt, measure_time=True, structure=structure)
         #: Whether the last decode stayed entirely in the pre-decoder.
         self.last_was_local = True
-        # Neighbour map over primitive edges (boundary excluded).
-        self._neighbors: dict[int, set[int]] = {}
-        self._edge_parity: dict[tuple[int, int], bool] = {}
-        self._boundary_parity: dict[int, bool] = {}
-        for edge in graph.edges:
-            if edge.v == BOUNDARY:
-                current = self._boundary_parity.get(edge.u)
-                # Keep the most probable boundary edge's parity.
-                if current is None:
-                    self._boundary_parity[edge.u] = edge.flips_observable
-                continue
-            self._neighbors.setdefault(edge.u, set()).add(edge.v)
-            self._neighbors.setdefault(edge.v, set()).add(edge.u)
-            key = (min(edge.u, edge.v), max(edge.u, edge.v))
-            if key not in self._edge_parity:
-                self._edge_parity[key] = edge.flips_observable
-        # Array mirrors for the batched pre-decoder: padded neighbor matrix
-        # (vertices x max-degree) with aligned edge parities, plus direct
-        # boundary-edge presence/parity vectors.
-        n = self.syndrome_length
-        max_deg = max((len(s) for s in self._neighbors.values()), default=0)
-        self._nb_pad = np.zeros((max(n, 1), max(max_deg, 1)), dtype=np.int64)
-        self._nb_mask = np.zeros_like(self._nb_pad, dtype=bool)
-        self._nb_par = np.zeros_like(self._nb_pad, dtype=bool)
-        for v, nbs in self._neighbors.items():
-            for j, u in enumerate(sorted(nbs)):
-                self._nb_pad[v, j] = u
-                self._nb_mask[v, j] = True
-                self._nb_par[v, j] = self._edge_parity[(min(u, v), max(u, v))]
-        self._has_bnd = np.zeros(max(n, 1), dtype=bool)
-        self._bnd_par = np.zeros(max(n, 1), dtype=bool)
-        for v, parity in self._boundary_parity.items():
-            self._has_bnd[v] = True
-            self._bnd_par[v] = parity
-
-    def _local_pairing(
-        self, active: list[int]
-    ) -> tuple[bool, list[tuple[int, int]], set[int]]:
-        """The pre-decoder pass: greedy unambiguous pairing.
-
-        Returns:
-            Tuple ``(prediction, matching, leftover)`` -- the parity and
-            pairs consumed locally, plus the defects the pre-decoder could
-            not explain (empty when the shot stayed on the real-time path).
-        """
-        defects = set(active)
-        prediction = False
-        matching: list[tuple[int, int]] = []
-        progress = True
-        while progress:
-            progress = False
-            for defect in sorted(defects):
-                if defect not in defects:
-                    continue
-                adjacent = self._neighbors.get(defect, set()) & defects
-                if len(adjacent) == 1:
-                    partner = next(iter(adjacent))
-                    partner_adjacent = (
-                        self._neighbors.get(partner, set()) & defects
-                    )
-                    if partner_adjacent == {defect}:
-                        key = (min(defect, partner), max(defect, partner))
-                        prediction ^= self._edge_parity[key]
-                        matching.append(key)
-                        defects.discard(defect)
-                        defects.discard(partner)
-                        progress = True
-                elif not adjacent and defect in self._boundary_parity:
-                    prediction ^= self._boundary_parity[defect]
-                    matching.append((defect, BOUNDARY))
-                    defects.discard(defect)
-                    progress = True
-        return prediction, matching, defects
+        self._predecode = PredecodeTier(graph)
+        self._cascade = Cascade(
+            [self._predecode, DecoderTier(self.fallback, name="mwpm")]
+        )
+        #: Per-tier routed/solved/escalated/latency counters.
+        self.stats = self._cascade.stats
 
     def decode_active(self, active: list[int]) -> DecodeResult:
         """Decode locally where unambiguous; fall back to MWPM otherwise."""
-        if not active:
-            self.last_was_local = True
-            return DecodeResult(prediction=False)
-        prediction, matching, defects = self._local_pairing(active)
-        if not defects:
-            self.last_was_local = True
-            return DecodeResult(
-                prediction=prediction,
-                matching=sorted(matching),
-                cycles=1,
-                latency_ns=4.0,  # one cycle of the in-fridge pre-decoder
-            )
-        # Hard-to-decode event: hand the remaining defects to software MWPM.
-        self.last_was_local = False
-        fallback = self.fallback.decode_active(sorted(defects))
-        return DecodeResult(
-            prediction=prediction ^ fallback.prediction,
-            matching=sorted(matching + fallback.matching),
-            weight=fallback.weight,
-            latency_ns=fallback.latency_ns,  # measured software wall-clock
-            timed_out=True,  # the fallback path misses the real-time budget
-        )
+        syndrome = np.zeros((1, self.syndrome_length), dtype=bool)
+        if len(active):
+            syndrome[0, list(active)] = True
+        results, tiers = self._cascade.run(syndrome)
+        self.last_was_local = tiers[0] == self._predecode.name
+        return results[0]
 
     def decode_batch(self, syndromes: np.ndarray) -> list[DecodeResult]:
         """Decode a (shots, detectors) syndrome matrix in bulk.
 
-        The pre-decoder pass is a *single* vectorized round over every
-        defect of every shot at once.  That is exact, not an
-        approximation: a mutual degree-1 pair has no other active
-        neighbors by definition, and a degree-0 boundary defect touches
-        nobody, so consuming them never unlocks further local pairings --
-        the scalar while-progress loop always terminates after one
-        productive pass.  All hard-to-decode shots then hand their
-        residual defects to one ``fallback.decode_batch`` call, so the
-        MWPM fallback gets its bucketed/batched construction instead of
-        row-at-a-time solves.  Results are identical to per-row
+        The pre-decoder tier runs one vectorized pairing round over
+        every defect of every shot at once (exact -- see
+        :class:`~repro.decoders.cascade.PredecodeTier`), and all
+        hard-to-decode shots escalate their residual defects to one
+        batched terminal-MWPM solve.  Results are identical to per-row
         :meth:`decode`, including the ``last_was_local`` flag of the
         final row.
         """
         syndromes = validate_syndrome_batch(syndromes, self.syndrome_length)
-        num, n = syndromes.shape
-        rows, cols = np.nonzero(syndromes)
-        counts = np.bincount(rows, minlength=num)
-        if rows.size == 0:
-            self.last_was_local = True
-            return [DecodeResult(prediction=False) for _ in range(num)]
-        # Active-neighbor degree of every defect via one padded gather.
-        nbs = self._nb_pad[cols]
-        act = self._nb_mask[cols] & syndromes[rows[:, None], nbs]
-        deg = act.sum(axis=1)
-        one = deg == 1
-        # The lone active neighbor of each degree-1 defect, and the parity
-        # of the primitive edge towards it.
-        j = np.argmax(act, axis=1)
-        lanes = np.arange(rows.size)
-        partner = nbs[lanes, j]
-        edge_par = self._nb_par[cols, j]
-        # A pair is consumed iff both endpoints have degree 1; adjacency is
-        # symmetric, so the partner's lone neighbor is then this defect.
-        # Locate the partner's lane by binary search over the (row, vertex)
-        # keys, which np.nonzero already emits sorted.
-        keys = rows * n + cols
-        pidx = np.searchsorted(keys, rows * n + partner)
-        pdeg = deg[np.minimum(pidx, keys.size - 1)]
-        paired = one & (pdeg == 1)
-        bmatch = (deg == 0) & self._has_bnd[cols]
-        resid = ~(paired | bmatch)
-        # Per-row prediction: each pair's parity counted once (at its lower
-        # endpoint) plus every boundary match's parity.
-        pair_once = paired & (cols < partner)
-        pred = np.zeros(num, dtype=bool)
-        np.logical_xor.at(pred, rows[pair_once], edge_par[pair_once])
-        np.logical_xor.at(pred, rows[bmatch], self._bnd_par[cols[bmatch]])
-        # Locally consumed matches, grouped per row in sorted tuple order.
-        m_rows = np.concatenate((rows[pair_once], rows[bmatch]))
-        m_lo = np.concatenate((cols[pair_once], cols[bmatch]))
-        m_hi = np.concatenate(
-            (
-                partner[pair_once],
-                np.full(int(bmatch.sum()), BOUNDARY, dtype=np.int64),
-            )
-        )
-        order = np.lexsort((m_hi, m_lo, m_rows))
-        m_rows = m_rows[order]
-        pairs = list(zip(m_lo[order].tolist(), m_hi[order].tolist()))
-        moff = np.concatenate(
-            ([0], np.cumsum(np.bincount(m_rows, minlength=num)))
-        ).tolist()
-        # One batched fallback solve over the rows with leftovers.
-        row_resid = np.zeros(num, dtype=bool)
-        row_resid[rows[resid]] = True
-        ridx = np.flatnonzero(row_resid)
-        rmap = np.zeros(num, dtype=np.int64)
-        rmap[ridx] = np.arange(ridx.size)
-        fallbacks: list[DecodeResult] = []
-        if ridx.size:
-            residual = np.zeros((ridx.size, n), dtype=bool)
-            residual[rmap[rows[resid]], cols[resid]] = True
-            fallbacks = self.fallback.decode_batch(residual)
-        results: list[DecodeResult] = []
-        pred_list = pred.tolist()
-        resid_list = row_resid.tolist()
-        counts_list = counts.tolist()
-        for i in range(num):
-            if not counts_list[i]:
-                results.append(DecodeResult(prediction=False))
-            elif not resid_list[i]:
-                results.append(
-                    DecodeResult(
-                        prediction=pred_list[i],
-                        matching=pairs[moff[i] : moff[i + 1]],
-                        cycles=1,
-                        latency_ns=4.0,
-                    )
-                )
-            else:
-                fallback = fallbacks[rmap[i]]
-                results.append(
-                    DecodeResult(
-                        prediction=pred_list[i] ^ fallback.prediction,
-                        matching=sorted(
-                            pairs[moff[i] : moff[i + 1]] + fallback.matching
-                        ),
-                        weight=fallback.weight,
-                        latency_ns=fallback.latency_ns,
-                        timed_out=True,
-                    )
-                )
-        self.last_was_local = not resid_list[num - 1]
+        results, tiers = self._cascade.run(syndromes)
+        self.last_was_local = not tiers or tiers[-1] == self._predecode.name
         return results

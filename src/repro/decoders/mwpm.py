@@ -38,7 +38,6 @@ from __future__ import annotations
 import math
 import operator
 import time
-import warnings
 
 import numpy as np
 
@@ -50,10 +49,10 @@ from ..matching.sparse_blossom import SparseBlossomEngine
 from .base import (
     DecodeResult,
     Decoder,
-    DecoderFallbackWarning,
     matching_to_detectors,
     validate_syndrome_batch,
 )
+from .cascade import EscalationPolicy
 
 __all__ = ["MWPMDecoder"]
 
@@ -104,10 +103,14 @@ class MWPMDecoder(Decoder):
         self.gwt = gwt
         self.measure_time = measure_time
         self.use_sparse = use_sparse
-        #: Sparse-engine anomalies recovered by re-decoding densely (or,
-        #: without a dense path, re-raised); the supervised experiment
-        #: layer surfaces this count.
-        self.fallback_events = 0
+        # Sparse-engine anomalies escalate to the dense reference tier
+        # through the cascade subsystem's policy; without a table there
+        # is no dense tier and the policy tells _recover to re-raise.
+        self._escalation = EscalationPolicy(
+            self.name,
+            tier="sparse",
+            next_tier="dense" if gwt is not None else None,
+        )
         self._graph_engine = (
             SparseBlossomEngine(graph, cache_size=sparse_cache_size)
             if graph is not None and use_sparse
@@ -151,12 +154,12 @@ class MWPMDecoder(Decoder):
             self._graph_engine.stats if self._graph_engine is not None else None
         )
 
-    def _degrade(self, reason: str, detail: str) -> None:
-        """Record a sparse-engine anomaly and warn that we decode densely."""
-        self.fallback_events += 1
-        warnings.warn(
-            DecoderFallbackWarning(self.name, reason, detail), stacklevel=3
-        )
+    @property
+    def fallback_events(self) -> int:
+        """Sparse-engine anomalies recovered by re-decoding densely (or,
+        without a dense path, re-raised); the supervised experiment
+        layer surfaces this count."""
+        return self._escalation.escalations
 
     def _engine_error(self) -> None:
         """Count an unexpected engine failure in the engine's breakdown."""
@@ -203,10 +206,8 @@ class MWPMDecoder(Decoder):
 
     def _recover(self, exc: Exception, active: list[int]) -> DecodeResult:
         """Degrade one failed sparse solve to the dense reference path."""
-        if self.gwt is None:
-            self.fallback_events += 1
+        if not self._escalation.escalate(type(exc).__name__, str(exc)):
             raise exc
-        self._degrade(type(exc).__name__, str(exc))
         return self._decode_dense(active)
 
     def _decode_dense(self, active: list[int]) -> DecodeResult:
@@ -280,10 +281,8 @@ class MWPMDecoder(Decoder):
         self, exc: Exception, syndromes: np.ndarray
     ) -> list[DecodeResult]:
         """Degrade one failed sparse batch to the dense reference path."""
-        if self.gwt is None:
-            self.fallback_events += 1
+        if not self._escalation.escalate(type(exc).__name__, str(exc)):
             raise exc
-        self._degrade(type(exc).__name__, str(exc))
         return self._decode_batch_dense(syndromes)
 
     def _decode_batch_dense(self, syndromes: np.ndarray) -> list[DecodeResult]:

@@ -325,6 +325,40 @@ def _make_clique(setup, *, quantized: bool = False, gwt=None):
     )
 
 
+def _make_cascade(
+    setup,
+    *,
+    quantized: bool = False,
+    max_local_weight: int | None = None,
+    routing_table=None,
+    gwt=None,
+):
+    from .cascade import CascadeDecoder
+
+    if not getattr(getattr(setup, "config", None), "dense_weights", True):
+        # No all-pairs tables exist: the front tier degenerates to the
+        # trivial (empty-syndrome) tier over graph-only MWPM.
+        if quantized or gwt is not None:
+            raise ValueError(
+                "quantized/explicit weight tables need dense weights; this "
+                "pipeline was configured with dense_weights=False (graph-"
+                "only cascade)"
+            )
+        return CascadeDecoder(None, graph=setup.sparse_graph)
+    table = gwt if gwt is not None else (setup.gwt if quantized else setup.ideal_gwt)
+    structure = _structure_for(setup, table)
+    # Arm the terminal tier's graph-local engine exactly as _make_mwpm
+    # does: only against the ideal table, whose entries it re-derives.
+    graph = setup.graph if table is getattr(setup, "ideal_gwt", None) else None
+    return CascadeDecoder(
+        table,
+        graph=graph,
+        structure=structure,
+        max_local_weight=max_local_weight,
+        routing_table=routing_table,
+    )
+
+
 def _make_lilliput(setup, *, quantized: bool = False, gwt=None):
     from .lilliput import LilliputDecoder
 
@@ -388,6 +422,12 @@ register_decoder(
     _make_clique,
     capabilities=("cli", "baseline", "service-tier"),
     description="Clique local pre-decoder with software-MWPM fallback",
+)
+register_decoder(
+    "cascade",
+    _make_cascade,
+    capabilities=("cli", "exact", "software", "cascade", "service-tier"),
+    description="closed-form front tier over exact MWPM (SLO-aware routing)",
 )
 register_decoder(
     "lilliput",

@@ -32,6 +32,7 @@ import queue as queue_module
 import time
 from dataclasses import dataclass, field
 
+from ..decoders.cascade import CascadeStats
 from ..decoders.registry import get_decoder_spec
 from ..pipeline.handle import DecoderHandle
 from ..pipeline.stages import PipelineConfig
@@ -64,7 +65,12 @@ class ServiceConfig:
         policy: Deadline/retry/backoff policy of every solve batch.
         degrade_tier: Registry tier overloaded streams shed onto (must
             carry the ``"service-tier"`` capability); None disables the
-            ladder.
+            ladder.  Shorthand for a two-rung ``tiers`` ladder.
+        tiers: Full multi-rung degradation ladder, cheapest last (each
+            rung must carry ``"service-tier"``).  Overrides
+            ``degrade_tier`` when given; streams shed one rung per
+            backpressure event and promote one rung per drained commit
+            (see :class:`~repro.decoders.cascade.TierLadder`).
         queue_limit: Default per-stream bound on buffered uncommitted
             layers.
         store_root: Artifact-store root for worker warm-starts (None:
@@ -80,6 +86,7 @@ class ServiceConfig:
         default_factory=lambda: RetryPolicy(max_retries=3, backoff=0.05, timeout=30.0)
     )
     degrade_tier: str | None = "union-find"
+    tiers: tuple[str, ...] | None = None
     queue_limit: int = 32
     store_root: str | None = None
 
@@ -90,14 +97,22 @@ class ServiceConfig:
             raise ValueError("batch_window must be >= 0")
         if self.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
-        if self.degrade_tier is not None:
-            spec = get_decoder_spec(self.degrade_tier)
+        for tier in self.tier_ladder()[1:]:
+            spec = get_decoder_spec(tier)
             if "service-tier" not in spec.capabilities:
                 raise ValueError(
-                    f"degrade tier {self.degrade_tier!r} lacks the "
+                    f"degrade tier {tier!r} lacks the "
                     "'service-tier' capability; eligible tiers are "
                     "registry decoders tagged 'service-tier'"
                 )
+
+    def tier_ladder(self) -> tuple[str, ...]:
+        """The ordered shed ladder every stream runs, primary first."""
+        if self.tiers is not None:
+            return (PRIMARY_TIER, *self.tiers)
+        if self.degrade_tier is not None:
+            return (PRIMARY_TIER, self.degrade_tier)
+        return (PRIMARY_TIER,)
 
 
 @dataclass
@@ -155,6 +170,10 @@ class DecodeService:
         self.service = service if service is not None else ServiceConfig()
         self.injector = injector
         self.stats = ServiceStats()
+        #: Per-tier routed/solved/escalated/latency counters -- the same
+        #: schema the decoder cascade reports (escalations here are
+        #: backpressure sheds off the tier).
+        self.tier_stats = CascadeStats()
         self.decoder = None
         self._handles: dict[str, DecoderHandle] = {}
         self._serial_solvers = {}
@@ -184,9 +203,9 @@ class DecodeService:
                 commit=cfg.commit,
             )
         }
-        if cfg.degrade_tier is not None:
-            self._handles[cfg.degrade_tier] = DecoderHandle.create(
-                self.config, cfg.degrade_tier, store_root=cfg.store_root
+        for tier in cfg.tier_ladder()[1:]:
+            self._handles[tier] = DecoderHandle.create(
+                self.config, tier, store_root=cfg.store_root
             )
         # Resolve in-process first: sessions and the serial fallback use
         # these objects, and forked workers inherit the warm caches.
@@ -275,7 +294,7 @@ class DecodeService:
                 queue_limit if queue_limit is not None
                 else self.service.queue_limit
             ),
-            degrade_tier=self.service.degrade_tier,
+            tiers=self.service.tier_ladder(),
         )
         self._sessions[stream_id] = session
         return session
@@ -284,10 +303,15 @@ class DecodeService:
         """Account committed layers into the service throughput stats."""
         self.stats.rounds_committed += layers
 
+    def note_shed(self, tier: str) -> None:
+        """Count one backpressure shed off ``tier`` in the tier stats."""
+        self.tier_stats.tier(tier).escalated += 1
+
     def report(self) -> dict:
         """Service- plus per-stream counters as a JSON-ready dict."""
         return {
             "service": self.stats.as_dict(),
+            "tiers": self.tier_stats.as_dict(),
             "streams": {
                 stream_id: session.stats.as_dict()
                 for stream_id, session in self._sessions.items()
@@ -318,9 +342,14 @@ class DecodeService:
             future=loop.create_future(),
             submitted=time.monotonic(),
         )
+        tier_stats = self.tier_stats.tier(tier)
+        tier_stats.routed += 1
         await self._dispatch[session.shard].put(pending)
         edges = await pending.future
-        self.stats.solve_latency.record(time.monotonic() - pending.submitted)
+        elapsed = time.monotonic() - pending.submitted
+        self.stats.solve_latency.record(elapsed)
+        tier_stats.solved += 1
+        tier_stats.latency.record(elapsed)
         return edges
 
     async def _dispatch_loop(self, shard: int) -> None:

@@ -14,9 +14,12 @@ Robustness seams owned by the session:
   counts a backpressure event and *waits* for the commit frontier to
   advance (an explicit signal to the producer, never a silent drop).
 * **Degradation ladder.**  When backpressure hits and shedding is
-  enabled, the session drops to the configured cheaper decoder tier for
-  subsequent window solves, and promotes back to the primary tier once
-  the queue drains below half its limit.  Every transition is counted.
+  enabled, the session drops one rung down its
+  :class:`~repro.decoders.cascade.TierLadder` (the cheaper decoder
+  tiers configured on the service) for subsequent window solves, and
+  promotes one rung back up once the queue drains below half its
+  limit.  Every transition is counted, in the stream's own stats and
+  in the server's shared per-tier :class:`CascadeStats` schema.
 
 Rounds are never lost or reordered: the window schedule is fixed, the
 session processes it strictly in order, and a full episode's committed
@@ -30,6 +33,7 @@ import asyncio
 import numpy as np
 
 from ..decoders.base import DecodeResult
+from ..decoders.cascade import TierLadder
 from .stats import StreamStats
 from .worker import PRIMARY_TIER
 
@@ -55,8 +59,8 @@ class StreamSession:
         queue_limit: Maximum buffered uncommitted layers before
             :meth:`submit_round` backpressures; must cover at least one
             window or the stream could never fill one.
-        degrade_tier: Cheaper tier used while shedding load (None
-            disables the ladder).
+        tiers: Ordered degradation ladder, primary tier first (a
+            single-entry ladder disables shedding).
     """
 
     def __init__(
@@ -67,7 +71,7 @@ class StreamSession:
         *,
         shard: int,
         queue_limit: int,
-        degrade_tier: str | None,
+        tiers: list[str] | tuple[str, ...] = (PRIMARY_TIER,),
     ) -> None:
         if queue_limit < decoder.window:
             raise ValueError(
@@ -77,8 +81,7 @@ class StreamSession:
         self.stream_id = stream_id
         self.shard = shard
         self.queue_limit = queue_limit
-        self.degrade_tier = degrade_tier
-        self.tier = PRIMARY_TIER
+        self.ladder = TierLadder(tiers)
         self.stats = StreamStats()
         self._server = server
         self._decoder = decoder
@@ -287,15 +290,20 @@ class StreamSession:
             self._maybe_promote()
             self._mark_step()
 
+    @property
+    def tier(self) -> str:
+        """The stream's active decode tier (its ladder position)."""
+        return self.ladder.current
+
     def _consider_degrade(self) -> None:
-        if self.degrade_tier is not None and self.tier == PRIMARY_TIER:
-            self.tier = self.degrade_tier
+        departed = self.ladder.current
+        if self.ladder.shed() is not None:
             self.stats.degradations += 1
+            self._server.note_shed(departed)
 
     def _maybe_promote(self) -> None:
         if (
-            self.tier != PRIMARY_TIER
-            and self.queue_depth <= self.queue_limit // 2
+            self.ladder.consider_promote(self.queue_depth, self.queue_limit)
+            is not None
         ):
-            self.tier = PRIMARY_TIER
             self.stats.promotions += 1

@@ -12,75 +12,12 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+# Shared with the decoder cascade's per-tier telemetry (re-exported here
+# for backward compatibility: this was the recorder's original home).
+from ..stats import LatencyRecorder
 from .supervisor import RecoveryStats
 
 __all__ = ["LatencyRecorder", "ServiceStats", "StreamStats"]
-
-
-class LatencyRecorder:
-    """Per-request latency samples with percentile queries.
-
-    Samples are kept raw (seconds); the workloads here are bounded (a
-    load-generator run, a bench trial), so exact percentiles beat a
-    sketch.  An optional cap discards the oldest samples beyond it to
-    bound memory on very long runs.
-
-    Args:
-        max_samples: Retain at most this many most-recent samples
-            (None keeps everything).
-    """
-
-    def __init__(self, max_samples: int | None = None) -> None:
-        if max_samples is not None and max_samples < 1:
-            raise ValueError("max_samples must be >= 1 (or None)")
-        self._max = max_samples
-        self._samples: list[float] = []
-        self.count = 0
-
-    def record(self, seconds: float) -> None:
-        """Add one latency sample."""
-        self.count += 1
-        self._samples.append(float(seconds))
-        if self._max is not None and len(self._samples) > self._max:
-            del self._samples[: len(self._samples) - self._max]
-
-    def percentile(self, q: float) -> float:
-        """Latency at quantile ``q`` in [0, 1] (0.0 when empty).
-
-        Nearest-rank on the sorted retained samples: ``q=0.5`` is the
-        median, ``q=0.99`` the p99.
-        """
-        if not 0.0 <= q <= 1.0:
-            raise ValueError("quantile must be within [0, 1]")
-        if not self._samples:
-            return 0.0
-        ordered = sorted(self._samples)
-        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
-        return ordered[rank]
-
-    @property
-    def p50(self) -> float:
-        """Median latency in seconds."""
-        return self.percentile(0.50)
-
-    @property
-    def p99(self) -> float:
-        """99th-percentile latency in seconds."""
-        return self.percentile(0.99)
-
-    @property
-    def mean(self) -> float:
-        """Mean retained latency in seconds."""
-        return sum(self._samples) / len(self._samples) if self._samples else 0.0
-
-    def as_dict(self) -> dict[str, float]:
-        """Summary percentiles as a JSON-ready dict (seconds)."""
-        return {
-            "count": self.count,
-            "mean_s": self.mean,
-            "p50_s": self.p50,
-            "p99_s": self.p99,
-        }
 
 
 @dataclass

@@ -1,0 +1,311 @@
+"""Unit tests for the SLO-aware decoder cascade subsystem."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.decoders.base import BOUNDARY, DecoderFallbackWarning
+from repro.decoders.cascade import (
+    Cascade,
+    CascadeDecoder,
+    ClosedFormTier,
+    DecoderTier,
+    EscalationPolicy,
+    RoutingTable,
+    TierLadder,
+    TrivialTier,
+    cascade_tune,
+    load_or_tune_routing_table,
+)
+from repro.decoders.mwpm import MWPMDecoder
+
+
+def _assert_bit_identical(cascade_results, mwpm_results):
+    for c, m in zip(cascade_results, mwpm_results):
+        assert c.prediction == m.prediction
+        assert c.matching == m.matching
+        assert c.weight == m.weight
+
+
+class TestBitIdentity:
+    """The cascade's final answers equal its terminal tier's, always."""
+
+    def test_d3_census(self, setup_d3, sample_d3):
+        cascade = CascadeDecoder(
+            setup_d3.ideal_gwt, structure=setup_d3.neighbor_structure
+        )
+        mwpm = MWPMDecoder(
+            setup_d3.ideal_gwt,
+            measure_time=False,
+            structure=setup_d3.neighbor_structure,
+        )
+        _assert_bit_identical(
+            cascade.decode_batch(sample_d3.detectors),
+            mwpm.decode_batch(sample_d3.detectors),
+        )
+        front = cascade.stats.tiers["closed-form"]
+        assert front.routed == len(sample_d3.detectors)
+        # At d = 3 nominal noise the closed forms absorb most rows.
+        assert front.solved > front.routed * 0.9
+
+    def test_d5_census(self, setup_d5, sample_d5):
+        cascade = CascadeDecoder(
+            setup_d5.ideal_gwt, structure=setup_d5.neighbor_structure
+        )
+        mwpm = MWPMDecoder(
+            setup_d5.ideal_gwt,
+            measure_time=False,
+            structure=setup_d5.neighbor_structure,
+        )
+        _assert_bit_identical(
+            cascade.decode_batch(sample_d5.detectors),
+            mwpm.decode_batch(sample_d5.detectors),
+        )
+
+    def test_decode_active_empty(self, setup_d3):
+        cascade = CascadeDecoder(setup_d3.ideal_gwt)
+        result = cascade.decode_active([])
+        assert result.prediction is False
+        assert result.matching == []
+
+    def test_graph_only_mode(self, setup_d3, sample_d3):
+        cascade = CascadeDecoder(None, graph=setup_d3.sparse_graph)
+        assert isinstance(cascade._front, TrivialTier)
+        mwpm = MWPMDecoder(
+            None, graph=setup_d3.sparse_graph, measure_time=False
+        )
+        rows = sample_d3.detectors[:200]
+        for c, m in zip(cascade.decode_batch(rows), mwpm.decode_batch(rows)):
+            assert c.prediction == m.prediction
+
+    def test_verifier_reject_still_bit_identical(self, setup_d3, sample_d3):
+        """A verifier that rejects everything forces full escalation."""
+        cascade = CascadeDecoder(
+            setup_d3.ideal_gwt, verifier=lambda syndrome, result: False
+        )
+        mwpm = MWPMDecoder(setup_d3.ideal_gwt, measure_time=False)
+        rows = sample_d3.detectors[:500]
+        _assert_bit_identical(
+            cascade.decode_batch(rows), mwpm.decode_batch(rows)
+        )
+        front = cascade.stats.tiers["closed-form"]
+        assert front.solved == 0
+        assert front.verifier_rejects > 0
+        assert front.verifier_rejects <= front.escalated
+        assert cascade.stats.tiers["mwpm"].solved == len(rows)
+
+
+class TestTierStats:
+    def test_counter_invariant(self, setup_d3, sample_d3):
+        cascade = CascadeDecoder(setup_d3.ideal_gwt)
+        cascade.decode_batch(sample_d3.detectors)
+        front = cascade.stats.tiers["closed-form"]
+        assert front.routed == front.declined + front.solved + front.escalated
+        terminal = cascade.stats.tiers["mwpm"]
+        assert terminal.routed == front.declined + front.escalated
+        assert terminal.routed == terminal.solved
+        assert cascade.escalation_rate == pytest.approx(
+            terminal.routed / front.routed
+        )
+
+    def test_as_dict_shape(self, setup_d3, sample_d3):
+        cascade = CascadeDecoder(setup_d3.ideal_gwt)
+        cascade.decode_batch(sample_d3.detectors[:100])
+        stats = cascade.stats.as_dict()
+        assert list(stats) == ["closed-form", "mwpm"]
+        for name in ("closed-form", "mwpm"):
+            tier = stats[name]
+            assert {"routed", "solved", "declined", "escalated"} <= set(tier)
+            assert "latency" in tier
+
+    def test_last_tiers_tracks_finalizer(self, setup_d3):
+        cascade = CascadeDecoder(setup_d3.ideal_gwt)
+        cascade.decode_active([])
+        assert cascade.last_tiers == ["closed-form"]
+
+
+class TestRouting:
+    def test_max_local_weight_declines_heavy_rows(self, setup_d3, sample_d3):
+        capped = CascadeDecoder(setup_d3.ideal_gwt, max_local_weight=0)
+        rows = sample_d3.detectors[:300]
+        capped.decode_batch(rows)
+        front = capped.stats.tiers["closed-form"]
+        nonempty = int(np.count_nonzero(rows.sum(axis=1)))
+        assert front.declined == nonempty
+        assert front.escalated == 0
+
+    def test_local_mask_matches_front_tier_solves(self, setup_d3, sample_d3):
+        tier = ClosedFormTier(
+            setup_d3.neighbor_structure, setup_d3.ideal_gwt
+        )
+        rows = np.asarray(sample_d3.detectors[:500], dtype=bool)
+        mask = tier.local_mask(rows)
+        cascade = CascadeDecoder(
+            setup_d3.ideal_gwt, structure=setup_d3.neighbor_structure
+        )
+        cascade.decode_batch(rows)
+        solved_locally = np.array(
+            [name == "closed-form" for name in cascade.last_tiers]
+        )
+        assert np.array_equal(mask, solved_locally)
+
+    def test_slo_breach_sheds_whole_batches(self, setup_d3, sample_d3):
+        from repro.decoders.cascade import SLO_MIN_SAMPLES
+
+        cascade = CascadeDecoder(setup_d3.ideal_gwt)
+        cascade._front.latency_slo_s = 1e-12
+        # Seed the front tier's observed latency well over its SLO.
+        front = cascade.stats.tiers["closed-form"]
+        front.latency.record_many(1.0, SLO_MIN_SAMPLES)
+        rows = sample_d3.detectors[:100]
+        results = cascade.decode_batch(rows)
+        assert front.solved == 0
+        assert front.declined == len(rows)
+        assert cascade.stats.tiers["mwpm"].solved == len(rows)
+        mwpm = MWPMDecoder(setup_d3.ideal_gwt, measure_time=False)
+        _assert_bit_identical(results, mwpm.decode_batch(rows))
+
+
+class TestCascadeCore:
+    def test_needs_a_tier(self):
+        with pytest.raises(ValueError):
+            Cascade([])
+
+    def test_terminal_must_solve(self, setup_d3):
+        class Decliner:
+            name = "decliner"
+            syndrome_length = setup_d3.ideal_gwt.weights.shape[0]
+
+            def decode_batch(self, syndromes):
+                return [None] * syndromes.shape[0]
+
+        cascade = Cascade([DecoderTier(Decliner())])
+        with pytest.raises(RuntimeError):
+            cascade.run(np.ones((1, Decliner.syndrome_length), dtype=bool))
+
+
+class TestEscalationPolicy:
+    def test_without_next_tier_counts_and_returns_false(self):
+        policy = EscalationPolicy("MWPM", tier="sparse")
+        assert policy.escalate("SparseEngineError", "boom") is False
+        assert policy.escalations == 1
+
+    def test_with_next_tier_warns_and_returns_true(self):
+        policy = EscalationPolicy("MWPM", tier="sparse", next_tier="dense")
+        with pytest.warns(DecoderFallbackWarning):
+            assert policy.escalate("SparseEngineError", "boom") is True
+        assert policy.escalations == 1
+
+    def test_mwpm_exposes_policy_as_fallback_events(self, setup_d3):
+        decoder = MWPMDecoder(setup_d3.ideal_gwt, measure_time=False)
+        assert decoder.fallback_events == 0
+        assert decoder._escalation.next_tier == "dense"
+
+
+class TestTierLadder:
+    def test_shed_and_promote_hysteresis(self):
+        ladder = TierLadder(("sliding-window", "union-find"))
+        assert ladder.current == "sliding-window"
+        assert not ladder.degraded
+        assert ladder.shed() == "union-find"
+        assert ladder.degraded
+        # At the bottom rung further sheds are refused.
+        assert ladder.shed() is None
+        assert ladder.current == "union-find"
+        # Queue above half the limit: stay degraded.
+        assert ladder.consider_promote(9, 16) is None
+        assert ladder.current == "union-find"
+        # Queue at half the limit: climb one rung.
+        assert ladder.consider_promote(8, 16) == "sliding-window"
+        assert not ladder.degraded
+        # Already at the top: promotion is a no-op.
+        assert ladder.consider_promote(0, 16) is None
+
+    def test_multi_rung_sheds_one_at_a_time(self):
+        ladder = TierLadder(("a", "b", "c"))
+        assert ladder.shed() == "b"
+        assert ladder.shed() == "c"
+        assert ladder.shed() is None
+        assert ladder.consider_promote(0, 16) == "b"
+        assert ladder.consider_promote(0, 16) == "a"
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ValueError):
+            TierLadder(())
+
+
+class TestTuner:
+    def test_tune_is_deterministic(self, setup_d3):
+        a = cascade_tune(setup_d3, shots=500, seed=11)
+        b = cascade_tune(setup_d3, shots=500, seed=11)
+        assert a == b
+        assert a.shots == 500 and a.seed == 11
+        assert a.max_local_weight >= 2
+        assert 0.0 <= a.local_fraction <= 1.0
+        assert len(a.accept_weights) == len(a.accept_fractions)
+
+    def test_routing_table_pickles(self, setup_d3):
+        table = cascade_tune(setup_d3, shots=300, seed=3)
+        assert pickle.loads(pickle.dumps(table)) == table
+
+    def test_artifact_store_round_trip(self, setup_d3, tmp_path):
+        from repro.pipeline.artifacts import ArtifactStore
+
+        store = ArtifactStore(tmp_path)
+        table = load_or_tune_routing_table(
+            setup_d3, store, shots=300, seed=3
+        )
+        assert store.saves == 1
+        again = load_or_tune_routing_table(
+            setup_d3, store, shots=300, seed=3
+        )
+        assert again == table
+        assert store.saves == 1  # served from disk, not re-tuned
+        # A different census key re-tunes rather than trusting the cache.
+        other = load_or_tune_routing_table(
+            setup_d3, store, shots=300, seed=4
+        )
+        assert store.saves == 2
+        assert other.seed == 4
+
+    def test_tuned_table_drives_decoder(self, setup_d3, sample_d3):
+        table = cascade_tune(setup_d3, shots=500, seed=11)
+        cascade = CascadeDecoder(setup_d3.ideal_gwt, routing_table=table)
+        mwpm = MWPMDecoder(setup_d3.ideal_gwt, measure_time=False)
+        rows = sample_d3.detectors[:500]
+        _assert_bit_identical(
+            cascade.decode_batch(rows), mwpm.decode_batch(rows)
+        )
+
+
+class TestRegistry:
+    def test_registered_with_capabilities(self):
+        from repro.decoders import registry
+
+        assert "cascade" in registry.decoder_names("cli")
+        spec = registry.get_decoder_spec("cascade")
+        assert "cascade" in spec.capabilities
+        assert "service-tier" in spec.capabilities
+
+    def test_make_decoder(self, setup_d3, sample_d3):
+        from repro.decoders.registry import make_decoder
+
+        cascade = make_decoder("cascade", setup_d3)
+        mwpm = MWPMDecoder(
+            setup_d3.ideal_gwt,
+            graph=setup_d3.graph,
+            measure_time=False,
+            structure=setup_d3.neighbor_structure,
+        )
+        rows = sample_d3.detectors[:300]
+        _assert_bit_identical(
+            cascade.decode_batch(rows), mwpm.decode_batch(rows)
+        )
+
+    def test_make_decoder_with_routing_table(self, setup_d3):
+        from repro.decoders.registry import make_decoder
+
+        table = cascade_tune(setup_d3, shots=300, seed=3)
+        cascade = make_decoder("cascade", setup_d3, routing_table=table)
+        assert cascade.routing_table is table

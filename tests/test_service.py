@@ -376,6 +376,70 @@ class TestBackpressureAndDegradation:
 
         asyncio.run(scenario())
 
+    def test_shed_promote_hysteresis_transitions(self):
+        """Shed at a full queue, promote only once half-drained."""
+
+        async def scenario():
+            async with DecodeService(
+                CONFIG, _service_config(degrade_tier="union-find")
+            ) as svc:
+                session = svc.open_stream("s", queue_limit=8)
+                primary = session.tier
+                # A full queue sheds exactly one rung (and counts it both
+                # in the stream and the server's shared tier stats).
+                session._consider_degrade()
+                assert session.tier == "union-find"
+                assert session.stats.degradations == 1
+                assert svc.tier_stats.tiers[primary].escalated == 1
+                # Shedding again from the bottom rung is a no-op.
+                session._consider_degrade()
+                assert session.tier == "union-find"
+                assert session.stats.degradations == 1
+                # Above half the limit the session stays degraded...
+                session._layers_in = 5  # queue_depth = 5 > 8 // 2
+                session._maybe_promote()
+                assert session.tier == "union-find"
+                assert session.stats.promotions == 0
+                # ...and promotes back to primary at half the limit.
+                session._layers_in = 4  # queue_depth = 4 == 8 // 2
+                session._maybe_promote()
+                assert session.tier == primary
+                assert session.stats.promotions == 1
+                # Already at the top: further promotion is a no-op.
+                session._maybe_promote()
+                assert session.stats.promotions == 1
+                session._layers_in = 0
+
+        asyncio.run(scenario())
+
+    def test_multi_rung_tiers_config(self):
+        config = _service_config(tiers=("clique", "union-find"))
+        assert config.tier_ladder()[1:] == ("clique", "union-find")
+        with pytest.raises(ValueError, match="service-tier"):
+            _service_config(tiers=("clique", "mwpm"))
+
+    def test_report_carries_shared_tier_stats(self):
+        report = run_load(
+            CONFIG,
+            _service_config(degrade_tier="union-find"),
+            streams=3,
+            episodes=6,
+            seed=501,
+            burst_streams=1,
+        )
+        tiers = report.service["tiers"]
+        # Every ladder rung reports through the cascade stats schema.
+        for name in ("sliding-window", "union-find"):
+            assert {"routed", "solved", "escalated", "latency"} <= set(
+                tiers[name]
+            )
+        # The burst stream degraded at least once: the shed away from the
+        # primary tier lands in the primary tier's escalation counter,
+        # and the degraded rung solved real windows.
+        assert tiers["sliding-window"]["escalated"] >= 1
+        assert tiers["union-find"]["solved"] >= 1
+        assert tiers["sliding-window"]["solved"] >= 1
+
 
 # ----------------------------------------------------------------------
 # Session validation
